@@ -1,0 +1,20 @@
+//! Modular atomic broadcast by reduction to consensus.
+//!
+//! Atomic broadcast (abcast/adeliver) is reliable broadcast plus **total
+//! order**: every process adelivers the same messages in the same order.
+//! The Chandra–Toueg reduction solves it with a sequence of consensus
+//! instances deciding batches of pending messages (§3.3 of the paper).
+//!
+//! This crate contains the *modular* implementation — the half of the
+//! paper's comparison that treats consensus, reliable broadcast and the
+//! failure detector as black-box microprotocols. Its cross-module
+//! inefficiencies (diffusion to everyone, standalone decision messages,
+//! no piggybacking) are intrinsic: see the crate-level discussion in
+//! [`AbcastModule`] and the monolithic counterpart in `fortika-mono`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod module;
+
+pub use module::{AbcastConfig, AbcastModule, ABCAST_MODULE_ID};

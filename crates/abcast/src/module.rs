@@ -1,0 +1,244 @@
+//! The modular atomic broadcast microprotocol.
+//!
+//! Chandra–Toueg reduction (§3.3 of the paper): messages submitted by the
+//! application are *diffused* to all processes over plain quasi-reliable
+//! channels (the paper's optimization over rbcast-based dissemination),
+//! and a sequence of consensus instances decides the delivery order of
+//! batches of pending messages.
+//!
+//! Because consensus is a black box here, the module:
+//!
+//! * cannot know who the coordinator is, so diffusion must go to
+//!   **everyone** (the monolithic stack's optimization O2 is impossible);
+//! * cannot combine its traffic with consensus messages (O1 impossible);
+//! * relies on the consensus module's own decision dissemination (O3
+//!   impossible).
+//!
+//! Instances run sequentially at each process: instance `k+1` is proposed
+//! only after the decision of instance `k` has been processed locally —
+//! the coordinator, which decides first, therefore pipelines `proposal
+//! k+1` right behind `decision k`, exactly as in Fig. 5 of the paper.
+//!
+//! Correctness note (also §3.3): diffusion over plain channels can lose a
+//! message's copies when the *sender* crashes mid-diffusion. Delivery
+//! happens only through decided batches, so agreement is preserved; an
+//! idle-timeout consensus additionally keeps the instance stream moving
+//! so that partially-diffused messages held by some processes are
+//! eventually ordered (or safely forgotten if nobody proposes them).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
+use fortika_net::wire::{decode, encode};
+use fortika_net::{AppMsg, Batch, MsgId, ProcessId, TimerId};
+use fortika_sim::VDur;
+
+/// Wire demux id of the atomic broadcast module.
+pub const ABCAST_MODULE_ID: ModuleId = 1;
+
+const TAG_IDLE: u64 = 0;
+
+/// Configuration of the modular atomic broadcast module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbcastConfig {
+    /// The paper's `t`: if no consensus ran for this long, start one even
+    /// with an empty batch (keeps the instance stream live so messages
+    /// held by a subset of processes eventually get ordered).
+    pub idle_timeout: VDur,
+    /// Disable the idle consensus entirely (micro-benchmarks).
+    pub idle_consensus: bool,
+}
+
+impl Default for AbcastConfig {
+    fn default() -> Self {
+        AbcastConfig {
+            idle_timeout: VDur::secs(1),
+            idle_consensus: true,
+        }
+    }
+}
+
+/// Tracks delivered message ids per sender with watermark compaction
+/// (same structure as rbcast's duplicate suppression).
+#[derive(Debug, Default)]
+struct DeliveredLog {
+    per_sender: BTreeMap<ProcessId, fortika_rbcast::OriginLog>,
+}
+
+impl DeliveredLog {
+    fn is_new(&self, id: MsgId) -> bool {
+        self.per_sender
+            .get(&id.sender)
+            .is_none_or(|log| log.is_new(id.seq))
+    }
+
+    fn mark(&mut self, id: MsgId) {
+        self.per_sender.entry(id.sender).or_default().complete(id.seq);
+    }
+}
+
+/// The modular atomic broadcast microprotocol.
+///
+/// Consumes [`Event::AbcastRequest`] (from the flow-control module above)
+/// and [`Event::Decide`] (from the consensus module below); raises
+/// [`Event::Propose`] and [`Event::Adelivered`], and reports deliveries
+/// to the harness.
+pub struct AbcastModule {
+    cfg: AbcastConfig,
+    /// Received but not yet delivered messages.
+    pending: BTreeMap<MsgId, AppMsg>,
+    delivered: DeliveredLog,
+    /// Next instance whose decision we will apply.
+    next_decide: u64,
+    /// Whether we have an outstanding proposal for `next_decide`.
+    proposed_current: bool,
+    /// Decisions that arrived out of instance order.
+    decision_buffer: BTreeMap<u64, Batch>,
+}
+
+impl AbcastModule {
+    /// Creates the module.
+    pub fn new(cfg: AbcastConfig) -> Self {
+        AbcastModule {
+            cfg,
+            pending: BTreeMap::new(),
+            delivered: DeliveredLog::default(),
+            next_decide: 0,
+            proposed_current: false,
+            decision_buffer: BTreeMap::new(),
+        }
+    }
+
+    /// Proposes the current pending set for the next instance, if we have
+    /// messages and no proposal in flight.
+    fn maybe_propose(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        if self.proposed_current || self.pending.is_empty() {
+            return;
+        }
+        self.propose_now(ctx);
+    }
+
+    fn propose_now(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        let batch = Batch::normalize(self.pending.values().cloned().collect());
+        self.proposed_current = true;
+        ctx.bump("abcast.proposals", 1);
+        ctx.raise(Event::Propose {
+            instance: self.next_decide,
+            value: batch,
+        });
+    }
+
+    fn apply_ready_decisions(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        while let Some(batch) = self.decision_buffer.remove(&self.next_decide) {
+            let mut ids = Vec::new();
+            for msg in batch.into_msgs() {
+                if !self.delivered.is_new(msg.id) {
+                    continue; // already delivered in an earlier instance
+                }
+                self.delivered.mark(msg.id);
+                self.pending.remove(&msg.id);
+                ctx.deliver(msg.id, msg.payload.len() as u32);
+                ids.push(msg.id);
+            }
+            ctx.bump("abcast.instances_applied", 1);
+            if !ids.is_empty() {
+                ctx.bump("abcast.delivered", ids.len() as u64);
+                ctx.raise(Event::Adelivered(ids));
+            }
+            self.next_decide += 1;
+            self.proposed_current = false;
+        }
+        self.maybe_propose(ctx);
+    }
+}
+
+impl Microprotocol for AbcastModule {
+    fn name(&self) -> &'static str {
+        "atomic-broadcast"
+    }
+
+    fn module_id(&self) -> ModuleId {
+        ABCAST_MODULE_ID
+    }
+
+    fn subscriptions(&self) -> &'static [EventKind] {
+        &[EventKind::AbcastRequest, EventKind::Decide]
+    }
+
+    fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        if self.cfg.idle_consensus {
+            ctx.set_timer(self.cfg.idle_timeout, TAG_IDLE);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
+        match ev {
+            Event::AbcastRequest(msg) => {
+                debug_assert_eq!(msg.id.sender, ctx.pid(), "abcast of foreign message");
+                // Diffuse to everyone — the modular stack cannot target
+                // the coordinator (consensus is a black box).
+                ctx.broadcast_net("abcast.diffuse", encode(msg));
+                if self.delivered.is_new(msg.id) {
+                    self.pending.insert(msg.id, msg.clone());
+                }
+                self.maybe_propose(ctx);
+            }
+            Event::Decide { instance, value } => {
+                self.decision_buffer.insert(*instance, value.clone());
+                self.apply_ready_decisions(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_net(&mut self, ctx: &mut FrameworkCtx<'_, '_>, _from: ProcessId, bytes: Bytes) {
+        let Ok(msg) = decode::<AppMsg>(bytes) else {
+            ctx.bump("abcast.garbage", 1);
+            return;
+        };
+        if self.delivered.is_new(msg.id) && !self.pending.contains_key(&msg.id) {
+            self.pending.insert(msg.id, msg);
+            self.maybe_propose(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut FrameworkCtx<'_, '_>, _timer: TimerId, tag: u64) {
+        if tag != TAG_IDLE {
+            return;
+        }
+        // The paper's liveness guard: periodically run consensus even
+        // with nothing to order, so every process keeps advancing through
+        // the instance stream.
+        if !self.proposed_current {
+            ctx.bump("abcast.idle_proposals", 1);
+            self.propose_now(ctx);
+        }
+        ctx.set_timer(self.cfg.idle_timeout, TAG_IDLE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivered_log_tracks_per_sender() {
+        let mut log = DeliveredLog::default();
+        let a0 = MsgId::new(ProcessId(0), 0);
+        let b0 = MsgId::new(ProcessId(1), 0);
+        assert!(log.is_new(a0));
+        log.mark(a0);
+        assert!(!log.is_new(a0));
+        assert!(log.is_new(b0), "senders are independent");
+        log.mark(b0);
+        assert!(!log.is_new(b0));
+    }
+
+    #[test]
+    fn config_defaults() {
+        let cfg = AbcastConfig::default();
+        assert!(cfg.idle_consensus);
+        assert_eq!(cfg.idle_timeout, VDur::secs(1));
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 10 — Throughput vs. offered load (message size 16384 B).
+//!
+//! Paper's findings in shape: T equals the offered load up to ~500
+//! msg/s, then plateaus (flow control); at high load the monolithic
+//! plateau sits 25 % (n=7) to 30 % (n=3) above the modular one.
+
+use fortika_bench::{figure_series, full_sweep, print_header, print_row, run_point};
+
+fn main() {
+    let msg_size = 16_384;
+    let loads: Vec<f64> = if full_sweep() {
+        vec![125.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0]
+    } else {
+        vec![250.0, 500.0, 1000.0, 2000.0, 4000.0]
+    };
+    let series = figure_series();
+    print_header(
+        "Fig. 10 — throughput (msgs/s) vs offered load (msgs/s), size=16384",
+        "load",
+        &series.iter().map(|(_, _, l)| l.clone()).collect::<Vec<_>>(),
+    );
+    for &load in &loads {
+        let mut cells = Vec::new();
+        for (kind, n, _) in &series {
+            let s = run_point(*kind, *n, load, msg_size, 1.5);
+            cells.push((s.throughput.mean, s.throughput.half_width));
+        }
+        print_row(load, &cells);
+    }
+    println!();
+    println!("# paper: T = offered load below ~500 msgs/s; mono plateau 25% (n=7) to 30% (n=3) higher.");
+}

@@ -1,0 +1,43 @@
+//! Figure 8 — Early latency vs. offered load (message size 16384 B).
+//!
+//! Paper's findings this harness should reproduce in *shape*:
+//! * latencies close at small loads, then the monolithic stack wins by
+//!   up to ~50 % (n=3) / ~30 % (n=7);
+//! * latency plateaus above saturation (flow control);
+//! * ≥ 99 % CPU above ~500 msg/s offered (printed as `cpu`).
+
+use fortika_bench::{figure_series, full_sweep, print_header, print_row, run_point};
+
+fn main() {
+    let msg_size = 16_384;
+    let loads: Vec<f64> = if full_sweep() {
+        vec![125.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0]
+    } else {
+        vec![250.0, 500.0, 1000.0, 2000.0, 4000.0]
+    };
+    let series = figure_series();
+    print_header(
+        "Fig. 8 — early latency (ms) vs offered load (msgs/s), size=16384",
+        "load",
+        &series.iter().map(|(_, _, l)| l.clone()).collect::<Vec<_>>(),
+    );
+    let mut cpu_note = Vec::new();
+    for &load in &loads {
+        let mut cells = Vec::new();
+        for (kind, n, _) in &series {
+            let s = run_point(*kind, *n, load, msg_size, 1.5);
+            cells.push((s.early_latency_ms.mean, s.early_latency_ms.half_width));
+            if *n == 3 {
+                cpu_note.push((load, kind.label(), s.max_cpu_utilization));
+            }
+        }
+        print_row(load, &cells);
+    }
+    println!();
+    println!("# CPU utilization (busiest process, n=3):");
+    for (load, label, cpu) in cpu_note {
+        println!("#   load {load:>6.0}  {label:<10} cpu {:.0}%", cpu * 100.0);
+    }
+    println!("# paper: latency close at small loads; mono 30% (n=7) to 50% (n=3) lower at high load;");
+    println!("# paper: 99% CPU above 500 msgs/s offered load.");
+}

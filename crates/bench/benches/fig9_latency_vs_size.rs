@@ -1,0 +1,33 @@
+//! Figure 9 — Early latency vs. message size (offered load 2000 msg/s).
+//!
+//! Paper's findings in shape: the monolithic stack is ~50 % faster for
+//! small messages (up to 4096 B at n=7 / 8192 B at n=3); the advantage
+//! narrows to ~25 % (n=7) / 35 % (n=3) for the largest sizes, where data
+//! volume rather than message count dominates.
+
+use fortika_bench::{figure_series, full_sweep, print_header, print_row, run_point};
+
+fn main() {
+    let load = 2000.0;
+    let sizes: Vec<usize> = if full_sweep() {
+        vec![64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+    } else {
+        vec![64, 512, 4096, 16384, 32768]
+    };
+    let series = figure_series();
+    print_header(
+        "Fig. 9 — early latency (ms) vs message size (bytes), load=2000 msgs/s",
+        "size",
+        &series.iter().map(|(_, _, l)| l.clone()).collect::<Vec<_>>(),
+    );
+    for &size in &sizes {
+        let mut cells = Vec::new();
+        for (kind, n, _) in &series {
+            let s = run_point(*kind, *n, load, size, 1.5);
+            cells.push((s.early_latency_ms.mean, s.early_latency_ms.half_width));
+        }
+        print_row(size as f64, &cells);
+    }
+    println!();
+    println!("# paper: mono ~50% lower latency at small sizes; 25% (n=7) / 35% (n=3) at the largest.");
+}

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks (A3): host-level costs of the substrate.
+//!
+//! These measure the *reproduction's* hot paths — wire codec, event
+//! queue, full simulated instances — not the paper's metrics (those are
+//! virtual-time measurements produced by the figure harnesses).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fortika_core::workload::Workload;
+use fortika_core::{Experiment, StackKind};
+use fortika_net::wire::{decode, encode};
+use fortika_net::{AppMsg, Batch, MsgId, ProcessId};
+use fortika_sim::{EventQueue, VTime};
+
+fn batch(msgs: usize, size: usize) -> Batch {
+    Batch::normalize(
+        (0..msgs)
+            .map(|i| {
+                AppMsg::new(
+                    MsgId::new(ProcessId((i % 3) as u16), i as u64),
+                    Bytes::from(vec![0u8; size]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let b = batch(4, 16_384);
+    let encoded = encode(&b);
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_batch_4x16k", |bench| {
+        bench.iter(|| encode(std::hint::black_box(&b)))
+    });
+    g.bench_function("decode_batch_4x16k", |bench| {
+        bench.iter_batched(
+            || encoded.clone(),
+            |bytes| decode::<Batch>(std::hint::black_box(bytes)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_1k", |bench| {
+        bench.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(VTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulated_second(c: &mut Criterion) {
+    // How much host time one virtual second of each stack costs at a
+    // moderate operating point — the simulator's own efficiency.
+    let mut g = c.benchmark_group("simulated_second");
+    g.sample_size(10);
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        g.bench_function(kind.label(), |bench| {
+            bench.iter(|| {
+                let mut exp = Experiment::builder(kind, 3)
+                    .workload(Workload::constant_rate(500.0, 1024))
+                    .warmup_secs(0.2)
+                    .measure_secs(0.8)
+                    .seed(9)
+                    .build();
+                exp.run().delivered_total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_event_queue, bench_simulated_second);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Debug probe for post-crash recovery of the monolithic stack.
+
+use bytes::Bytes;
+use fortika_core::{build_nodes, StackConfig, StackKind};
+use fortika_net::{
+    Admission, AppMsg, AppRequest, Cluster, ClusterConfig, CollectingHarness, MsgId, ProcessId,
+};
+use fortika_sim::{VDur, VTime};
+
+fn main() {
+    let n = 3;
+    let cfg = ClusterConfig::new(n, 99);
+    let nodes = build_nodes(StackKind::Monolithic, n, &StackConfig::default());
+    let mut cluster = Cluster::new(cfg, nodes);
+    let mut harness = CollectingHarness::new(n);
+    cluster.run_until(VTime::ZERO + VDur::millis(1), &mut harness);
+
+    // Load phase.
+    let mut seqs = vec![0u64; n];
+    for _ in 0..4 {
+        for p in 0..n as u16 {
+            let id = MsgId::new(ProcessId(p), seqs[p as usize]);
+            seqs[p as usize] += 1;
+            let msg = AppMsg::new(id, Bytes::from(vec![p as u8; 512]));
+            let (adm, _) = cluster.submit(ProcessId(p), AppRequest::Abcast(msg));
+            println!("t={} submit p{} -> {:?}", cluster.now(), p + 1, adm);
+        }
+        let next = cluster.now() + VDur::millis(8);
+        cluster.run_until(next, &mut harness);
+    }
+    println!("delivered at p2 before crash: {}", harness.order(ProcessId(1)).len());
+
+    cluster.schedule_crash(ProcessId(0), cluster.now() + VDur::millis(2));
+    cluster.run_until(cluster.now() + VDur::millis(800), &mut harness);
+    println!(
+        "after suspicion: suspicions={} round_changes={} decided={} delivered_p2={}",
+        cluster.counters().event("fd.suspicions"),
+        cluster.counters().event("mono.round_changes"),
+        cluster.counters().event("consensus.decided"),
+        harness.order(ProcessId(1)).len(),
+    );
+
+    // Post-crash submissions from p2 with status dumps.
+    for i in 0..8u64 {
+        let id = MsgId::new(ProcessId(1), seqs[1]);
+        let msg = AppMsg::new(id, Bytes::from(vec![1u8; 512]));
+        let (adm, _) = cluster.submit(ProcessId(1), AppRequest::Abcast(msg));
+        if adm == Admission::Accepted {
+            seqs[1] += 1;
+        }
+        println!(
+            "t={} submit#{} -> {:?} | delivered_p2={} decided={} rounds={} proposals={} estimates_sent={}",
+            cluster.now(),
+            i,
+            adm,
+            harness.order(ProcessId(1)).len(),
+            cluster.counters().event("consensus.decided"),
+            cluster.counters().event("mono.round_changes"),
+            cluster.counters().event("mono.proposals"),
+            cluster.counters().kind("mono.estimate").msgs,
+        );
+        let next = cluster.now() + VDur::millis(500);
+        cluster.run_until(next, &mut harness);
+    }
+}

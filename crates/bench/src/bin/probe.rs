@@ -1,0 +1,48 @@
+//! Calibration probe: prints latency/throughput at a few operating
+//! points so the cost model can be tuned against the paper's shapes.
+
+use fortika_core::workload::Workload;
+use fortika_core::{Experiment, StackKind};
+
+fn main() {
+    println!(
+        "{:>10} {:>3} {:>6} {:>7} | {:>9} {:>9} {:>7} {:>6} {:>8} {:>9}",
+        "stack", "n", "load", "size", "lat(ms)", "thr", "M", "cpu", "msg/inst", "KB/inst"
+    );
+    for &(n, load, size) in &[
+        (3usize, 250.0, 16384usize),
+        (3, 500.0, 16384),
+        (3, 1000.0, 16384),
+        (3, 2000.0, 16384),
+        (3, 4000.0, 16384),
+        (7, 500.0, 16384),
+        (7, 2000.0, 16384),
+        (3, 2000.0, 1024),
+        (7, 2000.0, 1024),
+        (3, 2000.0, 32768),
+        (7, 2000.0, 32768),
+    ] {
+        for kind in [StackKind::Monolithic, StackKind::Modular] {
+            let mut exp = Experiment::builder(kind, n)
+                .workload(Workload::constant_rate(load, size))
+                .warmup_secs(1.0)
+                .measure_secs(2.0)
+                .seed(7)
+                .build();
+            let r = exp.run();
+            println!(
+                "{:>10} {:>3} {:>6.0} {:>7} | {:>9.3} {:>9.1} {:>7.2} {:>6.2} {:>8.2} {:>9.1}",
+                kind.label(),
+                n,
+                load,
+                size,
+                r.early_latency_ms.mean,
+                r.throughput_msgs_per_sec,
+                r.avg_batch_m,
+                r.max_cpu_utilization,
+                r.msgs_per_instance,
+                r.bytes_per_instance / 1024.0
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared plumbing for the benchmark harnesses.
+//!
+//! Each paper table/figure has its own `harness = false` bench target in
+//! `benches/`; this crate holds the code they share: sweep helpers,
+//! table printing and the `FORTIKA_FULL` switch between the quick
+//! default sweep and the full paper-resolution sweep.
+
+use fortika_core::workload::Workload;
+use fortika_core::{Experiment, StackKind, Summary};
+
+/// True when the full (paper-resolution) sweep was requested via the
+/// `FORTIKA_FULL=1` environment variable.
+pub fn full_sweep() -> bool {
+    std::env::var("FORTIKA_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Seeds used for replicated runs (fewer in quick mode).
+pub fn seeds() -> Vec<u64> {
+    if full_sweep() {
+        vec![11, 22, 33, 44, 55]
+    } else {
+        vec![11, 22, 33]
+    }
+}
+
+/// Runs one operating point of the paper's evaluation.
+pub fn run_point(
+    kind: StackKind,
+    n: usize,
+    offered_load: f64,
+    msg_size: usize,
+    measure_secs: f64,
+) -> Summary {
+    let mut exp = Experiment::builder(kind, n)
+        .workload(Workload::constant_rate(offered_load, msg_size))
+        .warmup_secs(1.0)
+        .measure_secs(measure_secs)
+        .build();
+    exp.run_replicated(&seeds())
+}
+
+/// Prints a gnuplot-style table header.
+pub fn print_header(title: &str, xlabel: &str, columns: &[String]) {
+    println!();
+    println!("# {title}");
+    print!("# {xlabel:>12}");
+    for c in columns {
+        print!(" {c:>26}");
+    }
+    println!();
+}
+
+/// Prints one row: x value plus `mean ± ci` per series.
+pub fn print_row(x: f64, cells: &[(f64, f64)]) {
+    print!("  {x:>12.0}");
+    for (mean, ci) in cells {
+        print!(" {:>17.3} ±{:>7.3}", mean, ci);
+    }
+    println!();
+}
+
+/// The four stack/size series every figure plots.
+pub fn figure_series() -> Vec<(StackKind, usize, String)> {
+    vec![
+        (StackKind::Monolithic, 3, "n=3 monolithic".to_string()),
+        (StackKind::Modular, 3, "n=3 modular".to_string()),
+        (StackKind::Monolithic, 7, "n=7 monolithic".to_string()),
+        (StackKind::Modular, 7, "n=7 modular".to_string()),
+    ]
+}

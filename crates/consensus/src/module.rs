@@ -1,0 +1,588 @@
+//! The consensus microprotocol: multi-instance Chandra–Toueg.
+//!
+//! # Algorithm (per instance)
+//!
+//! Rounds rotate coordinators (`coord(r) = p_{(r mod n)+1}`). The
+//! implementation carries the paper's modular-side optimizations (§3.2):
+//!
+//! 1. **Round 0 has no estimate phase**: the coordinator proposes its own
+//!    initial value directly (Fig. 3).
+//! 2. **Rounds advance only on suspicion**: instead of free-running
+//!    rounds, a process moves to round `r+1` (sending its estimate to the
+//!    new coordinator) only when its failure detector suspects the
+//!    current coordinator. A slow periodic sweep additionally rotates
+//!    rounds for instances that make no progress, which preserves
+//!    liveness under pathological mixed-suspicion schedules.
+//! 3. **Decisions are disseminated as a `DECISION` tag** through the
+//!    reliable broadcast module: in round 0 the notice carries no value —
+//!    receivers decide the round-0 proposal they already hold. A receiver
+//!    missing the proposal (possible when the coordinator crashed
+//!    mid-round) recovers with `DecisionRequest`/`DecisionFull`.
+//!
+//! Safety is the classic CT argument: a decision in round `r` requires
+//! acks from a majority, every ack locks the proposal as the acker's
+//! estimate with timestamp `r`, and any later coordinator gathers
+//! estimates from a majority — which intersects every ack quorum — and
+//! adopts the max-timestamp estimate.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use bytes::Bytes;
+use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
+use fortika_net::wire::{decode, encode};
+use fortika_net::{Batch, ProcessId, TimerId};
+use fortika_rbcast::OriginLog;
+use fortika_sim::{VDur, VTime};
+
+use crate::msg::{coordinator, ConsensusMsg, DecisionNotice};
+
+/// Wire demux id of the consensus module.
+pub const CONSENSUS_MODULE_ID: ModuleId = 2;
+
+/// Reliable-broadcast stream carrying decision notices.
+pub const DECISION_STREAM: u8 = 0;
+
+const TAG_SWEEP: u64 = 0;
+
+/// Configuration of the consensus module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusConfig {
+    /// An undecided instance stuck in one round for longer than this is
+    /// rotated to the next coordinator even without a suspicion (liveness
+    /// backstop; never reached in good runs).
+    pub progress_timeout: VDur,
+    /// Period of the background sweep that enforces `progress_timeout`
+    /// and retries decision requests.
+    pub sweep_interval: VDur,
+    /// How many decided values are cached for recovery requests.
+    pub decision_cache: usize,
+}
+
+impl Default for ConsensusConfig {
+    fn default() -> Self {
+        ConsensusConfig {
+            progress_timeout: VDur::secs(1),
+            sweep_interval: VDur::millis(250),
+            decision_cache: 1024,
+        }
+    }
+}
+
+/// Per-instance protocol state.
+struct Instance {
+    round: u32,
+    round_entered: VTime,
+    /// Current estimate and its adoption timestamp.
+    estimate: Option<Batch>,
+    ts: u32,
+    /// Latest proposal received (round, value) — needed to decide on a
+    /// round-tagged `DECISION` notice.
+    last_proposal: Option<(u32, Batch)>,
+    /// Acks gathered while coordinating the current round.
+    acks: HashSet<ProcessId>,
+    /// Highest-round estimate received from each peer (round, value, ts).
+    estimates: HashMap<ProcessId, (u32, Batch, u32)>,
+    /// Last round for which we (as coordinator) already proposed.
+    proposal_sent_round: Option<u32>,
+    /// A `DECISION` tag arrived for this round but the matching proposal
+    /// is missing; awaiting recovery.
+    pending_tag: Option<u32>,
+    /// When the last recovery request went out.
+    last_request: Option<VTime>,
+}
+
+impl Instance {
+    fn new(now: VTime) -> Self {
+        Instance {
+            round: 0,
+            round_entered: now,
+            estimate: None,
+            ts: 0,
+            last_proposal: None,
+            acks: HashSet::new(),
+            estimates: HashMap::new(),
+            proposal_sent_round: None,
+            pending_tag: None,
+            last_request: None,
+        }
+    }
+}
+
+/// The consensus microprotocol.
+///
+/// Consumes [`Event::Propose`], raises [`Event::Decide`]; uses the
+/// reliable broadcast service (stream [`DECISION_STREAM`]) for decision
+/// dissemination and reacts to [`Event::Suspect`]/[`Event::Restore`].
+pub struct ConsensusModule {
+    cfg: ConsensusConfig,
+    instances: BTreeMap<u64, Instance>,
+    decided_log: OriginLog,
+    decisions: BTreeMap<u64, Batch>,
+    suspected: HashSet<ProcessId>,
+}
+
+impl ConsensusModule {
+    /// Creates the module.
+    pub fn new(cfg: ConsensusConfig) -> Self {
+        ConsensusModule {
+            cfg,
+            instances: BTreeMap::new(),
+            decided_log: OriginLog::default(),
+            decisions: BTreeMap::new(),
+            suspected: HashSet::new(),
+        }
+    }
+
+    fn majority(n: usize) -> usize {
+        n / 2 + 1
+    }
+
+    fn is_decided(&self, instance: u64) -> bool {
+        !self.decided_log.is_new(instance)
+    }
+
+    /// Registers a decision locally: caches the value, raises
+    /// [`Event::Decide`] and drops per-instance state.
+    fn decide_local(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64, value: Batch) {
+        if self.is_decided(instance) {
+            return;
+        }
+        self.decided_log.complete(instance);
+        self.decisions.insert(instance, value.clone());
+        while self.decisions.len() > self.cfg.decision_cache {
+            self.decisions.pop_first();
+        }
+        self.instances.remove(&instance);
+        ctx.bump("consensus.decided", 1);
+        ctx.raise(Event::Decide { instance, value });
+    }
+
+    /// Coordinator-side: a majority acked our proposal — decide and
+    /// disseminate.
+    fn try_conclude(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64) {
+        let n = ctx.n();
+        let Some(inst) = self.instances.get(&instance) else {
+            return;
+        };
+        if inst.proposal_sent_round != Some(inst.round) || inst.acks.len() < Self::majority(n) {
+            return;
+        }
+        let round = inst.round;
+        let value = inst.estimate.clone().unwrap_or_default();
+        // Round-0 decisions ride as a tiny DECISION tag; later rounds
+        // ship the full value (receivers may lack the proposal).
+        let full = if round == 0 { None } else { Some(value.clone()) };
+        let notice = DecisionNotice {
+            instance,
+            round,
+            full,
+        };
+        ctx.raise(Event::Rbcast {
+            stream: DECISION_STREAM,
+            payload: encode(&notice),
+        });
+        self.decide_local(ctx, instance, value);
+    }
+
+    /// Coordinator-side: propose once a majority of estimates for the
+    /// current round has been gathered (rounds ≥ 1 only).
+    fn try_propose_from_estimates(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64) {
+        let n = ctx.n();
+        let me = ctx.pid();
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return;
+        };
+        let round = inst.round;
+        if coordinator(round, n) != me
+            || round == 0
+            || inst.proposal_sent_round == Some(round)
+        {
+            return;
+        }
+        let count = inst
+            .estimates
+            .values()
+            .filter(|(r, _, _)| *r == round)
+            .count();
+        if count < Self::majority(n) {
+            return;
+        }
+        // Adopt the estimate with the highest adoption timestamp; ties
+        // broken by lowest process id via iteration order independence:
+        // collect and sort for determinism.
+        let mut candidates: Vec<(&ProcessId, &(u32, Batch, u32))> = inst
+            .estimates
+            .iter()
+            .filter(|(_, (r, _, _))| *r == round)
+            .collect();
+        candidates.sort_by_key(|(pid, (_, _, ts))| (std::cmp::Reverse(*ts), **pid));
+        let value = candidates[0].1 .1.clone();
+        inst.estimate = Some(value.clone());
+        // Adoption timestamps are round+1 so that a value locked by an
+        // ack quorum always outranks never-adopted initial values (ts 0).
+        inst.ts = round + 1;
+        inst.last_proposal = Some((round, value.clone()));
+        inst.proposal_sent_round = Some(round);
+        inst.acks.clear();
+        inst.acks.insert(me);
+        ctx.bump("consensus.proposals", 1);
+        let msg = ConsensusMsg::Propose {
+            instance,
+            round,
+            value,
+        };
+        ctx.broadcast_net("consensus.proposal", encode(&msg));
+        self.try_conclude(ctx, instance);
+    }
+
+    /// Moves `instance` to the next round whose coordinator is not
+    /// currently suspected, then plays this process's role in it.
+    fn advance_round(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64) {
+        let n = ctx.n();
+        let me = ctx.pid();
+        let now = ctx.now();
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return;
+        };
+        let mut round = inst.round + 1;
+        while coordinator(round, n) != me && self.suspected.contains(&coordinator(round, n)) {
+            round += 1;
+        }
+        inst.round = round;
+        inst.round_entered = now;
+        inst.acks.clear();
+        ctx.bump("consensus.round_changes", 1);
+        let estimate = inst.estimate.clone().unwrap_or_default();
+        let ts = inst.ts;
+        let coord = coordinator(round, n);
+        if coord == me {
+            // We coordinate: our own estimate joins the collection.
+            inst.estimates.insert(me, (round, estimate, ts));
+            self.try_propose_from_estimates(ctx, instance);
+        } else {
+            let msg = ConsensusMsg::Estimate {
+                instance,
+                round,
+                value: estimate,
+                ts,
+            };
+            ctx.send_net(coord, "consensus.estimate", encode(&msg));
+        }
+    }
+
+    fn on_propose_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64, value: Batch) {
+        if self.is_decided(instance) {
+            return;
+        }
+        let n = ctx.n();
+        let me = ctx.pid();
+        let now = ctx.now();
+        let inst = self
+            .instances
+            .entry(instance)
+            .or_insert_with(|| Instance::new(now));
+        if inst.estimate.is_none() {
+            inst.estimate = Some(value);
+            inst.ts = 0;
+        }
+        ctx.bump("consensus.instances", 1);
+        if inst.round == 0 && coordinator(0, n) == me && inst.proposal_sent_round.is_none() {
+            // Round 0, we coordinate: propose our own initial value
+            // immediately (no estimate phase — first optimization) and
+            // adopt it (ts 1: round 0 + 1).
+            let v = inst.estimate.clone().unwrap_or_default();
+            inst.ts = 1;
+            inst.last_proposal = Some((0, v.clone()));
+            inst.proposal_sent_round = Some(0);
+            inst.acks.insert(me);
+            ctx.bump("consensus.proposals", 1);
+            let msg = ConsensusMsg::Propose {
+                instance,
+                round: 0,
+                value: v,
+            };
+            ctx.broadcast_net("consensus.proposal", encode(&msg));
+            self.try_conclude(ctx, instance);
+        } else if coordinator(inst.round, n) == me {
+            // We are (now) the coordinator of a later round and were only
+            // waiting for our own initial value.
+            let est = inst.estimate.clone().unwrap_or_default();
+            let ts = inst.ts;
+            let round = inst.round;
+            inst.estimates.insert(me, (round, est, ts));
+            self.try_propose_from_estimates(ctx, instance);
+        }
+    }
+
+    fn on_net_propose(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        from: ProcessId,
+        instance: u64,
+        round: u32,
+        value: Batch,
+    ) {
+        if coordinator(round, ctx.n()) != from {
+            ctx.bump("consensus.bogus_proposals", 1);
+            return; // only the round's coordinator may propose
+        }
+        if self.is_decided(instance) {
+            // Help a lagging coordinator conclude.
+            if let Some(v) = self.decisions.get(&instance) {
+                let msg = ConsensusMsg::DecisionFull {
+                    instance,
+                    value: v.clone(),
+                };
+                ctx.send_net(from, "consensus.decision_full", encode(&msg));
+            }
+            return;
+        }
+        let now = ctx.now();
+        let inst = self
+            .instances
+            .entry(instance)
+            .or_insert_with(|| Instance::new(now));
+        if round < inst.round {
+            return; // stale proposal from an abandoned round
+        }
+        if round > inst.round {
+            inst.round = round;
+            inst.round_entered = now;
+            inst.acks.clear();
+        }
+        // Adopt and acknowledge (CT locking step). The adoption
+        // timestamp round+1 ranks locked values above initial ones.
+        inst.estimate = Some(value.clone());
+        inst.ts = round + 1;
+        inst.last_proposal = Some((round, value.clone()));
+        let ack = ConsensusMsg::Ack { instance, round };
+        ctx.send_net(from, "consensus.ack", encode(&ack));
+        if inst.pending_tag == Some(round) {
+            self.decide_local(ctx, instance, value);
+        }
+    }
+
+    fn on_net_estimate(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        from: ProcessId,
+        instance: u64,
+        round: u32,
+        value: Batch,
+        ts: u32,
+    ) {
+        if self.is_decided(instance) {
+            if let Some(v) = self.decisions.get(&instance) {
+                let msg = ConsensusMsg::DecisionFull {
+                    instance,
+                    value: v.clone(),
+                };
+                ctx.send_net(from, "consensus.decision_full", encode(&msg));
+            }
+            return;
+        }
+        if coordinator(round, ctx.n()) != ctx.pid() {
+            return; // misdirected
+        }
+        let now = ctx.now();
+        let inst = self
+            .instances
+            .entry(instance)
+            .or_insert_with(|| Instance::new(now));
+        if round < inst.round {
+            return;
+        }
+        // Keep only each peer's highest-round estimate.
+        let keep = match inst.estimates.get(&from) {
+            Some((r, _, _)) => *r < round,
+            None => true,
+        };
+        if keep {
+            inst.estimates.insert(from, (round, value, ts));
+        }
+        if round > inst.round {
+            // Peers moved past us: join the round we are to coordinate.
+            inst.round = round;
+            inst.round_entered = now;
+            inst.acks.clear();
+            let me = ctx.pid();
+            if let Some(est) = inst.estimate.clone() {
+                let ts0 = inst.ts;
+                inst.estimates.insert(me, (round, est, ts0));
+            }
+        }
+        self.try_propose_from_estimates(ctx, instance);
+    }
+
+    fn on_net_ack(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, instance: u64, round: u32) {
+        if self.is_decided(instance) {
+            return;
+        }
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return;
+        };
+        if inst.round != round || inst.proposal_sent_round != Some(round) {
+            return;
+        }
+        inst.acks.insert(from);
+        self.try_conclude(ctx, instance);
+    }
+
+    fn on_notice(&mut self, ctx: &mut FrameworkCtx<'_, '_>, origin: ProcessId, notice: DecisionNotice) {
+        if self.is_decided(notice.instance) {
+            return;
+        }
+        if let Some(value) = notice.full {
+            self.decide_local(ctx, notice.instance, value);
+            return;
+        }
+        // Tag-only notice: we must hold the matching proposal.
+        let now = ctx.now();
+        let inst = self
+            .instances
+            .entry(notice.instance)
+            .or_insert_with(|| Instance::new(now));
+        match &inst.last_proposal {
+            Some((r, v)) if *r == notice.round => {
+                let value = v.clone();
+                self.decide_local(ctx, notice.instance, value);
+            }
+            _ => {
+                // Recovery: ask the decider (and retry via sweep).
+                inst.pending_tag = Some(notice.round);
+                inst.last_request = Some(now);
+                ctx.bump("consensus.tag_misses", 1);
+                let msg = ConsensusMsg::DecisionRequest {
+                    instance: notice.instance,
+                };
+                if origin != ctx.pid() {
+                    ctx.send_net(origin, "consensus.decision_request", encode(&msg));
+                }
+            }
+        }
+    }
+
+    fn sweep(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        let now = ctx.now();
+        let progress = self.cfg.progress_timeout;
+        let stuck: Vec<u64> = self
+            .instances
+            .iter()
+            .filter(|(_, inst)| now.since(inst.round_entered) > progress)
+            .map(|(k, _)| *k)
+            .collect();
+        for instance in stuck {
+            // Retry pending decision requests first; otherwise rotate the
+            // coordinator as if suspected (liveness backstop).
+            let inst = self.instances.get_mut(&instance).expect("instance exists");
+            if inst.pending_tag.is_some() {
+                inst.round_entered = now;
+                let msg = ConsensusMsg::DecisionRequest { instance };
+                ctx.bump("consensus.request_retries", 1);
+                ctx.broadcast_net("consensus.decision_request", encode(&msg));
+            } else {
+                ctx.bump("consensus.progress_rotations", 1);
+                self.advance_round(ctx, instance);
+            }
+        }
+    }
+}
+
+impl Microprotocol for ConsensusModule {
+    fn name(&self) -> &'static str {
+        "consensus"
+    }
+
+    fn module_id(&self) -> ModuleId {
+        CONSENSUS_MODULE_ID
+    }
+
+    fn subscriptions(&self) -> &'static [EventKind] {
+        &[
+            EventKind::Propose,
+            EventKind::RbDeliver,
+            EventKind::Suspect,
+            EventKind::Restore,
+        ]
+    }
+
+    fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
+    }
+
+    fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
+        match ev {
+            Event::Propose { instance, value } => {
+                self.on_propose_event(ctx, *instance, value.clone());
+            }
+            Event::RbDeliver {
+                stream,
+                origin,
+                payload,
+            } if *stream == DECISION_STREAM => match decode::<DecisionNotice>(payload.clone()) {
+                Ok(notice) => self.on_notice(ctx, *origin, notice),
+                Err(_) => ctx.bump("consensus.garbage", 1),
+            },
+            Event::Suspect(p) => {
+                self.suspected.insert(*p);
+                let n = ctx.n();
+                let affected: Vec<u64> = self
+                    .instances
+                    .iter()
+                    .filter(|(_, inst)| coordinator(inst.round, n) == *p)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for instance in affected {
+                    self.advance_round(ctx, instance);
+                }
+            }
+            Event::Restore(p) => {
+                self.suspected.remove(p);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_net(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, bytes: Bytes) {
+        let msg = match decode::<ConsensusMsg>(bytes) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.bump("consensus.garbage", 1);
+                return;
+            }
+        };
+        match msg {
+            ConsensusMsg::Propose {
+                instance,
+                round,
+                value,
+            } => self.on_net_propose(ctx, from, instance, round, value),
+            ConsensusMsg::Estimate {
+                instance,
+                round,
+                value,
+                ts,
+            } => self.on_net_estimate(ctx, from, instance, round, value, ts),
+            ConsensusMsg::Ack { instance, round } => self.on_net_ack(ctx, from, instance, round),
+            ConsensusMsg::DecisionRequest { instance } => {
+                if let Some(v) = self.decisions.get(&instance) {
+                    let msg = ConsensusMsg::DecisionFull {
+                        instance,
+                        value: v.clone(),
+                    };
+                    ctx.send_net(from, "consensus.decision_full", encode(&msg));
+                }
+            }
+            ConsensusMsg::DecisionFull { instance, value } => {
+                self.decide_local(ctx, instance, value);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut FrameworkCtx<'_, '_>, _timer: TimerId, tag: u64) {
+        if tag == TAG_SWEEP {
+            self.sweep(ctx);
+            ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
+        }
+    }
+}

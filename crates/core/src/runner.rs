@@ -1,0 +1,320 @@
+//! The experiment runner: one run = one simulated cluster under one
+//! workload; a summary = several runs (seeds) combined with 95 %
+//! confidence intervals, as the paper reports.
+
+use fortika_net::{Cluster, ClusterConfig, CostModel, Counters, NetModel, ProcessId};
+use fortika_sim::stats::{mean_ci95, MeanCi};
+use fortika_sim::{VDur, VTime};
+
+use crate::stack::{build_nodes, StackConfig, StackKind};
+use crate::workload::{Workload, WorkloadDriver};
+
+/// Everything needed to run one experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    kind: StackKind,
+    n: usize,
+    workload: Workload,
+    stack: StackConfig,
+    net: NetModel,
+    cost: CostModel,
+    seed: u64,
+    warmup: VDur,
+    measure: VDur,
+    drain: VDur,
+}
+
+/// Builder for [`Experiment`] (see [`Experiment::builder`]).
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    inner: Experiment,
+}
+
+impl Experiment {
+    /// Starts building an experiment on `n` processes with the given
+    /// stack kind.
+    pub fn builder(kind: StackKind, n: usize) -> ExperimentBuilder {
+        assert!(n >= 1, "need at least one process");
+        ExperimentBuilder {
+            inner: Experiment {
+                kind,
+                n,
+                workload: Workload::constant_rate(500.0, 1024),
+                stack: StackConfig::default(),
+                net: NetModel::default(),
+                cost: CostModel::default(),
+                seed: 1,
+                warmup: VDur::millis(1500),
+                measure: VDur::secs(3),
+                drain: VDur::millis(500),
+            },
+        }
+    }
+
+    /// Runs the experiment once and reports the window metrics.
+    pub fn run(&mut self) -> RunReport {
+        let mut cluster_cfg = ClusterConfig::new(self.n, self.seed);
+        cluster_cfg.net = self.net.clone();
+        cluster_cfg.cost = self.cost.clone();
+        let nodes = build_nodes(self.kind, self.n, &self.stack);
+        let mut cluster = Cluster::new(cluster_cfg, nodes);
+
+        let window_start = VTime::ZERO + self.warmup;
+        let window_end = window_start + self.measure;
+        let mut driver = WorkloadDriver::with_seed(
+            self.workload.clone(),
+            self.n,
+            window_start,
+            window_end,
+            self.seed,
+        );
+        driver.start(&mut cluster);
+
+        // Warm-up.
+        cluster.run_until(window_start, &mut driver);
+        let counters_at_start = cluster.counters().clone();
+        let busy_at_start: Vec<VDur> = ProcessId::all(self.n)
+            .map(|p| cluster.cpu_busy(p))
+            .collect();
+
+        // Measurement window + drain (so in-flight messages complete).
+        cluster.run_until(window_end, &mut driver);
+        let counters_at_end = cluster.counters().clone();
+        let busy_at_end: Vec<VDur> = ProcessId::all(self.n)
+            .map(|p| cluster.cpu_busy(p))
+            .collect();
+        cluster.run_until(window_end + self.drain, &mut driver);
+
+        let stats = driver.finish();
+        let secs = self.measure.as_secs_f64();
+        let per_proc_rates: Vec<f64> = stats
+            .delivered_per_proc
+            .iter()
+            .map(|&c| c as f64 / secs)
+            .collect();
+        let throughput = per_proc_rates.iter().sum::<f64>() / self.n as f64;
+
+        let window = counters_at_end.delta_since(&counters_at_start);
+        let decided = window.event("consensus.decided") as f64 / self.n as f64;
+        let delivered = window.event("abcast.delivered") as f64 / self.n as f64;
+        let msgs = window.total_msgs_excluding(|k| k.starts_with("fd."));
+        let bytes = {
+            let mut b = 0;
+            for (k, c) in window.iter_sends() {
+                if !k.starts_with("fd.") {
+                    b += c.bytes;
+                }
+            }
+            b
+        };
+        let utilization: Vec<f64> = busy_at_start
+            .iter()
+            .zip(&busy_at_end)
+            .map(|(&s, &e)| (e.saturating_sub(s).as_secs_f64() / secs).clamp(0.0, 1.0))
+            .collect();
+
+        RunReport {
+            kind: self.kind,
+            n: self.n,
+            offered_load: self.workload.offered_load,
+            msg_size: self.workload.msg_size,
+            seed: self.seed,
+            early_latency_ms: LatencySummary {
+                mean: stats.latency_ms.mean(),
+                ci95: stats.latency_ms.ci95_half_width(),
+                min: if stats.latency_ms.count() > 0 {
+                    stats.latency_ms.min()
+                } else {
+                    0.0
+                },
+                max: if stats.latency_ms.count() > 0 {
+                    stats.latency_ms.max()
+                } else {
+                    0.0
+                },
+                p50: stats.latency_hist.percentile(50.0),
+                p90: stats.latency_hist.percentile(90.0),
+                p99: stats.latency_hist.percentile(99.0),
+                samples: stats.latency_ms.count(),
+            },
+            throughput_msgs_per_sec: throughput,
+            delivered_total: stats.delivered_per_proc.iter().sum(),
+            admitted_in_window: stats.admitted,
+            lost_samples: stats.lost_samples,
+            instances_per_proc: decided,
+            avg_batch_m: if decided > 0.0 { delivered / decided } else { 0.0 },
+            msgs_in_window: msgs,
+            bytes_in_window: bytes,
+            msgs_per_instance: if decided > 0.0 {
+                msgs as f64 / decided
+            } else {
+                0.0
+            },
+            bytes_per_instance: if decided > 0.0 {
+                bytes as f64 / decided
+            } else {
+                0.0
+            },
+            max_cpu_utilization: utilization.iter().cloned().fold(0.0, f64::max),
+            mean_cpu_utilization: utilization.iter().sum::<f64>() / self.n as f64,
+            counters: window,
+        }
+    }
+
+    /// Runs the experiment once per seed and combines the runs.
+    pub fn run_replicated(&mut self, seeds: &[u64]) -> Summary {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let mut runs = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            self.seed = seed;
+            runs.push(self.run());
+        }
+        Summary::from_runs(runs)
+    }
+}
+
+impl ExperimentBuilder {
+    /// Sets the workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.inner.workload = w;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the warm-up duration (excluded from measurements).
+    pub fn warmup_secs(mut self, secs: f64) -> Self {
+        self.inner.warmup = VDur::from_secs_f64(secs);
+        self
+    }
+
+    /// Sets the measurement window length.
+    pub fn measure_secs(mut self, secs: f64) -> Self {
+        self.inner.measure = VDur::from_secs_f64(secs);
+        self
+    }
+
+    /// Overrides the stack configuration (flow window, FD, ablations…).
+    pub fn stack_config(mut self, cfg: StackConfig) -> Self {
+        self.inner.stack = cfg;
+        self
+    }
+
+    /// Overrides the network model.
+    pub fn net(mut self, net: NetModel) -> Self {
+        self.inner.net = net;
+        self
+    }
+
+    /// Overrides the CPU cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.inner.cost = cost;
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Experiment {
+        self.inner
+    }
+}
+
+/// Early-latency summary for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Mean early latency (ms) over messages admitted in the window.
+    pub mean: f64,
+    /// 95 % confidence half-width over those samples.
+    pub ci95: f64,
+    /// Fastest message.
+    pub min: f64,
+    /// Slowest message.
+    pub max: f64,
+    /// Median (ms, ~1.5 % resolution).
+    pub p50: f64,
+    /// 90th percentile (ms).
+    pub p90: f64,
+    /// 99th percentile (ms).
+    pub p99: f64,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+/// All metrics from one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Stack under test.
+    pub kind: StackKind,
+    /// Group size.
+    pub n: usize,
+    /// Configured offered load (msgs/s).
+    pub offered_load: f64,
+    /// Message payload size (bytes).
+    pub msg_size: usize,
+    /// RNG seed of this run.
+    pub seed: u64,
+    /// Early latency over the window.
+    pub early_latency_ms: LatencySummary,
+    /// Throughput T = (1/n) Σ rᵢ (msgs/s).
+    pub throughput_msgs_per_sec: f64,
+    /// Total adeliver events in the window (all processes).
+    pub delivered_total: u64,
+    /// Messages admitted (abcast completed) in the window.
+    pub admitted_in_window: u64,
+    /// Admitted messages never observed delivered (0 in good runs).
+    pub lost_samples: u64,
+    /// Consensus instances decided per process in the window.
+    pub instances_per_proc: f64,
+    /// Average messages ordered per instance (the paper's M).
+    pub avg_batch_m: f64,
+    /// Protocol messages sent in the window (heartbeats excluded).
+    pub msgs_in_window: u64,
+    /// Protocol bytes sent in the window (heartbeats excluded).
+    pub bytes_in_window: u64,
+    /// Messages per consensus instance (compare §5.2.1).
+    pub msgs_per_instance: f64,
+    /// Bytes per consensus instance (compare §5.2.2).
+    pub bytes_per_instance: f64,
+    /// Highest per-process CPU utilization in the window.
+    pub max_cpu_utilization: f64,
+    /// Mean per-process CPU utilization in the window.
+    pub mean_cpu_utilization: f64,
+    /// Counter deltas over the window (heartbeats included).
+    pub counters: Counters,
+}
+
+/// Metrics combined over several runs (seeds), with Student-t 95 %
+/// confidence intervals across runs — the paper's error bars.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Per-run reports.
+    pub runs: Vec<RunReport>,
+    /// Early latency: grand mean and CI over per-run means.
+    pub early_latency_ms: MeanCi,
+    /// Throughput: grand mean and CI over per-run means.
+    pub throughput: MeanCi,
+    /// Mean of per-run M (messages per instance).
+    pub avg_batch_m: f64,
+    /// Mean of per-run max CPU utilization.
+    pub max_cpu_utilization: f64,
+}
+
+impl Summary {
+    /// Combines per-run reports.
+    pub fn from_runs(runs: Vec<RunReport>) -> Self {
+        let lat: Vec<f64> = runs.iter().map(|r| r.early_latency_ms.mean).collect();
+        let thr: Vec<f64> = runs.iter().map(|r| r.throughput_msgs_per_sec).collect();
+        let m = runs.iter().map(|r| r.avg_batch_m).sum::<f64>() / runs.len() as f64;
+        let cpu = runs.iter().map(|r| r.max_cpu_utilization).sum::<f64>() / runs.len() as f64;
+        Summary {
+            early_latency_ms: mean_ci95(&lat).expect("at least one run"),
+            throughput: mean_ci95(&thr).expect("at least one run"),
+            avg_batch_m: m,
+            max_cpu_utilization: cpu,
+            runs,
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The Poisson-arrival extension: same mean load, burstier spacing.
+
+use fortika_core::workload::Workload;
+use fortika_core::{Experiment, StackKind};
+
+fn run(workload: Workload, seed: u64) -> fortika_core::RunReport {
+    let mut exp = Experiment::builder(StackKind::Monolithic, 3)
+        .workload(workload)
+        .warmup_secs(1.0)
+        .measure_secs(2.0)
+        .seed(seed)
+        .build();
+    exp.run()
+}
+
+#[test]
+fn poisson_sustains_the_same_mean_rate() {
+    let constant = run(Workload::constant_rate(400.0, 1024), 8);
+    let poisson = run(Workload::poisson(400.0, 1024), 8);
+    // Same offered load below saturation: both deliver ≈400 msg/s.
+    assert!((constant.throughput_msgs_per_sec - 400.0).abs() < 25.0);
+    assert!(
+        (poisson.throughput_msgs_per_sec - 400.0).abs() < 40.0,
+        "poisson throughput {:.1}",
+        poisson.throughput_msgs_per_sec
+    );
+    assert_eq!(constant.lost_samples, 0);
+    assert_eq!(poisson.lost_samples, 0);
+}
+
+#[test]
+fn poisson_has_heavier_tail_than_constant_rate() {
+    let constant = run(Workload::constant_rate(600.0, 4096), 9);
+    let poisson = run(Workload::poisson(600.0, 4096), 9);
+    // Burstiness shows up in the tail: p99 grows relative to the median
+    // much more under Poisson arrivals.
+    let spread_const = constant.early_latency_ms.p99 / constant.early_latency_ms.p50;
+    let spread_poisson = poisson.early_latency_ms.p99 / poisson.early_latency_ms.p50;
+    assert!(
+        spread_poisson > spread_const,
+        "p99/p50: poisson {spread_poisson:.2} vs constant {spread_const:.2}"
+    );
+}
+
+#[test]
+fn percentiles_are_ordered_and_bracket_the_mean() {
+    let r = run(Workload::constant_rate(500.0, 2048), 10);
+    let l = &r.early_latency_ms;
+    assert!(l.min <= l.p50 && l.p50 <= l.p90 && l.p90 <= l.p99);
+    assert!(l.p99 <= l.max * 1.02, "p99 {} vs max {}", l.p99, l.max);
+    assert!(l.p50 > 0.0);
+    // For these unimodal latency distributions the mean sits between
+    // the median and the p99.
+    assert!(l.mean >= l.p50 * 0.8 && l.mean <= l.p99);
+}
+
+#[test]
+fn poisson_runs_are_seed_deterministic() {
+    let a = run(Workload::poisson(300.0, 512), 11);
+    let b = run(Workload::poisson(300.0, 512), 11);
+    assert_eq!(a.delivered_total, b.delivered_total);
+    assert!((a.early_latency_ms.mean - b.early_latency_ms.mean).abs() < 1e-12);
+}

@@ -1,0 +1,343 @@
+//! Failure-detector cores, independent of the composition framework.
+//!
+//! A core is a pure state machine consuming heartbeats and clock ticks
+//! and emitting suspicion transitions. The framework adapter
+//! ([`crate::FdModule`]) runs a core inside the modular stack; the
+//! monolithic stack embeds a core directly — both stacks therefore share
+//! the exact same detector behaviour, as in the paper's setup.
+
+use fortika_net::ProcessId;
+use fortika_sim::{VDur, VTime};
+
+/// A suspicion transition emitted by a failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdEvent {
+    /// The detector started suspecting the process.
+    Suspect(ProcessId),
+    /// The detector stopped suspecting the process.
+    Restore(ProcessId),
+}
+
+/// A failure-detector core.
+pub trait FailureDetector {
+    /// Notes a heartbeat received from `from` at instant `now`.
+    fn on_heartbeat(&mut self, from: ProcessId, now: VTime, out: &mut Vec<FdEvent>);
+
+    /// Periodic clock tick: emits newly due suspicion transitions.
+    fn tick(&mut self, now: VTime, out: &mut Vec<FdEvent>);
+
+    /// How often [`tick`](Self::tick) should run; `None` disables ticking.
+    fn tick_interval(&self) -> Option<VDur>;
+
+    /// Whether this detector requires the host to emit heartbeats.
+    fn sends_heartbeats(&self) -> bool;
+
+    /// Current suspicion status of `p`.
+    fn is_suspected(&self, p: ProcessId) -> bool;
+}
+
+/// Configuration of the heartbeat-based eventually-perfect detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdConfig {
+    /// Interval between outgoing heartbeats.
+    pub heartbeat_interval: VDur,
+    /// Initial suspicion timeout.
+    pub timeout: VDur,
+    /// Amount added to a process's timeout after a false suspicion
+    /// (the standard ◇P adaptation: eventually no correct process is
+    /// suspected because its timeout outgrows message delays).
+    pub timeout_increment: VDur,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        FdConfig {
+            heartbeat_interval: VDur::millis(100),
+            // Generous relative to LAN delays so good runs see no wrong
+            // suspicions even under CPU saturation (paper §5.1 evaluates
+            // good runs only).
+            timeout: VDur::millis(500),
+            timeout_increment: VDur::millis(250),
+        }
+    }
+}
+
+/// Heartbeat-based eventually-perfect (◇P-style) failure detector.
+///
+/// Every process periodically heartbeats all others; a silence longer
+/// than the (per-process, adaptive) timeout triggers suspicion. A
+/// heartbeat from a suspected process cancels the suspicion and enlarges
+/// that process's timeout.
+///
+/// # Example
+///
+/// ```
+/// use fortika_fd::{FailureDetector, FdConfig, FdEvent, HeartbeatFd};
+/// use fortika_net::ProcessId;
+/// use fortika_sim::{VDur, VTime};
+///
+/// let mut fd = HeartbeatFd::new(3, ProcessId(0), FdConfig::default());
+/// let mut out = Vec::new();
+/// // Silence for 1 s: both peers become suspected.
+/// fd.tick(VTime::ZERO + VDur::secs(1), &mut out);
+/// assert_eq!(out.len(), 2);
+/// assert!(fd.is_suspected(ProcessId(1)));
+/// // A heartbeat restores p2.
+/// out.clear();
+/// fd.on_heartbeat(ProcessId(1), VTime::ZERO + VDur::secs(1), &mut out);
+/// assert_eq!(out, [FdEvent::Restore(ProcessId(1))]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeartbeatFd {
+    me: ProcessId,
+    cfg: FdConfig,
+    last_heard: Vec<VTime>,
+    timeout: Vec<VDur>,
+    suspected: Vec<bool>,
+}
+
+impl HeartbeatFd {
+    /// Creates a detector for a group of `n` processes, running at `me`.
+    pub fn new(n: usize, me: ProcessId, cfg: FdConfig) -> Self {
+        HeartbeatFd {
+            me,
+            timeout: vec![cfg.timeout; n],
+            last_heard: vec![VTime::ZERO; n],
+            suspected: vec![false; n],
+            cfg,
+        }
+    }
+
+    /// The configured heartbeat interval.
+    pub fn config(&self) -> &FdConfig {
+        &self.cfg
+    }
+}
+
+impl FailureDetector for HeartbeatFd {
+    fn on_heartbeat(&mut self, from: ProcessId, now: VTime, out: &mut Vec<FdEvent>) {
+        let i = from.index();
+        if i >= self.last_heard.len() || from == self.me {
+            return;
+        }
+        self.last_heard[i] = now;
+        if self.suspected[i] {
+            self.suspected[i] = false;
+            // False suspicion: adapt so it eventually stops recurring.
+            self.timeout[i] += self.cfg.timeout_increment;
+            out.push(FdEvent::Restore(from));
+        }
+    }
+
+    fn tick(&mut self, now: VTime, out: &mut Vec<FdEvent>) {
+        for i in 0..self.last_heard.len() {
+            if i == self.me.index() || self.suspected[i] {
+                continue;
+            }
+            if now.since(self.last_heard[i]) > self.timeout[i] {
+                self.suspected[i] = true;
+                out.push(FdEvent::Suspect(ProcessId(i as u16)));
+            }
+        }
+    }
+
+    fn tick_interval(&self) -> Option<VDur> {
+        Some(self.cfg.heartbeat_interval)
+    }
+
+    fn sends_heartbeats(&self) -> bool {
+        true
+    }
+
+    fn is_suspected(&self, p: ProcessId) -> bool {
+        self.suspected.get(p.index()).copied().unwrap_or(false)
+    }
+}
+
+/// A detector that never suspects anyone and sends no heartbeats.
+///
+/// Useful for good-run micro-benchmarks where even the (tiny) heartbeat
+/// traffic should be excluded; the full figure harnesses use
+/// [`HeartbeatFd`] as the paper's stacks did.
+#[derive(Debug, Clone, Default)]
+pub struct QuiescentFd;
+
+impl FailureDetector for QuiescentFd {
+    fn on_heartbeat(&mut self, _: ProcessId, _: VTime, _: &mut Vec<FdEvent>) {}
+    fn tick(&mut self, _: VTime, _: &mut Vec<FdEvent>) {}
+    fn tick_interval(&self) -> Option<VDur> {
+        None
+    }
+    fn sends_heartbeats(&self) -> bool {
+        false
+    }
+    fn is_suspected(&self, _: ProcessId) -> bool {
+        false
+    }
+}
+
+/// A detector driven by a pre-programmed schedule of transitions —
+/// the fault-injection tool of the test-suite (wrong suspicions at
+/// chosen instants, targeted suspicion of a crashed coordinator, …).
+#[derive(Debug, Clone)]
+pub struct ScriptedFd {
+    /// Remaining script, sorted by time ascending.
+    script: Vec<(VTime, FdEvent)>,
+    next: usize,
+    suspected: Vec<bool>,
+    resolution: VDur,
+}
+
+impl ScriptedFd {
+    /// Creates a scripted detector for a group of `n` processes.
+    ///
+    /// `script` entries fire at (or just after) their instant, in order.
+    /// `resolution` bounds the firing lag (the polling tick).
+    pub fn new(n: usize, mut script: Vec<(VTime, FdEvent)>, resolution: VDur) -> Self {
+        script.sort_by_key(|&(t, _)| t);
+        ScriptedFd {
+            script,
+            next: 0,
+            suspected: vec![false; n],
+            resolution,
+        }
+    }
+}
+
+impl FailureDetector for ScriptedFd {
+    fn on_heartbeat(&mut self, _: ProcessId, _: VTime, _: &mut Vec<FdEvent>) {}
+
+    fn tick(&mut self, now: VTime, out: &mut Vec<FdEvent>) {
+        while self.next < self.script.len() && self.script[self.next].0 <= now {
+            let (_, ev) = self.script[self.next];
+            self.next += 1;
+            let (idx, flag) = match ev {
+                FdEvent::Suspect(p) => (p.index(), true),
+                FdEvent::Restore(p) => (p.index(), false),
+            };
+            if self.suspected[idx] != flag {
+                self.suspected[idx] = flag;
+                out.push(ev);
+            }
+        }
+    }
+
+    fn tick_interval(&self) -> Option<VDur> {
+        Some(self.resolution)
+    }
+
+    fn sends_heartbeats(&self) -> bool {
+        false
+    }
+
+    fn is_suspected(&self, p: ProcessId) -> bool {
+        self.suspected.get(p.index()).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FdConfig {
+        FdConfig {
+            heartbeat_interval: VDur::millis(10),
+            timeout: VDur::millis(50),
+            timeout_increment: VDur::millis(25),
+        }
+    }
+
+    #[test]
+    fn regular_heartbeats_prevent_suspicion() {
+        let mut fd = HeartbeatFd::new(2, ProcessId(0), cfg());
+        let mut out = Vec::new();
+        for ms in (0..200).step_by(10) {
+            let now = VTime::ZERO + VDur::millis(ms);
+            fd.on_heartbeat(ProcessId(1), now, &mut out);
+            fd.tick(now, &mut out);
+        }
+        assert!(out.is_empty());
+        assert!(!fd.is_suspected(ProcessId(1)));
+    }
+
+    #[test]
+    fn silence_triggers_suspicion_once() {
+        let mut fd = HeartbeatFd::new(2, ProcessId(0), cfg());
+        let mut out = Vec::new();
+        fd.tick(VTime::ZERO + VDur::millis(100), &mut out);
+        fd.tick(VTime::ZERO + VDur::millis(200), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(1))]);
+    }
+
+    #[test]
+    fn restore_grows_timeout() {
+        let mut fd = HeartbeatFd::new(2, ProcessId(0), cfg());
+        let mut out = Vec::new();
+        // Suspect after 60 ms of silence (timeout 50 ms).
+        fd.tick(VTime::ZERO + VDur::millis(60), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(1))]);
+        out.clear();
+        // Late heartbeat restores and bumps the timeout to 75 ms.
+        fd.on_heartbeat(ProcessId(1), VTime::ZERO + VDur::millis(60), &mut out);
+        assert_eq!(out, [FdEvent::Restore(ProcessId(1))]);
+        out.clear();
+        // 70 ms of new silence: below the enlarged timeout — no suspicion.
+        fd.tick(VTime::ZERO + VDur::millis(130), &mut out);
+        assert!(out.is_empty());
+        // 80 ms of silence: suspected again.
+        fd.tick(VTime::ZERO + VDur::millis(141), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(1))]);
+    }
+
+    #[test]
+    fn own_process_never_suspected() {
+        let mut fd = HeartbeatFd::new(3, ProcessId(1), cfg());
+        let mut out = Vec::new();
+        fd.tick(VTime::ZERO + VDur::secs(10), &mut out);
+        assert!(!fd.is_suspected(ProcessId(1)));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn quiescent_fd_is_silent() {
+        let mut fd = QuiescentFd;
+        let mut out = Vec::new();
+        fd.tick(VTime::ZERO + VDur::secs(100), &mut out);
+        fd.on_heartbeat(ProcessId(0), VTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(fd.tick_interval(), None);
+        assert!(!fd.sends_heartbeats());
+    }
+
+    #[test]
+    fn scripted_fd_follows_schedule() {
+        let script = vec![
+            (VTime::ZERO + VDur::millis(10), FdEvent::Suspect(ProcessId(0))),
+            (VTime::ZERO + VDur::millis(30), FdEvent::Restore(ProcessId(0))),
+        ];
+        let mut fd = ScriptedFd::new(2, script, VDur::millis(1));
+        let mut out = Vec::new();
+        fd.tick(VTime::ZERO + VDur::millis(5), &mut out);
+        assert!(out.is_empty());
+        fd.tick(VTime::ZERO + VDur::millis(10), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(0))]);
+        assert!(fd.is_suspected(ProcessId(0)));
+        out.clear();
+        fd.tick(VTime::ZERO + VDur::millis(100), &mut out);
+        assert_eq!(out, [FdEvent::Restore(ProcessId(0))]);
+        assert!(!fd.is_suspected(ProcessId(0)));
+    }
+
+    #[test]
+    fn scripted_fd_dedups_redundant_transitions() {
+        let script = vec![
+            (VTime::ZERO, FdEvent::Restore(ProcessId(1))), // already unsuspected
+            (VTime::ZERO + VDur::millis(1), FdEvent::Suspect(ProcessId(1))),
+            (VTime::ZERO + VDur::millis(2), FdEvent::Suspect(ProcessId(1))),
+        ];
+        let mut fd = ScriptedFd::new(2, script, VDur::millis(1));
+        let mut out = Vec::new();
+        fd.tick(VTime::ZERO + VDur::secs(1), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(1))]);
+    }
+}

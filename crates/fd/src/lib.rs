@@ -1,0 +1,27 @@
+//! Failure detectors for the Fortika reproduction.
+//!
+//! The paper's system model (§2.1) equips every process with a local
+//! failure detector (FD) whose output list of suspects "can change over
+//! time \[and\] can be inaccurate" — the unreliable failure detectors of
+//! Chandra & Toueg. This crate provides:
+//!
+//! * [`HeartbeatFd`] — the production detector: heartbeat-based,
+//!   eventually-perfect (◇P-style) with adaptive timeouts.
+//! * [`QuiescentFd`] — never suspects; zero traffic (micro-benchmarks).
+//! * [`ScriptedFd`] — replays a pre-programmed suspicion schedule
+//!   (fault injection for the correctness test-suite).
+//! * [`FdModule`] — framework adapter used by the modular stack. The
+//!   monolithic stack embeds a core directly, so both stacks share
+//!   identical detector behaviour.
+//!
+//! Cores are pure state machines (see [`FailureDetector`]); time comes in
+//! through parameters, which keeps them trivially testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core;
+mod module;
+
+pub use crate::core::{FailureDetector, FdConfig, FdEvent, HeartbeatFd, QuiescentFd, ScriptedFd};
+pub use module::{FdModule, FD_MODULE_ID};

@@ -1,0 +1,174 @@
+//! Framework adapter: runs a failure-detector core as a microprotocol.
+
+use bytes::Bytes;
+use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
+use fortika_net::{ProcessId, TimerId};
+
+use crate::core::{FailureDetector, FdEvent};
+
+/// Wire demux id of the failure-detector module.
+pub const FD_MODULE_ID: ModuleId = 4;
+
+const TIMER_TICK: u64 = 1;
+
+/// The failure-detector microprotocol: emits heartbeats, consumes peer
+/// heartbeats, and raises [`Event::Suspect`]/[`Event::Restore`] on the
+/// stack bus.
+pub struct FdModule<T> {
+    core: T,
+    scratch: Vec<FdEvent>,
+}
+
+impl<T: FailureDetector> FdModule<T> {
+    /// Wraps a detector core.
+    pub fn new(core: T) -> Self {
+        FdModule {
+            core,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Read access to the wrapped core (tests inspect suspicion state).
+    pub fn core(&self) -> &T {
+        &self.core
+    }
+
+    fn flush(ctx: &mut FrameworkCtx<'_, '_>, events: &mut Vec<FdEvent>) {
+        for ev in events.drain(..) {
+            match ev {
+                FdEvent::Suspect(p) => {
+                    ctx.bump("fd.suspicions", 1);
+                    ctx.raise(Event::Suspect(p));
+                }
+                FdEvent::Restore(p) => {
+                    ctx.bump("fd.restores", 1);
+                    ctx.raise(Event::Restore(p));
+                }
+            }
+        }
+    }
+}
+
+impl<T: FailureDetector> Microprotocol for FdModule<T> {
+    fn name(&self) -> &'static str {
+        "failure-detector"
+    }
+
+    fn module_id(&self) -> ModuleId {
+        FD_MODULE_ID
+    }
+
+    fn subscriptions(&self) -> &'static [EventKind] {
+        &[]
+    }
+
+    fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        if let Some(interval) = self.core.tick_interval() {
+            ctx.set_timer(interval, TIMER_TICK);
+        }
+    }
+
+    fn on_net(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, _bytes: Bytes) {
+        self.core.on_heartbeat(from, ctx.now(), &mut self.scratch);
+        Self::flush(ctx, &mut self.scratch);
+    }
+
+    fn on_timer(&mut self, ctx: &mut FrameworkCtx<'_, '_>, _timer: TimerId, tag: u64) {
+        if tag != TIMER_TICK {
+            return;
+        }
+        if self.core.sends_heartbeats() {
+            ctx.broadcast_net("fd.heartbeat", Bytes::new());
+        }
+        self.core.tick(ctx.now(), &mut self.scratch);
+        Self::flush(ctx, &mut self.scratch);
+        if let Some(interval) = self.core.tick_interval() {
+            ctx.set_timer(interval, TIMER_TICK);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{FdConfig, HeartbeatFd, ScriptedFd};
+    use fortika_framework::CompositeStack;
+    use fortika_net::{Cluster, ClusterConfig, Node};
+    use fortika_sim::{VDur, VTime};
+
+    /// A probe module that counts suspicion events it observes.
+    struct Probe;
+    impl Microprotocol for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn module_id(&self) -> ModuleId {
+            90
+        }
+        fn subscriptions(&self) -> &'static [EventKind] {
+            &[EventKind::Suspect, EventKind::Restore]
+        }
+        fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
+            match ev {
+                Event::Suspect(p) => ctx.bump(
+                    if *p == ProcessId(0) { "probe.suspect.p1" } else { "probe.suspect.other" },
+                    1,
+                ),
+                Event::Restore(_) => ctx.bump("probe.restore", 1),
+                _ => {}
+            }
+        }
+    }
+
+    fn hb_stack(n: usize, me: ProcessId) -> Box<dyn Node> {
+        let cfg = FdConfig {
+            heartbeat_interval: VDur::millis(10),
+            timeout: VDur::millis(50),
+            timeout_increment: VDur::millis(20),
+        };
+        Box::new(CompositeStack::new(vec![
+            Box::new(Probe),
+            Box::new(FdModule::new(HeartbeatFd::new(n, me, cfg))),
+        ]))
+    }
+
+    #[test]
+    fn no_suspicions_in_good_runs() {
+        let cfg = ClusterConfig::new(3, 5);
+        let nodes = (0..3).map(|i| hb_stack(3, ProcessId(i))).collect();
+        let mut cluster = Cluster::new(cfg, nodes);
+        cluster.run_idle(VTime::ZERO + VDur::secs(5));
+        assert_eq!(cluster.counters().event("fd.suspicions"), 0);
+        assert!(cluster.counters().kind("fd.heartbeat").msgs > 100);
+    }
+
+    #[test]
+    fn crashed_process_gets_suspected_by_all_others() {
+        let cfg = ClusterConfig::new(3, 5);
+        let nodes = (0..3).map(|i| hb_stack(3, ProcessId(i))).collect();
+        let mut cluster = Cluster::new(cfg, nodes);
+        cluster.schedule_crash(ProcessId(0), VTime::ZERO + VDur::secs(1));
+        cluster.run_idle(VTime::ZERO + VDur::secs(3));
+        // Both survivors suspect p1; nobody suspects anyone else.
+        assert_eq!(cluster.counters().event("probe.suspect.p1"), 2);
+        assert_eq!(cluster.counters().event("probe.suspect.other"), 0);
+    }
+
+    #[test]
+    fn scripted_injection_raises_and_restores() {
+        let script = vec![
+            (VTime::ZERO + VDur::millis(100), FdEvent::Suspect(ProcessId(1))),
+            (VTime::ZERO + VDur::millis(200), FdEvent::Restore(ProcessId(1))),
+        ];
+        let stack: Box<dyn Node> = Box::new(CompositeStack::new(vec![
+            Box::new(Probe),
+            Box::new(FdModule::new(ScriptedFd::new(2, script, VDur::millis(1)))),
+        ]));
+        let silent: Box<dyn Node> = Box::new(CompositeStack::new(vec![Box::new(Probe)]));
+        let cfg = ClusterConfig::instant(2, 1);
+        let mut cluster = Cluster::new(cfg, vec![stack, silent]);
+        cluster.run_idle(VTime::ZERO + VDur::secs(1));
+        assert_eq!(cluster.counters().event("fd.suspicions"), 1);
+        assert_eq!(cluster.counters().event("probe.restore"), 1);
+    }
+}

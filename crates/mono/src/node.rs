@@ -1,0 +1,1063 @@
+//! The monolithic atomic broadcast node.
+//!
+//! One state machine merging atomic broadcast, consensus, decision
+//! dissemination, flow control and the failure detector — the paper's
+//! monolithic stack (§4), with each cross-module optimization
+//! individually switchable for ablation studies:
+//!
+//! * **O1 — combine next proposal with current decision** (§4.1): the
+//!   round-0 coordinator of consecutive instances is the same process, so
+//!   `decision k` piggybacks on `proposal k+1` in one message.
+//! * **O2 — piggyback abcast messages on acks** (§4.2): senders hand new
+//!   messages directly to the coordinator, riding `ack` messages (or the
+//!   estimate after a coordinator change) instead of diffusing them to
+//!   everyone.
+//! * **O3 — implicit decision acknowledgements** (§4.3): decisions are
+//!   sent once to each process with no relay re-broadcast; the messages
+//!   of instance `k+1` acknowledge decision `k` implicitly, and a
+//!   pull-based recovery path (`DecisionRequest`) plus the progress sweep
+//!   covers crashes.
+//!
+//! In good runs with all three enabled, ordering `M` messages costs
+//! `2(n−1)` messages per consensus instance — against
+//! `(n−1)(M + 2 + ⌊(n+1)/2⌋)` for the modular stack (§5.2.1).
+//!
+//! Safety is the same Chandra–Toueg argument as in `fortika-consensus`:
+//! deciding requires a majority of acks for an exact `(instance, round)`;
+//! acks lock the proposal with adoption timestamp `round+1`; coordinators
+//! of later rounds adopt the max-timestamp estimate from a majority.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use bytes::Bytes;
+use fortika_fd::{FailureDetector, FdEvent};
+use fortika_net::wire::{decode, encode};
+use fortika_net::{
+    Admission, AppMsg, AppRequest, Batch, MsgId, Node, NodeCtx, ProcessId, TimerId, WatermarkSet,
+};
+use fortika_net::flow::FlowWindow;
+use fortika_sim::{VDur, VTime};
+
+use crate::msg::{decision_full, Decision, MonoMsg, Proposal};
+
+const TAG_FD: u64 = 1;
+const TAG_SWEEP: u64 = 2;
+
+/// Which of the three cross-module optimizations are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonoOptimizations {
+    /// O1: combine `decision k` with `proposal k+1`.
+    pub combine_decision_proposal: bool,
+    /// O2: route abcast messages to the coordinator on acks instead of
+    /// diffusing them to everyone.
+    pub piggyback_on_acks: bool,
+    /// O3: no decision relays; implicit acks + pull-based recovery.
+    pub implicit_decision_acks: bool,
+}
+
+impl MonoOptimizations {
+    /// The paper's monolithic stack: everything on.
+    pub fn all() -> Self {
+        MonoOptimizations {
+            combine_decision_proposal: true,
+            piggyback_on_acks: true,
+            implicit_decision_acks: true,
+        }
+    }
+
+    /// Everything off: the modular algorithm run inside one module
+    /// (isolates the framework's mechanical overhead in ablations).
+    pub fn none() -> Self {
+        MonoOptimizations {
+            combine_decision_proposal: false,
+            piggyback_on_acks: false,
+            implicit_decision_acks: false,
+        }
+    }
+}
+
+impl Default for MonoOptimizations {
+    fn default() -> Self {
+        MonoOptimizations::all()
+    }
+}
+
+/// Configuration of the monolithic node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonoConfig {
+    /// Optimization switches (default: all on).
+    pub opts: MonoOptimizations,
+    /// Flow-control window (outstanding own messages).
+    pub window: usize,
+    /// Rotate the coordinator of an instance stuck this long.
+    pub progress_timeout: VDur,
+    /// Period of the background sweep.
+    pub sweep_interval: VDur,
+    /// Idle kick: with a suspected round-0 coordinator and pending work,
+    /// (re)create the next instance after this much silence.
+    pub idle_timeout: VDur,
+    /// Decision cache depth for recovery requests.
+    pub decision_cache: usize,
+}
+
+impl Default for MonoConfig {
+    fn default() -> Self {
+        MonoConfig {
+            opts: MonoOptimizations::all(),
+            window: 2,
+            progress_timeout: VDur::secs(1),
+            sweep_interval: VDur::millis(250),
+            idle_timeout: VDur::secs(1),
+            decision_cache: 1024,
+        }
+    }
+}
+
+struct Inst {
+    round: u32,
+    round_entered: VTime,
+    estimate: Option<Batch>,
+    ts: u32,
+    acks: HashSet<ProcessId>,
+    estimates: HashMap<ProcessId, (u32, Batch, u32)>,
+    last_proposal: Option<(u32, Batch)>,
+    proposal_sent_round: Option<u32>,
+    pending_tag: Option<u32>,
+}
+
+impl Inst {
+    fn new(now: VTime) -> Self {
+        Inst {
+            round: 0,
+            round_entered: now,
+            estimate: None,
+            ts: 0,
+            acks: HashSet::new(),
+            estimates: HashMap::new(),
+            last_proposal: None,
+            proposal_sent_round: None,
+            pending_tag: None,
+        }
+    }
+}
+
+/// The monolithic atomic broadcast stack (implements [`Node`]).
+pub struct MonoNode {
+    cfg: MonoConfig,
+    fd: Box<dyn FailureDetector>,
+    fd_scratch: Vec<FdEvent>,
+    suspected: HashSet<ProcessId>,
+    flow: FlowWindow,
+    /// Next instance whose decision will be applied.
+    next_decide: u64,
+    /// Delivered message ids, per sender (duplicate suppression).
+    delivered: BTreeMap<ProcessId, WatermarkSet>,
+    /// Decided instances (values may still await in-order application).
+    decided_log: WatermarkSet,
+    decisions: BTreeMap<u64, Batch>,
+    decision_buffer: BTreeMap<u64, Batch>,
+    /// Own messages not yet adelivered (flow control + re-forwarding).
+    own_pending: BTreeMap<MsgId, AppMsg>,
+    /// Messages this process is responsible for getting proposed.
+    pool: BTreeMap<MsgId, AppMsg>,
+    instances: BTreeMap<u64, Inst>,
+    last_progress: VTime,
+    last_recovery_request: VTime,
+}
+
+impl MonoNode {
+    /// Creates a monolithic node with the given failure detector core.
+    pub fn new(cfg: MonoConfig, fd: Box<dyn FailureDetector>) -> Self {
+        let window = cfg.window;
+        MonoNode {
+            cfg,
+            fd,
+            fd_scratch: Vec::new(),
+            suspected: HashSet::new(),
+            flow: FlowWindow::new(window),
+            next_decide: 0,
+            delivered: BTreeMap::new(),
+            decided_log: WatermarkSet::default(),
+            decisions: BTreeMap::new(),
+            decision_buffer: BTreeMap::new(),
+            own_pending: BTreeMap::new(),
+            pool: BTreeMap::new(),
+            instances: BTreeMap::new(),
+            last_progress: VTime::ZERO,
+            last_recovery_request: VTime::ZERO,
+        }
+    }
+
+    fn majority(n: usize) -> usize {
+        n / 2 + 1
+    }
+
+    fn is_decided(&self, instance: u64) -> bool {
+        !self.decided_log.is_new(instance)
+    }
+
+    fn msg_is_new(&self, id: MsgId) -> bool {
+        self.delivered
+            .get(&id.sender)
+            .is_none_or(|log| log.is_new(id.seq))
+    }
+
+    fn coordinator(round: u32, n: usize) -> ProcessId {
+        ProcessId((round as usize % n) as u16)
+    }
+
+    /// The coordinator new messages should be routed to right now.
+    fn responsible_coordinator(&self, n: usize) -> ProcessId {
+        if let Some((_, inst)) = self.instances.iter().next() {
+            return Self::coordinator(inst.round, n);
+        }
+        let mut r = 0;
+        while self.suspected.contains(&Self::coordinator(r, n)) {
+            r += 1;
+        }
+        Self::coordinator(r, n)
+    }
+
+    /// True while a proposal is outstanding somewhere — an ack (and thus
+    /// a piggyback opportunity) is imminent.
+    fn in_flight(&self) -> bool {
+        self.instances.values().any(|i| i.last_proposal.is_some())
+    }
+
+    fn pool_batch(&self) -> Batch {
+        Batch::normalize(self.pool.values().cloned().collect())
+    }
+
+    fn send(&self, ctx: &mut NodeCtx<'_>, dst: ProcessId, kind: &'static str, msg: &MonoMsg) {
+        ctx.send(dst, kind, encode(msg));
+    }
+
+    fn broadcast(&self, ctx: &mut NodeCtx<'_>, kind: &'static str, msg: &MonoMsg) {
+        let bytes = encode(msg);
+        for dst in ProcessId::all(ctx.n()) {
+            if dst != ctx.pid() {
+                ctx.send(dst, kind, bytes.clone());
+            }
+        }
+    }
+
+    /// Hands the pool over to `coord` in a standalone `Forward` (used
+    /// when no ack is imminent).
+    fn flush_pool_to(&mut self, ctx: &mut NodeCtx<'_>, coord: ProcessId) {
+        if self.pool.is_empty() || coord == ctx.pid() {
+            return;
+        }
+        let msgs: Vec<AppMsg> = self.pool.values().cloned().collect();
+        self.pool.clear();
+        ctx.bump("mono.forwards", 1);
+        self.send(ctx, coord, "mono.forward", &MonoMsg::Forward { msgs });
+    }
+
+    /// Drains the pool for an ack/estimate piggyback (optimization O2).
+    fn drain_pool(&mut self) -> Vec<AppMsg> {
+        let msgs: Vec<AppMsg> = self.pool.values().cloned().collect();
+        self.pool.clear();
+        msgs
+    }
+
+    /// Bootstraps instance `next_decide` when we hold work for it.
+    fn try_start_instance(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.instances.is_empty() {
+            return;
+        }
+        let k = self.next_decide;
+        if self.is_decided(k) || self.pool.is_empty() {
+            return;
+        }
+        let n = ctx.n();
+        let me = ctx.pid();
+        let now = ctx.now();
+        if Self::coordinator(0, n) == me {
+            let batch = self.pool_batch();
+            let inst = self.instances.entry(k).or_insert_with(|| Inst::new(now));
+            inst.estimate = Some(batch.clone());
+            inst.ts = 1;
+            inst.last_proposal = Some((0, batch.clone()));
+            inst.proposal_sent_round = Some(0);
+            inst.acks.insert(me);
+            ctx.bump("mono.proposals", 1);
+            self.broadcast(
+                ctx,
+                "mono.proposal",
+                &MonoMsg::Step {
+                    decision: None,
+                    proposal: Some(Proposal {
+                        instance: k,
+                        round: 0,
+                        value: batch,
+                    }),
+                },
+            );
+            self.check_decide(ctx, k);
+        } else {
+            // Register the instance so round rotation can engage; if the
+            // round-0 coordinator is already suspected, rotate now.
+            self.instances.entry(k).or_insert_with(|| Inst::new(now));
+            if self.suspected.contains(&Self::coordinator(0, n)) {
+                self.advance_round(ctx, k);
+            }
+        }
+    }
+
+    /// Ensures the next instance exists (and is rotated away from a
+    /// suspected coordinator) even on processes holding no messages.
+    ///
+    /// Without this, an idle process never joins the instance, and with
+    /// n ≥ 4 the new coordinator cannot gather a majority of estimates —
+    /// the modular stack gets the same guarantee from its periodic idle
+    /// consensus (§3.3's `t`-timeout).
+    fn kick_fresh_instance(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.instances.is_empty() || self.is_decided(self.next_decide) {
+            return;
+        }
+        let n = ctx.n();
+        let has_work = !self.pool.is_empty() || !self.own_pending.is_empty();
+        let coord0_suspected = self.suspected.contains(&Self::coordinator(0, n));
+        if !(has_work || coord0_suspected) {
+            return;
+        }
+        self.try_start_instance(ctx);
+        if self.instances.is_empty() {
+            // No pool (idle helper): create the placeholder directly so
+            // we can contribute estimates to the round change.
+            let now = ctx.now();
+            self.instances
+                .entry(self.next_decide)
+                .or_insert_with(|| Inst::new(now));
+        }
+        let rotate = self.instances.iter().next().and_then(|(k, inst)| {
+            let c = Self::coordinator(inst.round, n);
+            self.suspected.contains(&c).then_some(*k)
+        });
+        if let Some(k) = rotate {
+            self.advance_round(ctx, k);
+        }
+    }
+
+    fn check_decide(&mut self, ctx: &mut NodeCtx<'_>, instance: u64) {
+        let n = ctx.n();
+        let Some(inst) = self.instances.get(&instance) else {
+            return;
+        };
+        if inst.proposal_sent_round != Some(inst.round) || inst.acks.len() < Self::majority(n) {
+            return;
+        }
+        let round = inst.round;
+        let value = inst.estimate.clone().unwrap_or_default();
+        self.conclude_as_coordinator(ctx, instance, round, value);
+    }
+
+    /// Coordinator decided `instance`: apply locally, then emit the
+    /// decision — combined with the next proposal when O1 allows.
+    fn conclude_as_coordinator(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        instance: u64,
+        round: u32,
+        value: Batch,
+    ) {
+        let n = ctx.n();
+        let me = ctx.pid();
+        let decision = Decision {
+            instance,
+            round,
+            full: if round == 0 { None } else { Some(value.clone()) },
+        };
+        self.record_decision(instance, value);
+        // Apply without the auto-start of the next instance: the next
+        // proposal must be assembled *here* so O1 can combine it with
+        // the decision we are about to emit.
+        self.apply_decisions_core(ctx);
+
+        // Assemble the next proposal if we have work and still coordinate.
+        let k1 = self.next_decide;
+        let can_propose = self.instances.is_empty()
+            && !self.pool.is_empty()
+            && !self.is_decided(k1)
+            && Self::coordinator(0, n) == me;
+        if can_propose {
+            let batch = self.pool_batch();
+            let now = ctx.now();
+            let inst = self.instances.entry(k1).or_insert_with(|| Inst::new(now));
+            inst.estimate = Some(batch.clone());
+            inst.ts = 1;
+            inst.last_proposal = Some((0, batch.clone()));
+            inst.proposal_sent_round = Some(0);
+            inst.acks.insert(me);
+            ctx.bump("mono.proposals", 1);
+            let proposal = Proposal {
+                instance: k1,
+                round: 0,
+                value: batch,
+            };
+            if self.cfg.opts.combine_decision_proposal {
+                ctx.bump("mono.combined_steps", 1);
+                self.broadcast(
+                    ctx,
+                    "mono.step",
+                    &MonoMsg::Step {
+                        decision: Some(decision),
+                        proposal: Some(proposal),
+                    },
+                );
+            } else {
+                self.broadcast(
+                    ctx,
+                    "mono.decision",
+                    &MonoMsg::Step {
+                        decision: Some(decision),
+                        proposal: None,
+                    },
+                );
+                self.broadcast(
+                    ctx,
+                    "mono.proposal",
+                    &MonoMsg::Step {
+                        decision: None,
+                        proposal: Some(proposal),
+                    },
+                );
+            }
+            self.check_decide(ctx, k1);
+        } else {
+            self.broadcast(
+                ctx,
+                "mono.decision",
+                &MonoMsg::Step {
+                    decision: Some(decision),
+                    proposal: None,
+                },
+            );
+        }
+    }
+
+    fn record_decision(&mut self, instance: u64, value: Batch) {
+        if self.is_decided(instance) {
+            return;
+        }
+        self.decided_log.complete(instance);
+        self.decisions.insert(instance, value.clone());
+        while self.decisions.len() > self.cfg.decision_cache {
+            self.decisions.pop_first();
+        }
+        self.decision_buffer.insert(instance, value);
+    }
+
+    fn apply_decisions(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.apply_decisions_core(ctx);
+        // With O2, messages that were waiting for an ack to ride must not
+        // starve when the pipeline drains.
+        if self.cfg.opts.piggyback_on_acks && !self.in_flight() && !self.pool.is_empty() {
+            let coord = self.responsible_coordinator(ctx.n());
+            if coord != ctx.pid() {
+                self.flush_pool_to(ctx, coord);
+            }
+        }
+        self.try_start_instance(ctx);
+    }
+
+    fn apply_decisions_core(&mut self, ctx: &mut NodeCtx<'_>) {
+        let me = ctx.pid();
+        while let Some(batch) = self.decision_buffer.remove(&self.next_decide) {
+            let k = self.next_decide;
+            let mut own_delivered = 0;
+            for m in batch.into_msgs() {
+                if !self.msg_is_new(m.id) {
+                    continue;
+                }
+                self.delivered
+                    .entry(m.id.sender)
+                    .or_default()
+                    .complete(m.id.seq);
+                self.pool.remove(&m.id);
+                if m.id.sender == me {
+                    self.own_pending.remove(&m.id);
+                    own_delivered += 1;
+                }
+                ctx.deliver(m.id, m.payload.len() as u32);
+                ctx.bump("abcast.delivered", 1);
+            }
+            ctx.bump("consensus.decided", 1);
+            self.instances.remove(&k);
+            self.next_decide += 1;
+            self.last_progress = ctx.now();
+            if self.flow.release(own_delivered) {
+                ctx.app_ready();
+            }
+        }
+    }
+
+    /// Handles a decision. `followup` controls whether pipeline
+    /// continuation (pool flush / next-instance start) runs here: it must
+    /// be suppressed while the proposal half of a combined Step is still
+    /// unprocessed, otherwise the transiently-empty pipeline triggers a
+    /// spurious standalone `Forward` on every instance.
+    fn handle_decision(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: ProcessId,
+        dec: Decision,
+        followup: bool,
+    ) {
+        if self.is_decided(dec.instance) {
+            return;
+        }
+        // O3 disabled: emulate the reliable-broadcast relay pattern for
+        // decisions (first receipt at a relay re-broadcasts).
+        if !self.cfg.opts.implicit_decision_acks {
+            let n = ctx.n();
+            let origin = Self::coordinator(dec.round, n);
+            if fortika_relay_set(origin, n).any(|p| p == ctx.pid()) {
+                ctx.bump("mono.decision_relays", 1);
+                self.broadcast(
+                    ctx,
+                    "mono.decision_relay",
+                    &MonoMsg::Step {
+                        decision: Some(dec.clone()),
+                        proposal: None,
+                    },
+                );
+            }
+        }
+        match dec.full {
+            Some(value) => {
+                self.record_decision(dec.instance, value);
+                if followup {
+                    self.apply_decisions(ctx);
+                } else {
+                    self.apply_decisions_core(ctx);
+                }
+            }
+            None => {
+                let now = ctx.now();
+                let inst = self
+                    .instances
+                    .entry(dec.instance)
+                    .or_insert_with(|| Inst::new(now));
+                match &inst.last_proposal {
+                    Some((r, v)) if *r == dec.round => {
+                        let value = v.clone();
+                        self.record_decision(dec.instance, value);
+                        if followup {
+                            self.apply_decisions(ctx);
+                        } else {
+                            self.apply_decisions_core(ctx);
+                        }
+                    }
+                    _ => {
+                        inst.pending_tag = Some(dec.round);
+                        ctx.bump("mono.tag_misses", 1);
+                        let req = MonoMsg::DecisionRequest {
+                            instance: dec.instance,
+                        };
+                        self.send(ctx, from, "mono.decision_request", &req);
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_request_gap(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, seen_instance: u64) {
+        if seen_instance <= self.next_decide || self.is_decided(self.next_decide) {
+            return;
+        }
+        let now = ctx.now();
+        if now.since(self.last_recovery_request) < VDur::millis(50) {
+            return;
+        }
+        self.last_recovery_request = now;
+        ctx.bump("mono.gap_requests", 1);
+        let req = MonoMsg::DecisionRequest {
+            instance: self.next_decide,
+        };
+        self.send(ctx, from, "mono.decision_request", &req);
+    }
+
+    fn handle_proposal(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, p: Proposal) {
+        if Self::coordinator(p.round, ctx.n()) != from {
+            ctx.bump("mono.bogus_proposals", 1);
+            return; // only the round's coordinator may propose
+        }
+        self.maybe_request_gap(ctx, from, p.instance);
+        if self.is_decided(p.instance) {
+            if let Some(v) = self.decisions.get(&p.instance) {
+                let msg = decision_full(p.instance, p.round, v.clone());
+                self.send(ctx, from, "mono.decision_full", &msg);
+            }
+            return;
+        }
+        let now = ctx.now();
+        let inst = self
+            .instances
+            .entry(p.instance)
+            .or_insert_with(|| Inst::new(now));
+        if p.round < inst.round {
+            return;
+        }
+        if p.round > inst.round {
+            inst.round = p.round;
+            inst.round_entered = now;
+            inst.acks.clear();
+        }
+        inst.estimate = Some(p.value.clone());
+        inst.ts = p.round + 1;
+        inst.last_proposal = Some((p.round, p.value.clone()));
+        let pending_tag_hit = inst.pending_tag == Some(p.round);
+        let msgs = if self.cfg.opts.piggyback_on_acks {
+            self.drain_pool()
+        } else {
+            Vec::new()
+        };
+        let ack = MonoMsg::AckDiff {
+            instance: p.instance,
+            round: p.round,
+            msgs,
+        };
+        self.send(ctx, from, "mono.ack", &ack);
+        if pending_tag_hit {
+            self.record_decision(p.instance, p.value);
+            self.apply_decisions(ctx);
+        }
+    }
+
+    fn handle_ack(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: ProcessId,
+        instance: u64,
+        round: u32,
+        msgs: Vec<AppMsg>,
+    ) {
+        for m in msgs {
+            if self.msg_is_new(m.id) {
+                self.pool.insert(m.id, m);
+            }
+        }
+        if self.is_decided(instance) {
+            self.try_start_instance(ctx);
+            return;
+        }
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            self.try_start_instance(ctx);
+            return;
+        };
+        if inst.round != round || inst.proposal_sent_round != Some(round) {
+            return;
+        }
+        inst.acks.insert(from);
+        self.check_decide(ctx, instance);
+    }
+
+    fn handle_forward(&mut self, ctx: &mut NodeCtx<'_>, msgs: Vec<AppMsg>) {
+        for m in msgs {
+            if self.msg_is_new(m.id) {
+                self.pool.insert(m.id, m);
+            }
+        }
+        self.try_start_instance(ctx);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_estimate(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: ProcessId,
+        instance: u64,
+        round: u32,
+        ts: u32,
+        value: Batch,
+        msgs: Vec<AppMsg>,
+    ) {
+        for m in msgs {
+            if self.msg_is_new(m.id) {
+                self.pool.insert(m.id, m);
+            }
+        }
+        self.maybe_request_gap(ctx, from, instance);
+        if self.is_decided(instance) {
+            if let Some(v) = self.decisions.get(&instance) {
+                let msg = decision_full(instance, round, v.clone());
+                self.send(ctx, from, "mono.decision_full", &msg);
+            }
+            self.try_start_instance(ctx);
+            return;
+        }
+        let n = ctx.n();
+        let me = ctx.pid();
+        if Self::coordinator(round, n) != me {
+            return;
+        }
+        let now = ctx.now();
+        let inst = self
+            .instances
+            .entry(instance)
+            .or_insert_with(|| Inst::new(now));
+        if round < inst.round {
+            return;
+        }
+        let keep = match inst.estimates.get(&from) {
+            Some((r, _, _)) => *r < round,
+            None => true,
+        };
+        if keep {
+            inst.estimates.insert(from, (round, value, ts));
+        }
+        if round > inst.round {
+            inst.round = round;
+            inst.round_entered = now;
+            inst.acks.clear();
+        }
+        // Our own estimate joins the collection (initial = pool batch).
+        if inst.round == round && !inst.estimates.contains_key(&me) {
+            let own = inst
+                .estimate
+                .clone()
+                .unwrap_or_else(|| Batch::normalize(self.pool.values().cloned().collect()));
+            let own_ts = inst.ts;
+            inst.estimates.insert(me, (round, own, own_ts));
+        }
+        self.try_propose_from_estimates(ctx, instance);
+    }
+
+    fn try_propose_from_estimates(&mut self, ctx: &mut NodeCtx<'_>, instance: u64) {
+        let n = ctx.n();
+        let me = ctx.pid();
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return;
+        };
+        let round = inst.round;
+        if Self::coordinator(round, n) != me || round == 0 || inst.proposal_sent_round == Some(round)
+        {
+            return;
+        }
+        let mut candidates: Vec<(&ProcessId, &(u32, Batch, u32))> = inst
+            .estimates
+            .iter()
+            .filter(|(_, (r, _, _))| *r == round)
+            .collect();
+        if candidates.len() < Self::majority(n) {
+            return;
+        }
+        candidates.sort_by_key(|(pid, (_, _, ts))| (std::cmp::Reverse(*ts), **pid));
+        let value = candidates[0].1 .1.clone();
+        inst.estimate = Some(value.clone());
+        inst.ts = round + 1;
+        inst.last_proposal = Some((round, value.clone()));
+        inst.proposal_sent_round = Some(round);
+        inst.acks.clear();
+        inst.acks.insert(me);
+        ctx.bump("mono.proposals", 1);
+        self.broadcast(
+            ctx,
+            "mono.proposal",
+            &MonoMsg::Step {
+                decision: None,
+                proposal: Some(Proposal {
+                    instance,
+                    round,
+                    value,
+                }),
+            },
+        );
+        self.check_decide(ctx, instance);
+    }
+
+    fn advance_round(&mut self, ctx: &mut NodeCtx<'_>, instance: u64) {
+        let n = ctx.n();
+        let me = ctx.pid();
+        let now = ctx.now();
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return;
+        };
+        let mut round = inst.round + 1;
+        while Self::coordinator(round, n) != me
+            && self.suspected.contains(&Self::coordinator(round, n))
+        {
+            round += 1;
+        }
+        inst.round = round;
+        inst.round_entered = now;
+        inst.acks.clear();
+        ctx.bump("mono.round_changes", 1);
+        let coord = Self::coordinator(round, n);
+        if coord == me {
+            let estimate = inst
+                .estimate
+                .clone()
+                .unwrap_or_else(|| Batch::normalize(self.pool.values().cloned().collect()));
+            let ts = inst.ts;
+            inst.estimates.insert(me, (round, estimate, ts));
+            self.try_propose_from_estimates(ctx, instance);
+            // Still short of a majority: solicit estimates instead of
+            // waiting for idle processes' periodic kicks.
+            let short = self
+                .instances
+                .get(&instance)
+                .is_some_and(|i| i.proposal_sent_round != Some(round));
+            if short {
+                ctx.bump("mono.estimate_requests", 1);
+                self.broadcast(
+                    ctx,
+                    "mono.estimate_request",
+                    &MonoMsg::EstimateRequest { instance, round },
+                );
+            }
+        } else {
+            self.send_estimate(ctx, instance, round);
+        }
+    }
+
+    /// Sends this process's estimate for `(instance, round)` to the
+    /// round's coordinator, piggybacking undelivered own messages — the
+    /// re-routing of §4.2 ("if the coordinator changes, m is again
+    /// piggybacked on the estimate sent to the new coordinator").
+    fn send_estimate(&mut self, ctx: &mut NodeCtx<'_>, instance: u64, round: u32) {
+        let n = ctx.n();
+        let coord = Self::coordinator(round, n);
+        if coord == ctx.pid() {
+            return;
+        }
+        let Some(inst) = self.instances.get(&instance) else {
+            return;
+        };
+        let estimate = inst
+            .estimate
+            .clone()
+            .unwrap_or_else(|| Batch::normalize(self.pool.values().cloned().collect()));
+        let ts = inst.ts;
+        let msgs = if self.cfg.opts.piggyback_on_acks {
+            for m in self.own_pending.values() {
+                self.pool.remove(&m.id);
+            }
+            self.own_pending.values().cloned().collect()
+        } else {
+            Vec::new()
+        };
+        let msg = MonoMsg::Estimate {
+            instance,
+            round,
+            ts,
+            value: estimate,
+            msgs,
+        };
+        self.send(ctx, coord, "mono.estimate", &msg);
+    }
+
+    fn process_fd_events(&mut self, ctx: &mut NodeCtx<'_>) {
+        let events = std::mem::take(&mut self.fd_scratch);
+        for ev in &events {
+            match ev {
+                FdEvent::Suspect(p) => {
+                    ctx.bump("fd.suspicions", 1);
+                    self.suspected.insert(*p);
+                    // Own messages handed to the suspect may be lost with
+                    // it: make them proposable again (they are re-routed
+                    // on the next estimate/ack/forward).
+                    for m in self.own_pending.values() {
+                        self.pool.entry(m.id).or_insert_with(|| m.clone());
+                    }
+                    let n = ctx.n();
+                    let affected: Vec<u64> = self
+                        .instances
+                        .iter()
+                        .filter(|(_, inst)| Self::coordinator(inst.round, n) == *p)
+                        .map(|(k, _)| *k)
+                        .collect();
+                    for k in affected {
+                        self.advance_round(ctx, k);
+                    }
+                    // Join/advance the fresh instance so the new
+                    // coordinator can reach an estimate majority even if
+                    // we personally hold no messages.
+                    self.kick_fresh_instance(ctx);
+                }
+                FdEvent::Restore(p) => {
+                    ctx.bump("fd.restores", 1);
+                    self.suspected.remove(p);
+                }
+            }
+        }
+        self.fd_scratch = events;
+        self.fd_scratch.clear();
+    }
+
+    fn sweep(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        let stuck: Vec<u64> = self
+            .instances
+            .iter()
+            .filter(|(_, inst)| now.since(inst.round_entered) > self.cfg.progress_timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in stuck {
+            let inst = self.instances.get_mut(&k).expect("instance exists");
+            if inst.pending_tag.is_some() {
+                inst.round_entered = now;
+                ctx.bump("mono.request_retries", 1);
+                let req = MonoMsg::DecisionRequest { instance: k };
+                self.broadcast(ctx, "mono.decision_request", &req);
+            } else {
+                ctx.bump("mono.progress_rotations", 1);
+                self.advance_round(ctx, k);
+            }
+        }
+        // Idle kick: periodic backstop for the same fresh-instance
+        // bootstrap (covers suspicions that raced with message arrival).
+        if now.since(self.last_progress) > self.cfg.idle_timeout {
+            self.kick_fresh_instance(ctx);
+        }
+    }
+}
+
+/// Ring-successor relay set (mirrors `fortika-rbcast`'s scheme without
+/// depending on the modular protocol crate).
+fn fortika_relay_set(origin: ProcessId, n: usize) -> impl Iterator<Item = ProcessId> {
+    let count = (n - 1) / 2;
+    (1..=count as u16).map(move |i| ProcessId((origin.0 + i) % n as u16))
+}
+
+impl Node for MonoNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(interval) = self.fd.tick_interval() {
+            ctx.set_timer(interval, TAG_FD);
+        }
+        ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, bytes: Bytes) {
+        let msg = match decode::<MonoMsg>(bytes) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.bump("mono.garbage", 1);
+                return;
+            }
+        };
+        match msg {
+            MonoMsg::Step { decision, proposal } => {
+                let combined = proposal.is_some();
+                if let Some(d) = decision {
+                    self.handle_decision(ctx, from, d, !combined);
+                }
+                if let Some(p) = proposal {
+                    self.handle_proposal(ctx, from, p);
+                }
+            }
+            MonoMsg::AckDiff {
+                instance,
+                round,
+                msgs,
+            } => self.handle_ack(ctx, from, instance, round, msgs),
+            MonoMsg::Forward { msgs } => self.handle_forward(ctx, msgs),
+            MonoMsg::Diffuse { msg } => {
+                if self.msg_is_new(msg.id) {
+                    self.pool.insert(msg.id, msg);
+                }
+                self.try_start_instance(ctx);
+            }
+            MonoMsg::Estimate {
+                instance,
+                round,
+                ts,
+                value,
+                msgs,
+            } => self.handle_estimate(ctx, from, instance, round, ts, value, msgs),
+            MonoMsg::DecisionRequest { instance } => {
+                if let Some(v) = self.decisions.get(&instance) {
+                    let msg = decision_full(instance, 0, v.clone());
+                    self.send(ctx, from, "mono.decision_full", &msg);
+                }
+            }
+            MonoMsg::EstimateRequest { instance, round } => {
+                // Sanity: only the round's coordinator may solicit.
+                if Self::coordinator(round, ctx.n()) != from {
+                    ctx.bump("mono.bogus_requests", 1);
+                    return;
+                }
+                if self.is_decided(instance) {
+                    if let Some(v) = self.decisions.get(&instance) {
+                        let msg = decision_full(instance, round, v.clone());
+                        self.send(ctx, from, "mono.decision_full", &msg);
+                    }
+                    return;
+                }
+                // Join the solicited round (rounds only move forward —
+                // same safety as receiving a higher-round proposal).
+                let now = ctx.now();
+                let inst = self
+                    .instances
+                    .entry(instance)
+                    .or_insert_with(|| Inst::new(now));
+                if round > inst.round {
+                    inst.round = round;
+                    inst.round_entered = now;
+                    inst.acks.clear();
+                }
+                if round == inst.round {
+                    self.send_estimate(ctx, instance, round);
+                }
+            }
+            MonoMsg::Heartbeat => {
+                self.fd.on_heartbeat(from, ctx.now(), &mut self.fd_scratch);
+                self.process_fd_events(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerId, tag: u64) {
+        match tag {
+            TAG_FD => {
+                if self.fd.sends_heartbeats() {
+                    let hb = encode(&MonoMsg::Heartbeat);
+                    for dst in ProcessId::all(ctx.n()) {
+                        if dst != ctx.pid() {
+                            ctx.send(dst, "fd.heartbeat", hb.clone());
+                        }
+                    }
+                }
+                self.fd.tick(ctx.now(), &mut self.fd_scratch);
+                self.process_fd_events(ctx);
+                if let Some(interval) = self.fd.tick_interval() {
+                    ctx.set_timer(interval, TAG_FD);
+                }
+            }
+            TAG_SWEEP => {
+                self.sweep(ctx);
+                ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_request(&mut self, ctx: &mut NodeCtx<'_>, req: AppRequest) -> Admission {
+        let AppRequest::Abcast(m) = req;
+        if !self.flow.try_acquire() {
+            return Admission::Blocked;
+        }
+        debug_assert_eq!(m.id.sender, ctx.pid(), "abcast of a foreign message");
+        self.own_pending.insert(m.id, m.clone());
+        ctx.bump("abcast.requests", 1);
+        if !self.cfg.opts.piggyback_on_acks {
+            // Modular-style dissemination: diffuse to everyone.
+            self.broadcast(ctx, "mono.diffuse", &MonoMsg::Diffuse { msg: m.clone() });
+            self.pool.insert(m.id, m);
+            self.try_start_instance(ctx);
+        } else {
+            let n = ctx.n();
+            let coord = self.responsible_coordinator(n);
+            self.pool.insert(m.id, m);
+            if coord == ctx.pid() {
+                self.try_start_instance(ctx);
+            } else if !self.in_flight() {
+                // No ack imminent: hand the message over right away.
+                self.flush_pool_to(ctx, coord);
+            }
+            // Otherwise the message rides the next AckDiff (O2).
+        }
+        Admission::Accepted
+    }
+}

@@ -1,0 +1,604 @@
+//! Simulated cluster of processes connected by quasi-reliable channels.
+//!
+//! The cluster drives sans-IO protocol state machines (the [`Node`]
+//! trait): it delivers messages, fires timers, injects application
+//! requests and models the two contended resources of the paper's
+//! testbed — the per-process serial CPU and the per-process NIC transmit
+//! path.
+//!
+//! # Quasi-reliable channels
+//!
+//! The channel property of the paper (§2.1) holds by construction: a
+//! message between two correct processes is never lost, duplicated or
+//! corrupted; it is delivered after NIC serialization, propagation delay
+//! and bounded jitter. Channels do not guarantee global FIFO across
+//! senders. Per-pair delivery is FIFO (the paper's channels are TCP
+//! connections), and messages from a process that crashes mid-transmission
+//! are lost exactly when their transmission had not completed at crash time.
+//!
+//! # Crash semantics
+//!
+//! A crash at instant `t` stops the process immediately: no further
+//! handlers run, its timers die, and any outbound message whose NIC
+//! transmission finishes after `t` is dropped — so a crash in the middle
+//! of a logical broadcast partitions the recipients into those that
+//! received the message and those that did not, the exact scenario the
+//! paper's reliable-broadcast layer exists to handle.
+
+use std::collections::{HashSet, VecDeque};
+
+use bytes::Bytes;
+use fortika_sim::{CpuResource, DetRng, EventQueue, LinkResource, VDur, VTime};
+
+use crate::config::{ClusterConfig, CostModel};
+use crate::counters::Counters;
+use crate::id::{MsgId, ProcessId};
+use crate::message::AppMsg;
+
+/// Handle to a pending timer, local to one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// A request submitted by the application to its local stack.
+#[derive(Debug, Clone)]
+pub enum AppRequest {
+    /// Atomic-broadcast the given message.
+    Abcast(AppMsg),
+}
+
+/// Outcome of submitting an [`AppRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The stack accepted the message; this instant is the paper's `t0`.
+    Accepted,
+    /// Flow control is closed; retry after [`Harness::on_app_ready`].
+    Blocked,
+}
+
+/// An `adeliver` notification reported by a stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Identity of the delivered message.
+    pub msg: MsgId,
+    /// Payload size in bytes.
+    pub payload_len: u32,
+}
+
+/// A protocol stack instance hosted on one simulated process.
+///
+/// Implementations are pure state machines: they react to events through
+/// `NodeCtx` and must not hold real-world resources. All methods execute
+/// on the process's simulated CPU.
+pub trait Node {
+    /// Invoked once at simulation start (t = 0).
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a network message arrives.
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, bytes: Bytes);
+
+    /// Invoked when a timer set via [`NodeCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+
+    /// Invoked when the application submits a request.
+    fn on_request(&mut self, ctx: &mut NodeCtx<'_>, req: AppRequest) -> Admission;
+}
+
+/// Execution context handed to [`Node`] handlers.
+///
+/// Collects the handler's outputs (sends, timers, deliveries) and tracks
+/// the CPU time the handler consumes; the cluster materializes the
+/// outputs when the handler returns.
+pub struct NodeCtx<'a> {
+    pid: ProcessId,
+    n: usize,
+    start: VTime,
+    charged: VDur,
+    cost: &'a CostModel,
+    per_msg_overhead: u32,
+    counters: &'a mut Counters,
+    next_timer: &'a mut u64,
+    outbox: Vec<(ProcessId, &'static str, Bytes)>,
+    timers: Vec<(VTime, TimerId, u64)>,
+    cancels: Vec<TimerId>,
+    deliveries: Vec<(Delivery, VTime)>,
+    app_ready: bool,
+}
+
+impl NodeCtx<'_> {
+    /// This process's identity.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Group size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time: handler start plus CPU consumed so far.
+    pub fn now(&self) -> VTime {
+        self.start + self.charged
+    }
+
+    /// The configured cost model (for modules that charge custom costs).
+    pub fn costs(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// Charges extra CPU time to this handler.
+    pub fn charge(&mut self, cost: VDur) {
+        self.charged += cost;
+    }
+
+    /// Charges one microprotocol dispatch (the framework's per-hop cost).
+    pub fn charge_dispatch(&mut self) {
+        self.charged += self.cost.dispatch;
+    }
+
+    /// Sends `bytes` to `dst` over the quasi-reliable channel.
+    ///
+    /// `kind` tags the message for traffic accounting (see
+    /// [`Counters`]); use dotted names like `"consensus.ack"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is this process — the paper's protocols never
+    /// send to self, so a self-send indicates a protocol bug.
+    pub fn send(&mut self, dst: ProcessId, kind: &'static str, bytes: Bytes) {
+        assert_ne!(dst, self.pid, "protocol bug: self-send of {kind}");
+        let wire = bytes.len() as u64 + u64::from(self.per_msg_overhead);
+        self.charge(self.cost.send_cost(bytes.len() + self.per_msg_overhead as usize));
+        self.counters.record_send(kind, wire);
+        self.outbox.push((dst, kind, bytes));
+    }
+
+    /// Sends `bytes` to every other process (n−1 unicasts, in pid order).
+    pub fn broadcast(&mut self, kind: &'static str, bytes: &Bytes) {
+        for dst in ProcessId::all(self.n) {
+            if dst != self.pid {
+                self.send(dst, kind, bytes.clone());
+            }
+        }
+    }
+
+    /// Arms a timer firing after `delay`; `tag` is echoed to
+    /// [`Node::on_timer`] so protocols can multiplex timer meanings.
+    pub fn set_timer(&mut self, delay: VDur, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.timers.push((self.now() + delay, id, tag));
+        id
+    }
+
+    /// Cancels a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancels.push(id);
+    }
+
+    /// Reports an `adeliver` to the application/harness. Charges the
+    /// delivery upcall cost (identical in both stacks).
+    pub fn deliver(&mut self, msg: MsgId, payload_len: u32) {
+        self.charge(self.cost.deliver_cost(payload_len as usize));
+        self.deliveries.push((Delivery { msg, payload_len }, self.now()));
+    }
+
+    /// Signals that flow control re-opened; the harness will be told via
+    /// [`Harness::on_app_ready`] once this handler completes.
+    pub fn app_ready(&mut self) {
+        self.app_ready = true;
+    }
+
+    /// Increments a free-form protocol counter.
+    pub fn bump(&mut self, name: &'static str, by: u64) {
+        self.counters.bump(name, by);
+    }
+}
+
+/// Observer/driver callbacks invoked by [`Cluster::run_until`].
+///
+/// All callbacks receive a [`ClusterApi`] through which the driver can
+/// submit requests, schedule future ticks, or crash processes.
+pub trait Harness {
+    /// A stack adelivered a message at process `pid`.
+    fn on_delivery(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
+        let _ = (api, pid, d, at);
+    }
+
+    /// Process `pid`'s flow control re-opened.
+    fn on_app_ready(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, at: VTime) {
+        let _ = (api, pid, at);
+    }
+
+    /// A tick scheduled via [`ClusterApi::schedule_tick`] fired.
+    fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, at: VTime) {
+        let _ = (api, tick, at);
+    }
+}
+
+/// A harness that ignores every callback (for logic-only runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHarness;
+
+impl Harness for NoopHarness {}
+
+/// A harness that records every delivery per process — the workhorse of
+/// the correctness test-suite.
+#[derive(Debug, Default)]
+pub struct CollectingHarness {
+    /// `logs[p]` is the adeliver sequence of process `p`, in order.
+    pub logs: Vec<Vec<(MsgId, VTime)>>,
+}
+
+impl CollectingHarness {
+    /// Creates a collector for `n` processes.
+    pub fn new(n: usize) -> Self {
+        CollectingHarness {
+            logs: vec![Vec::new(); n],
+        }
+    }
+
+    /// The delivery order (message ids only) at process `p`.
+    pub fn order(&self, p: ProcessId) -> Vec<MsgId> {
+        self.logs[p.index()].iter().map(|(m, _)| *m).collect()
+    }
+}
+
+impl Harness for CollectingHarness {
+    fn on_delivery(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
+        self.logs[pid.index()].push((d.msg, at));
+    }
+}
+
+struct Proc {
+    node: Option<Box<dyn Node>>,
+    cpu: CpuResource,
+    nic: LinkResource,
+    alive: bool,
+    crash_time: Option<VTime>,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+}
+
+enum Ev {
+    Deliver {
+        dst: ProcessId,
+        src: ProcessId,
+        bytes: Bytes,
+        tx_end: VTime,
+    },
+    Timer {
+        pid: ProcessId,
+        id: TimerId,
+        tag: u64,
+    },
+    Tick {
+        id: u64,
+    },
+    Crash {
+        pid: ProcessId,
+    },
+}
+
+enum Notification {
+    Delivered(ProcessId, Delivery, VTime),
+    AppReady(ProcessId, VTime),
+    Tick(u64, VTime),
+}
+
+/// The simulated cluster: processes, network, clock and counters.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    queue: EventQueue<Ev>,
+    procs: Vec<Proc>,
+    rng: DetRng,
+    counters: Counters,
+    pending: VecDeque<Notification>,
+    /// Per-(src,dst) last scheduled arrival, enforcing channel FIFO
+    /// (the paper's channels are TCP connections).
+    last_arrival: Vec<VTime>,
+    started: bool,
+}
+
+impl Cluster {
+    /// Builds a cluster hosting the given stacks (one per process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from `cfg.n`.
+    pub fn new(cfg: ClusterConfig, nodes: Vec<Box<dyn Node>>) -> Self {
+        assert_eq!(nodes.len(), cfg.n, "need exactly one node per process");
+        let procs = nodes
+            .into_iter()
+            .map(|node| Proc {
+                node: Some(node),
+                cpu: CpuResource::new(),
+                nic: LinkResource::new(cfg.net.bandwidth_bytes_per_sec),
+                alive: true,
+                crash_time: None,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+            })
+            .collect();
+        let rng = DetRng::seed(cfg.seed);
+        let last_arrival = vec![VTime::ZERO; cfg.n * cfg.n];
+        Cluster {
+            cfg,
+            queue: EventQueue::new(),
+            procs,
+            rng,
+            counters: Counters::new(),
+            pending: VecDeque::new(),
+            last_arrival,
+            started: false,
+        }
+    }
+
+    /// Current virtual time (timestamp of the last processed event).
+    pub fn now(&self) -> VTime {
+        self.queue.now()
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// Traffic and protocol counters (cluster-wide).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Accumulated CPU busy time of process `pid`.
+    pub fn cpu_busy(&self, pid: ProcessId) -> VDur {
+        self.procs[pid.index()].cpu.busy_time()
+    }
+
+    /// True if `pid` has not crashed.
+    pub fn alive(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].alive
+    }
+
+    /// Schedules a crash of `pid` at instant `at`.
+    pub fn schedule_crash(&mut self, pid: ProcessId, at: VTime) {
+        self.queue.schedule(at, Ev::Crash { pid });
+    }
+
+    /// Schedules a driver tick (delivered to [`Harness::on_tick`]).
+    pub fn schedule_tick(&mut self, at: VTime, id: u64) {
+        self.queue.schedule(at, Ev::Tick { id });
+    }
+
+    /// Runs the simulation until `until`, invoking `harness` callbacks.
+    ///
+    /// The first call also runs every node's [`Node::on_start`] at t = 0.
+    pub fn run_until(&mut self, until: VTime, harness: &mut dyn Harness) {
+        if !self.started {
+            self.started = true;
+            for pid in ProcessId::all(self.cfg.n) {
+                self.exec(pid, VTime::ZERO, VDur::ZERO, |node, ctx| node.on_start(ctx));
+            }
+            self.drain(harness);
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event vanished");
+            self.dispatch(at, ev);
+            self.drain(harness);
+        }
+    }
+
+    /// Runs until `until` with no driver (ignores deliveries).
+    pub fn run_idle(&mut self, until: VTime) {
+        self.run_until(until, &mut NoopHarness);
+    }
+
+    /// Submits an application request to `pid`'s stack right now.
+    ///
+    /// Returns the admission decision and the virtual instant at which the
+    /// request handler completed (the paper's `t0` when accepted).
+    pub fn submit(&mut self, pid: ProcessId, req: AppRequest) -> (Admission, VTime) {
+        let base = self.cfg.cost.request_fixed;
+        let now = self.now();
+        let mut admission = Admission::Blocked;
+        let end = self
+            .exec(pid, now, base, |node, ctx| {
+                admission = node.on_request(ctx, req);
+            })
+            .unwrap_or(now);
+        (admission, end)
+    }
+
+    fn dispatch(&mut self, at: VTime, ev: Ev) {
+        match ev {
+            Ev::Deliver {
+                dst,
+                src,
+                bytes,
+                tx_end,
+            } => {
+                // Drop messages whose transmission outlived the sender.
+                if let Some(ct) = self.procs[src.index()].crash_time {
+                    if tx_end > ct {
+                        return;
+                    }
+                }
+                let base = self
+                    .cfg
+                    .cost
+                    .recv_cost(bytes.len() + self.cfg.net.per_msg_overhead as usize);
+                self.exec(dst, at, base, |node, ctx| node.on_message(ctx, src, bytes));
+            }
+            Ev::Timer { pid, id, tag } => {
+                let proc = &mut self.procs[pid.index()];
+                if proc.cancelled.remove(&id.0) {
+                    return;
+                }
+                let base = self.cfg.cost.timer_fixed;
+                self.exec(pid, at, base, |node, ctx| node.on_timer(ctx, id, tag));
+            }
+            Ev::Tick { id } => {
+                // Ticks are harness-level: queue the callback so it runs
+                // through the same drain path as other notifications.
+                self.pending.push_back(Notification::Tick(id, at));
+            }
+            Ev::Crash { pid } => {
+                let proc = &mut self.procs[pid.index()];
+                if proc.alive {
+                    proc.alive = false;
+                    proc.crash_time = Some(at);
+                    self.counters.bump("cluster.crashes", 1);
+                }
+            }
+        }
+    }
+
+    /// Runs one handler on `pid`'s CPU. Returns the handler-completion
+    /// instant, or `None` if the process is crashed.
+    fn exec<F>(&mut self, pid: ProcessId, arrival: VTime, base_cost: VDur, f: F) -> Option<VTime>
+    where
+        F: FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
+    {
+        let i = pid.index();
+        if !self.procs[i].alive {
+            return None;
+        }
+        let start = self.procs[i].cpu.acquire(arrival, base_cost);
+        let mut node = self.procs[i].node.take().expect("node re-entered");
+
+        let (charged, outbox, timers, cancels, deliveries, app_ready) = {
+            let mut ctx = NodeCtx {
+                pid,
+                n: self.cfg.n,
+                start,
+                charged: base_cost,
+                cost: &self.cfg.cost,
+                per_msg_overhead: self.cfg.net.per_msg_overhead,
+                counters: &mut self.counters,
+                next_timer: &mut self.procs[i].next_timer,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                cancels: Vec::new(),
+                deliveries: Vec::new(),
+                app_ready: false,
+            };
+            f(node.as_mut(), &mut ctx);
+            (
+                ctx.charged,
+                ctx.outbox,
+                ctx.timers,
+                ctx.cancels,
+                ctx.deliveries,
+                ctx.app_ready,
+            )
+        };
+
+        self.procs[i].node = Some(node);
+        let extra = charged.saturating_sub(base_cost);
+        self.procs[i].cpu.extend(extra);
+        let end = start + charged;
+
+        // Materialize sends: serialize through the NIC, then propagate.
+        for (dst, _kind, bytes) in outbox {
+            let wire = bytes.len() as u64 + u64::from(self.cfg.net.per_msg_overhead);
+            let tx_end = self.procs[i].nic.transmit(end, wire);
+            let mut arrival =
+                tx_end + self.cfg.net.prop_delay + self.rng.jitter(self.cfg.net.jitter);
+            // TCP-like channels: per-pair FIFO despite jitter.
+            let slot = i * self.cfg.n + dst.index();
+            arrival = arrival.max(self.last_arrival[slot]);
+            self.last_arrival[slot] = arrival;
+            self.queue.schedule(
+                arrival,
+                Ev::Deliver {
+                    dst,
+                    src: pid,
+                    bytes,
+                    tx_end,
+                },
+            );
+        }
+        for (fire_at, id, tag) in timers {
+            self.queue.schedule(fire_at.max(self.now()), Ev::Timer { pid, id, tag });
+        }
+        for id in cancels {
+            self.procs[i].cancelled.insert(id.0);
+        }
+        for (d, at) in deliveries {
+            self.pending.push_back(Notification::Delivered(pid, d, at));
+        }
+        if app_ready {
+            self.pending.push_back(Notification::AppReady(pid, end));
+        }
+        Some(end)
+    }
+
+    fn drain(&mut self, harness: &mut dyn Harness) {
+        while let Some(n) = self.pending.pop_front() {
+            let mut api = ClusterApi { cluster: self };
+            match n {
+                Notification::Delivered(pid, d, at) => harness.on_delivery(&mut api, pid, d, at),
+                Notification::AppReady(pid, at) => harness.on_app_ready(&mut api, pid, at),
+                Notification::Tick(id, at) => harness.on_tick(&mut api, id, at),
+            }
+        }
+    }
+}
+
+/// Driver-facing API available inside [`Harness`] callbacks.
+pub struct ClusterApi<'a> {
+    cluster: &'a mut Cluster,
+}
+
+impl ClusterApi<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.cluster.now()
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.cluster.n()
+    }
+
+    /// Submits a request to `pid`'s stack (see [`Cluster::submit`]).
+    pub fn submit(&mut self, pid: ProcessId, req: AppRequest) -> (Admission, VTime) {
+        self.cluster.submit(pid, req)
+    }
+
+    /// Schedules a future driver tick.
+    pub fn schedule_tick(&mut self, at: VTime, id: u64) {
+        self.cluster.schedule_tick(at, id);
+    }
+
+    /// Crashes `pid` immediately.
+    pub fn crash(&mut self, pid: ProcessId) {
+        let now = self.cluster.now();
+        let proc = &mut self.cluster.procs[pid.index()];
+        if proc.alive {
+            proc.alive = false;
+            proc.crash_time = Some(now);
+            self.cluster.counters.bump("cluster.crashes", 1);
+        }
+    }
+
+    /// Cluster-wide counters.
+    pub fn counters(&self) -> &Counters {
+        self.cluster.counters()
+    }
+
+    /// CPU busy time of `pid` so far.
+    pub fn cpu_busy(&self, pid: ProcessId) -> VDur {
+        self.cluster.cpu_busy(pid)
+    }
+
+    /// True if `pid` has not crashed.
+    pub fn alive(&self, pid: ProcessId) -> bool {
+        self.cluster.alive(pid)
+    }
+}

@@ -1,0 +1,224 @@
+//! Network and processing-cost models.
+//!
+//! The defaults below are the calibration described in `DESIGN.md` §5:
+//! they stand in for the paper's testbed (Pentium 4 @ 3.2 GHz, 1 GB RAM,
+//! Gigabit Ethernet, Sun JVM 1.5). Absolute values shift the curves; the
+//! *mechanisms* (CPU saturation, NIC serialization) produce the shapes.
+
+use fortika_sim::VDur;
+
+/// Parameters of the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetModel {
+    /// Outbound NIC bandwidth per process, bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// One-way propagation delay between any two processes.
+    pub prop_delay: VDur,
+    /// Uniform random extra delay in `[0, jitter]`, from the seeded RNG.
+    pub jitter: VDur,
+    /// Fixed wire overhead added to every message (Ethernet + IP + TCP).
+    pub per_msg_overhead: u32,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel {
+            // Gigabit Ethernet ≈ 125 MB/s of goodput capacity.
+            bandwidth_bytes_per_sec: 125_000_000,
+            // Same-switch cluster LAN.
+            prop_delay: VDur::micros(30),
+            jitter: VDur::micros(10),
+            // Ethernet (14) + IP (20) + TCP (20) + padding/preamble ≈ 60.
+            per_msg_overhead: 60,
+        }
+    }
+}
+
+impl NetModel {
+    /// A zero-latency, (practically) infinite-bandwidth network — useful
+    /// in unit tests that only exercise protocol logic.
+    pub fn instant() -> Self {
+        NetModel {
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            prop_delay: VDur::ZERO,
+            jitter: VDur::ZERO,
+            per_msg_overhead: 0,
+        }
+    }
+}
+
+/// CPU costs charged for protocol activity.
+///
+/// Each process is a serial server: event handlers execute one at a time
+/// and each charges the costs below. The fixed per-message costs dominate
+/// for small messages — which is why the paper finds latency governed by
+/// *message count* at small sizes (Fig. 9) — while the per-KiB terms and
+/// NIC bandwidth take over for large ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Fixed CPU cost to send one message (syscall + marshalling setup).
+    pub send_fixed: VDur,
+    /// Additional CPU cost per KiB sent (copy + marshalling).
+    pub send_per_kib: VDur,
+    /// Fixed CPU cost to receive one message.
+    pub recv_fixed: VDur,
+    /// Additional CPU cost per KiB received.
+    pub recv_per_kib: VDur,
+    /// Cost of dispatching one event through one microprotocol module
+    /// (the Cactus framework's per-hop overhead; charged by `framework`).
+    pub dispatch: VDur,
+    /// Fixed cost of a timer-expiry handler.
+    pub timer_fixed: VDur,
+    /// Fixed cost of accepting one application request.
+    pub request_fixed: VDur,
+    /// Fixed CPU cost of adelivering one message to the application
+    /// (upcall, copy out of the stack). Identical in both stacks, so it
+    /// compresses the modular/monolithic gap at small message sizes —
+    /// the effect behind the paper's modest Fig. 11 spread.
+    pub deliver_fixed: VDur,
+    /// Additional delivery cost per KiB.
+    pub deliver_per_kib: VDur,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            // Pentium-4-era Java networking (object serialization, socket
+            // streams, GC pressure): several hundred µs per message.
+            // Calibrated so that, as in the paper (§5.3.2), the CPU
+            // saturates around 500 msg/s of offered load and throughput
+            // plateaus in the 500–1400 msg/s range.
+            send_fixed: VDur::micros(350),
+            send_per_kib: VDur::nanos(2_500),
+            recv_fixed: VDur::micros(400),
+            recv_per_kib: VDur::nanos(3_500),
+            dispatch: VDur::micros(25),
+            timer_fixed: VDur::micros(20),
+            request_fixed: VDur::micros(50),
+            deliver_fixed: VDur::micros(200),
+            deliver_per_kib: VDur::nanos(1_500),
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model for logic-only unit tests.
+    pub fn free() -> Self {
+        CostModel {
+            send_fixed: VDur::ZERO,
+            send_per_kib: VDur::ZERO,
+            recv_fixed: VDur::ZERO,
+            recv_per_kib: VDur::ZERO,
+            dispatch: VDur::ZERO,
+            timer_fixed: VDur::ZERO,
+            request_fixed: VDur::ZERO,
+            deliver_fixed: VDur::ZERO,
+            deliver_per_kib: VDur::ZERO,
+        }
+    }
+
+    /// CPU cost of sending a message of `bytes` bytes.
+    pub fn send_cost(&self, bytes: usize) -> VDur {
+        self.send_fixed + per_kib(self.send_per_kib, bytes)
+    }
+
+    /// CPU cost of receiving a message of `bytes` bytes.
+    pub fn recv_cost(&self, bytes: usize) -> VDur {
+        self.recv_fixed + per_kib(self.recv_per_kib, bytes)
+    }
+
+    /// CPU cost of adelivering a message of `bytes` payload bytes.
+    pub fn deliver_cost(&self, bytes: usize) -> VDur {
+        self.deliver_fixed + per_kib(self.deliver_per_kib, bytes)
+    }
+}
+
+/// Scales a per-KiB cost by a byte count (rounded up to whole KiB would
+/// overcharge tiny messages, so scale linearly in bytes).
+fn per_kib(cost: VDur, bytes: usize) -> VDur {
+    VDur::nanos((cost.as_nanos() as u128 * bytes as u128 / 1024) as u64)
+}
+
+/// Full configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// Network parameters.
+    pub net: NetModel,
+    /// CPU cost parameters.
+    pub cost: CostModel,
+    /// Master RNG seed (jitter and any protocol randomness derive from it).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Default models with the given group size and seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1, "cluster needs at least one process");
+        ClusterConfig {
+            n,
+            net: NetModel::default(),
+            cost: CostModel::default(),
+            seed,
+        }
+    }
+
+    /// Logic-test configuration: instant network, free CPU.
+    pub fn instant(n: usize, seed: u64) -> Self {
+        ClusterConfig {
+            n,
+            net: NetModel::instant(),
+            cost: CostModel::free(),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_are_calibrated() {
+        let net = NetModel::default();
+        assert_eq!(net.bandwidth_bytes_per_sec, 125_000_000);
+        assert!(net.prop_delay > VDur::ZERO);
+        let cost = CostModel::default();
+        assert!(cost.send_fixed > VDur::ZERO);
+    }
+
+    #[test]
+    fn cost_scales_with_size() {
+        let cost = CostModel::default();
+        let small = cost.send_cost(64);
+        let large = cost.send_cost(16_384);
+        assert!(large > small);
+        // 16 KiB at 2.5 µs/KiB = 40 µs on top of the 350 µs fixed cost.
+        assert_eq!(large, VDur::micros(350) + VDur::micros(40));
+    }
+
+    #[test]
+    fn per_kib_is_linear_in_bytes() {
+        let cost = CostModel {
+            recv_per_kib: VDur::micros(1),
+            ..CostModel::free()
+        };
+        assert_eq!(cost.recv_cost(512), VDur::nanos(500)); // half a µs
+        assert_eq!(cost.recv_cost(2048), VDur::micros(2));
+        assert_eq!(cost.recv_cost(0), VDur::ZERO);
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let cost = CostModel::free();
+        assert_eq!(cost.send_cost(1 << 20), VDur::ZERO);
+        assert_eq!(cost.recv_cost(1 << 20), VDur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterConfig::new(0, 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Traffic and protocol counters.
+//!
+//! Counters are the bridge between the simulation and the paper's
+//! analytical model (§5.2): the integration tests take steady-state
+//! counter deltas and check them against the closed-form message and byte
+//! counts, and the `analysis_*` benches print both side by side.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Message/byte tally for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounter {
+    /// Number of messages sent.
+    pub msgs: u64,
+    /// Total wire bytes sent (payload + per-message overhead).
+    pub bytes: u64,
+}
+
+/// Cluster-wide counters, keyed by the `kind` tag each send carries
+/// (e.g. `"abcast.diffuse"`, `"consensus.ack"`) plus free-form protocol
+/// counters (e.g. `"consensus.decided"`).
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    sends: BTreeMap<&'static str, KindCounter>,
+    events: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Empty counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Records a sent message of `bytes` wire bytes under `kind`.
+    pub fn record_send(&mut self, kind: &'static str, bytes: u64) {
+        let c = self.sends.entry(kind).or_default();
+        c.msgs += 1;
+        c.bytes += bytes;
+    }
+
+    /// Increments a free-form protocol counter.
+    pub fn bump(&mut self, name: &'static str, by: u64) {
+        *self.events.entry(name).or_default() += by;
+    }
+
+    /// Tally for one send kind (zero if never seen).
+    pub fn kind(&self, kind: &str) -> KindCounter {
+        self.sends.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Value of a free-form counter (zero if never seen).
+    pub fn event(&self, name: &str) -> u64 {
+        self.events.get(name).copied().unwrap_or_default()
+    }
+
+    /// Sum of messages across all kinds, excluding kinds whose name
+    /// matches the `exclude` predicate.
+    pub fn total_msgs_excluding(&self, exclude: impl Fn(&str) -> bool) -> u64 {
+        self.sends
+            .iter()
+            .filter(|(k, _)| !exclude(k))
+            .map(|(_, c)| c.msgs)
+            .sum()
+    }
+
+    /// Sum of messages across all kinds.
+    pub fn total_msgs(&self) -> u64 {
+        self.sends.values().map(|c| c.msgs).sum()
+    }
+
+    /// Sum of wire bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.sends.values().map(|c| c.bytes).sum()
+    }
+
+    /// Iterates over `(kind, tally)` pairs in lexicographic kind order.
+    pub fn iter_sends(&self) -> impl Iterator<Item = (&'static str, KindCounter)> + '_ {
+        self.sends.iter().map(|(k, c)| (*k, *c))
+    }
+
+    /// Iterates over free-form counters in lexicographic order.
+    pub fn iter_events(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.events.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Difference `self − earlier`, counter by counter (saturating).
+    ///
+    /// Used to isolate a measurement window: snapshot at window start,
+    /// subtract from the totals at window end.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        let mut out = Counters::new();
+        for (k, c) in &self.sends {
+            let e = earlier.kind(k);
+            out.sends.insert(
+                k,
+                KindCounter {
+                    msgs: c.msgs.saturating_sub(e.msgs),
+                    bytes: c.bytes.saturating_sub(e.bytes),
+                },
+            );
+        }
+        for (k, v) in &self.events {
+            out.events.insert(k, v.saturating_sub(earlier.event(k)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sends:")?;
+        for (k, c) in &self.sends {
+            writeln!(f, "  {k:<24} {:>10} msgs {:>14} bytes", c.msgs, c.bytes)?;
+        }
+        writeln!(f, "events:")?;
+        for (k, v) in &self.events {
+            writeln!(f, "  {k:<24} {v:>10}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counters::new();
+        c.record_send("a.x", 100);
+        c.record_send("a.x", 50);
+        c.record_send("b.y", 10);
+        assert_eq!(c.kind("a.x"), KindCounter { msgs: 2, bytes: 150 });
+        assert_eq!(c.kind("missing"), KindCounter::default());
+        assert_eq!(c.total_msgs(), 3);
+        assert_eq!(c.total_bytes(), 160);
+    }
+
+    #[test]
+    fn bump_events() {
+        let mut c = Counters::new();
+        c.bump("instances", 1);
+        c.bump("instances", 2);
+        assert_eq!(c.event("instances"), 3);
+        assert_eq!(c.event("other"), 0);
+    }
+
+    #[test]
+    fn exclusion_filter() {
+        let mut c = Counters::new();
+        c.record_send("fd.heartbeat", 10);
+        c.record_send("consensus.ack", 20);
+        assert_eq!(c.total_msgs_excluding(|k| k.starts_with("fd.")), 1);
+    }
+
+    #[test]
+    fn delta_isolates_window() {
+        let mut c = Counters::new();
+        c.record_send("x", 5);
+        c.bump("n", 1);
+        let snap = c.clone();
+        c.record_send("x", 7);
+        c.record_send("y", 1);
+        c.bump("n", 4);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.kind("x"), KindCounter { msgs: 1, bytes: 7 });
+        assert_eq!(d.kind("y"), KindCounter { msgs: 1, bytes: 1 });
+        assert_eq!(d.event("n"), 4);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let mut c = Counters::new();
+        c.record_send("k", 9);
+        c.bump("e", 2);
+        let s = c.to_string();
+        assert!(s.contains('k') && s.contains('e'));
+    }
+}

@@ -1,0 +1,125 @@
+//! Shared flow-control window.
+//!
+//! The paper (§5.1): *"both implementations of the atomic broadcast
+//! protocol use the same flow-control mechanism that blocks further
+//! abcast events when necessary"*, tuned so that on average M = 4
+//! messages are ordered per consensus execution. The mechanism is a
+//! per-process window on *own* messages that were abcast but not yet
+//! adelivered; both the modular stack's flow-control microprotocol and
+//! the monolithic node embed this same type.
+
+/// Window of un-adelivered own messages.
+///
+/// # Example
+///
+/// ```
+/// use fortika_net::flow::FlowWindow;
+///
+/// let mut w = FlowWindow::new(2);
+/// assert!(w.try_acquire());
+/// assert!(w.try_acquire());
+/// assert!(!w.try_acquire(), "window full");
+/// assert!(w.release(1), "crossing the threshold reopens the window");
+/// assert!(w.try_acquire());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowWindow {
+    window: usize,
+    outstanding: usize,
+}
+
+impl FlowWindow {
+    /// Creates a window admitting up to `window` outstanding messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (nothing could ever be admitted).
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "flow-control window must admit something");
+        FlowWindow {
+            window,
+            outstanding: 0,
+        }
+    }
+
+    /// Tries to admit one message; `false` means the caller must block.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.outstanding < self.window {
+            self.outstanding += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `n` slots (own messages adelivered). Returns `true` if
+    /// this transition reopened a previously full window — the signal to
+    /// wake the application.
+    pub fn release(&mut self, n: usize) -> bool {
+        if n == 0 {
+            return false;
+        }
+        let was_full = self.outstanding >= self.window;
+        self.outstanding = self.outstanding.saturating_sub(n);
+        was_full && self.outstanding < self.window
+    }
+
+    /// Currently outstanding own messages.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Configured window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_until_full() {
+        let mut w = FlowWindow::new(3);
+        assert!(w.try_acquire());
+        assert!(w.try_acquire());
+        assert!(w.try_acquire());
+        assert!(!w.try_acquire());
+        assert_eq!(w.outstanding(), 3);
+    }
+
+    #[test]
+    fn release_signals_reopen_only_on_threshold_crossing() {
+        let mut w = FlowWindow::new(2);
+        w.try_acquire();
+        assert!(!w.release(1), "window was not full — no wake needed");
+        w.try_acquire();
+        w.try_acquire();
+        assert!(!w.try_acquire());
+        assert!(w.release(1), "full → not-full transition must wake");
+        assert!(!w.release(1), "already open — no duplicate wake");
+    }
+
+    #[test]
+    fn release_zero_is_noop() {
+        let mut w = FlowWindow::new(1);
+        w.try_acquire();
+        assert!(!w.release(0));
+        assert_eq!(w.outstanding(), 1);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut w = FlowWindow::new(1);
+        w.try_acquire();
+        w.release(10);
+        assert_eq!(w.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must admit something")]
+    fn zero_window_rejected() {
+        let _ = FlowWindow::new(0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulated quasi-reliable network, wire codec and cluster harness.
+//!
+//! This crate is the substrate that stands in for the paper's testbed
+//! (cluster + Gigabit Ethernet + TCP): it hosts sans-IO protocol stacks
+//! ([`Node`]) on simulated processes, models CPU and NIC contention, and
+//! accounts every message and byte so the analytical model of §5.2 can be
+//! cross-checked against simulation counters.
+//!
+//! * [`wire`] — explicit binary codec (no hidden framing bytes).
+//! * [`ProcessId`], [`MsgId`], [`AppMsg`], [`Batch`] — identities and
+//!   application messages.
+//! * [`NetModel`], [`CostModel`], [`ClusterConfig`] — calibration knobs.
+//! * [`Cluster`], [`Node`], [`NodeCtx`], [`Harness`] — the simulation
+//!   harness (see [`cluster`] module docs for crash semantics).
+//! * [`Counters`] — per-kind traffic accounting.
+//!
+//! # Example: two nodes ping-pong
+//!
+//! ```
+//! use bytes::Bytes;
+//! use fortika_net::{
+//!     Admission, AppRequest, Cluster, ClusterConfig, Node, NodeCtx, ProcessId,
+//! };
+//! use fortika_sim::{VDur, VTime};
+//!
+//! struct Echo;
+//! impl Node for Echo {
+//!     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+//!         if ctx.pid() == ProcessId(0) {
+//!             ctx.send(ProcessId(1), "demo.ping", Bytes::from_static(b"ping"));
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, bytes: Bytes) {
+//!         if bytes.as_ref() == b"ping" {
+//!             ctx.send(from, "demo.pong", Bytes::from_static(b"pong"));
+//!         }
+//!     }
+//!     fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+//!         Admission::Blocked
+//!     }
+//! }
+//!
+//! let cfg = ClusterConfig::new(2, 42);
+//! let mut cluster = Cluster::new(cfg, vec![Box::new(Echo), Box::new(Echo)]);
+//! cluster.run_idle(VTime::ZERO + VDur::secs(1));
+//! assert_eq!(cluster.counters().kind("demo.ping").msgs, 1);
+//! assert_eq!(cluster.counters().kind("demo.pong").msgs, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod counters;
+pub mod flow;
+pub mod id;
+pub mod message;
+pub mod watermark;
+pub mod wire;
+
+pub use cluster::{
+    Admission, AppRequest, Cluster, ClusterApi, CollectingHarness, Delivery, Harness, NoopHarness,
+    Node, NodeCtx, TimerId,
+};
+pub use config::{ClusterConfig, CostModel, NetModel};
+pub use counters::{Counters, KindCounter};
+pub use id::{MsgId, ProcessId};
+pub use message::{AppMsg, Batch};
+pub use watermark::WatermarkSet;

@@ -1,0 +1,109 @@
+//! Per-origin delivery log with watermark-based garbage collection.
+//!
+//! Reliable broadcast must suppress duplicate deliveries forever, but a
+//! long-running stack cannot keep one record per message. Each origin
+//! rbcasts with consecutive sequence numbers, so completed entries are
+//! compacted into a contiguous watermark; only a (normally tiny) set of
+//! out-of-order completions lives above it.
+
+use std::collections::BTreeSet;
+
+/// Compacted set of completed sequence numbers for one origin.
+///
+/// # Example
+///
+/// ```
+/// use fortika_net::WatermarkSet;
+///
+/// let mut log = WatermarkSet::default();
+/// assert!(log.is_new(0));
+/// log.complete(0);
+/// log.complete(2); // out of order: kept in the sparse set
+/// assert!(!log.is_new(0));
+/// assert!(!log.is_new(2));
+/// assert!(log.is_new(1));
+/// log.complete(1); // fills the gap: watermark jumps to 3
+/// assert_eq!(log.watermark(), 3);
+/// assert_eq!(log.sparse_len(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WatermarkSet {
+    /// All sequence numbers `< watermark` are completed.
+    watermark: u64,
+    /// Completed sequence numbers `>= watermark` (sparse).
+    above: BTreeSet<u64>,
+}
+
+impl WatermarkSet {
+    /// True if `seq` has not been completed yet.
+    pub fn is_new(&self, seq: u64) -> bool {
+        seq >= self.watermark && !self.above.contains(&seq)
+    }
+
+    /// Marks `seq` completed, compacting the watermark when possible.
+    pub fn complete(&mut self, seq: u64) {
+        if seq < self.watermark {
+            return;
+        }
+        self.above.insert(seq);
+        while self.above.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+    }
+
+    /// Everything below this is completed.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Number of completed entries retained above the watermark.
+    pub fn sparse_len(&self) -> usize {
+        self.above.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_log_accepts_everything() {
+        let log = WatermarkSet::default();
+        assert!(log.is_new(0));
+        assert!(log.is_new(u64::MAX));
+        assert_eq!(log.watermark(), 0);
+    }
+
+    #[test]
+    fn in_order_completion_keeps_log_empty() {
+        let mut log = WatermarkSet::default();
+        for seq in 0..10_000 {
+            assert!(log.is_new(seq));
+            log.complete(seq);
+            assert_eq!(log.sparse_len(), 0, "watermark should absorb in-order completions");
+        }
+        assert_eq!(log.watermark(), 10_000);
+    }
+
+    #[test]
+    fn out_of_order_completion_compacts_on_gap_fill() {
+        let mut log = WatermarkSet::default();
+        for seq in [5u64, 3, 1, 4, 2] {
+            log.complete(seq);
+        }
+        assert_eq!(log.watermark(), 0);
+        assert_eq!(log.sparse_len(), 5);
+        log.complete(0);
+        assert_eq!(log.watermark(), 6);
+        assert_eq!(log.sparse_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_completion_is_idempotent() {
+        let mut log = WatermarkSet::default();
+        log.complete(0);
+        log.complete(0);
+        assert_eq!(log.watermark(), 1);
+        assert!(!log.is_new(0));
+    }
+}

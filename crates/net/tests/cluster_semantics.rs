@@ -1,0 +1,309 @@
+//! Behavioural tests of the cluster harness: delivery, timers, CPU and
+//! NIC contention, crash semantics, determinism.
+
+use bytes::Bytes;
+use fortika_net::{
+    Admission, AppRequest, Cluster, ClusterApi, ClusterConfig, CostModel, Delivery, Harness,
+    NetModel, Node, NodeCtx, ProcessId, TimerId,
+};
+use fortika_sim::{VDur, VTime};
+
+/// A node that records everything it observes (with virtual timestamps).
+#[derive(Default)]
+struct Probe {
+    received: Vec<(ProcessId, Bytes, VTime)>,
+    timers: Vec<(u64, VTime)>,
+}
+
+/// Shared-state probe: the test keeps a handle to inspect after the run.
+struct SharedProbe(std::rc::Rc<std::cell::RefCell<Probe>>);
+
+impl Node for SharedProbe {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, bytes: Bytes) {
+        self.0.borrow_mut().received.push((from, bytes, ctx.now()));
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerId, tag: u64) {
+        self.0.borrow_mut().timers.push((tag, ctx.now()));
+    }
+    fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+        Admission::Blocked
+    }
+}
+
+/// A node that broadcasts `count` messages of `size` bytes at start.
+struct Flooder {
+    count: usize,
+    size: usize,
+}
+
+impl Node for Flooder {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        if ctx.pid() == ProcessId(0) {
+            for _ in 0..self.count {
+                let payload = Bytes::from(vec![0u8; self.size]);
+                ctx.broadcast("flood.msg", &payload);
+            }
+        }
+    }
+    fn on_message(&mut self, _: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {}
+    fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+        Admission::Blocked
+    }
+}
+
+struct Sender {
+    dst: ProcessId,
+    payloads: Vec<Bytes>,
+}
+
+impl Node for Sender {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        for p in self.payloads.drain(..) {
+            ctx.send(self.dst, "test.msg", p);
+        }
+    }
+    fn on_message(&mut self, _: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {}
+    fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+        Admission::Blocked
+    }
+}
+
+#[test]
+fn message_delivery_includes_nic_and_propagation() {
+    // Free CPU, known bandwidth/propagation: arrival time is predictable.
+    let mut cfg = ClusterConfig::new(2, 1);
+    cfg.cost = CostModel::free();
+    cfg.net = NetModel {
+        bandwidth_bytes_per_sec: 1_000_000, // 1 µs per byte
+        prop_delay: VDur::micros(100),
+        jitter: VDur::ZERO,
+        per_msg_overhead: 0,
+    };
+    let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
+    let nodes: Vec<Box<dyn Node>> = vec![
+        Box::new(Sender {
+            dst: ProcessId(1),
+            payloads: vec![Bytes::from(vec![7u8; 500])],
+        }),
+        Box::new(SharedProbe(shared.clone())),
+    ];
+    let mut cluster = Cluster::new(cfg, nodes);
+    cluster.run_idle(VTime::ZERO + VDur::secs(1));
+    let probe = shared.borrow();
+    assert_eq!(probe.received.len(), 1);
+    let (_, ref bytes, at) = probe.received[0];
+    assert_eq!(bytes.len(), 500);
+    // tx 500 µs + prop 100 µs = 600 µs.
+    assert_eq!(at, VTime::ZERO + VDur::micros(600));
+}
+
+#[test]
+fn nic_serializes_broadcast_fanout() {
+    // Two messages to two receivers through a 1 µs/byte NIC: the last
+    // transmission completes at 4 × 100 µs.
+    let mut cfg = ClusterConfig::new(3, 1);
+    cfg.cost = CostModel::free();
+    cfg.net = NetModel {
+        bandwidth_bytes_per_sec: 1_000_000,
+        prop_delay: VDur::ZERO,
+        jitter: VDur::ZERO,
+        per_msg_overhead: 0,
+    };
+    let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
+    let nodes: Vec<Box<dyn Node>> = vec![
+        Box::new(Flooder { count: 2, size: 100 }),
+        Box::new(SharedProbe(shared.clone())),
+        Box::new(SharedProbe(shared.clone())),
+    ];
+    let mut cluster = Cluster::new(cfg, nodes);
+    cluster.run_idle(VTime::ZERO + VDur::secs(1));
+    let probe = shared.borrow();
+    assert_eq!(probe.received.len(), 4);
+    let last = probe.received.iter().map(|&(_, _, t)| t).max().unwrap();
+    assert_eq!(last, VTime::ZERO + VDur::micros(400));
+}
+
+#[test]
+fn receive_cpu_cost_serializes_handlers() {
+    // Free network, 10 µs receive cost: 5 messages occupy the receiver's
+    // CPU for 50 µs total, handled back-to-back.
+    let mut cfg = ClusterConfig::instant(2, 1);
+    cfg.cost.recv_fixed = VDur::micros(10);
+    let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
+    let nodes: Vec<Box<dyn Node>> = vec![
+        Box::new(Sender {
+            dst: ProcessId(1),
+            payloads: (0..5).map(|_| Bytes::from_static(b"x")).collect(),
+        }),
+        Box::new(SharedProbe(shared.clone())),
+    ];
+    let mut cluster = Cluster::new(cfg, nodes);
+    cluster.run_idle(VTime::ZERO + VDur::secs(1));
+    let probe = shared.borrow();
+    assert_eq!(probe.received.len(), 5);
+    // Handler completion times are 10, 20, 30, 40, 50 µs.
+    let times: Vec<u64> = probe.received.iter().map(|&(_, _, t)| t.as_nanos()).collect();
+    assert_eq!(times, vec![10_000, 20_000, 30_000, 40_000, 50_000]);
+    assert_eq!(cluster.cpu_busy(ProcessId(1)), VDur::micros(50));
+}
+
+#[test]
+fn timers_fire_and_cancel() {
+    struct TimerNode;
+    impl Node for TimerNode {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(VDur::millis(1), 1);
+            let t2 = ctx.set_timer(VDur::millis(2), 2);
+            ctx.set_timer(VDur::millis(3), 3);
+            ctx.cancel_timer(t2);
+        }
+        fn on_message(&mut self, _: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _t: TimerId, tag: u64) {
+            ctx.bump(match tag {
+                1 => "fired.1",
+                2 => "fired.2",
+                _ => "fired.3",
+            }, 1);
+        }
+        fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+            Admission::Blocked
+        }
+    }
+    let cfg = ClusterConfig::instant(1, 1);
+    let mut cluster = Cluster::new(cfg, vec![Box::new(TimerNode)]);
+    cluster.run_idle(VTime::ZERO + VDur::secs(1));
+    assert_eq!(cluster.counters().event("fired.1"), 1);
+    assert_eq!(cluster.counters().event("fired.2"), 0, "cancelled timer fired");
+    assert_eq!(cluster.counters().event("fired.3"), 1);
+}
+
+#[test]
+fn crash_stops_handlers_and_timers() {
+    let mut cfg = ClusterConfig::instant(2, 1);
+    cfg.net.prop_delay = VDur::millis(10);
+    let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
+    let nodes: Vec<Box<dyn Node>> = vec![
+        Box::new(Sender {
+            dst: ProcessId(1),
+            payloads: vec![Bytes::from_static(b"late")],
+        }),
+        Box::new(SharedProbe(shared.clone())),
+    ];
+    let mut cluster = Cluster::new(cfg, nodes);
+    // Receiver crashes at 5 ms; the message arrives at 10 ms → dropped.
+    cluster.schedule_crash(ProcessId(1), VTime::ZERO + VDur::millis(5));
+    cluster.run_idle(VTime::ZERO + VDur::secs(1));
+    assert!(shared.borrow().received.is_empty());
+    assert!(!cluster.alive(ProcessId(1)));
+    assert_eq!(cluster.counters().event("cluster.crashes"), 1);
+}
+
+#[test]
+fn crash_mid_transmission_partitions_recipients() {
+    // p1 broadcasts one large message to p2 and p3 through a slow NIC.
+    // The copy to p2 finishes transmitting at 100 µs, the copy to p3 at
+    // 200 µs. Crashing p1 at 150 µs must deliver to p2 but not p3 —
+    // the paper's "crash while rbcasting" scenario.
+    let mut cfg = ClusterConfig::new(3, 1);
+    cfg.cost = CostModel::free();
+    cfg.net = NetModel {
+        bandwidth_bytes_per_sec: 1_000_000,
+        prop_delay: VDur::ZERO,
+        jitter: VDur::ZERO,
+        per_msg_overhead: 0,
+    };
+    let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
+    let nodes: Vec<Box<dyn Node>> = vec![
+        Box::new(Flooder { count: 1, size: 100 }),
+        Box::new(SharedProbe(shared.clone())),
+        Box::new(SharedProbe(shared.clone())),
+    ];
+    let mut cluster = Cluster::new(cfg, nodes);
+    cluster.schedule_crash(ProcessId(0), VTime::ZERO + VDur::micros(150));
+    cluster.run_idle(VTime::ZERO + VDur::secs(1));
+    let probe = shared.borrow();
+    assert_eq!(probe.received.len(), 1, "exactly one recipient should get the message");
+}
+
+#[test]
+fn ticks_and_submissions_flow_through_harness() {
+    struct Accepting;
+    impl Node for Accepting {
+        fn on_message(&mut self, _: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {}
+        fn on_request(&mut self, ctx: &mut NodeCtx<'_>, req: AppRequest) -> Admission {
+            let AppRequest::Abcast(m) = req;
+            ctx.deliver(m.id, m.payload.len() as u32);
+            Admission::Accepted
+        }
+    }
+    struct Driver {
+        ticks: Vec<u64>,
+        deliveries: Vec<(ProcessId, Delivery)>,
+    }
+    impl Harness for Driver {
+        fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, _at: VTime) {
+            self.ticks.push(tick);
+            let msg = fortika_net::AppMsg::new(
+                fortika_net::MsgId::new(ProcessId(0), tick),
+                Bytes::from_static(b"payload"),
+            );
+            let (adm, _t) = api.submit(ProcessId(0), AppRequest::Abcast(msg));
+            assert_eq!(adm, Admission::Accepted);
+        }
+        fn on_delivery(&mut self, _: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, _: VTime) {
+            self.deliveries.push((pid, d));
+        }
+    }
+    let cfg = ClusterConfig::instant(1, 1);
+    let mut cluster = Cluster::new(cfg, vec![Box::new(Accepting)]);
+    cluster.schedule_tick(VTime::ZERO + VDur::millis(1), 0);
+    cluster.schedule_tick(VTime::ZERO + VDur::millis(2), 1);
+    let mut driver = Driver {
+        ticks: vec![],
+        deliveries: vec![],
+    };
+    cluster.run_until(VTime::ZERO + VDur::secs(1), &mut driver);
+    assert_eq!(driver.ticks, vec![0, 1]);
+    assert_eq!(driver.deliveries.len(), 2);
+}
+
+#[test]
+fn counters_track_wire_bytes_with_overhead() {
+    let mut cfg = ClusterConfig::instant(2, 1);
+    cfg.net.per_msg_overhead = 60;
+    let nodes: Vec<Box<dyn Node>> = vec![
+        Box::new(Sender {
+            dst: ProcessId(1),
+            payloads: vec![Bytes::from(vec![0u8; 1000])],
+        }),
+        Box::new(Sender {
+            dst: ProcessId(0),
+            payloads: vec![],
+        }),
+    ];
+    let mut cluster = Cluster::new(cfg, nodes);
+    cluster.run_idle(VTime::ZERO + VDur::secs(1));
+    let k = cluster.counters().kind("test.msg");
+    assert_eq!(k.msgs, 1);
+    assert_eq!(k.bytes, 1060);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_timings() {
+    let run = |seed: u64| -> Vec<(ProcessId, VTime)> {
+        let mut cfg = ClusterConfig::new(3, seed);
+        cfg.net.jitter = VDur::micros(50); // jitter makes RNG matter
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
+        let nodes: Vec<Box<dyn Node>> = vec![
+            Box::new(Flooder { count: 10, size: 64 }),
+            Box::new(SharedProbe(shared.clone())),
+            Box::new(SharedProbe(shared.clone())),
+        ];
+        let mut cluster = Cluster::new(cfg, nodes);
+        cluster.run_idle(VTime::ZERO + VDur::secs(1));
+        let out = shared.borrow().received.iter().map(|&(f, _, t)| (f, t)).collect();
+        out
+    };
+    assert_eq!(run(7), run(7), "same seed must reproduce the run");
+    assert_ne!(run(7), run(8), "different seed should change jitter");
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the wire codec and core data structures:
+//! round-trips, length accounting, and robustness against arbitrary
+//! (hostile) input bytes.
+
+use bytes::Bytes;
+use fortika_net::flow::FlowWindow;
+use fortika_net::wire::{decode, encode, Wire, WireReader};
+use fortika_net::{AppMsg, Batch, MsgId, ProcessId, WatermarkSet};
+use proptest::prelude::*;
+
+fn arb_msg_id() -> impl Strategy<Value = MsgId> {
+    (0u16..16, 0u64..1_000_000).prop_map(|(p, s)| MsgId::new(ProcessId(p), s))
+}
+
+fn arb_app_msg() -> impl Strategy<Value = AppMsg> {
+    (arb_msg_id(), prop::collection::vec(any::<u8>(), 0..512))
+        .prop_map(|(id, payload)| AppMsg::new(id, Bytes::from(payload)))
+}
+
+proptest! {
+    #[test]
+    fn u64_round_trips(v in any::<u64>()) {
+        prop_assert_eq!(decode::<u64>(encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn bytes_round_trip_and_len(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let b = Bytes::from(payload.clone());
+        let encoded = encode(&b);
+        prop_assert_eq!(encoded.len(), b.encoded_len());
+        prop_assert_eq!(encoded.len(), 4 + payload.len());
+        let back: Bytes = decode(encoded).unwrap();
+        prop_assert_eq!(back.as_ref(), payload.as_slice());
+    }
+
+    #[test]
+    fn app_msg_round_trips(msg in arb_app_msg()) {
+        let encoded = encode(&msg);
+        prop_assert_eq!(encoded.len(), msg.encoded_len());
+        prop_assert_eq!(decode::<AppMsg>(encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn batch_round_trips_and_normalizes(msgs in prop::collection::vec(arb_app_msg(), 0..32)) {
+        let batch = Batch::normalize(msgs);
+        let encoded = encode(&batch);
+        prop_assert_eq!(encoded.len(), batch.encoded_len());
+        let back: Batch = decode(encoded).unwrap();
+        prop_assert_eq!(&back, &batch);
+        // Normalization invariants: strictly ascending ids.
+        let ids: Vec<MsgId> = batch.msgs().iter().map(|m| m.id).collect();
+        for w in ids.windows(2) {
+            prop_assert!(w[0] < w[1], "batch not strictly sorted");
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever the input, decoding returns Ok or Err — no panics,
+        // no unbounded allocation.
+        let _ = decode::<Batch>(Bytes::from(bytes.clone()));
+        let _ = decode::<AppMsg>(Bytes::from(bytes.clone()));
+        let _ = decode::<Vec<u64>>(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn truncation_always_fails_cleanly(msg in arb_app_msg(), cut in 0usize..64) {
+        let encoded = encode(&msg);
+        if cut < encoded.len() {
+            let truncated = encoded.slice(0..encoded.len() - cut - 1);
+            prop_assert!(decode::<AppMsg>(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn reader_take_rest_is_remainder(
+        head in any::<u32>(),
+        tail in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut w = fortika_net::wire::WireWriter::new();
+        w.put_u32(head);
+        for &b in &tail {
+            w.put_u8(b);
+        }
+        let mut r = WireReader::new(w.finish());
+        prop_assert_eq!(r.get_u32().unwrap(), head);
+        let rest = r.take_rest();
+        prop_assert_eq!(rest.as_ref(), tail.as_slice());
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn watermark_set_equivalent_to_hashset(ops in prop::collection::vec(0u64..64, 0..128)) {
+        // The compacted set must answer is_new exactly like a plain set.
+        let mut compact = WatermarkSet::default();
+        let mut reference = std::collections::HashSet::new();
+        for seq in ops {
+            prop_assert_eq!(compact.is_new(seq), !reference.contains(&seq), "seq {}", seq);
+            compact.complete(seq);
+            reference.insert(seq);
+        }
+        for seq in 0..64u64 {
+            prop_assert_eq!(compact.is_new(seq), !reference.contains(&seq));
+        }
+    }
+
+    #[test]
+    fn watermark_compacts_dense_prefixes(limit in 1u64..512) {
+        let mut set = WatermarkSet::default();
+        for seq in 0..limit {
+            set.complete(seq);
+        }
+        prop_assert_eq!(set.watermark(), limit);
+        prop_assert_eq!(set.sparse_len(), 0, "dense prefix must compact away");
+    }
+
+    #[test]
+    fn flow_window_never_exceeds_capacity(
+        window in 1usize..8,
+        ops in prop::collection::vec(any::<bool>(), 0..256),
+    ) {
+        // true = try_acquire, false = release(1).
+        let mut w = FlowWindow::new(window);
+        let mut model: usize = 0;
+        for acquire in ops {
+            if acquire {
+                let ok = w.try_acquire();
+                prop_assert_eq!(ok, model < window);
+                if ok {
+                    model += 1;
+                }
+            } else {
+                let reopened = w.release(1);
+                // Reopen signal fires exactly on the full→not-full edge.
+                prop_assert_eq!(reopened, model == window);
+                model = model.saturating_sub(1);
+            }
+            prop_assert_eq!(w.outstanding(), model);
+            prop_assert!(w.outstanding() <= window);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Reliable broadcast microprotocols.
+//!
+//! Reliable broadcast (rbcast/rdeliver) guarantees that a message is
+//! delivered either by all correct processes or by none, even if the
+//! sender crashes mid-broadcast — but imposes no delivery order. The
+//! modular atomic broadcast stack uses it to disseminate consensus
+//! decisions (§3.1 of the paper).
+//!
+//! Two algorithm variants are provided (see [`RbcastVariant`]):
+//! the classic flood and the majority-optimized relay scheme whose
+//! good-run message count `(n−1)·⌊(n+1)/2⌋` appears in the paper's
+//! analytical model. [`OriginLog`] provides the watermark-compacted
+//! duplicate suppression that keeps long runs in bounded memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod log;
+mod module;
+
+pub use crate::log::OriginLog;
+pub use module::{relay_set, RbcastConfig, RbcastModule, RbcastVariant, RBCAST_MODULE_ID};

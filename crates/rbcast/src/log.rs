@@ -1,0 +1,9 @@
+//! Re-export of the watermark-compacted completion set.
+//!
+//! Historically `OriginLog` lived here; the data structure is generic
+//! (it also tracks delivered message ids in `abcast` and decided
+//! instances in `consensus`), so it now lives in `fortika-net` as
+//! [`WatermarkSet`]. The alias keeps the rbcast-centric name.
+
+/// Per-origin completion log (alias of [`fortika_net::WatermarkSet`]).
+pub use fortika_net::WatermarkSet as OriginLog;

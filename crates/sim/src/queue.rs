@@ -1,0 +1,196 @@
+//! Deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::VTime;
+
+/// An entry in the queue: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    at: VTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Sequence-number tie-breaking makes simultaneous events pop
+        // in insertion order, which keeps runs reproducible.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO
+/// tie-breaking for events scheduled at the same instant.
+///
+/// The queue also tracks the timestamp of the last popped event and
+/// rejects scheduling in the past, catching causality bugs early.
+///
+/// # Example
+///
+/// ```
+/// use fortika_sim::{EventQueue, VTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(VTime::from_nanos(10), 'b');
+/// q.schedule(VTime::from_nanos(10), 'c'); // same instant: FIFO order
+/// q.schedule(VTime::from_nanos(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: VTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at `VTime::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: VTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the timestamp of the last popped
+    /// event — scheduling in the past would violate causality.
+    pub fn schedule(&mut self, at: VTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at:?}, simulation already at {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the queue clock.
+    pub fn pop(&mut self) -> Option<(VTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<VTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The instant of the last popped event (the queue's notion of "now").
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event (used when tearing a simulation down).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VDur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime::from_nanos(30), 3);
+        q.schedule(VTime::from_nanos(10), 1);
+        q.schedule(VTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = VTime::from_nanos(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime::from_nanos(5), ());
+        q.schedule(VTime::from_nanos(9), ());
+        assert_eq!(q.now(), VTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), VTime::from_nanos(5));
+        q.pop();
+        assert_eq!(q.now(), VTime::from_nanos(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule at")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(VTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime::from_nanos(10), 1);
+        q.pop();
+        q.schedule(VTime::from_nanos(10), 2); // same instant as "now": fine
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(VTime::ZERO + VDur::micros(1), ());
+        q.schedule(VTime::ZERO + VDur::micros(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(VTime::ZERO + VDur::micros(1)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Serial-server resource models.
+//!
+//! Both the per-process CPU and the per-process NIC transmit path are
+//! modelled as *serial servers*: work items occupy the resource one at a
+//! time, in arrival order. A server is fully described by the instant at
+//! which it next becomes free, so occupancy is computed analytically — no
+//! extra simulation events are needed.
+
+use crate::{VDur, VTime};
+
+/// A serial CPU: executes one event handler at a time.
+///
+/// Handlers that arrive while the CPU is busy wait (FIFO, enforced by the
+/// caller delivering events in timestamp order) and start when the CPU
+/// frees up. [`CpuResource`] also accumulates total busy time so the
+/// harness can report CPU utilization — the paper observes ≥ 99 % CPU use
+/// above 500 msg/s offered load, and the figure harnesses print the
+/// equivalent measurement.
+///
+/// # Example
+///
+/// ```
+/// use fortika_sim::{CpuResource, VDur, VTime};
+///
+/// let mut cpu = CpuResource::new();
+/// // Event arrives at t=0 and costs 10 µs: runs immediately.
+/// let start = cpu.acquire(VTime::ZERO, VDur::micros(10));
+/// assert_eq!(start, VTime::ZERO);
+/// // Event arrives at t=5 µs, but the CPU is busy until 10 µs.
+/// let start = cpu.acquire(VTime::ZERO + VDur::micros(5), VDur::micros(10));
+/// assert_eq!(start, VTime::ZERO + VDur::micros(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CpuResource {
+    free_at: VTime,
+    busy: VDur,
+}
+
+impl CpuResource {
+    /// A CPU that is idle from t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the CPU for a handler arriving at `at` with cost `cost`.
+    ///
+    /// Returns the instant at which the handler actually starts executing
+    /// (`max(at, free_at)`); the CPU then stays busy until start + cost.
+    pub fn acquire(&mut self, at: VTime, cost: VDur) -> VTime {
+        let start = at.max(self.free_at);
+        self.free_at = start + cost;
+        self.busy += cost;
+        start
+    }
+
+    /// Extends the current reservation by `extra` (used when a handler's
+    /// cost is only known incrementally, e.g. per send call).
+    pub fn extend(&mut self, extra: VDur) {
+        self.free_at += extra;
+        self.busy += extra;
+    }
+
+    /// The instant at which the CPU next becomes idle.
+    pub fn free_at(&self) -> VTime {
+        self.free_at
+    }
+
+    /// Total accumulated busy time.
+    pub fn busy_time(&self) -> VDur {
+        self.busy
+    }
+
+    /// Fraction of the window `[from, to]` this CPU spent busy, where
+    /// `busy_at_from` is a [`busy_time`](Self::busy_time) snapshot taken at
+    /// `from`. Clamped to `[0, 1]`.
+    pub fn utilization(&self, busy_at_from: VDur, from: VTime, to: VTime) -> f64 {
+        let window = to.since(from).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let busy = self.busy.saturating_sub(busy_at_from).as_secs_f64();
+        (busy / window).clamp(0.0, 1.0)
+    }
+}
+
+/// A transmit link of fixed bandwidth: messages serialize through it.
+///
+/// Sending `bytes` occupies the link for `bytes / bandwidth`. This captures
+/// the paper's TCP unicast fan-out: broadcasting to n−1 peers costs n−1
+/// back-to-back transmissions on the sender's NIC, which is what degrades
+/// the n = 7 curves at large message sizes (Fig. 11).
+#[derive(Debug, Clone)]
+pub struct LinkResource {
+    free_at: VTime,
+    bytes_per_sec: u64,
+    busy: VDur,
+}
+
+impl LinkResource {
+    /// Creates a link with the given bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "link bandwidth must be positive");
+        LinkResource {
+            free_at: VTime::ZERO,
+            bytes_per_sec,
+            busy: VDur::ZERO,
+        }
+    }
+
+    /// Time needed to push `bytes` through the link.
+    pub fn tx_time(&self, bytes: u64) -> VDur {
+        // ns = bytes * 1e9 / Bps, computed in u128 to avoid overflow.
+        let ns = (bytes as u128 * 1_000_000_000u128) / self.bytes_per_sec as u128;
+        VDur::nanos(ns as u64)
+    }
+
+    /// Enqueues a transmission of `bytes` that becomes ready at `ready`.
+    ///
+    /// Returns the instant the last bit leaves the link (transmission
+    /// completion, i.e. when the message can start propagating).
+    pub fn transmit(&mut self, ready: VTime, bytes: u64) -> VTime {
+        let start = ready.max(self.free_at);
+        let tx = self.tx_time(bytes);
+        self.free_at = start + tx;
+        self.busy += tx;
+        self.free_at
+    }
+
+    /// The instant at which the link next becomes idle.
+    pub fn free_at(&self) -> VTime {
+        self.free_at
+    }
+
+    /// Total accumulated transmission time.
+    pub fn busy_time(&self) -> VDur {
+        self.busy
+    }
+
+    /// Configured bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_runs_immediately_when_idle() {
+        let mut cpu = CpuResource::new();
+        let start = cpu.acquire(VTime::from_nanos(100), VDur::nanos(50));
+        assert_eq!(start, VTime::from_nanos(100));
+        assert_eq!(cpu.free_at(), VTime::from_nanos(150));
+    }
+
+    #[test]
+    fn cpu_queues_when_busy() {
+        let mut cpu = CpuResource::new();
+        cpu.acquire(VTime::ZERO, VDur::nanos(100));
+        let start = cpu.acquire(VTime::from_nanos(10), VDur::nanos(5));
+        assert_eq!(start, VTime::from_nanos(100));
+        assert_eq!(cpu.free_at(), VTime::from_nanos(105));
+        assert_eq!(cpu.busy_time(), VDur::nanos(105));
+    }
+
+    #[test]
+    fn cpu_extend_prolongs_current_handler() {
+        let mut cpu = CpuResource::new();
+        cpu.acquire(VTime::ZERO, VDur::nanos(10));
+        cpu.extend(VDur::nanos(15));
+        assert_eq!(cpu.free_at(), VTime::from_nanos(25));
+        assert_eq!(cpu.busy_time(), VDur::nanos(25));
+    }
+
+    #[test]
+    fn cpu_utilization_window() {
+        let mut cpu = CpuResource::new();
+        cpu.acquire(VTime::ZERO, VDur::micros(600));
+        // Window of 1 ms with 600 µs busy => 60 %.
+        let util = cpu.utilization(VDur::ZERO, VTime::ZERO, VTime::ZERO + VDur::millis(1));
+        assert!((util - 0.6).abs() < 1e-9, "utilization was {util}");
+    }
+
+    #[test]
+    fn link_tx_time_matches_bandwidth() {
+        // Gigabit Ethernet: 125 MB/s. 16384-byte message ≈ 131.072 µs.
+        let link = LinkResource::new(125_000_000);
+        assert_eq!(link.tx_time(16_384), VDur::nanos(131_072));
+    }
+
+    #[test]
+    fn link_serializes_messages() {
+        let mut link = LinkResource::new(1_000_000); // 1 MB/s => 1 µs/byte
+        let done1 = link.transmit(VTime::ZERO, 100);
+        assert_eq!(done1, VTime::ZERO + VDur::micros(100));
+        // Second message is ready at t=10 µs but waits for the first.
+        let done2 = link.transmit(VTime::ZERO + VDur::micros(10), 100);
+        assert_eq!(done2, VTime::ZERO + VDur::micros(200));
+        assert_eq!(link.busy_time(), VDur::micros(200));
+    }
+
+    #[test]
+    fn link_idle_gap_not_counted_busy() {
+        let mut link = LinkResource::new(1_000_000);
+        link.transmit(VTime::ZERO, 10);
+        link.transmit(VTime::ZERO + VDur::millis(1), 10);
+        assert_eq!(link.busy_time(), VDur::micros(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkResource::new(0);
+    }
+
+    #[test]
+    fn big_transfers_do_not_overflow() {
+        let link = LinkResource::new(1);
+        // 10 GB at 1 B/s = 1e10 seconds; must not overflow u64 ns math.
+        let t = link.tx_time(10_000_000_000);
+        assert_eq!(t.as_secs_f64(), 1e10);
+    }
+}

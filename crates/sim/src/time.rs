@@ -1,0 +1,289 @@
+//! Virtual time: instants and durations measured in integer nanoseconds.
+//!
+//! Integer nanoseconds keep the simulation exactly reproducible (no
+//! floating-point accumulation error) while offering sub-microsecond
+//! resolution, far below the ~10 µs event granularity of the model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A virtual instant, in nanoseconds since the start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(u64);
+
+/// A virtual duration, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VDur(u64);
+
+impl VTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: VTime = VTime(0);
+    /// The greatest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: VTime = VTime(u64::MAX);
+
+    /// Builds an instant from nanoseconds since the epoch.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VTime(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: VTime) -> VDur {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        VDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+}
+
+impl VDur {
+    /// Zero-length duration.
+    pub const ZERO: VDur = VDur(0);
+
+    /// Builds a duration from nanoseconds.
+    #[inline]
+    pub const fn nanos(ns: u64) -> Self {
+        VDur(ns)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub const fn micros(us: u64) -> Self {
+        VDur(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub const fn millis(ms: u64) -> Self {
+        VDur(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    #[inline]
+    pub const fn secs(s: u64) -> Self {
+        VDur(s * 1_000_000_000)
+    }
+
+    /// Builds a duration from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        VDur((s * 1e9).round() as u64)
+    }
+
+    /// Duration in nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in seconds, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration in milliseconds, as a float (for reporting only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: VDur) -> VDur {
+        VDur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<VDur> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: VDur) -> VTime {
+        VTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<VDur> for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<VDur> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn sub(self, rhs: VDur) -> VTime {
+        VTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for VDur {
+    type Output = VDur;
+    #[inline]
+    fn add(self, rhs: VDur) -> VDur {
+        VDur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for VDur {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VDur {
+    type Output = VDur;
+    #[inline]
+    fn sub(self, rhs: VDur) -> VDur {
+        debug_assert!(rhs.0 <= self.0, "duration underflow");
+        VDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for VDur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: VDur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for VDur {
+    type Output = VDur;
+    #[inline]
+    fn mul(self, rhs: u64) -> VDur {
+        VDur(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for VDur {
+    type Output = VDur;
+    #[inline]
+    fn div(self, rhs: u64) -> VDur {
+        VDur(self.0 / rhs)
+    }
+}
+
+impl Sum for VDur {
+    fn sum<I: Iterator<Item = VDur>>(iter: I) -> Self {
+        iter.fold(VDur::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for VDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0 as f64 / 1e3)
+        }
+    }
+}
+
+impl fmt::Display for VDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(VDur::micros(5).as_nanos(), 5_000);
+        assert_eq!(VDur::millis(5).as_nanos(), 5_000_000);
+        assert_eq!(VDur::secs(5).as_nanos(), 5_000_000_000);
+        assert_eq!(VDur::from_secs_f64(0.25), VDur::millis(250));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = VTime::ZERO + VDur::millis(10);
+        assert_eq!(t.as_nanos(), 10_000_000);
+        assert_eq!(t.since(VTime::ZERO), VDur::millis(10));
+        assert_eq!((t + VDur::millis(5)).since(t), VDur::millis(5));
+        assert_eq!(t - VDur::millis(4), VTime::from_nanos(6_000_000));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = VDur::micros(100);
+        assert_eq!(d * 3, VDur::micros(300));
+        assert_eq!(d / 4, VDur::micros(25));
+        assert_eq!(d + d, VDur::micros(200));
+        assert_eq!(d - VDur::micros(40), VDur::micros(60));
+        assert_eq!(d.saturating_sub(VDur::micros(200)), VDur::ZERO);
+        let total: VDur = [d, d, d].into_iter().sum();
+        assert_eq!(total, VDur::micros(300));
+    }
+
+    #[test]
+    fn max_and_ordering() {
+        let a = VTime::from_nanos(5);
+        let b = VTime::from_nanos(9);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+        assert!(VDur::micros(1) < VDur::millis(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", VDur::micros(12)), "12us");
+        assert_eq!(format!("{}", VDur::millis(3)), "3.000ms");
+        assert_eq!(format!("{}", VTime::from_nanos(1_500_000)), "0.001500s");
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        assert_eq!(VTime::MAX + VDur::secs(1), VTime::MAX);
+        assert_eq!(VDur::nanos(u64::MAX) * 2, VDur::nanos(u64::MAX));
+        assert_eq!(VTime::ZERO - VDur::secs(1), VTime::ZERO);
+    }
+}

@@ -1,0 +1,106 @@
+//! Replicated key-value store — the paper's motivating use case.
+//!
+//! Atomic broadcast exists to keep replicas consistent (§1): if every
+//! replica applies the same commands in the same order, their states
+//! never diverge. This example runs a small key-value store replicated
+//! over the *modular* stack, issues conflicting writes from different
+//! replicas, and checks that all replicas converge to the same state.
+//!
+//! Run with: `cargo run --release --example replicated_kv`
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use fortika::core::{build_nodes, StackConfig, StackKind};
+use fortika::net::{
+    Admission, AppMsg, AppRequest, Cluster, ClusterConfig, CollectingHarness, MsgId, ProcessId,
+};
+use fortika::sim::{VDur, VTime};
+
+/// A SET command in the replicated store, with a tiny text format.
+#[derive(Debug, Clone)]
+struct SetCmd {
+    key: String,
+    value: String,
+}
+
+impl SetCmd {
+    fn encode(&self) -> Bytes {
+        Bytes::from(format!("{}={}", self.key, self.value))
+    }
+
+    fn decode(bytes: &[u8]) -> Option<SetCmd> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let (key, value) = text.split_once('=')?;
+        Some(SetCmd {
+            key: key.to_string(),
+            value: value.to_string(),
+        })
+    }
+}
+
+fn main() {
+    let n = 5;
+    let cfg = ClusterConfig::new(n, 7);
+    let nodes = build_nodes(StackKind::Modular, n, &StackConfig::default());
+    let mut cluster = Cluster::new(cfg, nodes);
+    let mut harness = CollectingHarness::new(n);
+    cluster.run_until(VTime::ZERO + VDur::millis(1), &mut harness);
+
+    // Conflicting writes to the same keys from different replicas, plus
+    // some disjoint ones. payloads[msg-id] remembers each command.
+    let mut payloads: BTreeMap<MsgId, SetCmd> = BTreeMap::new();
+    let writes = [
+        (0u16, "balance", "100"),
+        (1, "balance", "250"),
+        (2, "owner", "alice"),
+        (3, "owner", "bob"),
+        (4, "limit", "9000"),
+        (0, "balance", "175"),
+        (2, "limit", "1000"),
+    ];
+    let mut seqs = vec![0u64; n];
+    for (replica, key, value) in writes {
+        let cmd = SetCmd {
+            key: key.to_string(),
+            value: value.to_string(),
+        };
+        let id = MsgId::new(ProcessId(replica), seqs[replica as usize]);
+        seqs[replica as usize] += 1;
+        let msg = AppMsg::new(id, cmd.encode());
+        payloads.insert(id, cmd);
+        let (adm, _) = cluster.submit(ProcessId(replica), AppRequest::Abcast(msg));
+        assert_eq!(adm, Admission::Accepted);
+        let next = cluster.now() + VDur::millis(3);
+        cluster.run_until(next, &mut harness);
+    }
+
+    let end = cluster.now() + VDur::secs(1);
+    cluster.run_until(end, &mut harness);
+
+    // Replay each replica's delivery log into a state machine, decoding
+    // the commands back from their wire payloads.
+    let mut states: Vec<BTreeMap<String, String>> = Vec::new();
+    for p in ProcessId::all(n) {
+        let mut store = BTreeMap::new();
+        for id in harness.order(p) {
+            let raw = payloads[&id].encode();
+            let cmd = SetCmd::decode(&raw).expect("well-formed command");
+            store.insert(cmd.key, cmd.value);
+        }
+        states.push(store);
+    }
+
+    println!("Final state at each replica:");
+    for (i, s) in states.iter().enumerate() {
+        let view: Vec<String> = s.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("  p{}: {{{}}}", i + 1, view.join(", "));
+    }
+
+    // Consistency: every replica ends in the identical state even though
+    // writes raced — that's what total order buys.
+    for s in &states[1..] {
+        assert_eq!(s, &states[0], "replicas diverged!");
+    }
+    println!("\nAll {n} replicas converged ({} keys).", states[0].len());
+}

@@ -1,0 +1,45 @@
+//! # Fortika — modular vs. monolithic atomic broadcast
+//!
+//! A Rust reproduction of *“On the Cost of Modularity in Atomic
+//! Broadcast”* (Rütti, Mena, Ekwall, Schiper — DSN 2007).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] — the public atomic-broadcast stacks (modular and
+//!   monolithic), flow control, workload generation, metrics, the
+//!   experiment runner and the paper's analytical model (§5.2).
+//! * [`sim`] — the deterministic discrete-event simulation kernel.
+//! * [`net`] — wire codec, network/cost models and the cluster harness.
+//! * [`framework`] — the Cactus-style microprotocol composition kernel.
+//! * [`fd`] — failure detectors (heartbeat ◇P, perfect, scripted).
+//! * [`rbcast`] — reliable broadcast microprotocols.
+//! * [`consensus`] — Chandra–Toueg rotating-coordinator consensus.
+//! * [`abcast`] — the modular atomic broadcast module.
+//! * [`mono`] — the monolithic atomic broadcast with optimizations O1–O3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fortika::core::{Experiment, StackKind};
+//! use fortika::core::workload::Workload;
+//!
+//! // 3 processes, monolithic stack, 500 msg/s of 1 KiB messages.
+//! let mut exp = Experiment::builder(StackKind::Monolithic, 3)
+//!     .workload(Workload::constant_rate(500.0, 1024))
+//!     .seed(7)
+//!     .measure_secs(1.0)
+//!     .build();
+//! let report = exp.run();
+//! assert!(report.delivered_total > 0);
+//! println!("early latency: {:.3} ms", report.early_latency_ms.mean);
+//! ```
+
+pub use fortika_abcast as abcast;
+pub use fortika_consensus as consensus;
+pub use fortika_core as core;
+pub use fortika_fd as fd;
+pub use fortika_framework as framework;
+pub use fortika_mono as mono;
+pub use fortika_net as net;
+pub use fortika_rbcast as rbcast;
+pub use fortika_sim as sim;

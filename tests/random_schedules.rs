@@ -1,0 +1,202 @@
+//! Property-based fault injection: random workloads, group sizes, seeds
+//! and crash schedules must never violate the atomic broadcast safety
+//! properties, on either stack.
+//!
+//! Crashes are restricted to a minority (the model's assumption); the
+//! properties checked are those of §2.2 / DESIGN.md §7:
+//! * total order + uniform agreement among correct processes,
+//! * uniform integrity (no duplicate deliveries, only submitted ids),
+//! * prefix-consistency of crashed processes' logs,
+//! * validity (correct senders' messages eventually delivered).
+
+use bytes::Bytes;
+use fortika::core::{build_nodes, StackConfig, StackKind};
+use fortika::net::{
+    Admission, AppMsg, AppRequest, Cluster, ClusterConfig, CollectingHarness, MsgId, ProcessId,
+};
+use fortika::sim::{VDur, VTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    kind_mono: bool,
+    n: usize,
+    seed: u64,
+    msg_size: usize,
+    /// (sender, at_ms) submission plan.
+    submissions: Vec<(u16, u64)>,
+    /// (victim, at_ms) crash plan (victims form a minority).
+    crashes: Vec<(u16, u64)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (any::<bool>(), 3usize..=5, 0u64..10_000, 16usize..2048)
+        .prop_flat_map(|(kind_mono, n, seed, msg_size)| {
+            let subs = prop::collection::vec((0..n as u16, 0u64..150), 1..24);
+            let max_crashes = (n - 1) / 2;
+            let crashes = prop::collection::vec((0..n as u16, 10u64..120), 0..=max_crashes);
+            (
+                Just(kind_mono),
+                Just(n),
+                Just(seed),
+                Just(msg_size),
+                subs,
+                crashes,
+            )
+        })
+        .prop_map(
+            |(kind_mono, n, seed, msg_size, submissions, mut crashes)| {
+                // Distinct victims only (a process crashes once).
+                crashes.sort();
+                crashes.dedup_by_key(|(v, _)| *v);
+                Scenario {
+                    kind_mono,
+                    n,
+                    seed,
+                    msg_size,
+                    submissions,
+                    crashes,
+                }
+            },
+        )
+}
+
+fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
+    let kind = if s.kind_mono {
+        StackKind::Monolithic
+    } else {
+        StackKind::Modular
+    };
+    let cfg = ClusterConfig::new(s.n, s.seed);
+    let nodes = build_nodes(kind, s.n, &StackConfig::default());
+    let mut cluster = Cluster::new(cfg, nodes);
+    let mut harness = CollectingHarness::new(s.n);
+
+    let crashed: Vec<ProcessId> = s.crashes.iter().map(|&(v, _)| ProcessId(v)).collect();
+    for &(victim, at_ms) in &s.crashes {
+        cluster.schedule_crash(ProcessId(victim), VTime::ZERO + VDur::millis(at_ms));
+    }
+    cluster.run_until(VTime::ZERO + VDur::millis(1), &mut harness);
+
+    // Submit the plan in time order; remember what correct-process
+    // submissions were accepted.
+    let mut plan = s.submissions.clone();
+    plan.sort_by_key(|&(_, at)| at);
+    let mut seqs = vec![0u64; s.n];
+    let mut accepted: Vec<MsgId> = Vec::new();
+    let mut accepted_correct: Vec<MsgId> = Vec::new();
+    for (sender, at_ms) in plan {
+        let when = VTime::ZERO + VDur::millis(at_ms);
+        if when > cluster.now() {
+            cluster.run_until(when, &mut harness);
+        }
+        let pid = ProcessId(sender);
+        if !cluster.alive(pid) {
+            continue;
+        }
+        let id = MsgId::new(pid, seqs[pid.index()]);
+        let msg = AppMsg::new(id, Bytes::from(vec![sender as u8; s.msg_size]));
+        let (adm, _) = cluster.submit(pid, AppRequest::Abcast(msg));
+        if adm == Admission::Accepted {
+            seqs[pid.index()] += 1;
+            accepted.push(id);
+            if !crashed.contains(&pid) {
+                accepted_correct.push(id);
+            }
+        }
+    }
+
+    // Long drain: liveness within the run.
+    let end = cluster.now() + VDur::secs(8);
+    cluster.run_until(end, &mut harness);
+
+    let correct: Vec<ProcessId> = ProcessId::all(s.n)
+        .filter(|p| !crashed.contains(p))
+        .collect();
+    let reference = harness.order(correct[0]);
+
+    // Total order + agreement among correct processes.
+    for &p in &correct {
+        prop_assert_eq!(
+            harness.order(p),
+            reference.clone(),
+            "correct {} diverged (kind {:?})",
+            p,
+            kind
+        );
+    }
+    // Integrity: unique, and only accepted ids.
+    let mut seen = std::collections::HashSet::new();
+    for id in &reference {
+        prop_assert!(seen.insert(*id), "duplicate delivery of {}", id);
+        prop_assert!(accepted.contains(id), "delivered unsubmitted {}", id);
+    }
+    // Validity: everything a correct process had accepted is delivered.
+    for id in &accepted_correct {
+        prop_assert!(
+            reference.contains(id),
+            "correct sender's {} never delivered",
+            id
+        );
+    }
+    // Crashed processes delivered a prefix of the common order.
+    for &p in &crashed {
+        let log = harness.order(p);
+        prop_assert!(
+            log.len() <= reference.len()
+                && log.iter().zip(reference.iter()).all(|(a, b)| a == b),
+            "crashed {} delivered a non-prefix",
+            p
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn atomic_broadcast_properties_hold_under_random_faults(s in scenario()) {
+        run_scenario(&s)?;
+    }
+}
+
+/// A couple of hand-picked nasty schedules, pinned as regressions.
+#[test]
+fn pinned_adversarial_schedules() {
+    let scenarios = [
+        // Crash the round-0 coordinator immediately, second crash later.
+        Scenario {
+            kind_mono: true,
+            n: 5,
+            seed: 1234,
+            msg_size: 700,
+            submissions: vec![(1, 5), (2, 12), (3, 30), (4, 42), (1, 55), (2, 80)],
+            crashes: vec![(0, 10), (1, 60)],
+        },
+        Scenario {
+            kind_mono: false,
+            n: 5,
+            seed: 4321,
+            msg_size: 128,
+            submissions: vec![(0, 5), (1, 6), (2, 7), (3, 8), (4, 9), (0, 50)],
+            crashes: vec![(0, 11), (2, 25)],
+        },
+        // Crash two of five with heavy interleaving.
+        Scenario {
+            kind_mono: true,
+            n: 5,
+            seed: 777,
+            msg_size: 64,
+            submissions: (0..20).map(|i| ((i % 5) as u16, 2 + i as u64 * 4)).collect(),
+            crashes: vec![(2, 33), (4, 66)],
+        },
+    ];
+    for s in &scenarios {
+        run_scenario(s).unwrap_or_else(|e| panic!("pinned scenario failed: {e}\n{s:?}"));
+    }
+}
