@@ -32,12 +32,13 @@ use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::wire::{decode, encode};
 use fortika_net::{AppMsg, Batch, MsgId, ProcessId, TimerId};
-use fortika_sim::VDur;
+use fortika_sim::{VDur, VTime};
 
 /// Wire demux id of the atomic broadcast module.
 pub const ABCAST_MODULE_ID: ModuleId = 1;
 
 const TAG_IDLE: u64 = 0;
+const TAG_RETX: u64 = 1;
 
 /// Configuration of the modular atomic broadcast module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +49,17 @@ pub struct AbcastConfig {
     pub idle_timeout: VDur,
     /// Disable the idle consensus entirely (micro-benchmarks).
     pub idle_consensus: bool,
+    /// Re-diffuse an *own* message still undelivered after this long.
+    ///
+    /// Diffusion is a single round of unicasts, which is complete under
+    /// the paper's quasi-reliable channels — but under injected link
+    /// faults (loss, partitions) the copies can vanish, and a message
+    /// held only by its sender would starve: the sender proposes it each
+    /// instance, yet a round-0 coordinator that never received it keeps
+    /// winning with its own batch. Bounded sender-side retransmission
+    /// restores validity once the network heals, and never fires in good
+    /// runs (delivery latency is orders of magnitude below it).
+    pub retransmit_interval: VDur,
 }
 
 impl Default for AbcastConfig {
@@ -55,6 +67,7 @@ impl Default for AbcastConfig {
         AbcastConfig {
             idle_timeout: VDur::secs(1),
             idle_consensus: true,
+            retransmit_interval: VDur::millis(500),
         }
     }
 }
@@ -74,7 +87,10 @@ impl DeliveredLog {
     }
 
     fn mark(&mut self, id: MsgId) {
-        self.per_sender.entry(id.sender).or_default().complete(id.seq);
+        self.per_sender
+            .entry(id.sender)
+            .or_default()
+            .complete(id.seq);
     }
 }
 
@@ -95,6 +111,9 @@ pub struct AbcastModule {
     proposed_current: bool,
     /// Decisions that arrived out of instance order.
     decision_buffer: BTreeMap<u64, Batch>,
+    /// Own messages awaiting delivery → when their diffusion last went
+    /// out (drives fault-recovery retransmission).
+    own_diffused: BTreeMap<MsgId, VTime>,
 }
 
 impl AbcastModule {
@@ -107,6 +126,7 @@ impl AbcastModule {
             next_decide: 0,
             proposed_current: false,
             decision_buffer: BTreeMap::new(),
+            own_diffused: BTreeMap::new(),
         }
     }
 
@@ -138,6 +158,7 @@ impl AbcastModule {
                 }
                 self.delivered.mark(msg.id);
                 self.pending.remove(&msg.id);
+                self.own_diffused.remove(&msg.id);
                 ctx.deliver(msg.id, msg.payload.len() as u32);
                 ids.push(msg.id);
             }
@@ -170,6 +191,7 @@ impl Microprotocol for AbcastModule {
         if self.cfg.idle_consensus {
             ctx.set_timer(self.cfg.idle_timeout, TAG_IDLE);
         }
+        ctx.set_timer(self.cfg.retransmit_interval, TAG_RETX);
     }
 
     fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
@@ -181,6 +203,7 @@ impl Microprotocol for AbcastModule {
                 ctx.broadcast_net("abcast.diffuse", encode(msg));
                 if self.delivered.is_new(msg.id) {
                     self.pending.insert(msg.id, msg.clone());
+                    self.own_diffused.insert(msg.id, ctx.now());
                 }
                 self.maybe_propose(ctx);
             }
@@ -204,17 +227,40 @@ impl Microprotocol for AbcastModule {
     }
 
     fn on_timer(&mut self, ctx: &mut FrameworkCtx<'_, '_>, _timer: TimerId, tag: u64) {
-        if tag != TAG_IDLE {
-            return;
+        match tag {
+            TAG_IDLE => {
+                // The paper's liveness guard: periodically run consensus
+                // even with nothing to order, so every process keeps
+                // advancing through the instance stream.
+                if !self.proposed_current {
+                    ctx.bump("abcast.idle_proposals", 1);
+                    self.propose_now(ctx);
+                }
+                ctx.set_timer(self.cfg.idle_timeout, TAG_IDLE);
+            }
+            TAG_RETX => {
+                // Fault recovery: re-diffuse own messages whose delivery
+                // is overdue (see [`AbcastConfig::retransmit_interval`]).
+                let now = ctx.now();
+                let overdue: Vec<MsgId> = self
+                    .own_diffused
+                    .iter()
+                    .filter(|(_, &sent)| now.since(sent) >= self.cfg.retransmit_interval)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in overdue {
+                    if let Some(msg) = self.pending.get(&id) {
+                        ctx.bump("abcast.retransmits", 1);
+                        ctx.broadcast_net("abcast.diffuse", encode(msg));
+                        self.own_diffused.insert(id, now);
+                    } else {
+                        self.own_diffused.remove(&id);
+                    }
+                }
+                ctx.set_timer(self.cfg.retransmit_interval, TAG_RETX);
+            }
+            _ => {}
         }
-        // The paper's liveness guard: periodically run consensus even
-        // with nothing to order, so every process keeps advancing through
-        // the instance stream.
-        if !self.proposed_current {
-            ctx.bump("abcast.idle_proposals", 1);
-            self.propose_now(ctx);
-        }
-        ctx.set_timer(self.cfg.idle_timeout, TAG_IDLE);
     }
 }
 

@@ -1,14 +1,14 @@
 //! Atomic broadcast properties of the modular stack: total order,
 //! uniform agreement, integrity, validity — in good runs and under
-//! sender crashes.
+//! sender crashes. Property checking is delegated to the
+//! `fortika-chaos` delivery-invariant oracle.
 
 use bytes::Bytes;
 use fortika_abcast::{AbcastConfig, AbcastModule};
+use fortika_chaos::check_orders;
 use fortika_consensus::{ConsensusConfig, ConsensusModule};
 use fortika_fd::{FdConfig, FdModule, HeartbeatFd};
-use fortika_framework::{
-    CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId,
-};
+use fortika_framework::{CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::{
     Admission, AppMsg, AppRequest, Cluster, ClusterConfig, CollectingHarness, CostModel, MsgId,
     NetModel, Node, ProcessId,
@@ -51,11 +51,15 @@ fn modular_stack(n: usize, me: usize) -> Box<dyn Node> {
         Box::new(OpenGate),
         Box::new(AbcastModule::new(AbcastConfig {
             idle_timeout: VDur::millis(200),
-            idle_consensus: true,
+            ..AbcastConfig::default()
         })),
         Box::new(ConsensusModule::new(ConsensusConfig::default())),
         Box::new(RbcastModule::new(RbcastConfig::default())),
-        Box::new(FdModule::new(HeartbeatFd::new(n, ProcessId(me as u16), fd_cfg))),
+        Box::new(FdModule::new(HeartbeatFd::new(
+            n,
+            ProcessId(me as u16),
+            fd_cfg,
+        ))),
     ]))
 }
 
@@ -73,49 +77,18 @@ fn submit(cluster: &mut Cluster, sender: u16, seq: u64, size: usize) {
     assert_eq!(adm, Admission::Accepted);
 }
 
-/// Checks the four atomic broadcast properties over collected logs.
-/// `crashed` processes are exempt from the liveness half.
+/// Checks the four atomic broadcast properties over collected logs via
+/// the `fortika-chaos` oracle. `crashed` processes are exempt from the
+/// liveness half.
 fn assert_atomic_broadcast(
     harness: &CollectingHarness,
     n: usize,
     submitted_by_correct: &[MsgId],
     crashed: &[ProcessId],
 ) {
-    let correct: Vec<ProcessId> = ProcessId::all(n)
-        .filter(|p| !crashed.contains(p))
-        .collect();
-    let reference = harness.order(correct[0]);
-
-    for &p in &correct {
-        let order = harness.order(p);
-        // Total order + uniform agreement: identical sequences.
-        assert_eq!(
-            order, reference,
-            "process {p} delivered a different sequence"
-        );
-        // Uniform integrity: no duplicates.
-        let mut dedup = order.clone();
-        dedup.sort();
-        dedup.dedup();
-        assert_eq!(dedup.len(), order.len(), "duplicate delivery at {p}");
-    }
-    // Validity: every message abcast by a correct process is delivered.
-    for id in submitted_by_correct {
-        assert!(
-            reference.contains(id),
-            "message {id} from a correct sender was never delivered"
-        );
-    }
-    // Crashed processes' prefixes must be consistent with the reference
-    // (uniform agreement applies to deliveries made before crashing).
-    for &p in crashed {
-        let order = harness.order(p);
-        assert!(
-            order.len() <= reference.len()
-                && order.iter().zip(reference.iter()).all(|(a, b)| a == b),
-            "crashed process {p} delivered a non-prefix sequence"
-        );
-    }
+    let correct: Vec<ProcessId> = ProcessId::all(n).filter(|p| !crashed.contains(p)).collect();
+    let orders: Vec<Vec<MsgId>> = ProcessId::all(n).map(|p| harness.order(p)).collect();
+    check_orders(&orders, &correct, submitted_by_correct).assert_ok("modular stack");
 }
 
 #[test]
@@ -168,7 +141,10 @@ fn diffusion_goes_to_everyone() {
     submit(&mut cluster, 2, 0, 1024);
     cluster.run_until(cluster.now() + VDur::secs(1), &mut harness);
     // The modular stack always diffuses to n−1 peers.
-    assert_eq!(cluster.counters().kind("abcast.diffuse").msgs, (n - 1) as u64);
+    assert_eq!(
+        cluster.counters().kind("abcast.diffuse").msgs,
+        (n - 1) as u64
+    );
 }
 
 #[test]
@@ -217,12 +193,7 @@ fn sender_crash_mid_diffusion_preserves_agreement() {
     cluster.run_until(cluster.now() + VDur::secs(3), &mut harness);
     // p2's message must be delivered (correct sender); p1's may go
     // either way, but consistently.
-    assert_atomic_broadcast(
-        &harness,
-        n,
-        &[MsgId::new(ProcessId(1), 0)],
-        &[ProcessId(0)],
-    );
+    assert_atomic_broadcast(&harness, n, &[MsgId::new(ProcessId(1), 0)], &[ProcessId(0)]);
 }
 
 #[test]

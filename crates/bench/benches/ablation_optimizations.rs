@@ -34,7 +34,11 @@ fn main() {
         "configuration", "latency(ms)", "thr(msgs/s)", "msg/inst", "KB/inst"
     );
     let combos: Vec<(&str, StackKind, MonoOptimizations)> = vec![
-        ("modular stack", StackKind::Modular, MonoOptimizations::all()),
+        (
+            "modular stack",
+            StackKind::Modular,
+            MonoOptimizations::all(),
+        ),
         (
             "mono: none",
             StackKind::Monolithic,

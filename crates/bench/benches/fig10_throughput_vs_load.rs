@@ -9,7 +9,9 @@ use fortika_bench::{figure_series, full_sweep, print_header, print_row, run_poin
 fn main() {
     let msg_size = 16_384;
     let loads: Vec<f64> = if full_sweep() {
-        vec![125.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0]
+        vec![
+            125.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0,
+        ]
     } else {
         vec![250.0, 500.0, 1000.0, 2000.0, 4000.0]
     };
@@ -28,5 +30,7 @@ fn main() {
         print_row(load, &cells);
     }
     println!();
-    println!("# paper: T = offered load below ~500 msgs/s; mono plateau 25% (n=7) to 30% (n=3) higher.");
+    println!(
+        "# paper: T = offered load below ~500 msgs/s; mono plateau 25% (n=7) to 30% (n=3) higher."
+    );
 }

@@ -11,7 +11,9 @@ use fortika_bench::{figure_series, full_sweep, print_header, print_row, run_poin
 fn main() {
     let msg_size = 16_384;
     let loads: Vec<f64> = if full_sweep() {
-        vec![125.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0]
+        vec![
+            125.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0,
+        ]
     } else {
         vec![250.0, 500.0, 1000.0, 2000.0, 4000.0]
     };
@@ -38,6 +40,8 @@ fn main() {
     for (load, label, cpu) in cpu_note {
         println!("#   load {load:>6.0}  {label:<10} cpu {:.0}%", cpu * 100.0);
     }
-    println!("# paper: latency close at small loads; mono 30% (n=7) to 50% (n=3) lower at high load;");
+    println!(
+        "# paper: latency close at small loads; mono 30% (n=7) to 50% (n=3) lower at high load;"
+    );
     println!("# paper: 99% CPU above 500 msgs/s offered load.");
 }

@@ -29,5 +29,7 @@ fn main() {
         print_row(size as f64, &cells);
     }
     println!();
-    println!("# paper: mono ~50% lower latency at small sizes; 25% (n=7) / 35% (n=3) at the largest.");
+    println!(
+        "# paper: mono ~50% lower latency at small sizes; 25% (n=7) / 35% (n=3) at the largest."
+    );
 }

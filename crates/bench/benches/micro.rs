@@ -82,5 +82,10 @@ fn bench_simulated_second(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_event_queue, bench_simulated_second);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_event_queue,
+    bench_simulated_second
+);
 criterion_main!(benches);

@@ -28,7 +28,10 @@ fn main() {
         let next = cluster.now() + VDur::millis(8);
         cluster.run_until(next, &mut harness);
     }
-    println!("delivered at p2 before crash: {}", harness.order(ProcessId(1)).len());
+    println!(
+        "delivered at p2 before crash: {}",
+        harness.order(ProcessId(1)).len()
+    );
 
     cluster.schedule_crash(ProcessId(0), cluster.now() + VDur::millis(2));
     cluster.run_until(cluster.now() + VDur::millis(800), &mut harness);

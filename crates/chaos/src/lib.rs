@@ -1,0 +1,62 @@
+//! # fortika-chaos — fault injection, scenarios and the delivery oracle
+//!
+//! The paper evaluates both atomic broadcast stacks in *good runs* only,
+//! yet both carry a ◇P failure detector, rotating-coordinator consensus
+//! and decision-recovery machinery whose entire purpose is surviving bad
+//! runs. This crate opens that axis over the deterministic simulator:
+//!
+//! * [`Scenario`] — a declarative fault timeline: crashes, partitions
+//!   with healing, lossy/duplicating/delayed link windows, scripted
+//!   false suspicions. Built with chainable constructors or drawn from
+//!   the seeded [`Scenario::random`] generator ([`ChaosProfile`]) for
+//!   fuzzing. Applies onto a [`fortika_net::Cluster`] (whose link-level
+//!   fault hooks this crate drives) or into
+//!   `Experiment::builder(..).scenario(..)` in `fortika-core`.
+//! * [`DeliveryOracle`] — the delivery-invariant checker: records every
+//!   `adeliver` and verifies uniform agreement, total order, integrity
+//!   and (when faults heal) validity, reporting typed [`Violation`]s.
+//!   Every scenario run is thereby also a correctness check on whichever
+//!   stack is under test.
+//! * [`ScriptedDriver`] / [`LoadPlan`] — a blocking-caller workload
+//!   driver that submits a scripted plan, skips crashed senders and
+//!   feeds the oracle.
+//!
+//! Everything is deterministic: a `(scenario, cluster seed)` pair
+//! replays bit-for-bit, so any violation the fuzzer finds is a
+//! permanent regression test.
+//!
+//! # Example: a minority partition with healing, then a crash
+//!
+//! ```
+//! use fortika_chaos::Scenario;
+//! use fortika_net::ProcessId;
+//! use fortika_sim::VDur;
+//!
+//! let scenario = Scenario::new()
+//!     .partition(
+//!         vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+//!         VDur::millis(100),
+//!         VDur::millis(2100),
+//!     )
+//!     .crash(ProcessId(1), VDur::millis(3000));
+//! assert!(scenario.heals());
+//! assert_eq!(scenario.correct(3), vec![ProcessId(0), ProcessId(2)]);
+//! ```
+//!
+//! See `examples/partition_heal.rs` for an end-to-end run through a real
+//! stack with the oracle auditing every delivery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod oracle;
+mod scenario;
+
+pub use driver::{LoadPlan, ScriptedDriver, Submission};
+pub use oracle::{check_orders, DeliveryOracle, OracleReport, Violation};
+pub use scenario::{ChaosProfile, Scenario, ScenarioEvent};
+
+// Re-export the net-level fault vocabulary so scenario authors need
+// only this crate.
+pub use fortika_net::{LinkFault, LinkSelector};

@@ -1,0 +1,547 @@
+//! The delivery-invariant oracle.
+//!
+//! Atomic broadcast promises four properties (paper §2.2). The oracle
+//! records every `adeliver` across the cluster and, at end of run,
+//! checks them mechanically:
+//!
+//! * **Uniform total order + uniform agreement** — every pair of correct
+//!   processes delivered the *same sequence*; a crashed (or still
+//!   lagging) process delivered a *prefix* of it.
+//! * **Uniform integrity** — no process delivered the same message
+//!   twice, and (when submissions are tracked) nothing was delivered
+//!   that was never abcast.
+//! * **Validity** — every message the caller marks as *must-deliver*
+//!   (abcast by a process that remained correct, under faults that heal)
+//!   appears in the common order.
+//!
+//! Safety checks apply to **every** run, including runs with message
+//! loss; validity is a liveness property and only holds when the
+//! scenario's faults heal and the drain is long enough, so it is checked
+//! only on request ([`DeliveryOracle::check_with_validity`]).
+//!
+//! The oracle is deliberately stack-agnostic: it sees only `adeliver`
+//! events, so the same checker audits the modular stack, the monolithic
+//! stack, or any future implementation.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use fortika_net::{ClusterApi, Delivery, Harness, MsgId, ProcessId};
+use fortika_sim::VTime;
+
+/// One detected violation of the atomic broadcast contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two correct processes disagree on the delivery sequence.
+    Disagreement {
+        /// Reference process (first correct process).
+        reference: ProcessId,
+        /// The diverging process.
+        process: ProcessId,
+        /// First index at which the sequences differ.
+        index: usize,
+        /// What `reference` delivered there (`None` = nothing).
+        expected: Option<MsgId>,
+        /// What `process` delivered there.
+        got: Option<MsgId>,
+    },
+    /// A process delivered the same message twice.
+    DuplicateDelivery {
+        /// The offending process.
+        process: ProcessId,
+        /// The doubly delivered message.
+        id: MsgId,
+    },
+    /// A process delivered a message that was never submitted.
+    UnknownDelivery {
+        /// The offending process.
+        process: ProcessId,
+        /// The fabricated message id.
+        id: MsgId,
+    },
+    /// A crashed/lagging process's log is not a prefix of the common
+    /// order.
+    NonPrefixLog {
+        /// The offending process.
+        process: ProcessId,
+        /// First index at which its log leaves the common order.
+        index: usize,
+    },
+    /// A must-deliver message never appeared in the common order.
+    MissingDelivery {
+        /// The lost message.
+        id: MsgId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Disagreement {
+                reference,
+                process,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "total order violated: {process} diverges from {reference} at index {index} \
+                 (expected {expected:?}, got {got:?})"
+            ),
+            Violation::DuplicateDelivery { process, id } => {
+                write!(f, "integrity violated: {process} delivered {id} twice")
+            }
+            Violation::UnknownDelivery { process, id } => {
+                write!(f, "integrity violated: {process} delivered unsubmitted {id}")
+            }
+            Violation::NonPrefixLog { process, index } => write!(
+                f,
+                "uniform agreement violated: {process}'s log leaves the common order at index {index}"
+            ),
+            Violation::MissingDelivery { id } => {
+                write!(f, "validity violated: {id} was abcast by a correct process but never delivered")
+            }
+        }
+    }
+}
+
+/// Result of an oracle check.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Detected violations, in check order (empty = contract holds).
+    pub violations: Vec<Violation>,
+    /// Total `adeliver` events observed across all processes.
+    pub deliveries: u64,
+    /// The common delivery order of the correct processes (the longest
+    /// log among them when they disagree).
+    pub common_order: Vec<MsgId>,
+}
+
+impl OracleReport {
+    /// True when no violation was detected.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with a readable list of violations, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the report contains violations.
+    pub fn assert_ok(&self, context: &str) {
+        if !self.is_ok() {
+            let mut msg = format!(
+                "atomic broadcast contract violated ({context}): {} violation(s)\n",
+                self.violations.len()
+            );
+            for v in &self.violations {
+                msg.push_str("  - ");
+                msg.push_str(&v.to_string());
+                msg.push('\n');
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Records every `adeliver` and checks the atomic broadcast contract.
+///
+/// Use it directly as a cluster [`Harness`] for logic-only runs, wire it
+/// behind a driving harness (as the experiment runner does), or feed it
+/// pre-collected logs via [`DeliveryOracle::record`].
+///
+/// # Example
+///
+/// ```
+/// use fortika_chaos::DeliveryOracle;
+/// use fortika_net::{MsgId, ProcessId};
+/// use fortika_sim::VTime;
+///
+/// let mut oracle = DeliveryOracle::new(2);
+/// let m = MsgId::new(ProcessId(0), 0);
+/// oracle.note_submission(m);
+/// oracle.record(ProcessId(0), m, VTime::ZERO);
+/// oracle.record(ProcessId(1), m, VTime::ZERO);
+/// let report = oracle.check_with_validity(
+///     &[ProcessId(0), ProcessId(1)],
+///     &[m],
+/// );
+/// report.assert_ok("doc example");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeliveryOracle {
+    logs: Vec<Vec<(MsgId, VTime)>>,
+    submitted: HashSet<MsgId>,
+    track_submissions: bool,
+}
+
+impl DeliveryOracle {
+    /// An oracle for a cluster of `n` processes.
+    pub fn new(n: usize) -> Self {
+        DeliveryOracle {
+            logs: vec![Vec::new(); n],
+            submitted: HashSet::new(),
+            track_submissions: false,
+        }
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Records an `adeliver` of `id` at `process`.
+    pub fn record(&mut self, process: ProcessId, id: MsgId, at: VTime) {
+        self.logs[process.index()].push((id, at));
+    }
+
+    /// Notes an accepted `abcast`; once any submission is noted, the
+    /// integrity check also rejects deliveries of unknown ids.
+    pub fn note_submission(&mut self, id: MsgId) {
+        self.track_submissions = true;
+        self.submitted.insert(id);
+    }
+
+    /// The delivery order (ids only) observed at `process`.
+    pub fn order(&self, process: ProcessId) -> Vec<MsgId> {
+        self.logs[process.index()].iter().map(|(m, _)| *m).collect()
+    }
+
+    /// Per-process logs with delivery timestamps.
+    pub fn logs(&self) -> &[Vec<(MsgId, VTime)>] {
+        &self.logs
+    }
+
+    /// Checks the safety half of the contract: total order and agreement
+    /// among `correct` processes, prefix-consistency of everyone else,
+    /// and integrity everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `correct` is empty — the contract is about what the
+    /// correct processes observe, so checking without any is a test bug.
+    pub fn check(&self, correct: &[ProcessId]) -> OracleReport {
+        self.run_checks(correct, None, false)
+    }
+
+    /// Safety checks plus validity: every id in `must_deliver` has to
+    /// appear in the common order. Only meaningful when the scenario's
+    /// faults heal and the run drained long enough for liveness.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `correct` is empty.
+    pub fn check_with_validity(
+        &self,
+        correct: &[ProcessId],
+        must_deliver: &[MsgId],
+    ) -> OracleReport {
+        self.run_checks(correct, Some(must_deliver), false)
+    }
+
+    /// The strict check for fully drained runs: on top of
+    /// [`check_with_validity`](Self::check_with_validity), every correct
+    /// process must have delivered the *identical sequence* — a correct
+    /// log that stops short of the common order (a stalled process that
+    /// a mid-run snapshot would tolerate as "lagging") is flagged as a
+    /// [`Violation::Disagreement`]. Use this when the run drained long
+    /// past the last fault; use [`check`](Self::check) for snapshots
+    /// taken while deliveries are still in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `correct` is empty.
+    pub fn check_drained(&self, correct: &[ProcessId], must_deliver: &[MsgId]) -> OracleReport {
+        self.run_checks(correct, Some(must_deliver), true)
+    }
+
+    fn run_checks(
+        &self,
+        correct: &[ProcessId],
+        must_deliver: Option<&[MsgId]>,
+        drained: bool,
+    ) -> OracleReport {
+        assert!(
+            !correct.is_empty(),
+            "oracle needs at least one correct process"
+        );
+        let mut violations = Vec::new();
+
+        // Total order + uniform agreement: correct processes may lag one
+        // another only at the tail (deliveries are not synchronized
+        // barriers), so the common order is the longest correct log, and
+        // every correct log must be a prefix of it. In `drained` mode
+        // the prefix tolerance is revoked: all correct logs must be the
+        // identical sequence.
+        let reference = *correct
+            .iter()
+            .max_by_key(|p| self.logs[p.index()].len())
+            .expect("nonempty");
+        let common_order = self.order(reference);
+        for &p in correct {
+            let order = self.order(p);
+            if let Some(i) = first_divergence(&order, &common_order) {
+                violations.push(Violation::Disagreement {
+                    reference,
+                    process: p,
+                    index: i,
+                    expected: common_order.get(i).copied(),
+                    got: order.get(i).copied(),
+                });
+            } else if drained && order.len() < common_order.len() {
+                // A drained run tolerates no lag: a short-but-consistent
+                // correct log means a correct process stopped delivering.
+                violations.push(Violation::Disagreement {
+                    reference,
+                    process: p,
+                    index: order.len(),
+                    expected: common_order.get(order.len()).copied(),
+                    got: None,
+                });
+            }
+        }
+
+        // Consistency of the non-correct (crashed) processes. In a
+        // drained run their logs must be prefixes of the common order;
+        // in a mid-run snapshot a crashed log may also consistently
+        // *extend* it (the victim delivered just before crashing, the
+        // correct processes have not caught up yet) — symmetric with
+        // the lag tolerance granted to correct logs above.
+        let correct_set: HashSet<ProcessId> = correct.iter().copied().collect();
+        for p in 0..self.logs.len() {
+            let pid = ProcessId(p as u16);
+            if correct_set.contains(&pid) {
+                continue;
+            }
+            let order = self.order(pid);
+            let overlap_mismatch = order
+                .iter()
+                .zip(common_order.iter())
+                .position(|(a, b)| a != b);
+            let index = match overlap_mismatch {
+                Some(i) => Some(i),
+                None if drained && order.len() > common_order.len() => Some(common_order.len()),
+                None => None,
+            };
+            if let Some(index) = index {
+                violations.push(Violation::NonPrefixLog {
+                    process: pid,
+                    index,
+                });
+            }
+        }
+
+        // Integrity: no duplicates anywhere; known ids only (if tracked).
+        for p in 0..self.logs.len() {
+            let pid = ProcessId(p as u16);
+            let mut seen = HashSet::new();
+            for (id, _) in &self.logs[p] {
+                if !seen.insert(*id) {
+                    violations.push(Violation::DuplicateDelivery {
+                        process: pid,
+                        id: *id,
+                    });
+                }
+                if self.track_submissions && !self.submitted.contains(id) {
+                    violations.push(Violation::UnknownDelivery {
+                        process: pid,
+                        id: *id,
+                    });
+                }
+            }
+        }
+
+        // Validity.
+        if let Some(must) = must_deliver {
+            let delivered: HashSet<MsgId> = common_order.iter().copied().collect();
+            for id in must {
+                if !delivered.contains(id) {
+                    violations.push(Violation::MissingDelivery { id: *id });
+                }
+            }
+        }
+
+        OracleReport {
+            violations,
+            deliveries: self.logs.iter().map(|l| l.len() as u64).sum(),
+            common_order,
+        }
+    }
+}
+
+impl Harness for DeliveryOracle {
+    fn on_delivery(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
+        self.record(pid, d.msg, at);
+    }
+}
+
+/// Index of the first position where `log` stops being a prefix of
+/// `reference` (`None` when it is a prefix).
+fn first_divergence(log: &[MsgId], reference: &[MsgId]) -> Option<usize> {
+    if log.len() > reference.len() {
+        // Longer than the reference: diverges where the reference ends
+        // at the latest.
+        return Some(
+            log.iter()
+                .zip(reference.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(reference.len()),
+        );
+    }
+    log.iter().zip(reference.iter()).position(|(a, b)| a != b)
+}
+
+/// Checks pre-collected per-process delivery orders (e.g. from a
+/// [`fortika_net::CollectingHarness`]) of a **fully drained** run in
+/// one call: strict identical-sequence agreement among `correct`
+/// (see [`DeliveryOracle::check_drained`]), prefix consistency and
+/// integrity everywhere, validity over `must_deliver`.
+///
+/// # Panics
+///
+/// Panics when `correct` is empty.
+pub fn check_orders(
+    orders: &[Vec<MsgId>],
+    correct: &[ProcessId],
+    must_deliver: &[MsgId],
+) -> OracleReport {
+    let mut oracle = DeliveryOracle::new(orders.len());
+    for (p, order) in orders.iter().enumerate() {
+        for &id in order {
+            oracle.record(ProcessId(p as u16), id, VTime::ZERO);
+        }
+    }
+    oracle.check_drained(correct, must_deliver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(sender: u16, seq: u64) -> MsgId {
+        MsgId::new(ProcessId(sender), seq)
+    }
+
+    #[test]
+    fn clean_logs_pass() {
+        let orders = vec![
+            vec![id(0, 0), id(1, 0), id(0, 1)],
+            vec![id(0, 0), id(1, 0), id(0, 1)],
+            vec![id(0, 0), id(1, 0)], // crashed mid-run: prefix is fine
+        ];
+        let report = check_orders(
+            &orders,
+            &[ProcessId(0), ProcessId(1)],
+            &[id(0, 0), id(1, 0), id(0, 1)],
+        );
+        report.assert_ok("clean");
+        assert_eq!(report.deliveries, 8);
+        assert_eq!(report.common_order.len(), 3);
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let orders = vec![vec![id(0, 0), id(1, 0)], vec![id(1, 0), id(0, 0)]];
+        let report = check_orders(&orders, &[ProcessId(0), ProcessId(1)], &[]);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::Disagreement { index: 0, .. }]
+        ));
+    }
+
+    #[test]
+    fn lagging_correct_process_tolerated_mid_run_but_not_drained() {
+        // A shorter-but-consistent correct log is a legal mid-run
+        // snapshot (deliveries are not synchronized barriers) — but in
+        // a drained run it means a correct process stopped delivering.
+        let mut oracle = DeliveryOracle::new(2);
+        oracle.record(ProcessId(0), id(0, 0), VTime::ZERO);
+        oracle.record(ProcessId(0), id(1, 0), VTime::ZERO);
+        oracle.record(ProcessId(1), id(0, 0), VTime::ZERO);
+        let snapshot = oracle.check(&[ProcessId(0), ProcessId(1)]);
+        snapshot.assert_ok("mid-run snapshot");
+        assert_eq!(snapshot.common_order.len(), 2);
+        let drained = oracle.check_drained(&[ProcessId(0), ProcessId(1)], &[]);
+        assert!(matches!(
+            drained.violations.as_slice(),
+            [Violation::Disagreement {
+                process: ProcessId(1),
+                index: 1,
+                got: None,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let orders = vec![vec![id(0, 0), id(0, 0)], vec![id(0, 0)]];
+        let report = check_orders(&orders, &[ProcessId(1)], &[]);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateDelivery { .. })));
+    }
+
+    #[test]
+    fn unknown_delivery_detected_when_tracking() {
+        let mut oracle = DeliveryOracle::new(1);
+        oracle.note_submission(id(0, 0));
+        oracle.record(ProcessId(0), id(0, 0), VTime::ZERO);
+        oracle.record(ProcessId(0), id(5, 5), VTime::ZERO);
+        let report = oracle.check(&[ProcessId(0)]);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::UnknownDelivery { .. }]
+        ));
+    }
+
+    #[test]
+    fn non_prefix_crashed_log_detected() {
+        let orders = vec![
+            vec![id(0, 0), id(1, 0)],
+            vec![id(0, 0), id(1, 0)],
+            vec![id(1, 0)], // crashed process delivered out of order
+        ];
+        let report = check_orders(&orders, &[ProcessId(0), ProcessId(1)], &[]);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::NonPrefixLog {
+                process: ProcessId(2),
+                index: 0
+            }]
+        ));
+    }
+
+    #[test]
+    fn missing_delivery_detected() {
+        let orders = vec![vec![id(0, 0)], vec![id(0, 0)]];
+        let report = check_orders(
+            &orders,
+            &[ProcessId(0), ProcessId(1)],
+            &[id(0, 0), id(1, 7)],
+        );
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::MissingDelivery { id }] if *id == MsgId::new(ProcessId(1), 7)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "atomic broadcast contract violated")]
+    fn assert_ok_panics_with_context() {
+        let orders = vec![vec![id(0, 0)], vec![id(1, 1)]];
+        check_orders(&orders, &[ProcessId(0), ProcessId(1)], &[]).assert_ok("test");
+    }
+
+    #[test]
+    fn violations_display_readably() {
+        let v = Violation::MissingDelivery { id: id(1, 7) };
+        assert!(v.to_string().contains("p2#7"));
+        let d = Violation::DuplicateDelivery {
+            process: ProcessId(0),
+            id: id(0, 3),
+        };
+        assert!(d.to_string().contains("twice"));
+    }
+}

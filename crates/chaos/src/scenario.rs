@@ -1,0 +1,636 @@
+//! Scenario timelines: declarative fault schedules over a cluster run.
+//!
+//! A [`Scenario`] is an ordered list of typed fault events — crashes,
+//! partitions with healing, lossy windows, delay spikes, duplication
+//! windows, scripted false suspicions — expressed as offsets from the
+//! start of the run. Build one with the chainable constructors, or draw
+//! one from the seeded [`Scenario::random`] generator for fuzzing; then
+//! plug it into a cluster directly ([`Scenario::apply`]) or into the
+//! experiment runner (`Experiment::builder(..).scenario(..)` in
+//! `fortika-core`).
+//!
+//! Scenarios are plain data: cloning, printing and replaying them is
+//! cheap, and the same scenario + the same cluster seed reproduces the
+//! same run bit for bit.
+
+use fortika_fd::SuspicionWindow;
+use fortika_net::{Cluster, LinkFault, LinkSelector, ProcessId};
+use fortika_sim::{DetRng, VDur, VTime};
+
+/// One typed event on a scenario timeline. All instants are offsets
+/// from the start of the run.
+#[derive(Debug, Clone)]
+pub enum ScenarioEvent {
+    /// Crash-stop `pid` at `at` (it never recovers).
+    Crash {
+        /// The victim.
+        pid: ProcessId,
+        /// Crash instant.
+        at: VDur,
+    },
+    /// Partition the cluster into `groups` during `[from, until)`;
+    /// `None` never heals. Processes in no group are isolated.
+    Partition {
+        /// Connected components.
+        groups: Vec<Vec<ProcessId>>,
+        /// Partition start.
+        from: VDur,
+        /// Healing instant (`None` = permanent).
+        until: Option<VDur>,
+    },
+    /// Drop each message on the selected links with probability `p`
+    /// during `[from, until)`.
+    Lossy {
+        /// Affected links.
+        link: LinkSelector,
+        /// Drop probability in `[0, 1]`.
+        p: f64,
+        /// Window start.
+        from: VDur,
+        /// Window end (`None` = rest of the run).
+        until: Option<VDur>,
+    },
+    /// Deliver each message on the selected links twice with
+    /// probability `p` during `[from, until)`.
+    Duplicate {
+        /// Affected links.
+        link: LinkSelector,
+        /// Duplication probability in `[0, 1]`.
+        p: f64,
+        /// Window start.
+        from: VDur,
+        /// Window end (`None` = rest of the run).
+        until: Option<VDur>,
+    },
+    /// Multiply latency (propagation + jitter) of the selected links by
+    /// `factor_milli / 1000` during `[from, until)`.
+    DelaySpike {
+        /// Affected links.
+        link: LinkSelector,
+        /// Delay multiplier in thousandths (5000 = 5×).
+        factor_milli: u64,
+        /// Window start.
+        from: VDur,
+        /// Window end (`None` = rest of the run).
+        until: Option<VDur>,
+    },
+    /// Force `observer`'s failure detector to (wrongly) suspect
+    /// `suspect` during `[from, until)` — scripted ◇P inaccuracy.
+    ///
+    /// This event acts at stack-construction time, not on the cluster:
+    /// builders that wire nodes themselves consume it via
+    /// [`Scenario::suspicion_windows`]; the experiment runner does so
+    /// automatically.
+    FalseSuspicion {
+        /// The process whose detector lies.
+        observer: ProcessId,
+        /// The slandered process.
+        suspect: ProcessId,
+        /// Window start.
+        from: VDur,
+        /// Window end.
+        until: VDur,
+    },
+}
+
+/// A declarative fault schedule (see the [module docs](self)).
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// An empty (fault-free) scenario.
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// The timeline events, in insertion order.
+    pub fn events(&self) -> &[ScenarioEvent] {
+        &self.events
+    }
+
+    /// Appends an arbitrary event.
+    pub fn event(mut self, ev: ScenarioEvent) -> Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Crash-stops `pid` at offset `at`.
+    pub fn crash(self, pid: ProcessId, at: VDur) -> Self {
+        self.event(ScenarioEvent::Crash { pid, at })
+    }
+
+    /// Partitions the cluster into `groups` from `from` until `until`
+    /// (healing included).
+    pub fn partition(self, groups: Vec<Vec<ProcessId>>, from: VDur, until: VDur) -> Self {
+        self.event(ScenarioEvent::Partition {
+            groups,
+            from,
+            until: Some(until),
+        })
+    }
+
+    /// Partitions the cluster permanently (no healing).
+    pub fn partition_forever(self, groups: Vec<Vec<ProcessId>>, from: VDur) -> Self {
+        self.event(ScenarioEvent::Partition {
+            groups,
+            from,
+            until: None,
+        })
+    }
+
+    /// Makes the selected links lossy with probability `p` during the
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn lossy(self, link: LinkSelector, p: f64, from: VDur, until: VDur) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
+        self.event(ScenarioEvent::Lossy {
+            link,
+            p,
+            from,
+            until: Some(until),
+        })
+    }
+
+    /// Duplicates messages on the selected links with probability `p`
+    /// during the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn duplicate(self, link: LinkSelector, p: f64, from: VDur, until: VDur) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability {p} out of range"
+        );
+        self.event(ScenarioEvent::Duplicate {
+            link,
+            p,
+            from,
+            until: Some(until),
+        })
+    }
+
+    /// Inflates latency on the selected links by `factor_milli / 1000`
+    /// during the window.
+    pub fn delay_spike(
+        self,
+        link: LinkSelector,
+        factor_milli: u64,
+        from: VDur,
+        until: VDur,
+    ) -> Self {
+        self.event(ScenarioEvent::DelaySpike {
+            link,
+            factor_milli,
+            from,
+            until: Some(until),
+        })
+    }
+
+    /// Scripts a false suspicion: `observer` wrongly suspects `suspect`
+    /// during the window.
+    pub fn false_suspicion(
+        self,
+        observer: ProcessId,
+        suspect: ProcessId,
+        from: VDur,
+        until: VDur,
+    ) -> Self {
+        self.event(ScenarioEvent::FalseSuspicion {
+            observer,
+            suspect,
+            from,
+            until,
+        })
+    }
+
+    /// Schedules every cluster-level event of this scenario onto
+    /// `cluster` (crashes and link faults; [`FalseSuspicion`] events act
+    /// at stack-construction time and are skipped here — see
+    /// [`Scenario::suspicion_windows`]).
+    ///
+    /// Call before the first `run_until`, with the cluster clock still
+    /// at the start of the run — [`Scenario::suspicion_windows`] anchors
+    /// its windows at `VTime::ZERO`, and both halves of a scenario must
+    /// share the same origin.
+    ///
+    /// # Window overlap
+    ///
+    /// Window boundaries write link state absolutely — a closing window
+    /// restores the fault-free default on its links even if another
+    /// window of the same family still covers them (its opening value
+    /// is not re-applied). Declare overlapping same-family windows as
+    /// disjoint intervals instead; the random generator emits at most
+    /// one window per family, so generated scenarios are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cluster clock has already advanced — applying
+    /// late would silently desynchronize cluster-level faults from the
+    /// scripted suspicion windows.
+    ///
+    /// [`FalseSuspicion`]: ScenarioEvent::FalseSuspicion
+    pub fn apply(&self, cluster: &mut Cluster) {
+        let t0 = cluster.now();
+        assert_eq!(
+            t0,
+            VTime::ZERO,
+            "apply the scenario before running the cluster (clock already at {t0})"
+        );
+        for ev in &self.events {
+            match ev {
+                ScenarioEvent::Crash { pid, at } => cluster.schedule_crash(*pid, t0 + *at),
+                ScenarioEvent::Partition {
+                    groups,
+                    from,
+                    until,
+                } => {
+                    cluster.schedule_fault(t0 + *from, LinkFault::Partition(groups.clone()));
+                    if let Some(until) = until {
+                        cluster.schedule_fault(t0 + *until, LinkFault::Heal);
+                    }
+                }
+                ScenarioEvent::Lossy {
+                    link,
+                    p,
+                    from,
+                    until,
+                } => {
+                    cluster.schedule_fault(t0 + *from, LinkFault::Loss { link: *link, p: *p });
+                    if let Some(until) = until {
+                        cluster.schedule_fault(
+                            t0 + *until,
+                            LinkFault::Loss {
+                                link: *link,
+                                p: 0.0,
+                            },
+                        );
+                    }
+                }
+                ScenarioEvent::Duplicate {
+                    link,
+                    p,
+                    from,
+                    until,
+                } => {
+                    cluster.schedule_fault(t0 + *from, LinkFault::Duplicate { link: *link, p: *p });
+                    if let Some(until) = until {
+                        cluster.schedule_fault(
+                            t0 + *until,
+                            LinkFault::Duplicate {
+                                link: *link,
+                                p: 0.0,
+                            },
+                        );
+                    }
+                }
+                ScenarioEvent::DelaySpike {
+                    link,
+                    factor_milli,
+                    from,
+                    until,
+                } => {
+                    cluster.schedule_fault(
+                        t0 + *from,
+                        LinkFault::DelaySpike {
+                            link: *link,
+                            factor_milli: *factor_milli,
+                        },
+                    );
+                    if let Some(until) = until {
+                        cluster.schedule_fault(
+                            t0 + *until,
+                            LinkFault::DelaySpike {
+                                link: *link,
+                                factor_milli: 1000,
+                            },
+                        );
+                    }
+                }
+                ScenarioEvent::FalseSuspicion { .. } => {}
+            }
+        }
+    }
+
+    /// The scripted false-suspicion windows, as absolute instants from
+    /// the start of the run — feed these to
+    /// [`fortika_fd::OverlayFd`] when building nodes.
+    pub fn suspicion_windows(&self) -> Vec<SuspicionWindow> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                ScenarioEvent::FalseSuspicion {
+                    observer,
+                    suspect,
+                    from,
+                    until,
+                } => Some(SuspicionWindow {
+                    observer: *observer,
+                    suspect: *suspect,
+                    from: VTime::ZERO + *from,
+                    until: VTime::ZERO + *until,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Processes this scenario crash-stops (they are *not correct* in
+    /// the atomic-broadcast sense).
+    pub fn crashed(&self) -> Vec<ProcessId> {
+        let mut out: Vec<ProcessId> = self
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                ScenarioEvent::Crash { pid, .. } => Some(*pid),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Processes of a group of `n` that stay correct under this
+    /// scenario.
+    pub fn correct(&self, n: usize) -> Vec<ProcessId> {
+        let crashed = self.crashed();
+        ProcessId::all(n).filter(|p| !crashed.contains(p)).collect()
+    }
+
+    /// True when every non-crash fault window ends (partitions heal,
+    /// loss/dup/delay windows close): after [`Scenario::horizon`] the
+    /// network is quasi-reliable again, so validity (liveness) can be
+    /// asserted on top of safety.
+    pub fn heals(&self) -> bool {
+        self.events.iter().all(|ev| match ev {
+            ScenarioEvent::Partition { until, .. }
+            | ScenarioEvent::Lossy { until, .. }
+            | ScenarioEvent::Duplicate { until, .. }
+            | ScenarioEvent::DelaySpike { until, .. } => until.is_some(),
+            ScenarioEvent::Crash { .. } | ScenarioEvent::FalseSuspicion { .. } => true,
+        })
+    }
+
+    /// The last instant at which this scenario touches the run (crash
+    /// instants, window ends). Size run drains relative to this.
+    pub fn horizon(&self) -> VDur {
+        self.events
+            .iter()
+            .map(|ev| match ev {
+                ScenarioEvent::Crash { at, .. } => *at,
+                ScenarioEvent::Partition { from, until, .. }
+                | ScenarioEvent::Lossy { from, until, .. }
+                | ScenarioEvent::Duplicate { from, until, .. }
+                | ScenarioEvent::DelaySpike { from, until, .. } => until.unwrap_or(*from),
+                ScenarioEvent::FalseSuspicion { until, .. } => *until,
+            })
+            .fold(VDur::ZERO, |a, b| if a > b { a } else { b })
+    }
+
+    /// Draws a random scenario for a group of `n` from `seed`.
+    ///
+    /// The generator respects the model's assumptions so that safety
+    /// *and* (after healing) liveness are fair to assert: at most a
+    /// minority of processes crash, every partition heals, every
+    /// loss/duplication/delay window closes, and all fault activity
+    /// finishes by `profile.horizon`.
+    pub fn random(n: usize, seed: u64, profile: &ChaosProfile) -> Scenario {
+        assert!(n >= 2, "chaos needs at least two processes");
+        let mut rng = DetRng::derive(seed, 0xC4A05);
+        let mut s = Scenario::new();
+        let horizon_ns = profile.horizon.as_nanos();
+        let at = |rng: &mut DetRng, lo_frac: f64, hi_frac: f64| {
+            let lo = (horizon_ns as f64 * lo_frac) as u64;
+            let hi = (horizon_ns as f64 * hi_frac) as u64;
+            VDur::nanos(lo + rng.below(hi.saturating_sub(lo).max(1)))
+        };
+
+        // Crashes: a random minority subset.
+        let max_crashes = profile.max_crashes.min((n - 1) / 2);
+        let mut victims: Vec<u16> = (0..n as u16).collect();
+        for slot in 0..max_crashes {
+            if rng.unit_f64() >= profile.crash_prob {
+                continue;
+            }
+            // Pick a not-yet-crashed victim.
+            let k = slot + rng.below((victims.len() - slot) as u64) as usize;
+            victims.swap(slot, k);
+            s = s.crash(ProcessId(victims[slot]), at(&mut rng, 0.1, 0.9));
+        }
+
+        // One partition window: random proper split into two groups.
+        if n >= 3 && rng.unit_f64() < profile.partition_prob {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for p in ProcessId::all(n) {
+                if rng.below(2) == 0 {
+                    left.push(p);
+                } else {
+                    right.push(p);
+                }
+            }
+            if left.is_empty() {
+                left.push(right.pop().expect("n >= 3"));
+            } else if right.is_empty() {
+                right.push(left.pop().expect("n >= 3"));
+            }
+            let from = at(&mut rng, 0.1, 0.5);
+            let until = from + at(&mut rng, 0.1, 0.4);
+            s = s.partition(vec![left, right], from, until);
+        }
+
+        // One lossy window on a random selector.
+        if rng.unit_f64() < profile.loss_prob {
+            let link = random_selector(&mut rng, n);
+            let p = 0.05 + rng.unit_f64() * (profile.max_loss - 0.05).max(0.0);
+            let from = at(&mut rng, 0.0, 0.6);
+            let until = from + at(&mut rng, 0.1, 0.35);
+            s = s.lossy(link, p, from, until);
+        }
+
+        // One duplication window.
+        if rng.unit_f64() < profile.dup_prob {
+            let link = random_selector(&mut rng, n);
+            let p = 0.1 + rng.unit_f64() * 0.4;
+            let from = at(&mut rng, 0.0, 0.6);
+            let until = from + at(&mut rng, 0.1, 0.35);
+            s = s.duplicate(link, p, from, until);
+        }
+
+        // One delay spike (2×–20×).
+        if rng.unit_f64() < profile.delay_prob {
+            let link = random_selector(&mut rng, n);
+            let factor = 2000 + rng.below(18_000);
+            let from = at(&mut rng, 0.0, 0.6);
+            let until = from + at(&mut rng, 0.1, 0.35);
+            s = s.delay_spike(link, factor, from, until);
+        }
+
+        // One scripted false suspicion of a (possibly healthy) process.
+        if rng.unit_f64() < profile.false_suspicion_prob {
+            let observer = ProcessId(rng.below(n as u64) as u16);
+            let mut suspect = ProcessId(rng.below(n as u64) as u16);
+            if suspect == observer {
+                suspect = ProcessId((suspect.0 + 1) % n as u16);
+            }
+            let from = at(&mut rng, 0.1, 0.6);
+            let until = from + at(&mut rng, 0.05, 0.3);
+            s = s.false_suspicion(observer, suspect, from, until);
+        }
+
+        s
+    }
+}
+
+fn random_selector(rng: &mut DetRng, n: usize) -> LinkSelector {
+    let a = ProcessId(rng.below(n as u64) as u16);
+    let b = ProcessId(((a.0 as u64 + 1 + rng.below(n as u64 - 1)) % n as u64) as u16);
+    match rng.below(5) {
+        0 => LinkSelector::All,
+        1 => LinkSelector::Between(a, b),
+        2 => LinkSelector::Directed { src: a, dst: b },
+        3 => LinkSelector::From(a),
+        _ => LinkSelector::To(a),
+    }
+}
+
+/// Tunables of the random scenario generator (probabilities per fault
+/// family, horizon, crash budget).
+#[derive(Debug, Clone)]
+pub struct ChaosProfile {
+    /// All fault activity finishes by this offset.
+    pub horizon: VDur,
+    /// Upper bound on crash count (always additionally clamped to a
+    /// minority, `(n-1)/2`).
+    pub max_crashes: usize,
+    /// Probability that each allowed crash slot is used.
+    pub crash_prob: f64,
+    /// Probability of a (healing) partition window.
+    pub partition_prob: f64,
+    /// Probability of a lossy window.
+    pub loss_prob: f64,
+    /// Cap on the drop probability of lossy windows.
+    pub max_loss: f64,
+    /// Probability of a duplication window.
+    pub dup_prob: f64,
+    /// Probability of a delay-spike window.
+    pub delay_prob: f64,
+    /// Probability of a scripted false-suspicion window.
+    pub false_suspicion_prob: f64,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile {
+            horizon: VDur::secs(2),
+            max_crashes: usize::MAX,
+            crash_prob: 0.5,
+            partition_prob: 0.5,
+            loss_prob: 0.5,
+            max_loss: 0.3,
+            dup_prob: 0.35,
+            delay_prob: 0.35,
+            false_suspicion_prob: 0.35,
+        }
+    }
+}
+
+impl ChaosProfile {
+    /// A profile without crashes or permanent effects — only transient
+    /// network mischief (loss, duplication, delay, partitions).
+    pub fn network_only() -> Self {
+        ChaosProfile {
+            crash_prob: 0.0,
+            ..ChaosProfile::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events() {
+        let s = Scenario::new()
+            .crash(ProcessId(0), VDur::millis(10))
+            .partition(
+                vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+                VDur::millis(5),
+                VDur::millis(50),
+            )
+            .lossy(LinkSelector::All, 0.2, VDur::ZERO, VDur::millis(100));
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(s.crashed(), vec![ProcessId(0)]);
+        assert_eq!(s.correct(3), vec![ProcessId(1), ProcessId(2)]);
+        assert!(s.heals());
+        assert_eq!(s.horizon(), VDur::millis(100));
+    }
+
+    #[test]
+    fn permanent_partition_does_not_heal() {
+        let s = Scenario::new().partition_forever(
+            vec![vec![ProcessId(0)], vec![ProcessId(1)]],
+            VDur::millis(1),
+        );
+        assert!(!s.heals());
+    }
+
+    #[test]
+    fn random_scenarios_replay_and_respect_minority() {
+        for n in [3usize, 5, 7] {
+            for seed in 0..40u64 {
+                let a = Scenario::random(n, seed, &ChaosProfile::default());
+                let b = Scenario::random(n, seed, &ChaosProfile::default());
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "seed {seed} not reproducible"
+                );
+                assert!(
+                    a.crashed().len() <= (n - 1) / 2,
+                    "seed {seed}: {} crashes of n={n}",
+                    a.crashed().len()
+                );
+                assert!(a.heals(), "seed {seed}: generated a non-healing fault");
+                assert!(a.horizon() <= VDur::secs(2) + VDur::secs(1));
+            }
+        }
+    }
+
+    #[test]
+    fn random_scenarios_vary_with_seed() {
+        let distinct: std::collections::HashSet<String> = (0..20)
+            .map(|seed| format!("{:?}", Scenario::random(5, seed, &ChaosProfile::default())))
+            .collect();
+        assert!(
+            distinct.len() > 10,
+            "generator barely varies: {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn suspicion_windows_extracted() {
+        let s = Scenario::new().false_suspicion(
+            ProcessId(1),
+            ProcessId(0),
+            VDur::millis(10),
+            VDur::millis(20),
+        );
+        let w = s.suspicion_windows();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].observer, ProcessId(1));
+        assert_eq!(w[0].suspect, ProcessId(0));
+        assert_eq!(w[0].from, VTime::ZERO + VDur::millis(10));
+    }
+}

@@ -14,8 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod msg;
 mod module;
+pub mod msg;
 
 pub use module::{ConsensusConfig, ConsensusModule, CONSENSUS_MODULE_ID, DECISION_STREAM};
 pub use msg::{coordinator, ConsensusMsg, DecisionNotice};

@@ -119,6 +119,10 @@ pub struct ConsensusModule {
     decided_log: OriginLog,
     decisions: BTreeMap<u64, Batch>,
     suspected: HashSet<ProcessId>,
+    /// Rate limiter for gap recovery requests.
+    last_gap_request: VTime,
+    /// Highest instance number observed in any peer message.
+    highest_seen: u64,
 }
 
 impl ConsensusModule {
@@ -130,6 +134,8 @@ impl ConsensusModule {
             decided_log: OriginLog::default(),
             decisions: BTreeMap::new(),
             suspected: HashSet::new(),
+            last_gap_request: VTime::ZERO,
+            highest_seen: 0,
         }
     }
 
@@ -157,6 +163,39 @@ impl ConsensusModule {
         ctx.raise(Event::Decide { instance, value });
     }
 
+    /// Seeing traffic for instance `seen` while older instances are
+    /// still undecided means we missed decisions (partition, loss, a
+    /// long suspicion): pull a bounded batch of them from the process we
+    /// heard from. Without this, a healed process recovers only one
+    /// instance per progress-timeout and can lag arbitrarily far behind.
+    fn maybe_request_gap(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, seen: u64) {
+        self.highest_seen = self.highest_seen.max(seen);
+        let watermark = self.decided_log.watermark();
+        if seen <= watermark || from == ctx.pid() {
+            return;
+        }
+        let now = ctx.now();
+        if now.since(self.last_gap_request) < VDur::millis(50) {
+            return;
+        }
+        self.last_gap_request = now;
+        self.request_gap_batch(ctx, from, seen);
+    }
+
+    /// Pulls a bounded batch of missing decisions (lowest undecided
+    /// first) from `from`.
+    fn request_gap_batch(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, seen: u64) {
+        const MAX_BATCH: u64 = 8;
+        let watermark = self.decided_log.watermark();
+        for instance in watermark..seen.min(watermark + MAX_BATCH) {
+            if !self.is_decided(instance) {
+                ctx.bump("consensus.gap_requests", 1);
+                let msg = ConsensusMsg::DecisionRequest { instance };
+                ctx.send_net(from, "consensus.decision_request", encode(&msg));
+            }
+        }
+    }
+
     /// Coordinator-side: a majority acked our proposal — decide and
     /// disseminate.
     fn try_conclude(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64) {
@@ -171,7 +210,11 @@ impl ConsensusModule {
         let value = inst.estimate.clone().unwrap_or_default();
         // Round-0 decisions ride as a tiny DECISION tag; later rounds
         // ship the full value (receivers may lack the proposal).
-        let full = if round == 0 { None } else { Some(value.clone()) };
+        let full = if round == 0 {
+            None
+        } else {
+            Some(value.clone())
+        };
         let notice = DecisionNotice {
             instance,
             round,
@@ -193,10 +236,7 @@ impl ConsensusModule {
             return;
         };
         let round = inst.round;
-        if coordinator(round, n) != me
-            || round == 0
-            || inst.proposal_sent_round == Some(round)
-        {
+        if coordinator(round, n) != me || round == 0 || inst.proposal_sent_round == Some(round) {
             return;
         }
         let count = inst
@@ -326,6 +366,7 @@ impl ConsensusModule {
             ctx.bump("consensus.bogus_proposals", 1);
             return; // only the round's coordinator may propose
         }
+        self.maybe_request_gap(ctx, from, instance);
         if self.is_decided(instance) {
             // Help a lagging coordinator conclude.
             if let Some(v) = self.decisions.get(&instance) {
@@ -414,7 +455,13 @@ impl ConsensusModule {
         self.try_propose_from_estimates(ctx, instance);
     }
 
-    fn on_net_ack(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, instance: u64, round: u32) {
+    fn on_net_ack(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        from: ProcessId,
+        instance: u64,
+        round: u32,
+    ) {
         if self.is_decided(instance) {
             return;
         }
@@ -428,7 +475,15 @@ impl ConsensusModule {
         self.try_conclude(ctx, instance);
     }
 
-    fn on_notice(&mut self, ctx: &mut FrameworkCtx<'_, '_>, origin: ProcessId, notice: DecisionNotice) {
+    fn on_notice(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        origin: ProcessId,
+        notice: DecisionNotice,
+    ) {
+        if origin != ctx.pid() {
+            self.maybe_request_gap(ctx, origin, notice.instance);
+        }
         if self.is_decided(notice.instance) {
             return;
         }
@@ -574,7 +629,21 @@ impl Microprotocol for ConsensusModule {
                 }
             }
             ConsensusMsg::DecisionFull { instance, value } => {
+                self.highest_seen = self.highest_seen.max(instance);
                 self.decide_local(ctx, instance, value);
+                // Chained catch-up (see `maybe_request_gap`): while still
+                // behind, pull the next batch at near round-trip pace. A
+                // short rate limit stops a batch's several replies from
+                // re-requesting the same range.
+                let now = ctx.now();
+                let watermark = self.decided_log.watermark();
+                if self.highest_seen > watermark
+                    && now.since(self.last_gap_request) >= VDur::millis(5)
+                {
+                    self.last_gap_request = now;
+                    let hi = self.highest_seen;
+                    self.request_gap_batch(ctx, from, hi);
+                }
             }
         }
     }

@@ -194,7 +194,10 @@ mod tests {
                 value: batch(),
                 ts: 1,
             },
-            ConsensusMsg::Ack { instance: 5, round: 1 },
+            ConsensusMsg::Ack {
+                instance: 5,
+                round: 1,
+            },
             ConsensusMsg::DecisionRequest { instance: 6 },
             ConsensusMsg::DecisionFull {
                 instance: 7,

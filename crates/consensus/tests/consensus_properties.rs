@@ -7,9 +7,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use fortika_consensus::{ConsensusConfig, ConsensusModule};
 use fortika_fd::{FdConfig, FdEvent, FdModule, HeartbeatFd, ScriptedFd};
-use fortika_framework::{
-    CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId,
-};
+use fortika_framework::{CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::{
     AppMsg, Batch, Cluster, ClusterConfig, CostModel, MsgId, NetModel, Node, ProcessId, TimerId,
 };
@@ -70,11 +68,7 @@ fn fd_cfg() -> FdConfig {
 
 /// Builds an n-process cluster of [Driver | Consensus | Rbcast | FD]
 /// stacks; `proposals[p]` is the proposal schedule of process `p`.
-fn build(
-    n: usize,
-    proposals: Vec<Vec<(u64, Batch, VDur)>>,
-    seed: u64,
-) -> (Cluster, DecisionLog) {
+fn build(n: usize, proposals: Vec<Vec<(u64, Batch, VDur)>>, seed: u64) -> (Cluster, DecisionLog) {
     let log: DecisionLog = Default::default();
     let nodes: Vec<Box<dyn Node>> = (0..n)
         .map(|i| {
@@ -85,7 +79,11 @@ fn build(
                 }),
                 Box::new(ConsensusModule::new(ConsensusConfig::default())),
                 Box::new(RbcastModule::new(RbcastConfig::default())),
-                Box::new(FdModule::new(HeartbeatFd::new(n, ProcessId(i as u16), fd_cfg()))),
+                Box::new(FdModule::new(HeartbeatFd::new(
+                    n,
+                    ProcessId(i as u16),
+                    fd_cfg(),
+                ))),
             ])) as Box<dyn Node>
         })
         .collect();
@@ -151,7 +149,10 @@ fn good_run_message_pattern_matches_paper() {
     assert_eq!(c.kind("consensus.proposal").msgs, 2);
     assert_eq!(c.kind("consensus.ack").msgs, 2);
     let rb = c.kind("rb.initial").msgs + c.kind("rb.relay").msgs + c.kind("rb.flood").msgs;
-    assert_eq!(rb, 4, "decision rbcast should cost (n-1)*floor((n+1)/2) = 4");
+    assert_eq!(
+        rb, 4,
+        "decision rbcast should cost (n-1)*floor((n+1)/2) = 4"
+    );
     assert_eq!(c.kind("consensus.estimate").msgs, 0);
 }
 
@@ -217,7 +218,11 @@ fn coordinator_crash_mid_proposal_preserves_agreement() {
                 }),
                 Box::new(ConsensusModule::new(ConsensusConfig::default())),
                 Box::new(RbcastModule::new(RbcastConfig::default())),
-                Box::new(FdModule::new(HeartbeatFd::new(n, ProcessId(i as u16), fd_cfg()))),
+                Box::new(FdModule::new(HeartbeatFd::new(
+                    n,
+                    ProcessId(i as u16),
+                    fd_cfg(),
+                ))),
             ])) as Box<dyn Node>
         })
         .collect();
@@ -251,12 +256,22 @@ fn false_suspicion_does_not_violate_agreement() {
         .map(|i| {
             let fd: Box<dyn Microprotocol> = if i == 2 {
                 let script = vec![
-                    (VTime::ZERO + VDur::millis(2), FdEvent::Suspect(ProcessId(0))),
-                    (VTime::ZERO + VDur::millis(400), FdEvent::Restore(ProcessId(0))),
+                    (
+                        VTime::ZERO + VDur::millis(2),
+                        FdEvent::Suspect(ProcessId(0)),
+                    ),
+                    (
+                        VTime::ZERO + VDur::millis(400),
+                        FdEvent::Restore(ProcessId(0)),
+                    ),
                 ];
                 Box::new(FdModule::new(ScriptedFd::new(n, script, VDur::millis(1))))
             } else {
-                Box::new(FdModule::new(HeartbeatFd::new(n, ProcessId(i as u16), fd_cfg())))
+                Box::new(FdModule::new(HeartbeatFd::new(
+                    n,
+                    ProcessId(i as u16),
+                    fd_cfg(),
+                )))
             };
             Box::new(CompositeStack::new(vec![
                 Box::new(Driver {
@@ -283,7 +298,11 @@ fn single_process_group_decides_immediately() {
     let (mut cluster, log) = build(1, proposals, 6);
     cluster.run_idle(VTime::ZERO + VDur::secs(1));
     assert_uniform_agreement(&log, 0, 1);
-    assert_eq!(cluster.counters().total_msgs(), 0, "n=1 should send nothing");
+    assert_eq!(
+        cluster.counters().total_msgs(),
+        0,
+        "n=1 should send nothing"
+    );
 }
 
 #[test]

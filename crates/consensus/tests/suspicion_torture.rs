@@ -7,9 +7,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use fortika_consensus::{ConsensusConfig, ConsensusModule};
 use fortika_fd::{FdConfig, FdEvent, FdModule, HeartbeatFd, ScriptedFd};
-use fortika_framework::{
-    CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId,
-};
+use fortika_framework::{CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::{AppMsg, Batch, Cluster, ClusterConfig, MsgId, Node, ProcessId, TimerId};
 use fortika_rbcast::{RbcastConfig, RbcastModule};
 use fortika_sim::{VDur, VTime};
@@ -91,7 +89,10 @@ fn rotating_false_suspicions_never_break_agreement() {
             let mut script = Vec::new();
             let mut t = 10 + 17 * i as u64;
             while t < 2_000 {
-                script.push((VTime::ZERO + VDur::millis(t), FdEvent::Suspect(ProcessId(0))));
+                script.push((
+                    VTime::ZERO + VDur::millis(t),
+                    FdEvent::Suspect(ProcessId(0)),
+                ));
                 script.push((
                     VTime::ZERO + VDur::millis(t + 13),
                     FdEvent::Restore(ProcessId(0)),
@@ -142,7 +143,11 @@ fn cascading_coordinator_crashes() {
                 }),
                 Box::new(ConsensusModule::new(ConsensusConfig::default())),
                 Box::new(RbcastModule::new(RbcastConfig::default())),
-                Box::new(FdModule::new(HeartbeatFd::new(n, ProcessId(i as u16), fd_cfg.clone()))),
+                Box::new(FdModule::new(HeartbeatFd::new(
+                    n,
+                    ProcessId(i as u16),
+                    fd_cfg.clone(),
+                ))),
             ])) as Box<dyn Node>
         })
         .collect();
@@ -170,10 +175,22 @@ fn long_isolated_laggard_catches_up() {
             // restores — its estimates went nowhere meanwhile.
             let script = if i == 2 {
                 vec![
-                    (VTime::ZERO + VDur::millis(1), FdEvent::Suspect(ProcessId(0))),
-                    (VTime::ZERO + VDur::millis(1), FdEvent::Suspect(ProcessId(1))),
-                    (VTime::ZERO + VDur::millis(1500), FdEvent::Restore(ProcessId(0))),
-                    (VTime::ZERO + VDur::millis(1500), FdEvent::Restore(ProcessId(1))),
+                    (
+                        VTime::ZERO + VDur::millis(1),
+                        FdEvent::Suspect(ProcessId(0)),
+                    ),
+                    (
+                        VTime::ZERO + VDur::millis(1),
+                        FdEvent::Suspect(ProcessId(1)),
+                    ),
+                    (
+                        VTime::ZERO + VDur::millis(1500),
+                        FdEvent::Restore(ProcessId(0)),
+                    ),
+                    (
+                        VTime::ZERO + VDur::millis(1500),
+                        FdEvent::Restore(ProcessId(1)),
+                    ),
                 ]
             } else {
                 Vec::new()

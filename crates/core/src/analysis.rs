@@ -81,8 +81,8 @@ mod tests {
         for n in [3usize, 5, 7, 9] {
             let m = 4;
             let l = 1024;
-            let ratio =
-                (modular_data(n, m, l) as f64 - monolithic_data(n, m, l)) / monolithic_data(n, m, l);
+            let ratio = (modular_data(n, m, l) as f64 - monolithic_data(n, m, l))
+                / monolithic_data(n, m, l);
             assert!(
                 (ratio - modularity_overhead(n)).abs() < 1e-9,
                 "n={n}: {ratio} vs {}",

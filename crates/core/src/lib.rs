@@ -48,11 +48,15 @@ pub mod workload;
 
 pub use flow::{FlowControlModule, FLOW_MODULE_ID};
 pub use runner::{Experiment, ExperimentBuilder, LatencySummary, RunReport, Summary};
-pub use stack::{build_node, build_nodes, StackConfig, StackKind};
+pub use stack::{
+    build_node, build_node_with_windows, build_nodes, build_nodes_with_windows, StackConfig,
+    StackKind,
+};
 pub use workload::{ArrivalProcess, Workload, WorkloadDriver};
 
 // Re-export the pieces callers need to configure experiments without
 // importing every workspace crate.
+pub use fortika_chaos::{ChaosProfile, DeliveryOracle, OracleReport, Scenario, Violation};
 pub use fortika_fd::FdConfig;
 pub use fortika_mono::MonoOptimizations;
 pub use fortika_net::{ClusterConfig, CostModel, NetModel};

@@ -2,11 +2,14 @@
 //! workload; a summary = several runs (seeds) combined with 95 %
 //! confidence intervals, as the paper reports.
 
-use fortika_net::{Cluster, ClusterConfig, CostModel, Counters, NetModel, ProcessId};
+use fortika_chaos::{DeliveryOracle, OracleReport, Scenario};
+use fortika_net::{
+    Cluster, ClusterApi, ClusterConfig, CostModel, Counters, Delivery, Harness, NetModel, ProcessId,
+};
 use fortika_sim::stats::{mean_ci95, MeanCi};
 use fortika_sim::{VDur, VTime};
 
-use crate::stack::{build_nodes, StackConfig, StackKind};
+use crate::stack::{build_nodes_with_windows, StackConfig, StackKind};
 use crate::workload::{Workload, WorkloadDriver};
 
 /// Everything needed to run one experiment configuration.
@@ -22,6 +25,7 @@ pub struct Experiment {
     warmup: VDur,
     measure: VDur,
     drain: VDur,
+    scenario: Option<Scenario>,
 }
 
 /// Builder for [`Experiment`] (see [`Experiment::builder`]).
@@ -47,17 +51,32 @@ impl Experiment {
                 warmup: VDur::millis(1500),
                 measure: VDur::secs(3),
                 drain: VDur::millis(500),
+                scenario: None,
             },
         }
     }
 
     /// Runs the experiment once and reports the window metrics.
+    ///
+    /// With a [`Scenario`] attached, its faults are scheduled before the
+    /// run, scripted suspicion windows are wired into every failure
+    /// detector, the drain is stretched past the scenario horizon, and
+    /// the delivery-invariant oracle audits every `adeliver` — safety
+    /// violations land in [`RunReport::oracle`].
     pub fn run(&mut self) -> RunReport {
         let mut cluster_cfg = ClusterConfig::new(self.n, self.seed);
         cluster_cfg.net = self.net.clone();
         cluster_cfg.cost = self.cost.clone();
-        let nodes = build_nodes(self.kind, self.n, &self.stack);
+        let windows = self
+            .scenario
+            .as_ref()
+            .map(|s| s.suspicion_windows())
+            .unwrap_or_default();
+        let nodes = build_nodes_with_windows(self.kind, self.n, &self.stack, &windows);
         let mut cluster = Cluster::new(cluster_cfg, nodes);
+        if let Some(scenario) = &self.scenario {
+            scenario.apply(&mut cluster);
+        }
 
         let window_start = VTime::ZERO + self.warmup;
         let window_end = window_start + self.measure;
@@ -69,22 +88,39 @@ impl Experiment {
             self.seed,
         );
         driver.start(&mut cluster);
+        // Record deliveries for the oracle only when a scenario asked
+        // for an audit — plain benchmark runs skip the bookkeeping.
+        let mut oracle = self.scenario.as_ref().map(|_| DeliveryOracle::new(self.n));
+        let mut tap = OracleTap {
+            driver: &mut driver,
+            oracle: oracle.as_mut(),
+        };
 
         // Warm-up.
-        cluster.run_until(window_start, &mut driver);
+        cluster.run_until(window_start, &mut tap);
         let counters_at_start = cluster.counters().clone();
         let busy_at_start: Vec<VDur> = ProcessId::all(self.n)
             .map(|p| cluster.cpu_busy(p))
             .collect();
 
         // Measurement window + drain (so in-flight messages complete).
-        cluster.run_until(window_end, &mut driver);
+        cluster.run_until(window_end, &mut tap);
         let counters_at_end = cluster.counters().clone();
         let busy_at_end: Vec<VDur> = ProcessId::all(self.n)
             .map(|p| cluster.cpu_busy(p))
             .collect();
-        cluster.run_until(window_end + self.drain, &mut driver);
+        // Under a scenario, drain past the last fault plus a margin so
+        // healing (and post-heal catch-up) happens inside the run.
+        let mut end_of_drain = window_end + self.drain;
+        if let Some(scenario) = &self.scenario {
+            end_of_drain = end_of_drain.max(VTime::ZERO + scenario.horizon() + VDur::secs(1));
+        }
+        cluster.run_until(end_of_drain, &mut tap);
 
+        let oracle_report = self.scenario.as_ref().and_then(|scenario| {
+            let correct = scenario.correct(self.n);
+            oracle.as_ref().map(|o| o.check(&correct))
+        });
         let stats = driver.finish();
         let secs = self.measure.as_secs_f64();
         let per_proc_rates: Vec<f64> = stats
@@ -142,7 +178,11 @@ impl Experiment {
             admitted_in_window: stats.admitted,
             lost_samples: stats.lost_samples,
             instances_per_proc: decided,
-            avg_batch_m: if decided > 0.0 { delivered / decided } else { 0.0 },
+            avg_batch_m: if decided > 0.0 {
+                delivered / decided
+            } else {
+                0.0
+            },
             msgs_in_window: msgs,
             bytes_in_window: bytes,
             msgs_per_instance: if decided > 0.0 {
@@ -158,6 +198,7 @@ impl Experiment {
             max_cpu_utilization: utilization.iter().cloned().fold(0.0, f64::max),
             mean_cpu_utilization: utilization.iter().sum::<f64>() / self.n as f64,
             counters: window,
+            oracle: oracle_report,
         }
     }
 
@@ -201,6 +242,15 @@ impl ExperimentBuilder {
     /// Overrides the stack configuration (flow window, FD, ablations…).
     pub fn stack_config(mut self, cfg: StackConfig) -> Self {
         self.inner.stack = cfg;
+        self
+    }
+
+    /// Attaches a fault [`Scenario`]: its crashes, link faults and
+    /// scripted suspicions run against this experiment, and the
+    /// delivery-invariant oracle audits the run (see
+    /// [`RunReport::oracle`]).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.inner.scenario = Some(scenario);
         self
     }
 
@@ -284,6 +334,51 @@ pub struct RunReport {
     pub mean_cpu_utilization: f64,
     /// Counter deltas over the window (heartbeats included).
     pub counters: Counters,
+    /// Delivery-invariant audit of the whole run (present when a
+    /// [`Scenario`] was attached): safety checks — uniform agreement,
+    /// total order, integrity, prefix-consistency of crashed processes —
+    /// over every `adeliver` from start to drain.
+    pub oracle: Option<OracleReport>,
+}
+
+/// Forwards workload callbacks while teeing every delivery into the
+/// oracle (when one is attached).
+struct OracleTap<'a> {
+    driver: &'a mut WorkloadDriver,
+    oracle: Option<&'a mut DeliveryOracle>,
+}
+
+impl OracleTap<'_> {
+    /// Hands freshly accepted ids to the oracle (arming its
+    /// unknown-delivery integrity check); with no oracle the ids are
+    /// simply discarded so the driver's buffer stays empty.
+    fn sync_submissions(&mut self) {
+        let ids = self.driver.drain_accepted_ids();
+        if let Some(oracle) = self.oracle.as_deref_mut() {
+            for id in ids {
+                oracle.note_submission(id);
+            }
+        }
+    }
+}
+
+impl Harness for OracleTap<'_> {
+    fn on_delivery(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
+        if let Some(oracle) = self.oracle.as_deref_mut() {
+            oracle.record(pid, d.msg, at);
+        }
+        self.driver.on_delivery(api, pid, d, at);
+    }
+
+    fn on_app_ready(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, at: VTime) {
+        self.driver.on_app_ready(api, pid, at);
+        self.sync_submissions();
+    }
+
+    fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, at: VTime) {
+        self.driver.on_tick(api, tick, at);
+        self.sync_submissions();
+    }
 }
 
 /// Metrics combined over several runs (seeds), with Student-t 95 %

@@ -3,7 +3,7 @@
 
 use fortika_abcast::{AbcastConfig, AbcastModule};
 use fortika_consensus::{ConsensusConfig, ConsensusModule};
-use fortika_fd::{FdConfig, FdModule, HeartbeatFd};
+use fortika_fd::{FdConfig, FdModule, HeartbeatFd, OverlayFd, SuspicionWindow};
 use fortika_framework::CompositeStack;
 use fortika_mono::{MonoConfig, MonoNode, MonoOptimizations};
 use fortika_net::{Node, ProcessId};
@@ -65,24 +65,50 @@ impl Default for StackConfig {
 
 /// Builds one process's stack of the requested kind.
 pub fn build_node(kind: StackKind, n: usize, me: ProcessId, cfg: &StackConfig) -> Box<dyn Node> {
+    build_node_with_windows(kind, n, me, cfg, Vec::new())
+}
+
+/// Builds one process's stack with scripted false-suspicion windows
+/// overlaid on its failure detector (the `fortika-chaos` hook; an empty
+/// `windows` is exactly [`build_node`]).
+pub fn build_node_with_windows(
+    kind: StackKind,
+    n: usize,
+    me: ProcessId,
+    cfg: &StackConfig,
+    windows: Vec<SuspicionWindow>,
+) -> Box<dyn Node> {
+    let heartbeat = HeartbeatFd::new(n, me, cfg.fd.clone());
+    // Only chaos runs pay for the overlay: windows relevant to this
+    // process wrap the detector, everything else runs the bare core.
+    let wraps = windows.iter().any(|w| w.observer == me);
     match kind {
-        StackKind::Modular => Box::new(CompositeStack::new(vec![
-            Box::new(FlowControlModule::new(cfg.window)),
-            Box::new(AbcastModule::new(cfg.abcast.clone())),
-            Box::new(ConsensusModule::new(cfg.consensus.clone())),
-            Box::new(RbcastModule::new(cfg.rbcast.clone())),
-            Box::new(FdModule::new(HeartbeatFd::new(n, me, cfg.fd.clone()))),
-        ])),
+        StackKind::Modular => {
+            let fd_module: Box<dyn fortika_framework::Microprotocol> = if wraps {
+                Box::new(FdModule::new(OverlayFd::new(n, me, heartbeat, windows)))
+            } else {
+                Box::new(FdModule::new(heartbeat))
+            };
+            Box::new(CompositeStack::new(vec![
+                Box::new(FlowControlModule::new(cfg.window)),
+                Box::new(AbcastModule::new(cfg.abcast.clone())),
+                Box::new(ConsensusModule::new(cfg.consensus.clone())),
+                Box::new(RbcastModule::new(cfg.rbcast.clone())),
+                fd_module,
+            ]))
+        }
         StackKind::Monolithic => {
             let mono_cfg = MonoConfig {
                 opts: cfg.mono_opts,
                 window: cfg.window,
                 ..MonoConfig::default()
             };
-            Box::new(MonoNode::new(
-                mono_cfg,
-                Box::new(HeartbeatFd::new(n, me, cfg.fd.clone())),
-            ))
+            let fd: Box<dyn fortika_fd::FailureDetector> = if wraps {
+                Box::new(OverlayFd::new(n, me, heartbeat, windows))
+            } else {
+                Box::new(heartbeat)
+            };
+            Box::new(MonoNode::new(mono_cfg, fd))
         }
     }
 }
@@ -91,5 +117,18 @@ pub fn build_node(kind: StackKind, n: usize, me: ProcessId, cfg: &StackConfig) -
 pub fn build_nodes(kind: StackKind, n: usize, cfg: &StackConfig) -> Vec<Box<dyn Node>> {
     ProcessId::all(n)
         .map(|me| build_node(kind, n, me, cfg))
+        .collect()
+}
+
+/// Builds the whole cluster's nodes with the scenario's scripted
+/// suspicion windows wired into every failure detector.
+pub fn build_nodes_with_windows(
+    kind: StackKind,
+    n: usize,
+    cfg: &StackConfig,
+    windows: &[SuspicionWindow],
+) -> Vec<Box<dyn Node>> {
+    ProcessId::all(n)
+        .map(|me| build_node_with_windows(kind, n, me, cfg, windows.to_vec()))
         .collect()
 }

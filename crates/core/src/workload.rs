@@ -18,9 +18,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use fortika_net::{
-    Admission, AppMsg, AppRequest, ClusterApi, Delivery, Harness, MsgId, ProcessId,
-};
+use fortika_net::{Admission, AppMsg, AppRequest, ClusterApi, Delivery, Harness, MsgId, ProcessId};
 use fortika_sim::stats::{Histogram, Welford};
 use fortika_sim::{DetRng, VDur, VTime};
 
@@ -124,6 +122,12 @@ pub struct WorkloadDriver {
     delivered_per_proc: Vec<u64>,
     admitted: u64,
     payload: Bytes,
+    /// Accepted ids not yet handed to [`drain_accepted_ids`]
+    /// (consumed by the runner's oracle tap; drained either way so it
+    /// stays small).
+    ///
+    /// [`drain_accepted_ids`]: Self::drain_accepted_ids
+    accepted_ids: Vec<MsgId>,
 }
 
 impl WorkloadDriver {
@@ -163,7 +167,14 @@ impl WorkloadDriver {
             delivered_per_proc: vec![0; n],
             admitted: 0,
             payload,
+            accepted_ids: Vec::new(),
         }
+    }
+
+    /// Drains the ids accepted since the last call (the runner's oracle
+    /// tap feeds these to the integrity checker).
+    pub fn drain_accepted_ids(&mut self) -> std::vec::Drain<'_, MsgId> {
+        self.accepted_ids.drain(..)
     }
 
     /// The next inter-arrival gap for one sender.
@@ -221,6 +232,7 @@ impl WorkloadDriver {
                 if t0 >= self.window_start && t0 <= self.window_end {
                     self.admitted += 1;
                 }
+                self.accepted_ids.push(msg.id);
                 self.pending.insert(
                     msg.id,
                     PendingMsg {

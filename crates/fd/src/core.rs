@@ -29,6 +29,14 @@ pub trait FailureDetector {
     /// How often [`tick`](Self::tick) should run; `None` disables ticking.
     fn tick_interval(&self) -> Option<VDur>;
 
+    /// How often the host should emit heartbeats. Defaults to the tick
+    /// interval; detectors that tick faster than they want heartbeats
+    /// sent (e.g. fine-grained chaos overlays) override this so the
+    /// host's heartbeat cadence stays decoupled from polling.
+    fn heartbeat_interval(&self) -> Option<VDur> {
+        self.tick_interval()
+    }
+
     /// Whether this detector requires the host to emit heartbeats.
     fn sends_heartbeats(&self) -> bool;
 
@@ -312,8 +320,14 @@ mod tests {
     #[test]
     fn scripted_fd_follows_schedule() {
         let script = vec![
-            (VTime::ZERO + VDur::millis(10), FdEvent::Suspect(ProcessId(0))),
-            (VTime::ZERO + VDur::millis(30), FdEvent::Restore(ProcessId(0))),
+            (
+                VTime::ZERO + VDur::millis(10),
+                FdEvent::Suspect(ProcessId(0)),
+            ),
+            (
+                VTime::ZERO + VDur::millis(30),
+                FdEvent::Restore(ProcessId(0)),
+            ),
         ];
         let mut fd = ScriptedFd::new(2, script, VDur::millis(1));
         let mut out = Vec::new();
@@ -332,8 +346,14 @@ mod tests {
     fn scripted_fd_dedups_redundant_transitions() {
         let script = vec![
             (VTime::ZERO, FdEvent::Restore(ProcessId(1))), // already unsuspected
-            (VTime::ZERO + VDur::millis(1), FdEvent::Suspect(ProcessId(1))),
-            (VTime::ZERO + VDur::millis(2), FdEvent::Suspect(ProcessId(1))),
+            (
+                VTime::ZERO + VDur::millis(1),
+                FdEvent::Suspect(ProcessId(1)),
+            ),
+            (
+                VTime::ZERO + VDur::millis(2),
+                FdEvent::Suspect(ProcessId(1)),
+            ),
         ];
         let mut fd = ScriptedFd::new(2, script, VDur::millis(1));
         let mut out = Vec::new();

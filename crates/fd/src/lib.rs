@@ -10,6 +10,8 @@
 //! * [`QuiescentFd`] — never suspects; zero traffic (micro-benchmarks).
 //! * [`ScriptedFd`] — replays a pre-programmed suspicion schedule
 //!   (fault injection for the correctness test-suite).
+//! * [`OverlayFd`] — forces scripted false-suspicion windows *on top of*
+//!   a live detector (the `fortika-chaos` scenario hook).
 //! * [`FdModule`] — framework adapter used by the modular stack. The
 //!   monolithic stack embeds a core directly, so both stacks share
 //!   identical detector behaviour.
@@ -22,6 +24,8 @@
 
 mod core;
 mod module;
+mod overlay;
 
 pub use crate::core::{FailureDetector, FdConfig, FdEvent, HeartbeatFd, QuiescentFd, ScriptedFd};
 pub use module::{FdModule, FD_MODULE_ID};
+pub use overlay::{OverlayFd, SuspicionWindow};

@@ -17,6 +17,7 @@ const TIMER_TICK: u64 = 1;
 pub struct FdModule<T> {
     core: T,
     scratch: Vec<FdEvent>,
+    last_heartbeat: Option<fortika_sim::VTime>,
 }
 
 impl<T: FailureDetector> FdModule<T> {
@@ -25,6 +26,7 @@ impl<T: FailureDetector> FdModule<T> {
         FdModule {
             core,
             scratch: Vec::new(),
+            last_heartbeat: None,
         }
     }
 
@@ -77,8 +79,19 @@ impl<T: FailureDetector> Microprotocol for FdModule<T> {
         if tag != TIMER_TICK {
             return;
         }
+        // Heartbeats go out on the core's heartbeat cadence, which may
+        // be coarser than the polling tick (chaos overlays tick fast to
+        // fire their windows promptly without inflating traffic).
         if self.core.sends_heartbeats() {
-            ctx.broadcast_net("fd.heartbeat", Bytes::new());
+            let now = ctx.now();
+            let due = match (self.last_heartbeat, self.core.heartbeat_interval()) {
+                (Some(last), Some(interval)) => now.since(last) >= interval,
+                _ => true,
+            };
+            if due {
+                self.last_heartbeat = Some(now);
+                ctx.broadcast_net("fd.heartbeat", Bytes::new());
+            }
         }
         self.core.tick(ctx.now(), &mut self.scratch);
         Self::flush(ctx, &mut self.scratch);
@@ -111,7 +124,11 @@ mod tests {
         fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
             match ev {
                 Event::Suspect(p) => ctx.bump(
-                    if *p == ProcessId(0) { "probe.suspect.p1" } else { "probe.suspect.other" },
+                    if *p == ProcessId(0) {
+                        "probe.suspect.p1"
+                    } else {
+                        "probe.suspect.other"
+                    },
                     1,
                 ),
                 Event::Restore(_) => ctx.bump("probe.restore", 1),
@@ -157,8 +174,14 @@ mod tests {
     #[test]
     fn scripted_injection_raises_and_restores() {
         let script = vec![
-            (VTime::ZERO + VDur::millis(100), FdEvent::Suspect(ProcessId(1))),
-            (VTime::ZERO + VDur::millis(200), FdEvent::Restore(ProcessId(1))),
+            (
+                VTime::ZERO + VDur::millis(100),
+                FdEvent::Suspect(ProcessId(1)),
+            ),
+            (
+                VTime::ZERO + VDur::millis(200),
+                FdEvent::Restore(ProcessId(1)),
+            ),
         ];
         let stack: Box<dyn Node> = Box::new(CompositeStack::new(vec![
             Box::new(Probe),

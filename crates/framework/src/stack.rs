@@ -55,7 +55,11 @@ pub trait Microprotocol {
 
     /// Offered each application request, top module first; the first
     /// module returning `Some` decides admission.
-    fn on_request(&mut self, ctx: &mut FrameworkCtx<'_, '_>, req: &AppRequest) -> Option<Admission> {
+    fn on_request(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        req: &AppRequest,
+    ) -> Option<Admission> {
         let _ = (ctx, req);
         None
     }
@@ -98,7 +102,8 @@ impl FrameworkCtx<'_, '_> {
     /// The framework prepends the 2-byte module id; `kind` tags the
     /// message for traffic accounting.
     pub fn send_net(&mut self, dst: ProcessId, kind: &'static str, payload: Bytes) {
-        self.node.send(dst, kind, envelope(self.module_id, &payload));
+        self.node
+            .send(dst, kind, envelope(self.module_id, &payload));
     }
 
     /// Sends the same payload to every other process (n−1 unicasts).
@@ -330,7 +335,11 @@ mod tests {
                 ctx.bump("top.adelivered", ids.len() as u64);
             }
         }
-        fn on_request(&mut self, ctx: &mut FrameworkCtx<'_, '_>, req: &AppRequest) -> Option<Admission> {
+        fn on_request(
+            &mut self,
+            ctx: &mut FrameworkCtx<'_, '_>,
+            req: &AppRequest,
+        ) -> Option<Admission> {
             let AppRequest::Abcast(m) = req;
             ctx.raise(Event::AbcastRequest(m.clone()));
             Some(Admission::Accepted)

@@ -5,9 +5,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use fortika_framework::{
-    CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId,
-};
+use fortika_framework::{CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::{
     Admission, AppMsg, AppRequest, Cluster, ClusterConfig, MsgId, Node, ProcessId, TimerId,
 };
@@ -85,10 +83,7 @@ fn events_dispatch_fifo_across_chained_raises() {
         id: 1,
         subs: &[EventKind::AbcastRequest],
         trace: trace.clone(),
-        chain: vec![
-            Event::Adelivered(vec![]),
-            Event::Suspect(ProcessId(1)),
-        ],
+        chain: vec![Event::Adelivered(vec![]), Event::Suspect(ProcessId(1))],
         claims_requests: true,
     };
     let b = Tracer {
@@ -107,8 +102,11 @@ fn events_dispatch_fifo_across_chained_raises() {
         chain: vec![],
         claims_requests: false,
     };
-    let stack: Box<dyn Node> =
-        Box::new(CompositeStack::new(vec![Box::new(a), Box::new(b), Box::new(c)]));
+    let stack: Box<dyn Node> = Box::new(CompositeStack::new(vec![
+        Box::new(a),
+        Box::new(b),
+        Box::new(c),
+    ]));
     let mut cluster = Cluster::new(ClusterConfig::instant(1, 1), vec![stack]);
     cluster.run_idle(VTime::ZERO);
     cluster.submit(ProcessId(0), AppRequest::Abcast(msg()));

@@ -285,7 +285,9 @@ mod tests {
                 round: 0,
                 msgs: vec![msg(2, 0), msg(2, 1)],
             },
-            MonoMsg::Forward { msgs: vec![msg(1, 0)] },
+            MonoMsg::Forward {
+                msgs: vec![msg(1, 0)],
+            },
             MonoMsg::Diffuse { msg: msg(0, 9) },
             MonoMsg::Estimate {
                 instance: 3,

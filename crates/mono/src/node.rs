@@ -31,11 +31,11 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use fortika_fd::{FailureDetector, FdEvent};
+use fortika_net::flow::FlowWindow;
 use fortika_net::wire::{decode, encode};
 use fortika_net::{
     Admission, AppMsg, AppRequest, Batch, MsgId, Node, NodeCtx, ProcessId, TimerId, WatermarkSet,
 };
-use fortika_net::flow::FlowWindow;
 use fortika_sim::{VDur, VTime};
 
 use crate::msg::{decision_full, Decision, MonoMsg, Proposal};
@@ -163,6 +163,13 @@ pub struct MonoNode {
     instances: BTreeMap<u64, Inst>,
     last_progress: VTime,
     last_recovery_request: VTime,
+    /// Highest instance number observed in any peer message — when it
+    /// runs ahead of `next_decide`, decisions were missed (partition,
+    /// loss) and gap recovery engages.
+    highest_seen_instance: u64,
+    /// Last heartbeat broadcast (the FD may tick faster than it wants
+    /// heartbeats sent — e.g. chaos overlays).
+    last_heartbeat: Option<VTime>,
 }
 
 impl MonoNode {
@@ -185,6 +192,8 @@ impl MonoNode {
             instances: BTreeMap::new(),
             last_progress: VTime::ZERO,
             last_recovery_request: VTime::ZERO,
+            highest_seen_instance: 0,
+            last_heartbeat: None,
         }
     }
 
@@ -366,7 +375,11 @@ impl MonoNode {
         let decision = Decision {
             instance,
             round,
-            full: if round == 0 { None } else { Some(value.clone()) },
+            full: if round == 0 {
+                None
+            } else {
+                Some(value.clone())
+            },
         };
         self.record_decision(instance, value);
         // Apply without the auto-start of the next instance: the next
@@ -526,11 +539,27 @@ impl MonoNode {
         }
         match dec.full {
             Some(value) => {
+                self.highest_seen_instance = self.highest_seen_instance.max(dec.instance);
                 self.record_decision(dec.instance, value);
                 if followup {
                     self.apply_decisions(ctx);
                 } else {
                     self.apply_decisions_core(ctx);
+                }
+                // Chained catch-up: a recovered decision that still
+                // leaves us behind pulls the next batch promptly, so a
+                // healed process recovers at near round-trip pace
+                // instead of one instance per progress-timeout. A short
+                // rate limit keeps the batch's several replies from
+                // each re-requesting the same range.
+                let now = ctx.now();
+                if self.highest_seen_instance > self.next_decide
+                    && !self.is_decided(self.next_decide)
+                    && now.since(self.last_recovery_request) >= VDur::millis(5)
+                {
+                    self.last_recovery_request = now;
+                    let hi = self.highest_seen_instance;
+                    self.request_gap_batch(ctx, from, hi);
                 }
             }
             None => {
@@ -563,6 +592,7 @@ impl MonoNode {
     }
 
     fn maybe_request_gap(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, seen_instance: u64) {
+        self.highest_seen_instance = self.highest_seen_instance.max(seen_instance);
         if seen_instance <= self.next_decide || self.is_decided(self.next_decide) {
             return;
         }
@@ -571,11 +601,21 @@ impl MonoNode {
             return;
         }
         self.last_recovery_request = now;
-        ctx.bump("mono.gap_requests", 1);
-        let req = MonoMsg::DecisionRequest {
-            instance: self.next_decide,
-        };
-        self.send(ctx, from, "mono.decision_request", &req);
+        self.request_gap_batch(ctx, from, seen_instance);
+    }
+
+    /// Pulls a bounded batch of missing decisions starting at
+    /// `next_decide` from `from`.
+    fn request_gap_batch(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, seen_instance: u64) {
+        const MAX_BATCH: u64 = 8;
+        let hi = seen_instance.min(self.next_decide + MAX_BATCH);
+        for instance in self.next_decide..hi {
+            if !self.is_decided(instance) {
+                ctx.bump("mono.gap_requests", 1);
+                let req = MonoMsg::DecisionRequest { instance };
+                self.send(ctx, from, "mono.decision_request", &req);
+            }
+        }
     }
 
     fn handle_proposal(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, p: Proposal) {
@@ -731,7 +771,9 @@ impl MonoNode {
             return;
         };
         let round = inst.round;
-        if Self::coordinator(round, n) != me || round == 0 || inst.proposal_sent_round == Some(round)
+        if Self::coordinator(round, n) != me
+            || round == 0
+            || inst.proposal_sent_round == Some(round)
         {
             return;
         }
@@ -1011,11 +1053,22 @@ impl Node for MonoNode {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerId, tag: u64) {
         match tag {
             TAG_FD => {
+                // Heartbeats follow the detector's heartbeat cadence,
+                // which may be coarser than its polling tick (chaos
+                // overlays tick fast to fire suspicion windows promptly).
                 if self.fd.sends_heartbeats() {
-                    let hb = encode(&MonoMsg::Heartbeat);
-                    for dst in ProcessId::all(ctx.n()) {
-                        if dst != ctx.pid() {
-                            ctx.send(dst, "fd.heartbeat", hb.clone());
+                    let now = ctx.now();
+                    let due = match (self.last_heartbeat, self.fd.heartbeat_interval()) {
+                        (Some(last), Some(interval)) => now.since(last) >= interval,
+                        _ => true,
+                    };
+                    if due {
+                        self.last_heartbeat = Some(now);
+                        let hb = encode(&MonoMsg::Heartbeat);
+                        for dst in ProcessId::all(ctx.n()) {
+                            if dst != ctx.pid() {
+                                ctx.send(dst, "fd.heartbeat", hb.clone());
+                            }
                         }
                     }
                 }

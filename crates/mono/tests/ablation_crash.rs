@@ -56,7 +56,7 @@ fn every_subset_survives_coordinator_crash() {
 
         let mut submitted = Vec::new();
         let mut seqs = vec![0u64; n];
-        let mut submit = |cluster: &mut Cluster, p: u16, seqs: &mut Vec<u64>, out: &mut Vec<MsgId>| {
+        let submit = |cluster: &mut Cluster, p: u16, seqs: &mut Vec<u64>, out: &mut Vec<MsgId>| {
             let id = MsgId::new(ProcessId(p), seqs[p as usize]);
             let msg = AppMsg::new(id, Bytes::from(vec![p as u8; 256]));
             let (adm, _) = cluster.submit(ProcessId(p), AppRequest::Abcast(msg));
@@ -102,11 +102,7 @@ fn every_subset_survives_coordinator_crash() {
         // Properties.
         let reference = harness.order(ProcessId(1));
         for p in ProcessId::all(n).skip(1) {
-            assert_eq!(
-                harness.order(p),
-                reference,
-                "combo {opts:?}: {p} diverged"
-            );
+            assert_eq!(harness.order(p), reference, "combo {opts:?}: {p} diverged");
         }
         let mut dedup = reference.clone();
         dedup.sort();

@@ -1,7 +1,10 @@
 //! Monolithic stack properties: total order, agreement under crashes,
-//! the good-run message economy, optimization toggles.
+//! the good-run message economy, optimization toggles. Property
+//! checking is delegated to the `fortika-chaos` delivery-invariant
+//! oracle.
 
 use bytes::Bytes;
+use fortika_chaos::check_orders;
 use fortika_fd::{FdConfig, HeartbeatFd};
 use fortika_mono::{MonoConfig, MonoNode, MonoOptimizations};
 use fortika_net::{
@@ -50,32 +53,9 @@ fn assert_atomic_broadcast(
     submitted_by_correct: &[MsgId],
     crashed: &[ProcessId],
 ) {
-    let correct: Vec<ProcessId> = ProcessId::all(n)
-        .filter(|p| !crashed.contains(p))
-        .collect();
-    let reference = harness.order(correct[0]);
-    for &p in &correct {
-        let order = harness.order(p);
-        assert_eq!(order, reference, "process {p} delivered a different sequence");
-        let mut dedup = order.clone();
-        dedup.sort();
-        dedup.dedup();
-        assert_eq!(dedup.len(), order.len(), "duplicate delivery at {p}");
-    }
-    for id in submitted_by_correct {
-        assert!(
-            reference.contains(id),
-            "message {id} from a correct sender was never delivered"
-        );
-    }
-    for &p in crashed {
-        let order = harness.order(p);
-        assert!(
-            order.len() <= reference.len()
-                && order.iter().zip(reference.iter()).all(|(a, b)| a == b),
-            "crashed process {p} delivered a non-prefix sequence"
-        );
-    }
+    let correct: Vec<ProcessId> = ProcessId::all(n).filter(|p| !crashed.contains(p)).collect();
+    let orders: Vec<Vec<MsgId>> = ProcessId::all(n).map(|p| harness.order(p)).collect();
+    check_orders(&orders, &correct, submitted_by_correct).assert_ok("monolithic stack");
 }
 
 fn drive_workload(
@@ -269,7 +249,9 @@ fn saturated_pipeline_costs_two_messages_per_process_pair() {
     // Under saturation the steady-state instance costs 2(n−1) messages:
     // one combined step out, n−1 acks back (§5.2.1).
     let n = 3;
-    let nodes = (0..n).map(|i| mono_node(n, i, MonoOptimizations::all(), 4)).collect();
+    let nodes = (0..n)
+        .map(|i| mono_node(n, i, MonoOptimizations::all(), 4))
+        .collect();
     let mut cluster = Cluster::new(ClusterConfig::new(n, 26), nodes);
     let mut driver = ClosedLoop {
         next_seq: vec![0; n],

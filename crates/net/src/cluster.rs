@@ -32,6 +32,7 @@ use fortika_sim::{CpuResource, DetRng, EventQueue, LinkResource, VDur, VTime};
 
 use crate::config::{ClusterConfig, CostModel};
 use crate::counters::Counters;
+use crate::fault::{LinkFault, LinkState};
 use crate::id::{MsgId, ProcessId};
 use crate::message::AppMsg;
 
@@ -151,7 +152,10 @@ impl NodeCtx<'_> {
     pub fn send(&mut self, dst: ProcessId, kind: &'static str, bytes: Bytes) {
         assert_ne!(dst, self.pid, "protocol bug: self-send of {kind}");
         let wire = bytes.len() as u64 + u64::from(self.per_msg_overhead);
-        self.charge(self.cost.send_cost(bytes.len() + self.per_msg_overhead as usize));
+        self.charge(
+            self.cost
+                .send_cost(bytes.len() + self.per_msg_overhead as usize),
+        );
         self.counters.record_send(kind, wire);
         self.outbox.push((dst, kind, bytes));
     }
@@ -183,7 +187,8 @@ impl NodeCtx<'_> {
     /// delivery upcall cost (identical in both stacks).
     pub fn deliver(&mut self, msg: MsgId, payload_len: u32) {
         self.charge(self.cost.deliver_cost(payload_len as usize));
-        self.deliveries.push((Delivery { msg, payload_len }, self.now()));
+        self.deliveries
+            .push((Delivery { msg, payload_len }, self.now()));
     }
 
     /// Signals that flow control re-opened; the harness will be told via
@@ -281,6 +286,7 @@ enum Ev {
     Crash {
         pid: ProcessId,
     },
+    Fault(LinkFault),
 }
 
 enum Notification {
@@ -300,6 +306,12 @@ pub struct Cluster {
     /// Per-(src,dst) last scheduled arrival, enforcing channel FIFO
     /// (the paper's channels are TCP connections).
     last_arrival: Vec<VTime>,
+    /// Per-(src,dst) fault state, consulted at transmission time.
+    links: Vec<LinkState>,
+    /// Dedicated RNG stream for fault decisions (drop/duplicate draws),
+    /// derived from the seed so fault-free traffic keeps its jitter
+    /// stream regardless of how many faults are active.
+    fault_rng: DetRng,
     started: bool,
 }
 
@@ -324,7 +336,9 @@ impl Cluster {
             })
             .collect();
         let rng = DetRng::seed(cfg.seed);
+        let fault_rng = DetRng::derive(cfg.seed, 0xFA17);
         let last_arrival = vec![VTime::ZERO; cfg.n * cfg.n];
+        let links = vec![LinkState::default(); cfg.n * cfg.n];
         Cluster {
             cfg,
             queue: EventQueue::new(),
@@ -333,6 +347,8 @@ impl Cluster {
             counters: Counters::new(),
             pending: VecDeque::new(),
             last_arrival,
+            links,
+            fault_rng,
             started: false,
         }
     }
@@ -370,6 +386,109 @@ impl Cluster {
     /// Schedules a driver tick (delivered to [`Harness::on_tick`]).
     pub fn schedule_tick(&mut self, at: VTime, id: u64) {
         self.queue.schedule(at, Ev::Tick { id });
+    }
+
+    /// Schedules a link fault to take effect at instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately (not at fire time) if the fault carries an
+    /// out-of-range probability or names a process outside the group,
+    /// so a bad scenario fails at the call site instead of
+    /// mid-simulation.
+    pub fn schedule_fault(&mut self, at: VTime, fault: LinkFault) {
+        match &fault {
+            LinkFault::Loss { p, .. } | LinkFault::Duplicate { p, .. } => {
+                assert!(
+                    (0.0..=1.0).contains(p),
+                    "fault probability {p} out of range for fault scheduled at {at}"
+                );
+            }
+            LinkFault::Partition(groups) => {
+                for p in groups.iter().flatten() {
+                    assert!(
+                        p.index() < self.cfg.n,
+                        "partition scheduled at {at} names {p}, but the cluster has only {} processes",
+                        self.cfg.n
+                    );
+                }
+            }
+            _ => {}
+        }
+        self.queue.schedule(at, Ev::Fault(fault));
+    }
+
+    /// Applies a link fault immediately (messages already in flight
+    /// still arrive; the fault acts at transmission time).
+    pub fn apply_fault(&mut self, fault: &LinkFault) {
+        let n = self.cfg.n;
+        match fault {
+            LinkFault::Partition(groups) => {
+                // Group id per process; unlisted processes are isolated
+                // singletons (usize::MAX - index keeps ids distinct).
+                let mut gid = vec![usize::MAX; n];
+                for (g, members) in groups.iter().enumerate() {
+                    for p in members {
+                        assert!(
+                            p.index() < n,
+                            "partition names {p}, but the cluster has only {n} processes"
+                        );
+                        gid[p.index()] = g;
+                    }
+                }
+                for (i, g) in gid.iter_mut().enumerate() {
+                    if *g == usize::MAX {
+                        *g = groups.len() + i;
+                    }
+                }
+                for s in 0..n {
+                    for d in 0..n {
+                        self.links[s * n + d].blocked = gid[s] != gid[d];
+                    }
+                }
+            }
+            LinkFault::Heal => {
+                for st in &mut self.links {
+                    st.blocked = false;
+                }
+            }
+            LinkFault::Loss { link, p } => {
+                assert!((0.0..=1.0).contains(p), "loss probability {p} out of range");
+                self.for_links(*link, |st| st.drop_p = *p);
+            }
+            LinkFault::Duplicate { link, p } => {
+                assert!(
+                    (0.0..=1.0).contains(p),
+                    "duplication probability {p} out of range"
+                );
+                self.for_links(*link, |st| st.dup_p = *p);
+            }
+            LinkFault::DelaySpike { link, factor_milli } => {
+                self.for_links(*link, |st| st.delay_milli = (*factor_milli).max(1));
+            }
+            LinkFault::Reset => {
+                for st in &mut self.links {
+                    *st = LinkState::default();
+                }
+            }
+        }
+    }
+
+    fn for_links(&mut self, sel: crate::fault::LinkSelector, f: impl Fn(&mut LinkState)) {
+        let n = self.cfg.n;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && sel.matches(ProcessId(s as u16), ProcessId(d as u16)) {
+                    f(&mut self.links[s * n + d]);
+                }
+            }
+        }
+    }
+
+    /// True if the directed link `src → dst` is currently cut by a
+    /// partition.
+    pub fn link_blocked(&self, src: ProcessId, dst: ProcessId) -> bool {
+        self.links[src.index() * self.cfg.n + dst.index()].blocked
     }
 
     /// Runs the simulation until `until`, invoking `harness` callbacks.
@@ -455,6 +574,10 @@ impl Cluster {
                     self.counters.bump("cluster.crashes", 1);
                 }
             }
+            Ev::Fault(fault) => {
+                self.counters.bump("chaos.fault_events", 1);
+                self.apply_fault(&fault);
+            }
         }
     }
 
@@ -503,16 +626,56 @@ impl Cluster {
         self.procs[i].cpu.extend(extra);
         let end = start + charged;
 
-        // Materialize sends: serialize through the NIC, then propagate.
+        // Materialize sends: serialize through the NIC, then apply link
+        // faults, then propagate. Fault state is read at transmission
+        // time — a partition raised later does not retract in-flight
+        // messages, exactly like pulling a cable.
         for (dst, _kind, bytes) in outbox {
             let wire = bytes.len() as u64 + u64::from(self.cfg.net.per_msg_overhead);
             let tx_end = self.procs[i].nic.transmit(end, wire);
-            let mut arrival =
-                tx_end + self.cfg.net.prop_delay + self.rng.jitter(self.cfg.net.jitter);
-            // TCP-like channels: per-pair FIFO despite jitter.
             let slot = i * self.cfg.n + dst.index();
+            let link = self.links[slot];
+            // Exactly one main-RNG jitter draw per send, whatever the
+            // link's fate — so the timing of messages that *do* arrive
+            // is identical to the fault-free run with the same seed
+            // (fault coin flips and duplicate-copy jitter come from the
+            // dedicated fault stream).
+            let lat = self.cfg.net.prop_delay + self.rng.jitter(self.cfg.net.jitter);
+            if link.blocked {
+                // The NIC transmitted into a cut link: bytes are gone.
+                self.counters.bump("chaos.dropped_partition", 1);
+                continue;
+            }
+            if link.drop_p > 0.0 && self.fault_rng.unit_f64() < link.drop_p {
+                self.counters.bump("chaos.dropped_loss", 1);
+                continue;
+            }
+            // TCP-like channels: per-pair FIFO despite jitter; a
+            // duplicate trails (or ties) the original.
+            let mut arrival = tx_end + scale_milli(lat, link.delay_milli);
             arrival = arrival.max(self.last_arrival[slot]);
             self.last_arrival[slot] = arrival;
+            let duplicate = if link.dup_p > 0.0 && self.fault_rng.unit_f64() < link.dup_p {
+                self.counters.bump("chaos.duplicated", 1);
+                let lat2 = self.cfg.net.prop_delay + self.fault_rng.jitter(self.cfg.net.jitter);
+                let mut arrival2 = tx_end + scale_milli(lat2, link.delay_milli);
+                arrival2 = arrival2.max(self.last_arrival[slot]);
+                self.last_arrival[slot] = arrival2;
+                Some(arrival2)
+            } else {
+                None
+            };
+            if let Some(arrival2) = duplicate {
+                self.queue.schedule(
+                    arrival2,
+                    Ev::Deliver {
+                        dst,
+                        src: pid,
+                        bytes: bytes.clone(),
+                        tx_end,
+                    },
+                );
+            }
             self.queue.schedule(
                 arrival,
                 Ev::Deliver {
@@ -524,7 +687,8 @@ impl Cluster {
             );
         }
         for (fire_at, id, tag) in timers {
-            self.queue.schedule(fire_at.max(self.now()), Ev::Timer { pid, id, tag });
+            self.queue
+                .schedule(fire_at.max(self.now()), Ev::Timer { pid, id, tag });
         }
         for id in cancels {
             self.procs[i].cancelled.insert(id.0);
@@ -537,7 +701,18 @@ impl Cluster {
         }
         Some(end)
     }
+}
 
+/// Scales a duration by `factor_milli / 1000` in u128 arithmetic.
+fn scale_milli(d: VDur, factor_milli: u64) -> VDur {
+    if factor_milli == 1000 {
+        return d;
+    }
+    let scaled = u128::from(d.as_nanos()) * u128::from(factor_milli) / 1000;
+    VDur::nanos(u64::try_from(scaled).unwrap_or(u64::MAX))
+}
+
+impl Cluster {
     fn drain(&mut self, harness: &mut dyn Harness) {
         while let Some(n) = self.pending.pop_front() {
             let mut api = ClusterApi { cluster: self };
@@ -574,6 +749,21 @@ impl ClusterApi<'_> {
     /// Schedules a future driver tick.
     pub fn schedule_tick(&mut self, at: VTime, id: u64) {
         self.cluster.schedule_tick(at, id);
+    }
+
+    /// Applies a link fault immediately (see [`Cluster::apply_fault`]).
+    pub fn apply_fault(&mut self, fault: &LinkFault) {
+        self.cluster.apply_fault(fault);
+    }
+
+    /// Schedules a link fault (see [`Cluster::schedule_fault`]).
+    pub fn schedule_fault(&mut self, at: VTime, fault: LinkFault) {
+        self.cluster.schedule_fault(at, fault);
+    }
+
+    /// True if the directed link `src → dst` is cut by a partition.
+    pub fn link_blocked(&self, src: ProcessId, dst: ProcessId) -> bool {
+        self.cluster.link_blocked(src, dst)
     }
 
     /// Crashes `pid` immediately.

@@ -131,7 +131,13 @@ mod tests {
         c.record_send("a.x", 100);
         c.record_send("a.x", 50);
         c.record_send("b.y", 10);
-        assert_eq!(c.kind("a.x"), KindCounter { msgs: 2, bytes: 150 });
+        assert_eq!(
+            c.kind("a.x"),
+            KindCounter {
+                msgs: 2,
+                bytes: 150
+            }
+        );
         assert_eq!(c.kind("missing"), KindCounter::default());
         assert_eq!(c.total_msgs(), 3);
         assert_eq!(c.total_bytes(), 160);

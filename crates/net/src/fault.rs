@@ -1,0 +1,157 @@
+//! Link-level fault primitives.
+//!
+//! The paper's channel property (§2.1) — no loss, duplication or
+//! corruption between correct processes — holds *by construction* in the
+//! default simulation. Everything that is interesting about the two
+//! stacks' failure machinery (◇P suspicion, rotating coordinators,
+//! decision recovery) only fires when that construction is broken on
+//! purpose. This module provides the vocabulary for breaking it:
+//! per-link state (partition membership, seeded drop probability,
+//! duplication, delay inflation) that the [`Cluster`](crate::Cluster)
+//! consults at transmission time, plus scheduled [`LinkFault`] actions
+//! that flip that state mid-run.
+//!
+//! Faults compose: a link can simultaneously sit across a partition,
+//! drop 10 % of what remains and triple its latency. Fault randomness
+//! (drop/duplicate coin flips, duplicate-copy jitter) comes from a
+//! dedicated RNG stream derived from the cluster seed, and every send
+//! consumes exactly one main-stream jitter draw whether or not it
+//! survives — so messages that do arrive keep the identical timing they
+//! would have had in the fault-free run with the same seed, and fault
+//! decisions replay bit-for-bit.
+//!
+//! The higher-level scenario DSL (timelines, random scenario generation,
+//! the delivery-invariant oracle) lives in the `fortika-chaos` crate;
+//! this module is deliberately mechanism-only.
+
+use crate::id::ProcessId;
+
+/// Selects the directed links a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSelector {
+    /// Every directed link in the cluster.
+    All,
+    /// Both directions between two processes.
+    Between(ProcessId, ProcessId),
+    /// One direction only.
+    Directed {
+        /// Transmitting process.
+        src: ProcessId,
+        /// Receiving process.
+        dst: ProcessId,
+    },
+    /// Every link transmitting from this process.
+    From(ProcessId),
+    /// Every link delivering to this process.
+    To(ProcessId),
+}
+
+impl LinkSelector {
+    /// True if the directed link `src → dst` is selected.
+    pub fn matches(&self, src: ProcessId, dst: ProcessId) -> bool {
+        match *self {
+            LinkSelector::All => true,
+            LinkSelector::Between(a, b) => (src, dst) == (a, b) || (src, dst) == (b, a),
+            LinkSelector::Directed { src: s, dst: d } => (src, dst) == (s, d),
+            LinkSelector::From(p) => src == p,
+            LinkSelector::To(p) => dst == p,
+        }
+    }
+}
+
+/// A fault action applied to the cluster's links, immediately via
+/// [`Cluster::apply_fault`](crate::Cluster::apply_fault) or at a chosen
+/// instant via [`Cluster::schedule_fault`](crate::Cluster::schedule_fault).
+#[derive(Debug, Clone)]
+pub enum LinkFault {
+    /// Splits the cluster into groups: links between processes of
+    /// different groups drop everything. A process listed in no group
+    /// forms an implicit singleton group (fully isolated).
+    ///
+    /// Applies partition state to **all** links: links within a group are
+    /// unblocked, links across groups blocked. Messages already in
+    /// flight still arrive — the partition takes effect at transmission
+    /// time, like pulling a cable.
+    Partition(Vec<Vec<ProcessId>>),
+    /// Removes any partition (loss/duplication/delay state persists).
+    Heal,
+    /// Sets the drop probability of the selected links to `p` (0 clears).
+    Loss {
+        /// Affected links.
+        link: LinkSelector,
+        /// Per-message drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Sets the duplication probability of the selected links to `p`.
+    /// A duplicated message arrives twice, the copies independently
+    /// jittered (per-pair FIFO is preserved).
+    Duplicate {
+        /// Affected links.
+        link: LinkSelector,
+        /// Per-message duplication probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Scales propagation delay and jitter of the selected links by
+    /// `factor_milli / 1000` (e.g. `5000` = 5× slower, `1000` = normal).
+    /// Asymmetric spikes are expressed with a directed selector.
+    DelaySpike {
+        /// Affected links.
+        link: LinkSelector,
+        /// Delay multiplier in thousandths.
+        factor_milli: u64,
+    },
+    /// Restores every link to the fault-free default.
+    Reset,
+}
+
+/// Per-directed-link fault state, consulted at transmission time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LinkState {
+    /// Cut by a partition: every message dropped.
+    pub blocked: bool,
+    /// Seeded drop probability.
+    pub drop_p: f64,
+    /// Seeded duplication probability.
+    pub dup_p: f64,
+    /// Delay multiplier in thousandths (1000 = ×1).
+    pub delay_milli: u64,
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        LinkState {
+            blocked: false,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_milli: 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_matching() {
+        let (a, b, c) = (ProcessId(0), ProcessId(1), ProcessId(2));
+        assert!(LinkSelector::All.matches(a, b));
+        assert!(LinkSelector::Between(a, b).matches(b, a));
+        assert!(!LinkSelector::Between(a, b).matches(a, c));
+        assert!(LinkSelector::Directed { src: a, dst: b }.matches(a, b));
+        assert!(!LinkSelector::Directed { src: a, dst: b }.matches(b, a));
+        assert!(LinkSelector::From(a).matches(a, c));
+        assert!(!LinkSelector::From(a).matches(c, a));
+        assert!(LinkSelector::To(c).matches(b, c));
+        assert!(!LinkSelector::To(c).matches(c, b));
+    }
+
+    #[test]
+    fn default_state_is_fault_free() {
+        let st = LinkState::default();
+        assert!(!st.blocked);
+        assert_eq!(st.drop_p, 0.0);
+        assert_eq!(st.dup_p, 0.0);
+        assert_eq!(st.delay_milli, 1000);
+    }
+}

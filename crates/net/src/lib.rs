@@ -12,6 +12,9 @@
 //! * [`NetModel`], [`CostModel`], [`ClusterConfig`] — calibration knobs.
 //! * [`Cluster`], [`Node`], [`NodeCtx`], [`Harness`] — the simulation
 //!   harness (see [`cluster`] module docs for crash semantics).
+//! * [`fault`] — link-level fault hooks ([`LinkFault`], [`LinkSelector`]):
+//!   partitions, seeded loss, duplication and delay inflation applied at
+//!   transmission time (driven by the `fortika-chaos` scenario DSL).
 //! * [`Counters`] — per-kind traffic accounting.
 //!
 //! # Example: two nodes ping-pong
@@ -53,6 +56,7 @@
 pub mod cluster;
 pub mod config;
 pub mod counters;
+pub mod fault;
 pub mod flow;
 pub mod id;
 pub mod message;
@@ -60,11 +64,12 @@ pub mod watermark;
 pub mod wire;
 
 pub use cluster::{
-    Admission, AppRequest, Cluster, ClusterApi, CollectingHarness, Delivery, Harness, NoopHarness,
-    Node, NodeCtx, TimerId,
+    Admission, AppRequest, Cluster, ClusterApi, CollectingHarness, Delivery, Harness, Node,
+    NodeCtx, NoopHarness, TimerId,
 };
 pub use config::{ClusterConfig, CostModel, NetModel};
 pub use counters::{Counters, KindCounter};
+pub use fault::{LinkFault, LinkSelector};
 pub use id::{MsgId, ProcessId};
 pub use message::{AppMsg, Batch};
 pub use watermark::WatermarkSet;

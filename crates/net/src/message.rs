@@ -116,7 +116,10 @@ mod tests {
     use crate::wire::{decode, encode};
 
     fn msg(sender: u16, seq: u64, size: usize) -> AppMsg {
-        AppMsg::new(MsgId::new(ProcessId(sender), seq), Bytes::from(vec![0u8; size]))
+        AppMsg::new(
+            MsgId::new(ProcessId(sender), seq),
+            Bytes::from(vec![0u8; size]),
+        )
     }
 
     #[test]

@@ -80,7 +80,11 @@ mod tests {
         for seq in 0..10_000 {
             assert!(log.is_new(seq));
             log.complete(seq);
-            assert_eq!(log.sparse_len(), 0, "watermark should absorb in-order completions");
+            assert_eq!(
+                log.sparse_len(),
+                0,
+                "watermark should absorb in-order completions"
+            );
         }
         assert_eq!(log.watermark(), 10_000);
     }

@@ -434,7 +434,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(WireError::UnexpectedEof.to_string(), "unexpected end of buffer");
+        assert_eq!(
+            WireError::UnexpectedEof.to_string(),
+            "unexpected end of buffer"
+        );
         assert!(WireError::InvalidTag(3).to_string().contains("0x03"));
     }
 }

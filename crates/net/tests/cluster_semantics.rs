@@ -111,7 +111,10 @@ fn nic_serializes_broadcast_fanout() {
     };
     let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
     let nodes: Vec<Box<dyn Node>> = vec![
-        Box::new(Flooder { count: 2, size: 100 }),
+        Box::new(Flooder {
+            count: 2,
+            size: 100,
+        }),
         Box::new(SharedProbe(shared.clone())),
         Box::new(SharedProbe(shared.clone())),
     ];
@@ -142,7 +145,11 @@ fn receive_cpu_cost_serializes_handlers() {
     let probe = shared.borrow();
     assert_eq!(probe.received.len(), 5);
     // Handler completion times are 10, 20, 30, 40, 50 µs.
-    let times: Vec<u64> = probe.received.iter().map(|&(_, _, t)| t.as_nanos()).collect();
+    let times: Vec<u64> = probe
+        .received
+        .iter()
+        .map(|&(_, _, t)| t.as_nanos())
+        .collect();
     assert_eq!(times, vec![10_000, 20_000, 30_000, 40_000, 50_000]);
     assert_eq!(cluster.cpu_busy(ProcessId(1)), VDur::micros(50));
 }
@@ -159,11 +166,14 @@ fn timers_fire_and_cancel() {
         }
         fn on_message(&mut self, _: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {}
         fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _t: TimerId, tag: u64) {
-            ctx.bump(match tag {
-                1 => "fired.1",
-                2 => "fired.2",
-                _ => "fired.3",
-            }, 1);
+            ctx.bump(
+                match tag {
+                    1 => "fired.1",
+                    2 => "fired.2",
+                    _ => "fired.3",
+                },
+                1,
+            );
         }
         fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
             Admission::Blocked
@@ -173,7 +183,11 @@ fn timers_fire_and_cancel() {
     let mut cluster = Cluster::new(cfg, vec![Box::new(TimerNode)]);
     cluster.run_idle(VTime::ZERO + VDur::secs(1));
     assert_eq!(cluster.counters().event("fired.1"), 1);
-    assert_eq!(cluster.counters().event("fired.2"), 0, "cancelled timer fired");
+    assert_eq!(
+        cluster.counters().event("fired.2"),
+        0,
+        "cancelled timer fired"
+    );
     assert_eq!(cluster.counters().event("fired.3"), 1);
 }
 
@@ -214,7 +228,10 @@ fn crash_mid_transmission_partitions_recipients() {
     };
     let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
     let nodes: Vec<Box<dyn Node>> = vec![
-        Box::new(Flooder { count: 1, size: 100 }),
+        Box::new(Flooder {
+            count: 1,
+            size: 100,
+        }),
         Box::new(SharedProbe(shared.clone())),
         Box::new(SharedProbe(shared.clone())),
     ];
@@ -222,7 +239,11 @@ fn crash_mid_transmission_partitions_recipients() {
     cluster.schedule_crash(ProcessId(0), VTime::ZERO + VDur::micros(150));
     cluster.run_idle(VTime::ZERO + VDur::secs(1));
     let probe = shared.borrow();
-    assert_eq!(probe.received.len(), 1, "exactly one recipient should get the message");
+    assert_eq!(
+        probe.received.len(),
+        1,
+        "exactly one recipient should get the message"
+    );
 }
 
 #[test]
@@ -295,13 +316,21 @@ fn identical_seeds_reproduce_identical_timings() {
         cfg.net.jitter = VDur::micros(50); // jitter makes RNG matter
         let shared = std::rc::Rc::new(std::cell::RefCell::new(Probe::default()));
         let nodes: Vec<Box<dyn Node>> = vec![
-            Box::new(Flooder { count: 10, size: 64 }),
+            Box::new(Flooder {
+                count: 10,
+                size: 64,
+            }),
             Box::new(SharedProbe(shared.clone())),
             Box::new(SharedProbe(shared.clone())),
         ];
         let mut cluster = Cluster::new(cfg, nodes);
         cluster.run_idle(VTime::ZERO + VDur::secs(1));
-        let out = shared.borrow().received.iter().map(|&(f, _, t)| (f, t)).collect();
+        let out = shared
+            .borrow()
+            .received
+            .iter()
+            .map(|&(f, _, t)| (f, t))
+            .collect();
         out
     };
     assert_eq!(run(7), run(7), "same seed must reproduce the run");

@@ -1,142 +1,189 @@
-//! Property-based tests of the wire codec and core data structures:
+//! Randomized property tests of the wire codec and core data structures:
 //! round-trips, length accounting, and robustness against arbitrary
 //! (hostile) input bytes.
+//!
+//! Inputs come from seeded [`DetRng`] streams, so every case is
+//! deterministic and reproducible from its seed.
 
 use bytes::Bytes;
 use fortika_net::flow::FlowWindow;
-use fortika_net::wire::{decode, encode, Wire, WireReader};
+use fortika_net::wire::{decode, encode, Wire, WireReader, WireWriter};
 use fortika_net::{AppMsg, Batch, MsgId, ProcessId, WatermarkSet};
-use proptest::prelude::*;
+use fortika_sim::DetRng;
 
-fn arb_msg_id() -> impl Strategy<Value = MsgId> {
-    (0u16..16, 0u64..1_000_000).prop_map(|(p, s)| MsgId::new(ProcessId(p), s))
+const CASES: u64 = 48;
+
+fn arb_msg_id(rng: &mut DetRng) -> MsgId {
+    MsgId::new(ProcessId(rng.below(16) as u16), rng.below(1_000_000))
 }
 
-fn arb_app_msg() -> impl Strategy<Value = AppMsg> {
-    (arb_msg_id(), prop::collection::vec(any::<u8>(), 0..512))
-        .prop_map(|(id, payload)| AppMsg::new(id, Bytes::from(payload)))
+fn arb_payload(rng: &mut DetRng, max: u64) -> Vec<u8> {
+    (0..rng.below(max)).map(|_| rng.below(256) as u8).collect()
 }
 
-proptest! {
-    #[test]
-    fn u64_round_trips(v in any::<u64>()) {
-        prop_assert_eq!(decode::<u64>(encode(&v)).unwrap(), v);
+fn arb_app_msg(rng: &mut DetRng) -> AppMsg {
+    let id = arb_msg_id(rng);
+    AppMsg::new(id, Bytes::from(arb_payload(rng, 512)))
+}
+
+#[test]
+fn u64_round_trips() {
+    let mut rng = DetRng::seed(0xA1);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
+        assert_eq!(decode::<u64>(encode(&v)).unwrap(), v);
     }
+}
 
-    #[test]
-    fn bytes_round_trip_and_len(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn bytes_round_trip_and_len() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0xB2, seed);
+        let payload = arb_payload(&mut rng, 2048);
         let b = Bytes::from(payload.clone());
         let encoded = encode(&b);
-        prop_assert_eq!(encoded.len(), b.encoded_len());
-        prop_assert_eq!(encoded.len(), 4 + payload.len());
+        assert_eq!(encoded.len(), b.encoded_len());
+        assert_eq!(encoded.len(), 4 + payload.len());
         let back: Bytes = decode(encoded).unwrap();
-        prop_assert_eq!(back.as_ref(), payload.as_slice());
+        assert_eq!(back.as_ref(), payload.as_slice());
     }
+}
 
-    #[test]
-    fn app_msg_round_trips(msg in arb_app_msg()) {
+#[test]
+fn app_msg_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0xC3, seed);
+        let msg = arb_app_msg(&mut rng);
         let encoded = encode(&msg);
-        prop_assert_eq!(encoded.len(), msg.encoded_len());
-        prop_assert_eq!(decode::<AppMsg>(encoded).unwrap(), msg);
+        assert_eq!(encoded.len(), msg.encoded_len());
+        assert_eq!(decode::<AppMsg>(encoded).unwrap(), msg);
     }
+}
 
-    #[test]
-    fn batch_round_trips_and_normalizes(msgs in prop::collection::vec(arb_app_msg(), 0..32)) {
+#[test]
+fn batch_round_trips_and_normalizes() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0xD4, seed);
+        let msgs: Vec<AppMsg> = (0..rng.below(32)).map(|_| arb_app_msg(&mut rng)).collect();
         let batch = Batch::normalize(msgs);
         let encoded = encode(&batch);
-        prop_assert_eq!(encoded.len(), batch.encoded_len());
+        assert_eq!(encoded.len(), batch.encoded_len());
         let back: Batch = decode(encoded).unwrap();
-        prop_assert_eq!(&back, &batch);
+        assert_eq!(&back, &batch);
         // Normalization invariants: strictly ascending ids.
         let ids: Vec<MsgId> = batch.msgs().iter().map(|m| m.id).collect();
         for w in ids.windows(2) {
-            prop_assert!(w[0] < w[1], "batch not strictly sorted");
+            assert!(w[0] < w[1], "batch not strictly sorted (seed {seed})");
         }
     }
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decoder_never_panics_on_garbage() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0xE5, seed);
+        let bytes = arb_payload(&mut rng, 256);
         // Whatever the input, decoding returns Ok or Err — no panics,
         // no unbounded allocation.
         let _ = decode::<Batch>(Bytes::from(bytes.clone()));
         let _ = decode::<AppMsg>(Bytes::from(bytes.clone()));
         let _ = decode::<Vec<u64>>(Bytes::from(bytes));
     }
+}
 
-    #[test]
-    fn truncation_always_fails_cleanly(msg in arb_app_msg(), cut in 0usize..64) {
+#[test]
+fn truncation_always_fails_cleanly() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0xF6, seed);
+        let msg = arb_app_msg(&mut rng);
+        let cut = rng.below(64) as usize;
         let encoded = encode(&msg);
         if cut < encoded.len() {
             let truncated = encoded.slice(0..encoded.len() - cut - 1);
-            prop_assert!(decode::<AppMsg>(truncated).is_err());
+            assert!(decode::<AppMsg>(truncated).is_err(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn reader_take_rest_is_remainder(
-        head in any::<u32>(),
-        tail in prop::collection::vec(any::<u8>(), 0..128),
-    ) {
-        let mut w = fortika_net::wire::WireWriter::new();
+#[test]
+fn reader_take_rest_is_remainder() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0x17, seed);
+        let head = rng.next_u64() as u32;
+        let tail = arb_payload(&mut rng, 128);
+        let mut w = WireWriter::new();
         w.put_u32(head);
         for &b in &tail {
             w.put_u8(b);
         }
         let mut r = WireReader::new(w.finish());
-        prop_assert_eq!(r.get_u32().unwrap(), head);
+        assert_eq!(r.get_u32().unwrap(), head);
         let rest = r.take_rest();
-        prop_assert_eq!(rest.as_ref(), tail.as_slice());
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(rest.as_ref(), tail.as_slice());
+        assert_eq!(r.remaining(), 0);
     }
+}
 
-    #[test]
-    fn watermark_set_equivalent_to_hashset(ops in prop::collection::vec(0u64..64, 0..128)) {
+#[test]
+fn watermark_set_equivalent_to_hashset() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0x28, seed);
+        let ops: Vec<u64> = (0..rng.below(128)).map(|_| rng.below(64)).collect();
         // The compacted set must answer is_new exactly like a plain set.
         let mut compact = WatermarkSet::default();
         let mut reference = std::collections::HashSet::new();
         for seq in ops {
-            prop_assert_eq!(compact.is_new(seq), !reference.contains(&seq), "seq {}", seq);
+            assert_eq!(
+                compact.is_new(seq),
+                !reference.contains(&seq),
+                "seed {seed} seq {seq}"
+            );
             compact.complete(seq);
             reference.insert(seq);
         }
         for seq in 0..64u64 {
-            prop_assert_eq!(compact.is_new(seq), !reference.contains(&seq));
+            assert_eq!(compact.is_new(seq), !reference.contains(&seq));
         }
     }
+}
 
-    #[test]
-    fn watermark_compacts_dense_prefixes(limit in 1u64..512) {
+#[test]
+fn watermark_compacts_dense_prefixes() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0x39, seed);
+        let limit = 1 + rng.below(511);
         let mut set = WatermarkSet::default();
         for seq in 0..limit {
             set.complete(seq);
         }
-        prop_assert_eq!(set.watermark(), limit);
-        prop_assert_eq!(set.sparse_len(), 0, "dense prefix must compact away");
+        assert_eq!(set.watermark(), limit);
+        assert_eq!(set.sparse_len(), 0, "dense prefix must compact away");
     }
+}
 
-    #[test]
-    fn flow_window_never_exceeds_capacity(
-        window in 1usize..8,
-        ops in prop::collection::vec(any::<bool>(), 0..256),
-    ) {
+#[test]
+fn flow_window_never_exceeds_capacity() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::derive(0x4A, seed);
+        let window = 1 + rng.below(7) as usize;
         // true = try_acquire, false = release(1).
         let mut w = FlowWindow::new(window);
         let mut model: usize = 0;
-        for acquire in ops {
-            if acquire {
+        for _ in 0..rng.below(256) {
+            if rng.below(2) == 1 {
                 let ok = w.try_acquire();
-                prop_assert_eq!(ok, model < window);
+                assert_eq!(ok, model < window, "seed {seed}");
                 if ok {
                     model += 1;
                 }
             } else {
                 let reopened = w.release(1);
                 // Reopen signal fires exactly on the full→not-full edge.
-                prop_assert_eq!(reopened, model == window);
+                assert_eq!(reopened, model == window, "seed {seed}");
                 model = model.saturating_sub(1);
             }
-            prop_assert_eq!(w.outstanding(), model);
-            prop_assert!(w.outstanding() <= window);
+            assert_eq!(w.outstanding(), model);
+            assert!(w.outstanding() <= window);
         }
     }
 }

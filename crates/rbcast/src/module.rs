@@ -242,11 +242,7 @@ impl Microprotocol for RbcastModule {
             ctx.bump("rbcast.garbage", 1);
             return;
         };
-        let fresh = self
-            .logs
-            .entry(msg.origin)
-            .or_default()
-            .is_new(msg.seq);
+        let fresh = self.logs.entry(msg.origin).or_default().is_new(msg.seq);
         if !fresh {
             return;
         }

@@ -2,9 +2,7 @@
 //! crash tolerance.
 
 use bytes::Bytes;
-use fortika_framework::{
-    CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId,
-};
+use fortika_framework::{CompositeStack, Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::{Cluster, ClusterConfig, CostModel, NetModel, Node, ProcessId};
 use fortika_rbcast::{RbcastConfig, RbcastModule, RbcastVariant};
 use fortika_sim::{VDur, VTime};
@@ -33,7 +31,10 @@ impl Microprotocol for Driver {
         }
     }
     fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
-        if let Event::RbDeliver { origin, payload, .. } = ev {
+        if let Event::RbDeliver {
+            origin, payload, ..
+        } = ev
+        {
             self.delivered
                 .borrow_mut()
                 .push((ctx.pid(), *origin, payload.clone()));
@@ -141,7 +142,11 @@ fn origin_crash_mid_broadcast_still_reaches_all_correct_majority() {
     cluster.run_idle(VTime::ZERO + VDur::secs(2));
     for p in ProcessId::all(n).skip(1) {
         let got = deliveries_at(&log, p);
-        assert_eq!(got.len(), 1, "correct process {p} must deliver despite origin crash");
+        assert_eq!(
+            got.len(),
+            1,
+            "correct process {p} must deliver despite origin crash"
+        );
     }
 }
 
@@ -162,7 +167,11 @@ fn origin_crash_mid_broadcast_still_reaches_all_correct_classic() {
     cluster.run_idle(VTime::ZERO + VDur::secs(2));
     for p in ProcessId::all(n).skip(1) {
         let got = deliveries_at(&log, p);
-        assert_eq!(got.len(), 1, "correct process {p} must deliver despite origin crash");
+        assert_eq!(
+            got.len(),
+            1,
+            "correct process {p} must deliver despite origin crash"
+        );
     }
 }
 

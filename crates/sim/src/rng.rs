@@ -1,15 +1,14 @@
 //! Seeded deterministic randomness.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 use crate::VDur;
 
 /// A deterministic random number generator for simulations.
 ///
-/// Thin wrapper over [`rand::rngs::StdRng`] with helpers for the
-/// quantities the network model needs (jitter durations, subseed
-/// derivation for independent replicas).
+/// Self-contained xoshiro256++ generator (Blackman & Vigna) seeded via a
+/// SplitMix64 expansion, with helpers for the quantities the network
+/// model needs (jitter durations, subseed derivation for independent
+/// replicas). No external dependencies, so the simulation is bit-for-bit
+/// reproducible across toolchains and fully offline-buildable.
 ///
 /// # Example
 ///
@@ -24,14 +23,29 @@ use crate::VDur;
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step: expands a seed into well-mixed 64-bit words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -47,23 +61,52 @@ impl DetRng {
         DetRng::seed(z)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
-            0
+            return 0;
+        }
+        // Debiased multiply-shift (Lemire): rejection keeps the result
+        // exactly uniform for every bound.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let wide = u128::from(x) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in `[0, bound]` (inclusive upper end).
+    fn below_inclusive(&mut self, bound: u64) -> u64 {
+        if bound == u64::MAX {
+            self.next_u64()
         } else {
-            self.inner.gen_range(0..bound)
+            self.below(bound + 1)
         }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 high bits → the standard dyadic-uniform construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform jitter in `[0, max]`.
@@ -71,7 +114,7 @@ impl DetRng {
         if max.is_zero() {
             VDur::ZERO
         } else {
-            VDur::nanos(self.inner.gen_range(0..=max.as_nanos()))
+            VDur::nanos(self.below_inclusive(max.as_nanos()))
         }
     }
 
@@ -123,6 +166,27 @@ mod tests {
         assert_eq!(r.below(0), 0);
         for _ in 0..1000 {
             assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = DetRng::seed(123);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((700..1300).contains(&b), "bucket {i} has {b} hits");
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = DetRng::seed(4);
+        for _ in 0..1000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 

@@ -8,96 +8,91 @@
 //! to a new coordinator, senders re-route their pending messages on
 //! estimates, and total order continues seamlessly for the survivors.
 //!
+//! The crash is declared on a `fortika-chaos` [`Scenario`] timeline
+//! (rather than hand-scheduled through the harness), and the
+//! delivery-invariant oracle audits the whole run.
+//!
 //! Run with: `cargo run --release --example fault_recovery`
 
-use bytes::Bytes;
+use fortika::chaos::{LoadPlan, Scenario, ScriptedDriver, Submission};
 use fortika::core::{build_nodes, StackConfig, StackKind};
-use fortika::net::{
-    Admission, AppMsg, AppRequest, Cluster, ClusterConfig, CollectingHarness, MsgId, ProcessId,
-};
+use fortika::net::{Cluster, ClusterConfig, ProcessId};
 use fortika::sim::{VDur, VTime};
 
 fn main() {
     let n = 3;
+    let crash_at = VDur::millis(35);
+
+    // The fault timeline: kill p1 — the round-0 coordinator of every
+    // consensus instance — while phase 1's load is still in flight.
+    let scenario = Scenario::new().crash(ProcessId(0), crash_at);
+
+    // Phase 1: all three processes broadcast. Phase 2: the survivors
+    // keep broadcasting after the crash (a blocked abcast waits for flow
+    // control, like a real caller — the driver parks and retries).
+    let mut plan = LoadPlan::default();
+    for round in 0..4u64 {
+        for p in 0..n as u16 {
+            plan.submissions.push(Submission {
+                sender: ProcessId(p),
+                at: VDur::millis(2 + round * 8),
+                size: 512,
+            });
+        }
+    }
+    for round in 0..4u64 {
+        for p in 1..n as u16 {
+            plan.submissions.push(Submission {
+                sender: ProcessId(p),
+                at: VDur::millis(900 + round * 8),
+                size: 512,
+            });
+        }
+    }
+
     let cfg = ClusterConfig::new(n, 99);
     let nodes = build_nodes(StackKind::Monolithic, n, &StackConfig::default());
     let mut cluster = Cluster::new(cfg, nodes);
-    let mut harness = CollectingHarness::new(n);
-    cluster.run_until(VTime::ZERO + VDur::millis(1), &mut harness);
+    scenario.apply(&mut cluster);
 
-    let mut seqs = vec![0u64; n];
-    // A blocking abcast: when flow control is closed (e.g. while the
-    // crash is still undetected), wait and retry like a real caller.
-    let submit = |cluster: &mut Cluster,
-                  harness: &mut CollectingHarness,
-                  p: u16,
-                  seqs: &mut Vec<u64>| {
-        let id = MsgId::new(ProcessId(p), seqs[p as usize]);
-        seqs[p as usize] += 1;
-        let msg = AppMsg::new(id, Bytes::from(vec![p as u8; 512]));
-        for _ in 0..100 {
-            let (adm, _) = cluster.submit(ProcessId(p), AppRequest::Abcast(msg.clone()));
-            if adm == Admission::Accepted {
-                return;
-            }
-            let next = cluster.now() + VDur::millis(50);
-            cluster.run_until(next, harness);
-        }
-        panic!("abcast from p{} blocked for over 5 virtual seconds", p + 1);
-    };
+    let mut driver = ScriptedDriver::new(n, plan);
+    driver.start(&mut cluster);
 
-    // Phase 1: all three processes broadcast.
-    for _ in 0..4 {
-        for p in 0..n as u16 {
-            submit(&mut cluster, &mut harness, p, &mut seqs);
-        }
-        let next = cluster.now() + VDur::millis(8);
-        cluster.run_until(next, &mut harness);
-    }
-    let before_crash = harness.order(ProcessId(1)).len();
-    println!("before crash: p2 delivered {before_crash} messages");
-
-    // Phase 2: kill the coordinator.
-    let crash_at = cluster.now() + VDur::millis(2);
-    cluster.schedule_crash(ProcessId(0), crash_at);
-    println!("crashing p1 (round-0 coordinator of every instance) at {crash_at}…");
-    // Give the heartbeat failure detector time to notice (timeout 500ms).
-    let resumed = cluster.now() + VDur::millis(800);
-    cluster.run_until(resumed, &mut harness);
+    // Run past the crash; the heartbeat detector needs its 500 ms
+    // timeout to notice, then rounds rotate and ordering resumes.
+    cluster.run_until(VTime::ZERO + VDur::millis(800), &mut driver);
     println!(
-        "suspicions raised: {}, consensus round changes: {}",
+        "crashed p1 (round-0 coordinator) at {crash_at}; suspicions raised: {}, \
+         consensus round changes: {}",
         cluster.counters().event("fd.suspicions"),
         cluster.counters().event("mono.round_changes"),
     );
 
-    // Phase 3: the survivors keep broadcasting.
-    for _ in 0..4 {
-        for p in 1..n as u16 {
-            submit(&mut cluster, &mut harness, p, &mut seqs);
-        }
-        let next = cluster.now() + VDur::millis(8);
-        cluster.run_until(next, &mut harness);
-    }
-    let end = cluster.now() + VDur::secs(3);
-    cluster.run_until(end, &mut harness);
+    cluster.run_until(VTime::ZERO + VDur::secs(6), &mut driver);
 
-    // Survivors agree on one order that includes all their messages.
-    let p2 = harness.order(ProcessId(1));
-    let p3 = harness.order(ProcessId(2));
-    assert_eq!(p2, p3, "survivors diverged");
-    let survivor_msgs = seqs[1] + seqs[2];
-    let delivered_from_survivors = p2
-        .iter()
-        .filter(|id| id.sender != ProcessId(0))
-        .count() as u64;
-    assert_eq!(delivered_from_survivors, survivor_msgs);
+    // The oracle checks the full contract: agreement + total order among
+    // the survivors, p1's log a consistent prefix, and validity for
+    // everything the survivors got admitted.
+    let correct = scenario.correct(n);
+    let must_deliver = driver.accepted_at(&correct);
+    let report = driver.oracle().check_drained(&correct, &must_deliver);
+    report.assert_ok("fault_recovery");
+
+    let p2 = driver.oracle().order(ProcessId(1));
+    let p1 = driver.oracle().order(ProcessId(0));
     println!(
         "after recovery: survivors agree on {} messages ({} delivered after the crash)",
-        p2.len(),
-        p2.len() - before_crash
+        report.common_order.len(),
+        report.common_order.len() - p1.len().min(report.common_order.len()),
     );
-    // The dead process's deliveries are a prefix of the survivors'.
-    let p1 = harness.order(ProcessId(0));
-    assert!(p1.iter().zip(p2.iter()).all(|(a, b)| a == b));
-    println!("crashed p1's log ({} msgs) is a consistent prefix — uniform agreement holds", p1.len());
+    println!(
+        "crashed p1's log ({} msgs) is a consistent prefix — uniform agreement holds",
+        p1.len()
+    );
+    println!(
+        "oracle: {} deliveries audited, {} violations — p2 delivered {} in total",
+        report.deliveries,
+        report.violations.len(),
+        p2.len()
+    );
 }

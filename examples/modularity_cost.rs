@@ -28,10 +28,7 @@ fn main() {
     }
     let (modular, mono) = (&reports[0], &reports[1]);
 
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "metric", "modular", "monolithic"
-    );
+    println!("{:<28} {:>14} {:>14}", "metric", "modular", "monolithic");
     let rows: Vec<(&str, f64, f64)> = vec![
         (
             "early latency (ms)",
@@ -43,7 +40,11 @@ fn main() {
             modular.throughput_msgs_per_sec,
             mono.throughput_msgs_per_sec,
         ),
-        ("messages / instance", modular.msgs_per_instance, mono.msgs_per_instance),
+        (
+            "messages / instance",
+            modular.msgs_per_instance,
+            mono.msgs_per_instance,
+        ),
         (
             "KiB / instance",
             modular.bytes_per_instance / 1024.0,
@@ -68,9 +69,7 @@ fn main() {
         lat_gain * 100.0,
         thr_gain * 100.0
     );
-    println!(
-        "paper (§5.3.2): latency up to 50% lower, throughput 10-30% higher;"
-    );
+    println!("paper (§5.3.2): latency up to 50% lower, throughput 10-30% higher;");
     println!(
         "analytic data overhead of modularity at n={n}: {:.0}% (§5.2.2)",
         analysis::modularity_overhead(n) * 100.0

@@ -53,7 +53,10 @@ fn main() {
     for p in ProcessId::all(n) {
         assert_eq!(harness.order(p), reference, "total order violated at {p}");
     }
-    println!("\nTotal order verified across {n} processes ({} messages).", reference.len());
+    println!(
+        "\nTotal order verified across {n} processes ({} messages).",
+        reference.len()
+    );
     println!(
         "Wire traffic: {} messages, {} bytes.",
         cluster.counters().total_msgs(),

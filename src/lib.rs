@@ -9,13 +9,51 @@
 //!   monolithic), flow control, workload generation, metrics, the
 //!   experiment runner and the paper's analytical model (§5.2).
 //! * [`sim`] — the deterministic discrete-event simulation kernel.
-//! * [`net`] — wire codec, network/cost models and the cluster harness.
+//! * [`net`] — wire codec, network/cost models, the cluster harness and
+//!   link-level fault hooks (partitions, loss, duplication, delay).
 //! * [`framework`] — the Cactus-style microprotocol composition kernel.
-//! * [`fd`] — failure detectors (heartbeat ◇P, perfect, scripted).
+//! * [`fd`] — failure detectors (heartbeat ◇P, perfect, scripted,
+//!   chaos overlays).
 //! * [`rbcast`] — reliable broadcast microprotocols.
 //! * [`consensus`] — Chandra–Toueg rotating-coordinator consensus.
 //! * [`abcast`] — the modular atomic broadcast module.
 //! * [`mono`] — the monolithic atomic broadcast with optimizations O1–O3.
+//! * [`chaos`] — declarative fault scenarios (crash / partition-heal /
+//!   lossy / delay-spike / false-suspicion timelines, plus a seeded
+//!   random generator) and the delivery-invariant oracle that audits
+//!   uniform agreement, total order, integrity and validity on every
+//!   run.
+//!
+//! # Fault scenarios
+//!
+//! The paper measures good runs; the [`chaos`] subsystem exercises the
+//! bad ones. Attach a scenario to an experiment and the runner wires the
+//! faults, overlays scripted suspicions on the failure detectors, and
+//! audits every delivery:
+//!
+//! ```
+//! use fortika::chaos::Scenario;
+//! use fortika::core::{Experiment, StackKind};
+//! use fortika::core::workload::Workload;
+//! use fortika::net::ProcessId;
+//! use fortika::sim::VDur;
+//!
+//! // Partition the minority {p3} away for 1.5 s, then heal.
+//! let scenario = Scenario::new().partition(
+//!     vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+//!     VDur::millis(500),
+//!     VDur::millis(2000),
+//! );
+//! let mut exp = Experiment::builder(StackKind::Monolithic, 3)
+//!     .workload(Workload::constant_rate(300.0, 512))
+//!     .seed(7)
+//!     .warmup_secs(0.3)
+//!     .measure_secs(1.5)
+//!     .scenario(scenario)
+//!     .build();
+//! let report = exp.run();
+//! assert!(report.oracle.expect("scenario attached").is_ok());
+//! ```
 //!
 //! # Quickstart
 //!
@@ -35,6 +73,7 @@
 //! ```
 
 pub use fortika_abcast as abcast;
+pub use fortika_chaos as chaos;
 pub use fortika_consensus as consensus;
 pub use fortika_core as core;
 pub use fortika_fd as fd;

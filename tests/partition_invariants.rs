@@ -1,0 +1,154 @@
+//! Scenario fuzzing through the delivery-invariant oracle: seeded
+//! random fault timelines (crashes + partitions + loss + duplication +
+//! delay spikes + false suspicions) run against **both** stacks, with
+//! two guarantees asserted per scenario:
+//!
+//! * zero safety violations — uniform agreement, total order,
+//!   integrity, prefix-consistency of crashed processes;
+//! * deterministic replay — the same seed reproduces byte-identical
+//!   delivery logs (ids *and* virtual timestamps).
+//!
+//! Message loss suspends the quasi-reliable-channel assumption, so
+//! validity (a liveness property) is *not* asserted here; the
+//! `random_schedules` suite covers it with loss-free scenarios.
+
+use fortika::chaos::{ChaosProfile, LoadPlan, Scenario, ScriptedDriver};
+use fortika::core::{build_nodes_with_windows, StackConfig, StackKind};
+use fortika::net::{Cluster, ClusterConfig, MsgId, ProcessId};
+use fortika::sim::{VDur, VTime};
+
+const SCENARIOS: u64 = 24;
+
+fn profile() -> ChaosProfile {
+    ChaosProfile {
+        horizon: VDur::secs(2),
+        ..ChaosProfile::default()
+    }
+}
+
+/// Per-process delivery logs with virtual timestamps.
+type DeliveryLogs = Vec<Vec<(MsgId, VTime)>>;
+
+/// Runs one seeded scenario on one stack; returns the full delivery
+/// logs (with timestamps) and the scenario's correct set.
+fn run_once(kind: StackKind, n: usize, seed: u64) -> (DeliveryLogs, Vec<ProcessId>, Scenario) {
+    let scenario = Scenario::random(n, seed, &profile());
+    let plan = LoadPlan::random(n, seed, 30, VDur::millis(1800), 1024);
+
+    let cfg = ClusterConfig::new(n, seed);
+    let nodes = build_nodes_with_windows(
+        kind,
+        n,
+        &StackConfig::default(),
+        &scenario.suspicion_windows(),
+    );
+    let mut cluster = Cluster::new(cfg, nodes);
+    scenario.apply(&mut cluster);
+
+    let mut driver = ScriptedDriver::new(n, plan);
+    driver.start(&mut cluster);
+    let end = VTime::ZERO + scenario.horizon() + VDur::secs(5);
+    cluster.run_until(end, &mut driver);
+
+    let correct = scenario.correct(n);
+    driver.oracle().check(&correct).assert_ok(&format!(
+        "{} n={n} seed={seed}\nscenario: {scenario:?}",
+        kind.label()
+    ));
+    (driver.oracle().logs().to_vec(), correct, scenario)
+}
+
+#[test]
+fn random_fault_scenarios_preserve_safety_on_both_stacks() {
+    for seed in 0..SCENARIOS {
+        let n = 3 + (seed % 3) as usize; // 3, 4, 5
+        for kind in [StackKind::Modular, StackKind::Monolithic] {
+            let (logs, correct, _) = run_once(kind, n, seed);
+            assert!(!correct.is_empty());
+            // The fuzz must actually exercise delivery, not vacuously pass.
+            let delivered: usize = logs.iter().map(Vec::len).sum();
+            assert!(
+                delivered > 0,
+                "{} n={n} seed={seed}: nothing was delivered",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_replay_byte_identical_logs() {
+    for seed in 0..8u64 {
+        let n = 3 + (seed % 3) as usize;
+        for kind in [StackKind::Modular, StackKind::Monolithic] {
+            let (a, _, _) = run_once(kind, n, seed);
+            let (b, _, _) = run_once(kind, n, seed);
+            assert_eq!(
+                a,
+                b,
+                "{} n={n} seed={seed}: replay diverged (ids or timestamps)",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_explore_different_schedules() {
+    let (a, _, sa) = run_once(StackKind::Monolithic, 3, 100);
+    let (b, _, sb) = run_once(StackKind::Monolithic, 3, 101);
+    assert!(
+        a != b || format!("{sa:?}") != format!("{sb:?}"),
+        "seeds 100/101 produced identical scenarios and logs"
+    );
+}
+
+/// The acceptance scenario: a minority `{p2}` partitioned away from
+/// `{p0, p1}` for 2 s, then healed — on both stacks the oracle must
+/// report zero violations of uniform agreement and total order, and the
+/// same seed must reproduce byte-identical delivery order.
+#[test]
+fn minority_partition_heals_cleanly_on_both_stacks() {
+    let scenario = || {
+        Scenario::new().partition(
+            vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+            VDur::millis(500),
+            VDur::millis(2500),
+        )
+    };
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        let run = |seed: u64| {
+            let n = 3;
+            let cfg = ClusterConfig::new(n, seed);
+            let nodes = build_nodes_with_windows(kind, n, &StackConfig::default(), &[]);
+            let mut cluster = Cluster::new(cfg, nodes);
+            scenario().apply(&mut cluster);
+            let mut driver =
+                ScriptedDriver::new(n, LoadPlan::round_robin(n, 30, VDur::millis(100), 512));
+            driver.start(&mut cluster);
+            cluster.run_until(VTime::ZERO + VDur::secs(9), &mut driver);
+            // Fully drained and healed: strict identical-sequence
+            // agreement plus validity for everything accepted.
+            let report = driver
+                .oracle()
+                .check_drained(&scenario().correct(n), driver.accepted());
+            report.assert_ok(&format!("{} minority partition", kind.label()));
+            (driver.oracle().logs().to_vec(), report.common_order)
+        };
+        let (logs_a, common_a) = run(77);
+        let (logs_b, common_b) = run(77);
+        assert_eq!(
+            logs_a,
+            logs_b,
+            "{}: same seed must replay identically",
+            kind.label()
+        );
+        assert_eq!(common_a, common_b);
+        assert!(
+            common_a.len() >= 25,
+            "{}: partition should not stop the majority ({} delivered)",
+            kind.label(),
+            common_a.len()
+        );
+    }
+}

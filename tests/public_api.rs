@@ -39,8 +39,16 @@ fn both_stacks_present_equivalent_metrics() {
             .build();
         let r = exp.run();
         assert!(r.avg_batch_m > 0.0, "{}: M missing", kind.label());
-        assert!(r.msgs_per_instance > 0.0, "{}: msgs/inst missing", kind.label());
-        assert!(r.instances_per_proc > 0.0, "{}: instances missing", kind.label());
+        assert!(
+            r.msgs_per_instance > 0.0,
+            "{}: msgs/inst missing",
+            kind.label()
+        );
+        assert!(
+            r.instances_per_proc > 0.0,
+            "{}: instances missing",
+            kind.label()
+        );
     }
 }
 

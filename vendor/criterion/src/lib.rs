@@ -1,0 +1,200 @@
+//! Minimal offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Provides the API surface Fortika's micro-benchmarks use — groups,
+//! `bench_function`, `iter`/`iter_batched`, throughput annotation and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! calibrated timing loop that prints mean ns/iteration. It has no
+//! statistical machinery; swap in the real crate when registry access is
+//! available for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing policy for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// (mean seconds per iteration, iterations measured)
+    result: Option<(f64, u64)>,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher {
+            result: None,
+            measure_for,
+        }
+    }
+
+    /// Measures `routine` repeatedly and records the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // measurement window, then time one contiguous run.
+        let once = Instant::now();
+        black_box(routine());
+        let est = once.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.measure_for.as_nanos() / est.as_nanos()).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.result = Some((total.as_secs_f64() / iters as f64, iters));
+    }
+
+    /// Measures `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the calibration estimate (setup still runs inline,
+    /// as in criterion's `PerIteration` mode).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let once = Instant::now();
+        black_box(routine(input));
+        let est = once.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.measure_for.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut batch: Vec<I> = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            batch.push(setup());
+        }
+        let start = Instant::now();
+        for input in batch {
+            black_box(routine(input));
+        }
+        let total = start.elapsed();
+        self.result = Some((total.as_secs_f64() / iters as f64, iters));
+    }
+}
+
+/// A named group of benchmarks sharing annotations.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Attaches a throughput annotation (reported as MB/s or Melem/s).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count (accepted for API compatibility; the
+    /// stand-in always runs one calibrated sample).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b);
+        let Some((secs, iters)) = b.result else {
+            println!("{}/{id:<28} (no measurement recorded)", self.name);
+            return self;
+        };
+        let mut line = format!(
+            "{}/{id:<28} {:>12.1} ns/iter ({iters} iters)",
+            self.name,
+            secs * 1e9
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(b)) if secs > 0.0 => {
+                line += &format!("  {:>8.1} MB/s", b as f64 / secs / 1e6);
+            }
+            Some(Throughput::Elements(e)) if secs > 0.0 => {
+                line += &format!("  {:>8.2} Melem/s", e as f64 / secs / 1e6);
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Finishes the group (printing happens eagerly; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the stand-in quick; FORTIKA_BENCH_MS overrides.
+        let ms = std::env::var("FORTIKA_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in the real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in the real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
