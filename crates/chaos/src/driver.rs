@@ -52,15 +52,25 @@ impl LoadPlan {
 
     /// A seeded random plan: `count` messages at uniform random instants
     /// in `[0, horizon)` from uniform random senders, sized in
-    /// `[16, max_size]`.
+    /// `[min(16, max_size), max_size]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero (a plan of unsendable messages is a
+    /// test bug, not a workload).
     pub fn random(n: usize, seed: u64, count: usize, horizon: VDur, max_size: usize) -> LoadPlan {
+        assert!(max_size >= 1, "max_size must admit at least one byte");
         let mut rng = DetRng::derive(seed, 0x10AD);
+        // Prefer payloads of at least 16 bytes, but never exceed the
+        // configured cap: the old arithmetic generated sizes *above*
+        // `max_size` whenever `max_size < 16`.
+        let lo = max_size.min(16);
         LoadPlan {
             submissions: (0..count)
                 .map(|_| Submission {
                     sender: ProcessId(rng.below(n as u64) as u16),
                     at: VDur::nanos(rng.below(horizon.as_nanos().max(1))),
-                    size: 16 + rng.below(max_size.saturating_sub(15).max(1) as u64) as usize,
+                    size: lo + rng.below((max_size - lo + 1) as u64) as usize,
                 })
                 .collect(),
         }
@@ -82,6 +92,11 @@ pub struct ScriptedDriver {
     parked: Vec<Option<AppMsg>>,
     backlog: Vec<VecDeque<usize>>,
     accepted: Vec<MsgId>,
+    /// Incarnation of the sender at acceptance time, parallel to
+    /// [`accepted`](Self::accepted).
+    accepted_inc: Vec<u32>,
+    /// Restarts observed so far, per process.
+    incarnation: Vec<u32>,
 }
 
 impl ScriptedDriver {
@@ -95,6 +110,8 @@ impl ScriptedDriver {
             parked: vec![None; n],
             backlog: vec![VecDeque::new(); n],
             accepted: Vec::new(),
+            accepted_inc: Vec::new(),
+            incarnation: vec![0; n],
         }
     }
 
@@ -117,12 +134,20 @@ impl ScriptedDriver {
     }
 
     /// Ids accepted at processes in `senders` (e.g. the scenario's
-    /// correct set) — the must-deliver set for validity checks.
+    /// correct set) **during the sender's latest incarnation** — the
+    /// must-deliver set for validity checks. A message accepted just
+    /// before its sender crashed may legitimately die with the crash
+    /// even if the sender later restarts (the restarted process has
+    /// fresh volatile state and does not re-diffuse it), so pre-crash
+    /// acceptances carry no delivery obligation.
     pub fn accepted_at(&self, senders: &[ProcessId]) -> Vec<MsgId> {
         self.accepted
             .iter()
-            .filter(|id| senders.contains(&id.sender))
-            .copied()
+            .zip(self.accepted_inc.iter())
+            .filter(|(id, &inc)| {
+                senders.contains(&id.sender) && inc == self.incarnation[id.sender.index()]
+            })
+            .map(|(id, _)| *id)
             .collect()
     }
 
@@ -147,10 +172,25 @@ impl ScriptedDriver {
                 self.next_seq[sender.index()] += 1;
                 self.oracle.note_submission(msg.id);
                 self.accepted.push(msg.id);
+                self.accepted_inc.push(self.incarnation[sender.index()]);
             }
             Admission::Blocked => {
                 self.parked[sender.index()] = Some(msg);
             }
+        }
+    }
+
+    /// Retries the parked message and drains the backlog of `pid` (flow
+    /// control reopened, or the process restarted with a fresh window).
+    fn resume_sender(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId) {
+        if let Some(msg) = self.parked[pid.index()].take() {
+            self.submit(api, pid, msg);
+        }
+        while self.parked[pid.index()].is_none() {
+            let Some(size) = self.backlog[pid.index()].pop_front() else {
+                break;
+            };
+            self.try_submit(api, pid, size);
         }
     }
 }
@@ -162,19 +202,19 @@ impl Harness for ScriptedDriver {
     }
 
     fn on_app_ready(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, _at: VTime) {
-        if let Some(msg) = self.parked[pid.index()].take() {
-            self.submit(api, pid, msg);
-        }
-        while self.parked[pid.index()].is_none() {
-            let Some(size) = self.backlog[pid.index()].pop_front() else {
-                break;
-            };
-            self.try_submit(api, pid, size);
-        }
+        self.resume_sender(api, pid);
     }
 
     fn on_delivery(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
         self.oracle.record(pid, d.msg, at);
+    }
+
+    fn on_restart(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, _at: VTime) {
+        self.incarnation[pid.index()] += 1;
+        self.oracle.note_restart(pid);
+        // A blocking caller that died inside abcast() retries against
+        // the revived stack (whose flow window is empty again).
+        self.resume_sender(api, pid);
     }
 }
 
@@ -188,6 +228,29 @@ mod tests {
         let senders: Vec<u16> = plan.submissions.iter().map(|s| s.sender.0).collect();
         assert_eq!(senders, [0, 1, 2, 0, 1, 2]);
         assert_eq!(plan.submissions[5].at, VDur::millis(12));
+    }
+
+    #[test]
+    fn random_plan_respects_small_max_size() {
+        // Regression: `16 + below(..)` used to generate payloads larger
+        // than the configured cap whenever `max_size < 16`.
+        for max_size in [1usize, 2, 8, 15, 16] {
+            let plan = LoadPlan::random(3, 7, 64, VDur::secs(1), max_size);
+            for s in &plan.submissions {
+                assert!(
+                    s.size <= max_size,
+                    "max_size {max_size}: generated {} bytes",
+                    s.size
+                );
+                assert!(s.size >= 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn degenerate_plan_size_rejected() {
+        let _ = LoadPlan::random(3, 7, 4, VDur::secs(1), 0);
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! and decision-recovery machinery whose entire purpose is surviving bad
 //! runs. This crate opens that axis over the deterministic simulator:
 //!
-//! * [`Scenario`] — a declarative fault timeline: crashes, partitions
-//!   with healing, lossy/duplicating/delayed link windows, scripted
-//!   false suspicions. Built with chainable constructors or drawn from
-//!   the seeded [`Scenario::random`] generator ([`ChaosProfile`]) for
+//! * [`Scenario`] — a declarative fault timeline: crashes, **restarts**
+//!   (crash-recovery with volatile-state loss), partitions with
+//!   healing, lossy/duplicating/delayed link windows, scripted false
+//!   suspicions. Built with chainable constructors or drawn from the
+//!   seeded [`Scenario::random`] generator ([`ChaosProfile`]) for
 //!   fuzzing. Applies onto a [`fortika_net::Cluster`] (whose link-level
 //!   fault hooks this crate drives) or into
 //!   `Experiment::builder(..).scenario(..)` in `fortika-core`.
@@ -24,6 +25,28 @@
 //! Everything is deterministic: a `(scenario, cluster seed)` pair
 //! replays bit-for-bit, so any violation the fuzzer finds is a
 //! permanent regression test.
+//!
+//! # Crash-recovery
+//!
+//! [`ScenarioEvent::Restart`] revives a crashed process: the cluster's
+//! node factory builds it a fresh stack (all volatile state lost; only
+//! the stable store with the consensus vote records survives), bumps
+//! its incarnation — stamped at the wire level so stale
+//! cross-incarnation messages are fenced — and the revived stack pulls
+//! the decided prefix from peers via bulk state transfer. The oracle is
+//! recovery-aware: it segments each process's log by incarnation
+//! ([`DeliveryOracle::note_restart`], fed automatically through
+//! `Harness::on_restart`), requires pre-crash deliveries to agree with
+//! the common order (uniform agreement outlives the crash), requires
+//! the next incarnation to re-deliver that prefix **byte-identically**
+//! ([`Violation::ReplayDivergence`]), and judges the process's final
+//! incarnation like any correct process's log. The generator's
+//! `restart_prob` draws crash-restart cycles that do not consume the
+//! permanent-crash minority budget — a crashed-then-restarted process
+//! is correct again ([`Scenario::crashed`] / [`Scenario::quorum_safe`]).
+//! Runs with restarts must register a factory:
+//! `fortika_core::install_restart_factory` or
+//! `Cluster::set_node_factory`.
 //!
 //! # Example: a minority partition with healing, then a crash
 //!

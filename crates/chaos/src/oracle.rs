@@ -67,6 +67,18 @@ pub enum Violation {
         /// First index at which its log leaves the common order.
         index: usize,
     },
+    /// A restarted process's re-delivery diverges from what its earlier
+    /// incarnation delivered: recovery must replay the decided prefix
+    /// byte-identically, so incarnation `segment + 1`'s log must agree
+    /// position by position with incarnation `segment`'s.
+    ReplayDivergence {
+        /// The offending process.
+        process: ProcessId,
+        /// Zero-based incarnation whose log the next one contradicts.
+        segment: usize,
+        /// First index at which the two incarnations disagree.
+        index: usize,
+    },
     /// A must-deliver message never appeared in the common order.
     MissingDelivery {
         /// The lost message.
@@ -97,6 +109,16 @@ impl fmt::Display for Violation {
             Violation::NonPrefixLog { process, index } => write!(
                 f,
                 "uniform agreement violated: {process}'s log leaves the common order at index {index}"
+            ),
+            Violation::ReplayDivergence {
+                process,
+                segment,
+                index,
+            } => write!(
+                f,
+                "recovery replay violated: {process}'s incarnation {} contradicts incarnation \
+                 {segment} at index {index}",
+                segment + 1
             ),
             Violation::MissingDelivery { id } => {
                 write!(f, "validity violated: {id} was abcast by a correct process but never delivered")
@@ -173,6 +195,9 @@ pub struct DeliveryOracle {
     logs: Vec<Vec<(MsgId, VTime)>>,
     submitted: HashSet<MsgId>,
     track_submissions: bool,
+    /// Per process: indices into its log where a new incarnation begins
+    /// (crash-recovery restarts). Empty for never-restarted processes.
+    restarts: Vec<Vec<usize>>,
 }
 
 impl DeliveryOracle {
@@ -182,7 +207,43 @@ impl DeliveryOracle {
             logs: vec![Vec::new(); n],
             submitted: HashSet::new(),
             track_submissions: false,
+            restarts: vec![Vec::new(); n],
         }
+    }
+
+    /// Notes that `process` was revived (crash-recovery): subsequent
+    /// deliveries belong to a new incarnation. The recovery-aware
+    /// checks treat each incarnation's log separately — re-delivering
+    /// the decided prefix is *required*, not a duplicate.
+    pub fn note_restart(&mut self, process: ProcessId) {
+        let cut = self.logs[process.index()].len();
+        self.restarts[process.index()].push(cut);
+    }
+
+    /// The incarnation segments of `process`'s log, oldest first; a
+    /// never-restarted process has exactly one segment.
+    fn segments(&self, process: usize) -> Vec<&[(MsgId, VTime)]> {
+        let log = &self.logs[process];
+        let mut out = Vec::with_capacity(self.restarts[process].len() + 1);
+        let mut start = 0;
+        for &cut in &self.restarts[process] {
+            out.push(&log[start..cut]);
+            start = cut;
+        }
+        out.push(&log[start..]);
+        out
+    }
+
+    /// The delivery order of `process`'s **final** incarnation — what
+    /// agreement checks compare (earlier incarnations are audited
+    /// separately, like crashed processes' logs).
+    fn final_order(&self, process: usize) -> Vec<MsgId> {
+        self.segments(process)
+            .last()
+            .expect("at least one segment")
+            .iter()
+            .map(|(m, _)| *m)
+            .collect()
     }
 
     /// Group size.
@@ -272,14 +333,17 @@ impl DeliveryOracle {
         // barriers), so the common order is the longest correct log, and
         // every correct log must be a prefix of it. In `drained` mode
         // the prefix tolerance is revoked: all correct logs must be the
-        // identical sequence.
+        // identical sequence. Restarted processes are judged by their
+        // **final** incarnation's log — it replays from instance 0, so
+        // it is comparable from index 0; earlier incarnations are
+        // audited separately below.
         let reference = *correct
             .iter()
-            .max_by_key(|p| self.logs[p.index()].len())
+            .max_by_key(|p| self.final_order(p.index()).len())
             .expect("nonempty");
-        let common_order = self.order(reference);
+        let common_order = self.final_order(reference.index());
         for &p in correct {
-            let order = self.order(p);
+            let order = self.final_order(p.index());
             if let Some(i) = first_divergence(&order, &common_order) {
                 violations.push(Violation::Disagreement {
                     reference,
@@ -313,17 +377,8 @@ impl DeliveryOracle {
             if correct_set.contains(&pid) {
                 continue;
             }
-            let order = self.order(pid);
-            let overlap_mismatch = order
-                .iter()
-                .zip(common_order.iter())
-                .position(|(a, b)| a != b);
-            let index = match overlap_mismatch {
-                Some(i) => Some(i),
-                None if drained && order.len() > common_order.len() => Some(common_order.len()),
-                None => None,
-            };
-            if let Some(index) = index {
+            let order = self.final_order(p);
+            if let Some(index) = overlap_mismatch(&order, &common_order, drained) {
                 violations.push(Violation::NonPrefixLog {
                     process: pid,
                     index,
@@ -331,22 +386,68 @@ impl DeliveryOracle {
             }
         }
 
-        // Integrity: no duplicates anywhere; known ids only (if tracked).
+        // Recovery-aware checks on every non-final incarnation (of any
+        // process): (a) uniform agreement — deliveries made before a
+        // crash must be consistent with the common order, exactly like
+        // a crashed process's log; (b) byte-identical replay — the next
+        // incarnation must re-deliver the same sequence, so the two
+        // logs must agree on their overlap.
         for p in 0..self.logs.len() {
             let pid = ProcessId(p as u16);
-            let mut seen = HashSet::new();
-            for (id, _) in &self.logs[p] {
-                if !seen.insert(*id) {
-                    violations.push(Violation::DuplicateDelivery {
+            let segments = self.segments(p);
+            for s in 0..segments.len() - 1 {
+                let order: Vec<MsgId> = segments[s].iter().map(|(m, _)| *m).collect();
+                if let Some(index) = overlap_mismatch(&order, &common_order, drained) {
+                    violations.push(Violation::NonPrefixLog {
                         process: pid,
-                        id: *id,
+                        index,
                     });
                 }
-                if self.track_submissions && !self.submitted.contains(id) {
-                    violations.push(Violation::UnknownDelivery {
+                let next: Vec<MsgId> = segments[s + 1].iter().map(|(m, _)| *m).collect();
+                // The completeness half of the replay requirement only
+                // binds the *final* incarnation of a *correct* process:
+                // an intermediate incarnation may itself be truncated
+                // by the next crash, and a permanently crashed process
+                // owes no full replay. (Earlier segments are still
+                // covered transitively: drained equality pins the
+                // final segment to the common order, and every earlier
+                // segment is overlap-checked against that order above.)
+                let require_full = drained && s + 2 == segments.len() && correct_set.contains(&pid);
+                if let Some(index) = order
+                    .iter()
+                    .zip(next.iter())
+                    .position(|(a, b)| a != b)
+                    .or_else(|| (require_full && next.len() < order.len()).then_some(next.len()))
+                {
+                    violations.push(Violation::ReplayDivergence {
                         process: pid,
-                        id: *id,
+                        segment: s,
+                        index,
                     });
+                }
+            }
+        }
+
+        // Integrity: no duplicates within any incarnation; known ids
+        // only (if tracked). Re-deliveries across incarnations are the
+        // *required* recovery replay, not duplicates.
+        for p in 0..self.logs.len() {
+            let pid = ProcessId(p as u16);
+            for segment in self.segments(p) {
+                let mut seen = HashSet::new();
+                for (id, _) in segment {
+                    if !seen.insert(*id) {
+                        violations.push(Violation::DuplicateDelivery {
+                            process: pid,
+                            id: *id,
+                        });
+                    }
+                    if self.track_submissions && !self.submitted.contains(id) {
+                        violations.push(Violation::UnknownDelivery {
+                            process: pid,
+                            id: *id,
+                        });
+                    }
                 }
             }
         }
@@ -372,6 +473,23 @@ impl DeliveryOracle {
 impl Harness for DeliveryOracle {
     fn on_delivery(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
         self.record(pid, d.msg, at);
+    }
+
+    fn on_restart(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, _at: VTime) {
+        self.note_restart(pid);
+    }
+}
+
+/// First index at which `order` contradicts `reference` on their
+/// overlap; in `drained` mode an `order` that extends beyond the
+/// reference is also flagged (at the reference's length). The
+/// consistency rule applied to crashed processes' logs and to pre-crash
+/// incarnations of restarted processes.
+fn overlap_mismatch(order: &[MsgId], reference: &[MsgId], drained: bool) -> Option<usize> {
+    match order.iter().zip(reference.iter()).position(|(a, b)| a != b) {
+        Some(i) => Some(i),
+        None if drained && order.len() > reference.len() => Some(reference.len()),
+        None => None,
     }
 }
 
@@ -511,6 +629,117 @@ mod tests {
                 index: 0
             }]
         ));
+    }
+
+    #[test]
+    fn recovery_replay_is_not_a_duplicate() {
+        // p1 delivers two messages, restarts, re-delivers the prefix
+        // byte-identically and catches up past it: a clean recovery.
+        let mut oracle = DeliveryOracle::new(2);
+        for m in [id(0, 0), id(1, 0), id(0, 1)] {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+        }
+        oracle.record(ProcessId(1), id(0, 0), VTime::ZERO);
+        oracle.record(ProcessId(1), id(1, 0), VTime::ZERO);
+        oracle.note_restart(ProcessId(1));
+        for m in [id(0, 0), id(1, 0), id(0, 1)] {
+            oracle.record(ProcessId(1), m, VTime::ZERO);
+        }
+        let report = oracle.check_drained(&[ProcessId(0), ProcessId(1)], &[]);
+        report.assert_ok("clean crash-recovery replay");
+        assert_eq!(report.common_order.len(), 3);
+    }
+
+    #[test]
+    fn replay_divergence_detected() {
+        // The restarted incarnation re-delivers in a different order.
+        let mut oracle = DeliveryOracle::new(2);
+        for m in [id(0, 0), id(1, 0)] {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+            oracle.record(ProcessId(1), m, VTime::ZERO);
+        }
+        oracle.note_restart(ProcessId(1));
+        oracle.record(ProcessId(1), id(1, 0), VTime::ZERO);
+        oracle.record(ProcessId(1), id(0, 0), VTime::ZERO);
+        let report = oracle.check(&[ProcessId(0)]);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::ReplayDivergence {
+                    process: ProcessId(1),
+                    segment: 0,
+                    index: 0,
+                }
+            )),
+            "got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn pre_crash_segment_must_agree_with_common_order() {
+        // The pre-crash incarnation delivered something the cluster
+        // never ordered there: uniform agreement violated even though
+        // the final incarnation looks clean.
+        let mut oracle = DeliveryOracle::new(2);
+        for m in [id(0, 0), id(1, 0)] {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+        }
+        oracle.record(ProcessId(1), id(1, 7), VTime::ZERO); // rogue pre-crash delivery
+        oracle.note_restart(ProcessId(1));
+        oracle.record(ProcessId(1), id(0, 0), VTime::ZERO);
+        let report = oracle.check(&[ProcessId(0), ProcessId(1)]);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::NonPrefixLog {
+                    process: ProcessId(1),
+                    index: 0,
+                }
+            )),
+            "got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn incomplete_replay_flagged_only_when_drained() {
+        // Restarted p2 re-delivered only part of its pre-crash log.
+        let mut oracle = DeliveryOracle::new(2);
+        for m in [id(0, 0), id(1, 0)] {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+            oracle.record(ProcessId(1), m, VTime::ZERO);
+        }
+        oracle.note_restart(ProcessId(1));
+        oracle.record(ProcessId(1), id(0, 0), VTime::ZERO);
+        // Mid-run: catch-up still in flight, fine.
+        oracle.check(&[ProcessId(0)]).assert_ok("mid-run");
+        // Drained: the replay (and the lagging final log) are failures.
+        let drained = oracle.check_drained(&[ProcessId(0), ProcessId(1)], &[]);
+        assert!(drained
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReplayDivergence { index: 1, .. })));
+    }
+
+    #[test]
+    fn replay_truncated_by_second_crash_is_not_flagged() {
+        // p2 restarts, its replay is cut short by a *second* crash,
+        // then a final incarnation replays everything: drained must
+        // pass — only the final incarnation owes a complete replay.
+        let mut oracle = DeliveryOracle::new(2);
+        for m in [id(0, 0), id(1, 0)] {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+            oracle.record(ProcessId(1), m, VTime::ZERO);
+        }
+        oracle.note_restart(ProcessId(1));
+        oracle.record(ProcessId(1), id(0, 0), VTime::ZERO); // truncated replay
+        oracle.note_restart(ProcessId(1));
+        for m in [id(0, 0), id(1, 0)] {
+            oracle.record(ProcessId(1), m, VTime::ZERO);
+        }
+        let report = oracle.check_drained(&[ProcessId(0), ProcessId(1)], &[]);
+        report.assert_ok("double crash-recovery");
     }
 
     #[test]

@@ -21,11 +21,23 @@ use fortika_sim::{DetRng, VDur, VTime};
 /// from the start of the run.
 #[derive(Debug, Clone)]
 pub enum ScenarioEvent {
-    /// Crash-stop `pid` at `at` (it never recovers).
+    /// Crash `pid` at `at`. Without a matching [`Restart`] afterwards
+    /// this is a crash-stop (the process never recovers).
+    ///
+    /// [`Restart`]: ScenarioEvent::Restart
     Crash {
         /// The victim.
         pid: ProcessId,
         /// Crash instant.
+        at: VDur,
+    },
+    /// Revive a crashed `pid` at `at` with fresh volatile state and a
+    /// new incarnation (crash-recovery). Requires the cluster to have a
+    /// node factory registered; see `Cluster::schedule_restart`.
+    Restart {
+        /// The revived process.
+        pid: ProcessId,
+        /// Restart instant (must follow the crash).
         at: VDur,
     },
     /// Partition the cluster into `groups` during `[from, until)`;
@@ -119,6 +131,12 @@ impl Scenario {
     /// Crash-stops `pid` at offset `at`.
     pub fn crash(self, pid: ProcessId, at: VDur) -> Self {
         self.event(ScenarioEvent::Crash { pid, at })
+    }
+
+    /// Revives `pid` at offset `at` (crash-recovery; pair with an
+    /// earlier [`crash`](Self::crash) of the same process).
+    pub fn restart(self, pid: ProcessId, at: VDur) -> Self {
+        self.event(ScenarioEvent::Restart { pid, at })
     }
 
     /// Partitions the cluster into `groups` from `from` until `until`
@@ -248,6 +266,7 @@ impl Scenario {
         for ev in &self.events {
             match ev {
                 ScenarioEvent::Crash { pid, at } => cluster.schedule_crash(*pid, t0 + *at),
+                ScenarioEvent::Restart { pid, at } => cluster.schedule_restart(*pid, t0 + *at),
                 ScenarioEvent::Partition {
                     groups,
                     from,
@@ -343,20 +362,61 @@ impl Scenario {
             .collect()
     }
 
-    /// Processes this scenario crash-stops (they are *not correct* in
-    /// the atomic-broadcast sense).
+    /// Processes this scenario crash-stops **permanently** (they are
+    /// *not correct* in the atomic-broadcast sense). A process whose
+    /// last crash is followed by a [`Restart`] is correct again — it
+    /// does not appear here and does not count against the minority
+    /// crash budget.
+    ///
+    /// [`Restart`]: ScenarioEvent::Restart
     pub fn crashed(&self) -> Vec<ProcessId> {
+        let mut last_crash: std::collections::BTreeMap<ProcessId, VDur> = Default::default();
+        let mut last_restart: std::collections::BTreeMap<ProcessId, VDur> = Default::default();
+        for ev in &self.events {
+            match ev {
+                ScenarioEvent::Crash { pid, at } => {
+                    let e = last_crash.entry(*pid).or_insert(*at);
+                    *e = (*e).max(*at);
+                }
+                ScenarioEvent::Restart { pid, at } => {
+                    let e = last_restart.entry(*pid).or_insert(*at);
+                    *e = (*e).max(*at);
+                }
+                _ => {}
+            }
+        }
+        last_crash
+            .into_iter()
+            .filter(|(pid, down)| match last_restart.get(pid) {
+                Some(up) => up <= down, // revival must strictly follow the crash
+                None => true,
+            })
+            .map(|(pid, _)| pid)
+            .collect()
+    }
+
+    /// Processes that crash and come back at least once.
+    pub fn restarted(&self) -> Vec<ProcessId> {
         let mut out: Vec<ProcessId> = self
             .events
             .iter()
             .filter_map(|ev| match ev {
-                ScenarioEvent::Crash { pid, .. } => Some(*pid),
+                ScenarioEvent::Restart { pid, .. } => Some(*pid),
                 _ => None,
             })
             .collect();
         out.sort();
         out.dedup();
         out
+    }
+
+    /// True when the *permanent* crashes stay within the minority the
+    /// correct-majority assumption tolerates. Crashed-then-restarted
+    /// processes do not count: with votes on stable storage a revived
+    /// process re-enters consensus with its locks intact, so only
+    /// processes that stay down erode the quorum.
+    pub fn quorum_safe(&self, n: usize) -> bool {
+        self.crashed().len() <= (n - 1) / 2
     }
 
     /// Processes of a group of `n` that stay correct under this
@@ -376,7 +436,9 @@ impl Scenario {
             | ScenarioEvent::Lossy { until, .. }
             | ScenarioEvent::Duplicate { until, .. }
             | ScenarioEvent::DelaySpike { until, .. } => until.is_some(),
-            ScenarioEvent::Crash { .. } | ScenarioEvent::FalseSuspicion { .. } => true,
+            ScenarioEvent::Crash { .. }
+            | ScenarioEvent::Restart { .. }
+            | ScenarioEvent::FalseSuspicion { .. } => true,
         })
     }
 
@@ -386,7 +448,7 @@ impl Scenario {
         self.events
             .iter()
             .map(|ev| match ev {
-                ScenarioEvent::Crash { at, .. } => *at,
+                ScenarioEvent::Crash { at, .. } | ScenarioEvent::Restart { at, .. } => *at,
                 ScenarioEvent::Partition { from, until, .. }
                 | ScenarioEvent::Lossy { from, until, .. }
                 | ScenarioEvent::Duplicate { from, until, .. }
@@ -400,9 +462,14 @@ impl Scenario {
     ///
     /// The generator respects the model's assumptions so that safety
     /// *and* (after healing) liveness are fair to assert: at most a
-    /// minority of processes crash, every partition heals, every
-    /// loss/duplication/delay window closes, and all fault activity
-    /// finishes by `profile.horizon`.
+    /// minority of processes crash **permanently** (crash-restart
+    /// victims hand their budget slot back — a revived process is
+    /// correct again), at least one process never crashes at all (the
+    /// decided prefix lives in volatile caches, so somebody must
+    /// remember it for rejoining processes; stable storage covers votes,
+    /// not values), every partition heals, every loss/duplication/delay
+    /// window closes, and all fault activity finishes by
+    /// `profile.horizon`.
     pub fn random(n: usize, seed: u64, profile: &ChaosProfile) -> Scenario {
         assert!(n >= 2, "chaos needs at least two processes");
         let mut rng = DetRng::derive(seed, 0xC4A05);
@@ -414,17 +481,34 @@ impl Scenario {
             VDur::nanos(lo + rng.below(hi.saturating_sub(lo).max(1)))
         };
 
-        // Crashes: a random minority subset.
-        let max_crashes = profile.max_crashes.min((n - 1) / 2);
+        // Crashes: permanent ones clamp to a minority; crash-restart
+        // cycles only consume the "leave one untouched" budget.
+        let permanent_budget = profile.max_crashes.min((n - 1) / 2);
+        let max_events = profile.max_crashes.min(n - 1);
         let mut victims: Vec<u16> = (0..n as u16).collect();
-        for slot in 0..max_crashes {
+        let mut used = 0usize;
+        let mut permanent = 0usize;
+        for _ in 0..max_events {
             if rng.unit_f64() >= profile.crash_prob {
                 continue;
             }
+            let revive = profile.restart_prob > 0.0 && rng.unit_f64() < profile.restart_prob;
+            if !revive && permanent >= permanent_budget {
+                continue; // out of permanent budget, and no revival drawn
+            }
             // Pick a not-yet-crashed victim.
-            let k = slot + rng.below((victims.len() - slot) as u64) as usize;
-            victims.swap(slot, k);
-            s = s.crash(ProcessId(victims[slot]), at(&mut rng, 0.1, 0.9));
+            let k = used + rng.below((victims.len() - used) as u64) as usize;
+            victims.swap(used, k);
+            let pid = ProcessId(victims[used]);
+            used += 1;
+            if revive {
+                let down = at(&mut rng, 0.1, 0.7);
+                let up = down + at(&mut rng, 0.05, 0.25);
+                s = s.crash(pid, down).restart(pid, up);
+            } else {
+                permanent += 1;
+                s = s.crash(pid, at(&mut rng, 0.1, 0.9));
+            }
         }
 
         // One partition window: random proper split into two groups.
@@ -509,11 +593,17 @@ fn random_selector(rng: &mut DetRng, n: usize) -> LinkSelector {
 pub struct ChaosProfile {
     /// All fault activity finishes by this offset.
     pub horizon: VDur,
-    /// Upper bound on crash count (always additionally clamped to a
-    /// minority, `(n-1)/2`).
+    /// Upper bound on crash count. Permanent crashes are additionally
+    /// clamped to a minority, `(n-1)/2`; crash-restart cycles are only
+    /// clamped so that one process stays untouched.
     pub max_crashes: usize,
     /// Probability that each allowed crash slot is used.
     pub crash_prob: f64,
+    /// Probability that a drawn crash is followed by a restart
+    /// (crash-recovery) instead of being permanent. Requires the run to
+    /// register a node factory (`Cluster::set_node_factory` — the
+    /// experiment runner and `fortika-core::node_factory` do this).
+    pub restart_prob: f64,
     /// Probability of a (healing) partition window.
     pub partition_prob: f64,
     /// Probability of a lossy window.
@@ -534,6 +624,7 @@ impl Default for ChaosProfile {
             horizon: VDur::secs(2),
             max_crashes: usize::MAX,
             crash_prob: 0.5,
+            restart_prob: 0.4,
             partition_prob: 0.5,
             loss_prob: 0.5,
             max_loss: 0.3,
@@ -605,6 +696,56 @@ mod tests {
                 assert!(a.horizon() <= VDur::secs(2) + VDur::secs(1));
             }
         }
+    }
+
+    #[test]
+    fn restart_makes_a_crashed_process_correct_again() {
+        let s = Scenario::new()
+            .crash(ProcessId(0), VDur::millis(10))
+            .restart(ProcessId(0), VDur::millis(50))
+            .crash(ProcessId(1), VDur::millis(20));
+        // p1 came back: only p2 is permanently crashed.
+        assert_eq!(s.crashed(), vec![ProcessId(1)]);
+        assert_eq!(s.restarted(), vec![ProcessId(0)]);
+        assert!(s.quorum_safe(3));
+        assert_eq!(s.correct(3), vec![ProcessId(0), ProcessId(2)]);
+        assert_eq!(s.horizon(), VDur::millis(50));
+        assert!(s.heals());
+    }
+
+    #[test]
+    fn generator_emits_restarts_within_budgets() {
+        let mut any_restart = false;
+        for n in [3usize, 5] {
+            for seed in 0..60u64 {
+                let s = Scenario::random(n, seed, &ChaosProfile::default());
+                assert!(
+                    s.quorum_safe(n),
+                    "seed {seed} n={n}: permanent crashes exceed the minority"
+                );
+                // Every restart pairs with an earlier crash of the same
+                // process, and one process never crashes at all.
+                let mut crash_at: std::collections::HashMap<ProcessId, VDur> = Default::default();
+                for ev in s.events() {
+                    match ev {
+                        ScenarioEvent::Crash { pid, at } => {
+                            crash_at.insert(*pid, *at);
+                        }
+                        ScenarioEvent::Restart { pid, at } => {
+                            let down = crash_at.get(pid).expect("restart without crash");
+                            assert!(at > down, "seed {seed}: restart not after crash");
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(
+                    crash_at.len() < n,
+                    "seed {seed} n={n}: no process left untouched"
+                );
+                any_restart |= !s.restarted().is_empty();
+            }
+        }
+        assert!(any_restart, "default profile never generated a restart");
     }
 
     #[test]

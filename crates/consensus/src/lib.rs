@@ -18,4 +18,4 @@ mod module;
 pub mod msg;
 
 pub use module::{ConsensusConfig, ConsensusModule, CONSENSUS_MODULE_ID, DECISION_STREAM};
-pub use msg::{coordinator, ConsensusMsg, DecisionNotice};
+pub use msg::{coordinator, ConsensusMsg, DecisionNotice, VoteRecord};

@@ -24,17 +24,41 @@
 //! estimate with timestamp `r`, and any later coordinator gathers
 //! estimates from a majority — which intersects every ack quorum — and
 //! adopts the max-timestamp estimate.
+//!
+//! # Crash-recovery
+//!
+//! A process revived via `Cluster::schedule_restart` loses all volatile
+//! state. Two mechanisms make that survivable:
+//!
+//! * **Durable votes** — every vote (ack / adoption) writes a
+//!   [`VoteRecord`] to the host's stable store atomically with the vote
+//!   message; [`ConsensusModule::resume`] replays the records so a
+//!   revived process re-enters undecided instances with its locked
+//!   `(round, estimate, ts)` intact. Without this, the quorum
+//!   intersection at the heart of CT safety breaks (an amnesiac acker
+//!   can help decide a second, different value). The contiguous decided
+//!   watermark is persisted too, fencing re-votes in long-decided
+//!   instances; records below it are garbage collected.
+//! * **Rejoin catch-up** — the decided *values* are not persisted: the
+//!   revived process advertises "I am at instance 0" with a
+//!   [`JoinRequest`](ConsensusMsg::JoinRequest) broadcast and peers
+//!   stream the decided prefix back in bulk
+//!   [`StateTransfer`](ConsensusMsg::StateTransfer) batches, chained at
+//!   round-trip pace until the joiner reaches the live frontier. Every
+//!   replayed decision re-raises `Event::Decide`, so the stack above
+//!   re-delivers the prefix byte-identically — which the chaos oracle
+//!   checks across incarnations.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::wire::{decode, encode};
-use fortika_net::{Batch, ProcessId, TimerId};
+use fortika_net::{Batch, PeerRateLimiter, ProcessId, StableStore, TimerId};
 use fortika_rbcast::OriginLog;
 use fortika_sim::{VDur, VTime};
 
-use crate::msg::{coordinator, ConsensusMsg, DecisionNotice};
+use crate::msg::{coordinator, ConsensusMsg, DecisionNotice, VoteRecord};
 
 /// Wire demux id of the consensus module.
 pub const CONSENSUS_MODULE_ID: ModuleId = 2;
@@ -43,6 +67,22 @@ pub const CONSENSUS_MODULE_ID: ModuleId = 2;
 pub const DECISION_STREAM: u8 = 0;
 
 const TAG_SWEEP: u64 = 0;
+
+/// Stable-store key namespace tag of per-instance vote records.
+const STABLE_VOTE_TAG: u64 = 1 << 56;
+/// Stable-store key of the contiguous decided watermark.
+const STABLE_WATERMARK_KEY: u64 = 2 << 56;
+
+/// Stable-store key of `instance`'s vote record.
+fn vote_key(instance: u64) -> u64 {
+    debug_assert!(instance < (1 << 56));
+    STABLE_VOTE_TAG | instance
+}
+
+/// Instances streamed per [`ConsensusMsg::StateTransfer`] reply.
+const MAX_TRANSFER: u64 = 16;
+/// Minimum spacing of rejoin re-announcements.
+const JOIN_RETRY: VDur = VDur::millis(300);
 
 /// Configuration of the consensus module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,27 +156,68 @@ impl Instance {
 pub struct ConsensusModule {
     cfg: ConsensusConfig,
     instances: BTreeMap<u64, Instance>,
+    /// Instances this process may no longer vote in (voting fence).
+    /// After a restart it is pre-loaded from the persisted watermark,
+    /// so it can run *ahead* of [`replayed`](Self::replayed).
     decided_log: OriginLog,
+    /// Instances whose decision was raised as [`Event::Decide`] in this
+    /// incarnation — the replay/delivery progress. Always starts at 0,
+    /// so a revived process re-raises the whole decided prefix.
+    replayed: OriginLog,
     decisions: BTreeMap<u64, Batch>,
     suspected: HashSet<ProcessId>,
-    /// Rate limiter for gap recovery requests.
-    last_gap_request: VTime,
+    /// Per-peer rate limiter for gap/rejoin recovery requests.
+    gap_limiter: PeerRateLimiter,
     /// Highest instance number observed in any peer message.
     highest_seen: u64,
+    /// Vote records recovered from stable storage (restart only); seeds
+    /// per-instance state when an instance is first touched.
+    recovered_votes: BTreeMap<u64, VoteRecord>,
+    /// Still catching up after a restart (rejoin announcements active).
+    rejoining: bool,
+    /// Highest replay frontier any state transfer advertised.
+    rejoin_target: u64,
+    /// When the last rejoin announcement went out.
+    last_join: VTime,
 }
 
 impl ConsensusModule {
-    /// Creates the module.
+    /// Creates the module (fresh start at time zero).
     pub fn new(cfg: ConsensusConfig) -> Self {
         ConsensusModule {
             cfg,
             instances: BTreeMap::new(),
             decided_log: OriginLog::default(),
+            replayed: OriginLog::default(),
             decisions: BTreeMap::new(),
             suspected: HashSet::new(),
-            last_gap_request: VTime::ZERO,
+            gap_limiter: PeerRateLimiter::new(),
             highest_seen: 0,
+            recovered_votes: BTreeMap::new(),
+            rejoining: false,
+            rejoin_target: 0,
+            last_join: VTime::ZERO,
         }
+    }
+
+    /// Creates the module for a process revived after a crash: replays
+    /// the persisted vote records and decided watermark out of `stable`
+    /// and arms the rejoin announcement (see the [module docs](self)).
+    pub fn resume(cfg: ConsensusConfig, stable: &StableStore) -> Self {
+        let mut module = ConsensusModule::new(cfg);
+        module.rejoining = true;
+        for (&key, bytes) in stable {
+            if key == STABLE_WATERMARK_KEY {
+                if let Ok(w) = decode::<u64>(bytes.clone()) {
+                    module.decided_log.advance_to(w);
+                }
+            } else if key >> 56 == STABLE_VOTE_TAG >> 56 {
+                if let Ok(rec) = decode::<VoteRecord>(bytes.clone()) {
+                    module.recovered_votes.insert(key & !STABLE_VOTE_TAG, rec);
+                }
+            }
+        }
+        module
     }
 
     fn majority(n: usize) -> usize {
@@ -147,13 +228,61 @@ impl ConsensusModule {
         !self.decided_log.is_new(instance)
     }
 
+    /// Per-instance state, created on first touch; a revived process
+    /// seeds fresh instances from its recovered vote records so its
+    /// locked `(round, estimate, ts)` is honoured.
+    fn instance_entry(&mut self, instance: u64, now: VTime) -> &mut Instance {
+        if !self.instances.contains_key(&instance) {
+            let mut inst = Instance::new(now);
+            if let Some(rec) = self.recovered_votes.get(&instance) {
+                inst.round = rec.round;
+                inst.estimate = Some(rec.value.clone());
+                inst.ts = rec.ts;
+            }
+            self.instances.insert(instance, inst);
+        }
+        self.instances.get_mut(&instance).expect("just inserted")
+    }
+
+    /// Writes `instance`'s vote record to stable storage, atomically
+    /// with the vote message of the enclosing handler.
+    fn persist_vote(
+        &self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        instance: u64,
+        round: u32,
+        ts: u32,
+        value: &Batch,
+    ) {
+        let rec = VoteRecord {
+            round,
+            ts,
+            value: value.clone(),
+        };
+        ctx.persist(vote_key(instance), encode(&rec));
+    }
+
     /// Registers a decision locally: caches the value, raises
-    /// [`Event::Decide`] and drops per-instance state.
+    /// [`Event::Decide`] and drops per-instance state. Keyed on the
+    /// replay log, so a revived process re-raises the decided prefix
+    /// learned through state transfer even though its voting fence
+    /// (`decided_log`) already covers it.
     fn decide_local(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64, value: Batch) {
-        if self.is_decided(instance) {
+        if !self.replayed.is_new(instance) {
             return;
         }
+        self.replayed.complete(instance);
+        let fence_before = self.decided_log.watermark();
         self.decided_log.complete(instance);
+        let fence_after = self.decided_log.watermark();
+        if fence_after > fence_before {
+            // The voting fence advanced: persist it and garbage-collect
+            // the vote records it makes obsolete.
+            ctx.persist(STABLE_WATERMARK_KEY, encode(&fence_after));
+            for k in fence_before..fence_after {
+                ctx.unpersist(vote_key(k));
+            }
+        }
         self.decisions.insert(instance, value.clone());
         while self.decisions.len() > self.cfg.decision_cache {
             self.decisions.pop_first();
@@ -174,11 +303,12 @@ impl ConsensusModule {
         if seen <= watermark || from == ctx.pid() {
             return;
         }
+        // Rate limited per peer: throttling catch-up toward one lagging
+        // peer must not suppress catch-up toward another.
         let now = ctx.now();
-        if now.since(self.last_gap_request) < VDur::millis(50) {
+        if !self.gap_limiter.allow(from, now, VDur::millis(50)) {
             return;
         }
-        self.last_gap_request = now;
         self.request_gap_batch(ctx, from, seen);
     }
 
@@ -256,6 +386,13 @@ impl ConsensusModule {
             .filter(|(_, (r, _, _))| *r == round)
             .collect();
         candidates.sort_by_key(|(pid, (_, _, ts))| (std::cmp::Reverse(*ts), **pid));
+        // Unlike the monolithic stack, a tie among ts-0 estimates needs
+        // no batch union here: consensus promises strict validity (the
+        // decision is *a* proposed value), and messages missing from
+        // the winning estimate stay pending in the abcast module, which
+        // re-proposes them next instance and re-diffuses them to every
+        // process (including future coordinators) on its retransmission
+        // timer.
         let value = candidates[0].1 .1.clone();
         inst.estimate = Some(value.clone());
         // Adoption timestamps are round+1 so that a value locked by an
@@ -266,6 +403,9 @@ impl ConsensusModule {
         inst.acks.clear();
         inst.acks.insert(me);
         ctx.bump("consensus.proposals", 1);
+        // Coordinator self-ack: durable before (atomically with) the
+        // proposal leaves this process.
+        self.persist_vote(ctx, instance, round, round + 1, &value);
         let msg = ConsensusMsg::Propose {
             instance,
             round,
@@ -317,10 +457,7 @@ impl ConsensusModule {
         let n = ctx.n();
         let me = ctx.pid();
         let now = ctx.now();
-        let inst = self
-            .instances
-            .entry(instance)
-            .or_insert_with(|| Instance::new(now));
+        let inst = self.instance_entry(instance, now);
         if inst.estimate.is_none() {
             inst.estimate = Some(value);
             inst.ts = 0;
@@ -336,6 +473,7 @@ impl ConsensusModule {
             inst.proposal_sent_round = Some(0);
             inst.acks.insert(me);
             ctx.bump("consensus.proposals", 1);
+            self.persist_vote(ctx, instance, 0, 1, &v);
             let msg = ConsensusMsg::Propose {
                 instance,
                 round: 0,
@@ -379,10 +517,7 @@ impl ConsensusModule {
             return;
         }
         let now = ctx.now();
-        let inst = self
-            .instances
-            .entry(instance)
-            .or_insert_with(|| Instance::new(now));
+        let inst = self.instance_entry(instance, now);
         if round < inst.round {
             return; // stale proposal from an abandoned round
         }
@@ -392,13 +527,17 @@ impl ConsensusModule {
             inst.acks.clear();
         }
         // Adopt and acknowledge (CT locking step). The adoption
-        // timestamp round+1 ranks locked values above initial ones.
+        // timestamp round+1 ranks locked values above initial ones; the
+        // vote is made durable atomically with the ack so a future
+        // incarnation of this process honours the lock.
         inst.estimate = Some(value.clone());
         inst.ts = round + 1;
         inst.last_proposal = Some((round, value.clone()));
+        let pending_hit = inst.pending_tag == Some(round);
+        self.persist_vote(ctx, instance, round, round + 1, &value);
         let ack = ConsensusMsg::Ack { instance, round };
         ctx.send_net(from, "consensus.ack", encode(&ack));
-        if inst.pending_tag == Some(round) {
+        if pending_hit {
             self.decide_local(ctx, instance, value);
         }
     }
@@ -426,10 +565,7 @@ impl ConsensusModule {
             return; // misdirected
         }
         let now = ctx.now();
-        let inst = self
-            .instances
-            .entry(instance)
-            .or_insert_with(|| Instance::new(now));
+        let inst = self.instance_entry(instance, now);
         if round < inst.round {
             return;
         }
@@ -493,10 +629,7 @@ impl ConsensusModule {
         }
         // Tag-only notice: we must hold the matching proposal.
         let now = ctx.now();
-        let inst = self
-            .instances
-            .entry(notice.instance)
-            .or_insert_with(|| Instance::new(now));
+        let inst = self.instance_entry(notice.instance, now);
         match &inst.last_proposal {
             Some((r, v)) if *r == notice.round => {
                 let value = v.clone();
@@ -517,8 +650,102 @@ impl ConsensusModule {
         }
     }
 
+    /// Broadcasts the rejoin announcement: "my replayed prefix ends at
+    /// `watermark`" (a freshly revived process says instance 0).
+    fn announce_join(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        self.last_join = ctx.now();
+        ctx.bump("consensus.join_requests", 1);
+        let msg = ConsensusMsg::JoinRequest {
+            watermark: self.replayed.watermark(),
+        };
+        ctx.broadcast_net("consensus.join_request", encode(&msg));
+    }
+
+    /// Serves a peer's rejoin announcement with a bulk prefix of decided
+    /// values (consecutive from `watermark`, bounded, stop at the first
+    /// value this process no longer caches).
+    ///
+    /// Known limit: the decided values live only in the bounded
+    /// `decisions` cache, so once a run outgrows `decision_cache` no
+    /// peer can serve the evicted prefix and a joiner advertising
+    /// instance 0 stalls (`consensus.join_unservable` counts this).
+    /// Serving arbitrarily old prefixes needs application-state
+    /// snapshots — a ROADMAP direction, not covered here.
+    fn serve_join(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, watermark: u64) {
+        let frontier = self.replayed.watermark();
+        if frontier <= watermark {
+            return;
+        }
+        let mut values = Vec::new();
+        for instance in watermark..frontier.min(watermark + MAX_TRANSFER) {
+            match self.decisions.get(&instance) {
+                Some(v) => values.push(v.clone()),
+                None => break, // evicted: cannot serve a gapless prefix
+            }
+        }
+        if values.is_empty() {
+            // Not silent: a joiner below our eviction horizon cannot be
+            // helped by this process.
+            ctx.bump("consensus.join_unservable", 1);
+            return;
+        }
+        ctx.bump("consensus.state_transfers", 1);
+        let msg = ConsensusMsg::StateTransfer {
+            from: watermark,
+            values,
+            frontier,
+        };
+        ctx.send_net(from, "consensus.state_transfer", encode(&msg));
+    }
+
+    /// Absorbs a bulk state transfer, then keeps pulling from the same
+    /// peer at round-trip pace while still behind its frontier.
+    fn absorb_transfer(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        from: ProcessId,
+        first: u64,
+        values: Vec<Batch>,
+        frontier: u64,
+    ) {
+        self.rejoin_target = self.rejoin_target.max(frontier);
+        self.highest_seen = self.highest_seen.max(frontier);
+        for (i, value) in values.into_iter().enumerate() {
+            self.decide_local(ctx, first + i as u64, value);
+        }
+        let mine = self.replayed.watermark();
+        if mine < self.rejoin_target {
+            // Chained catch-up: a short per-peer rate limit keeps one
+            // reply burst from re-requesting the same range.
+            let now = ctx.now();
+            if self.gap_limiter.allow(from, now, VDur::millis(5)) {
+                self.last_join = now;
+                let msg = ConsensusMsg::JoinRequest { watermark: mine };
+                ctx.send_net(from, "consensus.join_request", encode(&msg));
+            }
+        } else if self.rejoining && mine >= self.decided_log.watermark() {
+            // Replay reached both the advertised frontier and our own
+            // pre-crash decided fence: rejoin complete.
+            self.rejoining = false;
+            ctx.bump("consensus.rejoins_completed", 1);
+        }
+    }
+
     fn sweep(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
         let now = ctx.now();
+        // Rejoin liveness: re-announce until the replayed prefix covers
+        // both the persisted decided fence and every frontier a state
+        // transfer advertised (replies can be lost to the same faults
+        // that caused the crash).
+        if self.rejoining {
+            let caught_up = self.replayed.watermark() >= self.decided_log.watermark()
+                && self.replayed.watermark() >= self.rejoin_target;
+            if caught_up {
+                self.rejoining = false;
+            } else if now.since(self.last_join) >= JOIN_RETRY {
+                self.announce_join(ctx);
+            }
+        }
         let progress = self.cfg.progress_timeout;
         let stuck: Vec<u64> = self
             .instances
@@ -562,6 +789,11 @@ impl Microprotocol for ConsensusModule {
     }
 
     fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        if self.rejoining {
+            // Revived process: advertise "I am at instance 0" and let
+            // peers stream the decided prefix back.
+            self.announce_join(ctx);
+        }
         ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
     }
 
@@ -633,17 +865,26 @@ impl Microprotocol for ConsensusModule {
                 self.decide_local(ctx, instance, value);
                 // Chained catch-up (see `maybe_request_gap`): while still
                 // behind, pull the next batch at near round-trip pace. A
-                // short rate limit stops a batch's several replies from
-                // re-requesting the same range.
+                // short per-peer rate limit stops a batch's several
+                // replies from re-requesting the same range.
                 let now = ctx.now();
                 let watermark = self.decided_log.watermark();
                 if self.highest_seen > watermark
-                    && now.since(self.last_gap_request) >= VDur::millis(5)
+                    && self.gap_limiter.allow(from, now, VDur::millis(5))
                 {
-                    self.last_gap_request = now;
                     let hi = self.highest_seen;
                     self.request_gap_batch(ctx, from, hi);
                 }
+            }
+            ConsensusMsg::JoinRequest { watermark } => {
+                self.serve_join(ctx, from, watermark);
+            }
+            ConsensusMsg::StateTransfer {
+                from: first,
+                values,
+                frontier,
+            } => {
+                self.absorb_transfer(ctx, from, first, values, frontier);
             }
         }
     }

@@ -48,6 +48,26 @@ pub enum ConsensusMsg {
         /// The decided value.
         value: Batch,
     },
+    /// Rejoin announcement of a (re)started process: "my contiguous
+    /// replayed prefix ends at `watermark`" — a restarted node
+    /// advertises instance 0. Peers that are ahead answer with a
+    /// [`StateTransfer`](Self::StateTransfer).
+    JoinRequest {
+        /// First instance the sender is missing.
+        watermark: u64,
+    },
+    /// Snapshot-style catch-up reply: the decided values of the
+    /// consecutive instances `from, from+1, …` in bulk, plus the
+    /// sender's own replay frontier so the joiner can keep pulling in
+    /// chained rounds until it reaches the live edge.
+    StateTransfer {
+        /// Instance of `values[0]`.
+        from: u64,
+        /// Decided values of `from..from + values.len()`.
+        values: Vec<Batch>,
+        /// The sender's contiguous decided prefix length.
+        frontier: u64,
+    },
 }
 
 const TAG_PROPOSE: u8 = 1;
@@ -55,6 +75,8 @@ const TAG_ESTIMATE: u8 = 2;
 const TAG_ACK: u8 = 3;
 const TAG_DECISION_REQUEST: u8 = 4;
 const TAG_DECISION_FULL: u8 = 5;
+const TAG_JOIN_REQUEST: u8 = 6;
+const TAG_STATE_TRANSFER: u8 = 7;
 
 impl Wire for ConsensusMsg {
     fn encode(&self, w: &mut WireWriter) {
@@ -95,6 +117,20 @@ impl Wire for ConsensusMsg {
                 w.put_u64(*instance);
                 value.encode(w);
             }
+            ConsensusMsg::JoinRequest { watermark } => {
+                w.put_u8(TAG_JOIN_REQUEST);
+                w.put_u64(*watermark);
+            }
+            ConsensusMsg::StateTransfer {
+                from,
+                values,
+                frontier,
+            } => {
+                w.put_u8(TAG_STATE_TRANSFER);
+                w.put_u64(*from);
+                w.put_u64(*frontier);
+                values.encode(w);
+            }
         }
     }
 
@@ -121,6 +157,14 @@ impl Wire for ConsensusMsg {
             TAG_DECISION_FULL => Ok(ConsensusMsg::DecisionFull {
                 instance: r.get_u64()?,
                 value: Batch::decode(r)?,
+            }),
+            TAG_JOIN_REQUEST => Ok(ConsensusMsg::JoinRequest {
+                watermark: r.get_u64()?,
+            }),
+            TAG_STATE_TRANSFER => Ok(ConsensusMsg::StateTransfer {
+                from: r.get_u64()?,
+                frontier: r.get_u64()?,
+                values: Vec::<Batch>::decode(r)?,
             }),
             t => Err(WireError::InvalidTag(t)),
         }
@@ -166,6 +210,40 @@ pub fn coordinator(round: u32, n: usize) -> ProcessId {
     ProcessId((round as usize % n) as u16)
 }
 
+/// The crash-recovery stable record of one consensus instance: the
+/// round this process last voted (acked/adopted) in, the adoption
+/// timestamp of its estimate, and the estimate itself.
+///
+/// Chandra–Toueg safety hinges on a voter carrying its locked
+/// `(estimate, ts)` into every later round and never regressing to a
+/// lower round; a process revived with amnesia would break exactly that
+/// invariant, so this record is written to stable storage atomically
+/// with every vote and replayed into the fresh stack on restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteRecord {
+    /// Round of the last vote (lower-round proposals are refused).
+    pub round: u32,
+    /// Adoption timestamp of `value` (round + 1 at ack time).
+    pub ts: u32,
+    /// The locked estimate.
+    pub value: Batch,
+}
+
+impl Wire for VoteRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.round);
+        w.put_u32(self.ts);
+        self.value.encode(w);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(VoteRecord {
+            round: r.get_u32()?,
+            ts: r.get_u32()?,
+            value: Batch::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +280,12 @@ mod tests {
             ConsensusMsg::DecisionFull {
                 instance: 7,
                 value: batch(),
+            },
+            ConsensusMsg::JoinRequest { watermark: 0 },
+            ConsensusMsg::StateTransfer {
+                from: 3,
+                values: vec![batch(), Batch::empty(), batch()],
+                frontier: 42,
             },
         ];
         for m in msgs {
@@ -248,6 +332,17 @@ mod tests {
         assert_eq!(coordinator(3, 3), ProcessId(0));
         assert_eq!(coordinator(0, 7), ProcessId(0));
         assert_eq!(coordinator(9, 7), ProcessId(2));
+    }
+
+    #[test]
+    fn vote_record_round_trips() {
+        let rec = VoteRecord {
+            round: 4,
+            ts: 5,
+            value: batch(),
+        };
+        let bytes = encode(&rec);
+        assert_eq!(decode::<VoteRecord>(bytes).unwrap(), rec);
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod workload;
 pub use flow::{FlowControlModule, FLOW_MODULE_ID};
 pub use runner::{Experiment, ExperimentBuilder, LatencySummary, RunReport, Summary};
 pub use stack::{
-    build_node, build_node_with_windows, build_nodes, build_nodes_with_windows, StackConfig,
-    StackKind,
+    build_node, build_node_with_windows, build_nodes, build_nodes_with_windows,
+    build_restarted_node, install_restart_factory, node_factory, StackConfig, StackKind,
 };
 pub use workload::{ArrivalProcess, Workload, WorkloadDriver};
 

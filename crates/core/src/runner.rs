@@ -75,6 +75,9 @@ impl Experiment {
         let nodes = build_nodes_with_windows(self.kind, self.n, &self.stack, &windows);
         let mut cluster = Cluster::new(cluster_cfg, nodes);
         if let Some(scenario) = &self.scenario {
+            // Crash-recovery support: scenarios may revive crashed
+            // processes, which needs a factory for fresh stacks.
+            crate::stack::install_restart_factory(&mut cluster, self.kind, &self.stack, &windows);
             scenario.apply(&mut cluster);
         }
 
@@ -377,6 +380,14 @@ impl Harness for OracleTap<'_> {
 
     fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, at: VTime) {
         self.driver.on_tick(api, tick, at);
+        self.sync_submissions();
+    }
+
+    fn on_restart(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, at: VTime) {
+        if let Some(oracle) = self.oracle.as_deref_mut() {
+            oracle.note_restart(pid);
+        }
+        self.driver.on_restart(api, pid, at);
         self.sync_submissions();
     }
 }

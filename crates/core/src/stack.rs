@@ -6,8 +6,9 @@ use fortika_consensus::{ConsensusConfig, ConsensusModule};
 use fortika_fd::{FdConfig, FdModule, HeartbeatFd, OverlayFd, SuspicionWindow};
 use fortika_framework::CompositeStack;
 use fortika_mono::{MonoConfig, MonoNode, MonoOptimizations};
-use fortika_net::{Node, ProcessId};
+use fortika_net::{Cluster, Node, NodeFactory, ProcessId, StableStore};
 use fortika_rbcast::{RbcastConfig, RbcastModule};
+use fortika_sim::VTime;
 
 pub use crate::flow::FlowControlModule;
 
@@ -131,4 +132,82 @@ pub fn build_nodes_with_windows(
     ProcessId::all(n)
         .map(|me| build_node_with_windows(kind, n, me, cfg, windows.to_vec()))
         .collect()
+}
+
+/// Builds a **revived** process's stack (crash-recovery): the failure
+/// detector is anchored at the restart instant `now` instead of time
+/// zero, and each protocol layer resumes its durable state — consensus
+/// vote records, the decided watermark, the rbcast sequence counter —
+/// out of `stable`. Everything else starts fresh, and the stack
+/// announces its rejoin to pull the decided prefix from peers.
+pub fn build_restarted_node(
+    kind: StackKind,
+    n: usize,
+    me: ProcessId,
+    cfg: &StackConfig,
+    windows: &[SuspicionWindow],
+    now: VTime,
+    stable: &StableStore,
+) -> Box<dyn Node> {
+    let heartbeat = HeartbeatFd::new_anchored(n, me, cfg.fd.clone(), now);
+    let wraps = windows.iter().any(|w| w.observer == me);
+    match kind {
+        StackKind::Modular => {
+            let fd_module: Box<dyn fortika_framework::Microprotocol> = if wraps {
+                Box::new(FdModule::new(OverlayFd::new(
+                    n,
+                    me,
+                    heartbeat,
+                    windows.to_vec(),
+                )))
+            } else {
+                Box::new(FdModule::new(heartbeat))
+            };
+            Box::new(CompositeStack::new(vec![
+                Box::new(FlowControlModule::new(cfg.window)),
+                Box::new(AbcastModule::new(cfg.abcast.clone())),
+                Box::new(ConsensusModule::resume(cfg.consensus.clone(), stable)),
+                Box::new(RbcastModule::resume(cfg.rbcast.clone(), stable)),
+                fd_module,
+            ]))
+        }
+        StackKind::Monolithic => {
+            let mono_cfg = MonoConfig {
+                opts: cfg.mono_opts,
+                window: cfg.window,
+                ..MonoConfig::default()
+            };
+            let fd: Box<dyn fortika_fd::FailureDetector> = if wraps {
+                Box::new(OverlayFd::new(n, me, heartbeat, windows.to_vec()))
+            } else {
+                Box::new(heartbeat)
+            };
+            Box::new(MonoNode::resume(mono_cfg, fd, stable))
+        }
+    }
+}
+
+/// A [`NodeFactory`] rebuilding stacks of the given kind/config on
+/// restart — register it with [`Cluster::set_node_factory`] (or use
+/// [`install_restart_factory`]) before running scenarios that contain
+/// `ScenarioEvent::Restart`.
+pub fn node_factory(
+    kind: StackKind,
+    n: usize,
+    cfg: StackConfig,
+    windows: Vec<SuspicionWindow>,
+) -> NodeFactory {
+    Box::new(move |me, now, stable| build_restarted_node(kind, n, me, &cfg, &windows, now, stable))
+}
+
+/// Convenience: registers a restart factory matching `kind`/`cfg` on
+/// `cluster` (see [`node_factory`]).
+pub fn install_restart_factory(
+    cluster: &mut Cluster,
+    kind: StackKind,
+    cfg: &StackConfig,
+    windows: &[SuspicionWindow],
+) {
+    let n = cluster.n();
+    cluster.set_node_factory(node_factory(kind, n, cfg.clone(), windows.to_vec()));
 }

@@ -288,6 +288,17 @@ impl Harness for WorkloadDriver {
         }
     }
 
+    fn on_restart(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, _at: VTime) {
+        // The generator was blocked inside abcast() when the process
+        // died: retry against the revived stack (fresh flow window) so
+        // the sender's tick chain resumes.
+        if let Some(msg) = self.senders[pid.index()].blocked.take() {
+            if self.submit(api, pid, msg) {
+                self.schedule_next(api, pid);
+            }
+        }
+    }
+
     fn on_delivery(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
         if at >= self.window_start && at <= self.window_end {
             self.delivered_per_proc[pid.index()] += 1;

@@ -107,10 +107,21 @@ pub struct HeartbeatFd {
 impl HeartbeatFd {
     /// Creates a detector for a group of `n` processes, running at `me`.
     pub fn new(n: usize, me: ProcessId, cfg: FdConfig) -> Self {
+        Self::new_anchored(n, me, cfg, VTime::ZERO)
+    }
+
+    /// Like [`new`](Self::new), but anchors every silence window at
+    /// `now` instead of time zero.
+    ///
+    /// A detector built for a process **revived mid-run** must use this:
+    /// anchored at zero, its very first tick would read hours of
+    /// fictitious silence and suspect the whole (healthy) group, and the
+    /// resulting round-change storm would stall the node's own rejoin.
+    pub fn new_anchored(n: usize, me: ProcessId, cfg: FdConfig, now: VTime) -> Self {
         HeartbeatFd {
             me,
             timeout: vec![cfg.timeout; n],
-            last_heard: vec![VTime::ZERO; n],
+            last_heard: vec![now; n],
             suspected: vec![false; n],
             cfg,
         }
@@ -128,11 +139,22 @@ impl FailureDetector for HeartbeatFd {
         if i >= self.last_heard.len() || from == self.me {
             return;
         }
+        let silence = now.since(self.last_heard[i]);
         self.last_heard[i] = now;
         if self.suspected[i] {
             self.suspected[i] = false;
-            // False suspicion: adapt so it eventually stops recurring.
-            self.timeout[i] += self.cfg.timeout_increment;
+            if silence > self.timeout[i] + self.timeout[i] {
+                // Silence far beyond the timeout means the peer really
+                // was down and has recovered (crash-recovery), not that
+                // our timeout was too tight: un-suspect it and reset its
+                // window to the configured base instead of inflating the
+                // adaptive timeout forever.
+                self.timeout[i] = self.cfg.timeout;
+            } else {
+                // False suspicion: adapt so it eventually stops
+                // recurring (the standard ◇P accuracy argument).
+                self.timeout[i] += self.cfg.timeout_increment;
+            }
             out.push(FdEvent::Restore(from));
         }
     }
@@ -295,6 +317,40 @@ mod tests {
         // 80 ms of silence: suspected again.
         fd.tick(VTime::ZERO + VDur::millis(141), &mut out);
         assert_eq!(out, [FdEvent::Suspect(ProcessId(1))]);
+    }
+
+    #[test]
+    fn recovery_after_long_silence_resets_timeout() {
+        let mut fd = HeartbeatFd::new(2, ProcessId(0), cfg());
+        let mut out = Vec::new();
+        // p2 goes silent for 500 ms (10× the 50 ms timeout): suspected.
+        fd.tick(VTime::ZERO + VDur::millis(60), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(1))]);
+        out.clear();
+        // It comes back (restart): restored, and the timeout stays at
+        // the configured base — a genuine crash is not a false
+        // suspicion, so the adaptive window must not inflate.
+        fd.on_heartbeat(ProcessId(1), VTime::ZERO + VDur::millis(500), &mut out);
+        assert_eq!(out, [FdEvent::Restore(ProcessId(1))]);
+        out.clear();
+        // 60 ms of new silence: above the (un-inflated) 50 ms timeout,
+        // so the detector reacts at its original speed.
+        fd.tick(VTime::ZERO + VDur::millis(561), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(1))]);
+    }
+
+    #[test]
+    fn anchored_detector_measures_silence_from_anchor() {
+        let start = VTime::ZERO + VDur::secs(3);
+        let mut fd = HeartbeatFd::new_anchored(3, ProcessId(0), cfg(), start);
+        let mut out = Vec::new();
+        // Just after revival nothing is suspected, despite 3 s of
+        // pre-revival "silence".
+        fd.tick(start + VDur::millis(10), &mut out);
+        assert!(out.is_empty());
+        // Real silence past the timeout is still detected.
+        fd.tick(start + VDur::millis(60), &mut out);
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

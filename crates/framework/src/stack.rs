@@ -139,6 +139,23 @@ impl FrameworkCtx<'_, '_> {
         self.node.app_ready();
     }
 
+    /// This process's incarnation (0 until its first crash-recovery).
+    pub fn incarnation(&self) -> u32 {
+        self.node.incarnation()
+    }
+
+    /// Writes to the process's stable store (survives restarts); see
+    /// [`fortika_net::NodeCtx::persist`]. Modules must namespace their
+    /// keys (high byte) — the store is shared by the whole stack.
+    pub fn persist(&mut self, key: u64, value: bytes::Bytes) {
+        self.node.persist(key, value);
+    }
+
+    /// Deletes a stable-store key.
+    pub fn unpersist(&mut self, key: u64) {
+        self.node.unpersist(key);
+    }
+
     /// Increments a free-form protocol counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
         self.node.bump(name, by);

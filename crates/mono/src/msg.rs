@@ -96,6 +96,23 @@ pub enum MonoMsg {
     },
     /// Failure-detector heartbeat.
     Heartbeat,
+    /// Rejoin announcement of a (re)started process: "my contiguous
+    /// applied prefix ends at `watermark`" (a revived node says 0).
+    JoinRequest {
+        /// First instance the sender is missing.
+        watermark: u64,
+    },
+    /// Snapshot-style catch-up reply: decided values of consecutive
+    /// instances in bulk plus the sender's applied frontier, so the
+    /// joiner chains pulls until it reaches the live edge.
+    StateTransfer {
+        /// Instance of `values[0]`.
+        from: u64,
+        /// Decided values of `from..from + values.len()`.
+        values: Vec<Batch>,
+        /// The sender's contiguous applied prefix length.
+        frontier: u64,
+    },
 }
 
 const TAG_STEP: u8 = 1;
@@ -106,6 +123,8 @@ const TAG_ESTIMATE: u8 = 5;
 const TAG_DECISION_REQUEST: u8 = 6;
 const TAG_HEARTBEAT: u8 = 7;
 const TAG_ESTIMATE_REQUEST: u8 = 8;
+const TAG_JOIN_REQUEST: u8 = 9;
+const TAG_STATE_TRANSFER: u8 = 10;
 
 impl Wire for Decision {
     fn encode(&self, w: &mut WireWriter) {
@@ -189,6 +208,20 @@ impl Wire for MonoMsg {
             MonoMsg::Heartbeat => {
                 w.put_u8(TAG_HEARTBEAT);
             }
+            MonoMsg::JoinRequest { watermark } => {
+                w.put_u8(TAG_JOIN_REQUEST);
+                w.put_u64(*watermark);
+            }
+            MonoMsg::StateTransfer {
+                from,
+                values,
+                frontier,
+            } => {
+                w.put_u8(TAG_STATE_TRANSFER);
+                w.put_u64(*from);
+                w.put_u64(*frontier);
+                values.encode(w);
+            }
         }
     }
 
@@ -224,8 +257,46 @@ impl Wire for MonoMsg {
                 round: r.get_u32()?,
             }),
             TAG_HEARTBEAT => Ok(MonoMsg::Heartbeat),
+            TAG_JOIN_REQUEST => Ok(MonoMsg::JoinRequest {
+                watermark: r.get_u64()?,
+            }),
+            TAG_STATE_TRANSFER => Ok(MonoMsg::StateTransfer {
+                from: r.get_u64()?,
+                frontier: r.get_u64()?,
+                values: Vec::<Batch>::decode(r)?,
+            }),
             t => Err(WireError::InvalidTag(t)),
         }
+    }
+}
+
+/// The crash-recovery stable record of one instance: the round this
+/// process last voted in, the adoption timestamp of its estimate, and
+/// the estimate itself (same CT-safety role as the modular stack's
+/// `fortika_consensus::VoteRecord`, duplicated here because the
+/// monolithic crate deliberately depends on no protocol crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteRecord {
+    /// Round of the last vote (lower-round proposals are refused).
+    pub round: u32,
+    /// Adoption timestamp of `value` (round + 1 at ack time).
+    pub ts: u32,
+    /// The locked estimate.
+    pub value: Batch,
+}
+
+impl Wire for VoteRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.round);
+        w.put_u32(self.ts);
+        self.value.encode(w);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(VoteRecord {
+            round: r.get_u32()?,
+            ts: r.get_u32()?,
+            value: Batch::decode(r)?,
+        })
     }
 }
 
@@ -302,6 +373,12 @@ mod tests {
                 round: 2,
             },
             MonoMsg::Heartbeat,
+            MonoMsg::JoinRequest { watermark: 7 },
+            MonoMsg::StateTransfer {
+                from: 0,
+                values: vec![batch(), Batch::empty()],
+                frontier: 9,
+            },
         ];
         for v in variants {
             let bytes = encode(&v);

@@ -34,14 +34,31 @@ use fortika_fd::{FailureDetector, FdEvent};
 use fortika_net::flow::FlowWindow;
 use fortika_net::wire::{decode, encode};
 use fortika_net::{
-    Admission, AppMsg, AppRequest, Batch, MsgId, Node, NodeCtx, ProcessId, TimerId, WatermarkSet,
+    Admission, AppMsg, AppRequest, Batch, MsgId, Node, NodeCtx, PeerRateLimiter, ProcessId,
+    StableStore, TimerId, WatermarkSet,
 };
 use fortika_sim::{VDur, VTime};
 
-use crate::msg::{decision_full, Decision, MonoMsg, Proposal};
+use crate::msg::{decision_full, Decision, MonoMsg, Proposal, VoteRecord};
 
 const TAG_FD: u64 = 1;
 const TAG_SWEEP: u64 = 2;
+
+/// Stable-store key namespace tag of per-instance vote records.
+const STABLE_VOTE_TAG: u64 = 0x11 << 56;
+/// Stable-store key of the contiguous decided watermark.
+const STABLE_WATERMARK_KEY: u64 = 0x12 << 56;
+
+/// Stable-store key of `instance`'s vote record.
+fn vote_key(instance: u64) -> u64 {
+    debug_assert!(instance < (1 << 56));
+    STABLE_VOTE_TAG | instance
+}
+
+/// Instances streamed per [`MonoMsg::StateTransfer`] reply.
+const MAX_TRANSFER: u64 = 16;
+/// Minimum spacing of rejoin re-announcements.
+const JOIN_RETRY: VDur = VDur::millis(300);
 
 /// Which of the three cross-module optimizations are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,8 +169,14 @@ pub struct MonoNode {
     next_decide: u64,
     /// Delivered message ids, per sender (duplicate suppression).
     delivered: BTreeMap<ProcessId, WatermarkSet>,
-    /// Decided instances (values may still await in-order application).
+    /// Instances this process may no longer vote in (voting fence).
+    /// After a restart it is pre-loaded from the persisted watermark,
+    /// so it can run *ahead* of [`replayed`](Self::replayed).
     decided_log: WatermarkSet,
+    /// Instances whose decision was recorded (buffered for in-order
+    /// application) in this incarnation — the replay progress. Always
+    /// starts at 0, so a revived node re-applies the decided prefix.
+    replayed: WatermarkSet,
     decisions: BTreeMap<u64, Batch>,
     decision_buffer: BTreeMap<u64, Batch>,
     /// Own messages not yet adelivered (flow control + re-forwarding).
@@ -162,7 +185,8 @@ pub struct MonoNode {
     pool: BTreeMap<MsgId, AppMsg>,
     instances: BTreeMap<u64, Inst>,
     last_progress: VTime,
-    last_recovery_request: VTime,
+    /// Per-peer rate limiter for gap/rejoin recovery requests.
+    gap_limiter: PeerRateLimiter,
     /// Highest instance number observed in any peer message — when it
     /// runs ahead of `next_decide`, decisions were missed (partition,
     /// loss) and gap recovery engages.
@@ -170,6 +194,14 @@ pub struct MonoNode {
     /// Last heartbeat broadcast (the FD may tick faster than it wants
     /// heartbeats sent — e.g. chaos overlays).
     last_heartbeat: Option<VTime>,
+    /// Vote records recovered from stable storage (restart only).
+    recovered_votes: BTreeMap<u64, VoteRecord>,
+    /// Still catching up after a restart (rejoin announcements active).
+    rejoining: bool,
+    /// Highest applied frontier any state transfer advertised.
+    rejoin_target: u64,
+    /// When the last rejoin announcement went out.
+    last_join: VTime,
 }
 
 impl MonoNode {
@@ -185,16 +217,44 @@ impl MonoNode {
             next_decide: 0,
             delivered: BTreeMap::new(),
             decided_log: WatermarkSet::default(),
+            replayed: WatermarkSet::default(),
             decisions: BTreeMap::new(),
             decision_buffer: BTreeMap::new(),
             own_pending: BTreeMap::new(),
             pool: BTreeMap::new(),
             instances: BTreeMap::new(),
             last_progress: VTime::ZERO,
-            last_recovery_request: VTime::ZERO,
+            gap_limiter: PeerRateLimiter::new(),
             highest_seen_instance: 0,
             last_heartbeat: None,
+            recovered_votes: BTreeMap::new(),
+            rejoining: false,
+            rejoin_target: 0,
+            last_join: VTime::ZERO,
         }
+    }
+
+    /// Creates a node for a process revived after a crash: replays the
+    /// persisted vote records and decided watermark out of `stable`
+    /// (CT-safety state, see [`VoteRecord`]) and arms the rejoin
+    /// announcement; everything else — the decided prefix, delivery
+    /// logs, the pool — is rebuilt from peers via
+    /// [`MonoMsg::JoinRequest`] / [`MonoMsg::StateTransfer`].
+    pub fn resume(cfg: MonoConfig, fd: Box<dyn FailureDetector>, stable: &StableStore) -> Self {
+        let mut node = MonoNode::new(cfg, fd);
+        node.rejoining = true;
+        for (&key, bytes) in stable {
+            if key == STABLE_WATERMARK_KEY {
+                if let Ok(w) = decode::<u64>(bytes.clone()) {
+                    node.decided_log.advance_to(w);
+                }
+            } else if key >> 56 == STABLE_VOTE_TAG >> 56 {
+                if let Ok(rec) = decode::<VoteRecord>(bytes.clone()) {
+                    node.recovered_votes.insert(key & !STABLE_VOTE_TAG, rec);
+                }
+            }
+        }
+        node
     }
 
     fn majority(n: usize) -> usize {
@@ -203,6 +263,40 @@ impl MonoNode {
 
     fn is_decided(&self, instance: u64) -> bool {
         !self.decided_log.is_new(instance)
+    }
+
+    /// Per-instance state, created on first touch; a revived node seeds
+    /// fresh instances from its recovered vote records so its locked
+    /// `(round, estimate, ts)` is honoured.
+    fn inst_entry(&mut self, instance: u64, now: VTime) -> &mut Inst {
+        if !self.instances.contains_key(&instance) {
+            let mut inst = Inst::new(now);
+            if let Some(rec) = self.recovered_votes.get(&instance) {
+                inst.round = rec.round;
+                inst.estimate = Some(rec.value.clone());
+                inst.ts = rec.ts;
+            }
+            self.instances.insert(instance, inst);
+        }
+        self.instances.get_mut(&instance).expect("just inserted")
+    }
+
+    /// Writes `instance`'s vote record to stable storage, atomically
+    /// with the vote message of the enclosing handler.
+    fn persist_vote(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        instance: u64,
+        round: u32,
+        ts: u32,
+        value: &Batch,
+    ) {
+        let rec = VoteRecord {
+            round,
+            ts,
+            value: value.clone(),
+        };
+        ctx.persist(vote_key(instance), encode(&rec));
     }
 
     fn msg_is_new(&self, id: MsgId) -> bool {
@@ -281,15 +375,22 @@ impl MonoNode {
         let n = ctx.n();
         let me = ctx.pid();
         let now = ctx.now();
-        if Self::coordinator(0, n) == me {
-            let batch = self.pool_batch();
-            let inst = self.instances.entry(k).or_insert_with(|| Inst::new(now));
+        let inst = self.inst_entry(k, now);
+        if Self::coordinator(0, n) == me && inst.round == 0 && inst.proposal_sent_round.is_none() {
+            // A lock recovered from stable storage pins the proposal
+            // value (re-proposing anything else in the same round could
+            // split the tag-decide receivers); otherwise propose the
+            // current pool.
+            let locked = inst.estimate.clone();
+            let batch = locked.unwrap_or_else(|| self.pool_batch());
+            let inst = self.instances.get_mut(&k).expect("created above");
             inst.estimate = Some(batch.clone());
             inst.ts = 1;
             inst.last_proposal = Some((0, batch.clone()));
             inst.proposal_sent_round = Some(0);
             inst.acks.insert(me);
             ctx.bump("mono.proposals", 1);
+            self.persist_vote(ctx, k, 0, 1, &batch);
             self.broadcast(
                 ctx,
                 "mono.proposal",
@@ -304,10 +405,10 @@ impl MonoNode {
             );
             self.check_decide(ctx, k);
         } else {
-            // Register the instance so round rotation can engage; if the
-            // round-0 coordinator is already suspected, rotate now.
-            self.instances.entry(k).or_insert_with(|| Inst::new(now));
-            if self.suspected.contains(&Self::coordinator(0, n)) {
+            // Instance registered (above) so round rotation can engage;
+            // if its coordinator is already suspected, rotate now.
+            let round = inst.round;
+            if self.suspected.contains(&Self::coordinator(round, n)) {
                 self.advance_round(ctx, k);
             }
         }
@@ -381,28 +482,32 @@ impl MonoNode {
                 Some(value.clone())
             },
         };
-        self.record_decision(instance, value);
+        self.record_decision(ctx, instance, value);
         // Apply without the auto-start of the next instance: the next
         // proposal must be assembled *here* so O1 can combine it with
         // the decision we are about to emit.
         self.apply_decisions_core(ctx);
 
-        // Assemble the next proposal if we have work and still coordinate.
+        // Assemble the next proposal if we have work and still coordinate
+        // (and no recovered later-round lock forbids a round-0 proposal).
         let k1 = self.next_decide;
         let can_propose = self.instances.is_empty()
             && !self.pool.is_empty()
             && !self.is_decided(k1)
-            && Self::coordinator(0, n) == me;
+            && Self::coordinator(0, n) == me
+            && self.recovered_votes.get(&k1).is_none_or(|r| r.round == 0);
         if can_propose {
-            let batch = self.pool_batch();
             let now = ctx.now();
-            let inst = self.instances.entry(k1).or_insert_with(|| Inst::new(now));
+            let locked = self.inst_entry(k1, now).estimate.clone();
+            let batch = locked.unwrap_or_else(|| self.pool_batch());
+            let inst = self.instances.get_mut(&k1).expect("created above");
             inst.estimate = Some(batch.clone());
             inst.ts = 1;
             inst.last_proposal = Some((0, batch.clone()));
             inst.proposal_sent_round = Some(0);
             inst.acks.insert(me);
             ctx.bump("mono.proposals", 1);
+            self.persist_vote(ctx, k1, 0, 1, &batch);
             let proposal = Proposal {
                 instance: k1,
                 round: 0,
@@ -449,11 +554,26 @@ impl MonoNode {
         }
     }
 
-    fn record_decision(&mut self, instance: u64, value: Batch) {
-        if self.is_decided(instance) {
+    /// Records a decision for in-order application. Keyed on the replay
+    /// log, so a revived node re-buffers the decided prefix learned via
+    /// state transfer even though its voting fence (`decided_log`)
+    /// already covers it.
+    fn record_decision(&mut self, ctx: &mut NodeCtx<'_>, instance: u64, value: Batch) {
+        if !self.replayed.is_new(instance) {
             return;
         }
+        self.replayed.complete(instance);
+        let fence_before = self.decided_log.watermark();
         self.decided_log.complete(instance);
+        let fence_after = self.decided_log.watermark();
+        if fence_after > fence_before {
+            // The voting fence advanced: persist it and garbage-collect
+            // the vote records it makes obsolete.
+            ctx.persist(STABLE_WATERMARK_KEY, encode(&fence_after));
+            for k in fence_before..fence_after {
+                ctx.unpersist(vote_key(k));
+            }
+        }
         self.decisions.insert(instance, value.clone());
         while self.decisions.len() > self.cfg.decision_cache {
             self.decisions.pop_first();
@@ -517,7 +637,10 @@ impl MonoNode {
         dec: Decision,
         followup: bool,
     ) {
-        if self.is_decided(dec.instance) {
+        // Keyed on the replay log (not the voting fence) so a revived
+        // node still absorbs decisions for instances it voted in before
+        // crashing.
+        if !self.replayed.is_new(dec.instance) {
             return;
         }
         // O3 disabled: emulate the reliable-broadcast relay pattern for
@@ -540,7 +663,7 @@ impl MonoNode {
         match dec.full {
             Some(value) => {
                 self.highest_seen_instance = self.highest_seen_instance.max(dec.instance);
-                self.record_decision(dec.instance, value);
+                self.record_decision(ctx, dec.instance, value);
                 if followup {
                     self.apply_decisions(ctx);
                 } else {
@@ -550,28 +673,24 @@ impl MonoNode {
                 // leaves us behind pulls the next batch promptly, so a
                 // healed process recovers at near round-trip pace
                 // instead of one instance per progress-timeout. A short
-                // rate limit keeps the batch's several replies from
-                // each re-requesting the same range.
+                // per-peer rate limit keeps the batch's several replies
+                // from each re-requesting the same range.
                 let now = ctx.now();
                 if self.highest_seen_instance > self.next_decide
                     && !self.is_decided(self.next_decide)
-                    && now.since(self.last_recovery_request) >= VDur::millis(5)
+                    && self.gap_limiter.allow(from, now, VDur::millis(5))
                 {
-                    self.last_recovery_request = now;
                     let hi = self.highest_seen_instance;
                     self.request_gap_batch(ctx, from, hi);
                 }
             }
             None => {
                 let now = ctx.now();
-                let inst = self
-                    .instances
-                    .entry(dec.instance)
-                    .or_insert_with(|| Inst::new(now));
+                let inst = self.inst_entry(dec.instance, now);
                 match &inst.last_proposal {
                     Some((r, v)) if *r == dec.round => {
                         let value = v.clone();
-                        self.record_decision(dec.instance, value);
+                        self.record_decision(ctx, dec.instance, value);
                         if followup {
                             self.apply_decisions(ctx);
                         } else {
@@ -596,11 +715,12 @@ impl MonoNode {
         if seen_instance <= self.next_decide || self.is_decided(self.next_decide) {
             return;
         }
+        // Rate limited per peer: throttling catch-up toward one lagging
+        // peer must not suppress catch-up toward another.
         let now = ctx.now();
-        if now.since(self.last_recovery_request) < VDur::millis(50) {
+        if !self.gap_limiter.allow(from, now, VDur::millis(50)) {
             return;
         }
-        self.last_recovery_request = now;
         self.request_gap_batch(ctx, from, seen_instance);
     }
 
@@ -632,10 +752,7 @@ impl MonoNode {
             return;
         }
         let now = ctx.now();
-        let inst = self
-            .instances
-            .entry(p.instance)
-            .or_insert_with(|| Inst::new(now));
+        let inst = self.inst_entry(p.instance, now);
         if p.round < inst.round {
             return;
         }
@@ -648,6 +765,9 @@ impl MonoNode {
         inst.ts = p.round + 1;
         inst.last_proposal = Some((p.round, p.value.clone()));
         let pending_tag_hit = inst.pending_tag == Some(p.round);
+        // The vote is made durable atomically with the ack so a future
+        // incarnation of this process honours the lock.
+        self.persist_vote(ctx, p.instance, p.round, p.round + 1, &p.value);
         let msgs = if self.cfg.opts.piggyback_on_acks {
             self.drain_pool()
         } else {
@@ -660,7 +780,7 @@ impl MonoNode {
         };
         self.send(ctx, from, "mono.ack", &ack);
         if pending_tag_hit {
-            self.record_decision(p.instance, p.value);
+            self.record_decision(ctx, p.instance, p.value);
             self.apply_decisions(ctx);
         }
     }
@@ -733,10 +853,7 @@ impl MonoNode {
             return;
         }
         let now = ctx.now();
-        let inst = self
-            .instances
-            .entry(instance)
-            .or_insert_with(|| Inst::new(now));
+        let inst = self.inst_entry(instance, now);
         if round < inst.round {
             return;
         }
@@ -752,13 +869,13 @@ impl MonoNode {
             inst.round_entered = now;
             inst.acks.clear();
         }
-        // Our own estimate joins the collection (initial = pool batch).
+        // Our own estimate joins the collection (initial = pool batch,
+        // built only when actually needed).
         if inst.round == round && !inst.estimates.contains_key(&me) {
-            let own = inst
-                .estimate
-                .clone()
-                .unwrap_or_else(|| Batch::normalize(self.pool.values().cloned().collect()));
+            let locked = inst.estimate.clone();
             let own_ts = inst.ts;
+            let own = locked.unwrap_or_else(|| self.pool_batch());
+            let inst = self.instances.get_mut(&instance).expect("created above");
             inst.estimates.insert(me, (round, own, own_ts));
         }
         self.try_propose_from_estimates(ctx, instance);
@@ -786,7 +903,24 @@ impl MonoNode {
             return;
         }
         candidates.sort_by_key(|(pid, (_, _, ts))| (std::cmp::Reverse(*ts), **pid));
-        let value = candidates[0].1 .1.clone();
+        // A locked estimate (ts > 0) must be adopted verbatim — CT
+        // safety. When *nothing* is locked, no earlier round can have
+        // decided (any ack quorum would surface here with ts ≥ 1 by
+        // quorum intersection), so any initial value is safe: propose
+        // the union of the candidates' batches. Picking one candidate
+        // by pid used to let an empty estimate beat a tie-losing
+        // process's pending messages on every round change, starving
+        // them forever.
+        let value = if candidates[0].1 .2 == 0 {
+            Batch::normalize(
+                candidates
+                    .iter()
+                    .flat_map(|(_, (_, b, _))| b.msgs().to_vec())
+                    .collect(),
+            )
+        } else {
+            candidates[0].1 .1.clone()
+        };
         inst.estimate = Some(value.clone());
         inst.ts = round + 1;
         inst.last_proposal = Some((round, value.clone()));
@@ -794,6 +928,8 @@ impl MonoNode {
         inst.acks.clear();
         inst.acks.insert(me);
         ctx.bump("mono.proposals", 1);
+        // Coordinator self-ack: durable before the proposal leaves.
+        self.persist_vote(ctx, instance, round, round + 1, &value);
         self.broadcast(
             ctx,
             "mono.proposal",
@@ -928,8 +1064,106 @@ impl MonoNode {
         self.fd_scratch.clear();
     }
 
+    /// Broadcasts the rejoin announcement: "my applied prefix ends at
+    /// `watermark`" (a freshly revived node says instance 0).
+    fn announce_join(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.last_join = ctx.now();
+        ctx.bump("mono.join_requests", 1);
+        let wm = self.replayed.watermark();
+        self.broadcast(
+            ctx,
+            "mono.join_request",
+            &MonoMsg::JoinRequest { watermark: wm },
+        );
+    }
+
+    /// Serves a peer's rejoin announcement with a bulk prefix of decided
+    /// values (consecutive from `watermark`, bounded, stop at the first
+    /// value this node no longer caches).
+    ///
+    /// Known limit: once a run outgrows `decision_cache`, the evicted
+    /// prefix is unservable and a joiner advertising instance 0 stalls
+    /// (`mono.join_unservable` counts this); serving arbitrarily old
+    /// prefixes needs snapshots — a ROADMAP direction.
+    fn serve_join(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, watermark: u64) {
+        let frontier = self.replayed.watermark();
+        if frontier <= watermark {
+            return;
+        }
+        let mut values = Vec::new();
+        for instance in watermark..frontier.min(watermark + MAX_TRANSFER) {
+            match self.decisions.get(&instance) {
+                Some(v) => values.push(v.clone()),
+                None => break, // evicted: cannot serve a gapless prefix
+            }
+        }
+        if values.is_empty() {
+            // Not silent: a joiner below our eviction horizon cannot be
+            // helped by this node.
+            ctx.bump("mono.join_unservable", 1);
+            return;
+        }
+        ctx.bump("mono.state_transfers", 1);
+        let msg = MonoMsg::StateTransfer {
+            from: watermark,
+            values,
+            frontier,
+        };
+        self.send(ctx, from, "mono.state_transfer", &msg);
+    }
+
+    /// Absorbs a bulk state transfer, then keeps pulling from the same
+    /// peer at round-trip pace while still behind its frontier.
+    fn absorb_transfer(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: ProcessId,
+        first: u64,
+        values: Vec<Batch>,
+        frontier: u64,
+    ) {
+        self.rejoin_target = self.rejoin_target.max(frontier);
+        self.highest_seen_instance = self.highest_seen_instance.max(frontier);
+        for (i, value) in values.into_iter().enumerate() {
+            self.record_decision(ctx, first + i as u64, value);
+        }
+        self.apply_decisions(ctx);
+        let mine = self.replayed.watermark();
+        if mine < self.rejoin_target {
+            // Chained catch-up with a short per-peer rate limit.
+            let now = ctx.now();
+            if self.gap_limiter.allow(from, now, VDur::millis(5)) {
+                self.last_join = now;
+                self.send(
+                    ctx,
+                    from,
+                    "mono.join_request",
+                    &MonoMsg::JoinRequest { watermark: mine },
+                );
+            }
+        } else if self.rejoining && mine >= self.decided_log.watermark() {
+            // Replay reached both the advertised frontier and our own
+            // pre-crash decided fence: rejoin complete.
+            self.rejoining = false;
+            ctx.bump("mono.rejoins_completed", 1);
+        }
+    }
+
     fn sweep(&mut self, ctx: &mut NodeCtx<'_>) {
         let now = ctx.now();
+        // Rejoin liveness: re-announce until the applied prefix covers
+        // both the persisted decided fence and every frontier a state
+        // transfer advertised (replies can be lost to the same faults
+        // that caused the crash).
+        if self.rejoining {
+            let caught_up = self.replayed.watermark() >= self.decided_log.watermark()
+                && self.replayed.watermark() >= self.rejoin_target;
+            if caught_up {
+                self.rejoining = false;
+            } else if now.since(self.last_join) >= JOIN_RETRY {
+                self.announce_join(ctx);
+            }
+        }
         let stuck: Vec<u64> = self
             .instances
             .iter()
@@ -965,6 +1199,11 @@ fn fortika_relay_set(origin: ProcessId, n: usize) -> impl Iterator<Item = Proces
 
 impl Node for MonoNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.rejoining {
+            // Revived process: advertise "I am at instance 0" and let
+            // peers stream the decided prefix back.
+            self.announce_join(ctx);
+        }
         if let Some(interval) = self.fd.tick_interval() {
             ctx.set_timer(interval, TAG_FD);
         }
@@ -1030,10 +1269,7 @@ impl Node for MonoNode {
                 // Join the solicited round (rounds only move forward —
                 // same safety as receiving a higher-round proposal).
                 let now = ctx.now();
-                let inst = self
-                    .instances
-                    .entry(instance)
-                    .or_insert_with(|| Inst::new(now));
+                let inst = self.inst_entry(instance, now);
                 if round > inst.round {
                     inst.round = round;
                     inst.round_entered = now;
@@ -1046,6 +1282,16 @@ impl Node for MonoNode {
             MonoMsg::Heartbeat => {
                 self.fd.on_heartbeat(from, ctx.now(), &mut self.fd_scratch);
                 self.process_fd_events(ctx);
+            }
+            MonoMsg::JoinRequest { watermark } => {
+                self.serve_join(ctx, from, watermark);
+            }
+            MonoMsg::StateTransfer {
+                from: first,
+                values,
+                frontier,
+            } => {
+                self.absorb_transfer(ctx, from, first, values, frontier);
             }
         }
     }

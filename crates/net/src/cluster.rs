@@ -24,8 +24,29 @@
 //! of a logical broadcast partitions the recipients into those that
 //! received the message and those that did not, the exact scenario the
 //! paper's reliable-broadcast layer exists to handle.
+//!
+//! # Crash-recovery semantics
+//!
+//! With a node factory registered ([`Cluster::set_node_factory`]), a
+//! crashed process can be revived via [`Cluster::schedule_restart`]: the
+//! factory builds a **fresh** stack (all volatile state lost), the
+//! process's incarnation number is bumped, and the new stack's
+//! [`Node::on_start`] runs at the restart instant. The incarnation is
+//! stamped on every transmission at the wire level, so messages and
+//! timers originating from a previous incarnation are detected and
+//! dropped instead of leaking into (or out of) the revived process —
+//! exactly the stale-message hazard a real restarted TCP endpoint
+//! avoids by losing its old connections.
+//!
+//! The only state that survives a restart is the process's **stable
+//! store** ([`NodeCtx::persist`]): a small key→bytes map modelling the
+//! write-ahead stable storage that crash-recovery protocols require
+//! (cf. Aguilera/Chen/Toueg: without stable storage, consensus is
+//! unsafe unless a majority never crashes). Protocol stacks persist
+//! their vote-critical state there and rebuild everything else — the
+//! decided prefix, delivery logs, timers — from peers after rejoining.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use bytes::Bytes;
 use fortika_sim::{CpuResource, DetRng, EventQueue, LinkResource, VDur, VTime};
@@ -39,6 +60,21 @@ use crate::message::AppMsg;
 /// Handle to a pending timer, local to one process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
+
+/// A process's stable storage: the only state surviving a restart.
+///
+/// Keys are module-chosen `u64`s (modules namespace their keys by a tag
+/// in the high byte); values are opaque encoded bytes. Written through
+/// [`NodeCtx::persist`] / [`NodeCtx::unpersist`] and handed to the node
+/// factory when the process is revived.
+pub type StableStore = BTreeMap<u64, Bytes>;
+
+/// Builds a fresh stack for a revived process.
+///
+/// Arguments: the process identity, the restart instant (detectors must
+/// anchor their silence windows here, not at time zero), and the
+/// process's [`StableStore`] as persisted by the previous incarnations.
+pub type NodeFactory = Box<dyn FnMut(ProcessId, VTime, &StableStore) -> Box<dyn Node>>;
 
 /// A request submitted by the application to its local stack.
 #[derive(Debug, Clone)]
@@ -96,6 +132,7 @@ pub trait Node {
 pub struct NodeCtx<'a> {
     pid: ProcessId,
     n: usize,
+    incarnation: u32,
     start: VTime,
     charged: VDur,
     cost: &'a CostModel,
@@ -106,6 +143,7 @@ pub struct NodeCtx<'a> {
     timers: Vec<(VTime, TimerId, u64)>,
     cancels: Vec<TimerId>,
     deliveries: Vec<(Delivery, VTime)>,
+    persists: Vec<(u64, Option<Bytes>)>,
     app_ready: bool,
 }
 
@@ -118,6 +156,11 @@ impl NodeCtx<'_> {
     /// Group size `n`.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// This process's incarnation number (0 until the first restart).
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
     }
 
     /// Current virtual time: handler start plus CPU consumed so far.
@@ -197,6 +240,25 @@ impl NodeCtx<'_> {
         self.app_ready = true;
     }
 
+    /// Writes `value` to this process's stable store under `key`
+    /// (write-ahead semantics: the write takes effect atomically with
+    /// the rest of this handler's outputs and survives crashes).
+    ///
+    /// Charges the stable-write CPU cost from the cluster's
+    /// [`CostModel`].
+    pub fn persist(&mut self, key: u64, value: Bytes) {
+        self.charge(self.cost.stable_write);
+        self.persists.push((key, Some(value)));
+    }
+
+    /// Deletes `key` from this process's stable store. Charges the same
+    /// stable-write cost as [`persist`](Self::persist) — a delete is a
+    /// tombstone record in a real write-ahead log, not a free operation.
+    pub fn unpersist(&mut self, key: u64) {
+        self.charge(self.cost.stable_write);
+        self.persists.push((key, None));
+    }
+
     /// Increments a free-form protocol counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
         self.counters.bump(name, by);
@@ -221,6 +283,15 @@ pub trait Harness {
     /// A tick scheduled via [`ClusterApi::schedule_tick`] fired.
     fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, at: VTime) {
         let _ = (api, tick, at);
+    }
+
+    /// Process `pid` was revived (new incarnation) at instant `at`.
+    ///
+    /// Fires before any delivery of the new incarnation, so
+    /// recovery-aware observers (the chaos oracle, workload drivers) can
+    /// segment their logs by incarnation.
+    fn on_restart(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, at: VTime) {
+        let _ = (api, pid, at);
     }
 }
 
@@ -264,6 +335,11 @@ struct Proc {
     nic: LinkResource,
     alive: bool,
     crash_time: Option<VTime>,
+    /// Bumped on every restart; stamped on transmissions and timers so
+    /// stale cross-incarnation events are detected and dropped.
+    incarnation: u32,
+    /// Survives crashes and restarts (see [`StableStore`]).
+    stable: StableStore,
     next_timer: u64,
     cancelled: HashSet<u64>,
 }
@@ -272,11 +348,15 @@ enum Ev {
     Deliver {
         dst: ProcessId,
         src: ProcessId,
+        /// Sender incarnation at transmission time.
+        src_inc: u32,
         bytes: Bytes,
         tx_end: VTime,
     },
     Timer {
         pid: ProcessId,
+        /// Owner incarnation at arming time.
+        inc: u32,
         id: TimerId,
         tag: u64,
     },
@@ -286,6 +366,9 @@ enum Ev {
     Crash {
         pid: ProcessId,
     },
+    Restart {
+        pid: ProcessId,
+    },
     Fault(LinkFault),
 }
 
@@ -293,6 +376,7 @@ enum Notification {
     Delivered(ProcessId, Delivery, VTime),
     AppReady(ProcessId, VTime),
     Tick(u64, VTime),
+    Restarted(ProcessId, VTime),
 }
 
 /// The simulated cluster: processes, network, clock and counters.
@@ -312,6 +396,8 @@ pub struct Cluster {
     /// derived from the seed so fault-free traffic keeps its jitter
     /// stream regardless of how many faults are active.
     fault_rng: DetRng,
+    /// Builds fresh stacks for revived processes (crash-recovery runs).
+    factory: Option<NodeFactory>,
     started: bool,
 }
 
@@ -331,6 +417,8 @@ impl Cluster {
                 nic: LinkResource::new(cfg.net.bandwidth_bytes_per_sec),
                 alive: true,
                 crash_time: None,
+                incarnation: 0,
+                stable: StableStore::new(),
                 next_timer: 0,
                 cancelled: HashSet::new(),
             })
@@ -349,8 +437,17 @@ impl Cluster {
             last_arrival,
             links,
             fault_rng,
+            factory: None,
             started: false,
         }
+    }
+
+    /// Registers the factory that rebuilds a process's stack on restart.
+    ///
+    /// Required before [`Cluster::schedule_restart`]; runs without one
+    /// otherwise (plain crash-stop clusters pay nothing).
+    pub fn set_node_factory(&mut self, factory: NodeFactory) {
+        self.factory = Some(factory);
     }
 
     /// Current virtual time (timestamp of the last processed event).
@@ -378,9 +475,39 @@ impl Cluster {
         self.procs[pid.index()].alive
     }
 
+    /// Current incarnation of `pid` (0 until it restarts for the first
+    /// time).
+    pub fn incarnation(&self, pid: ProcessId) -> u32 {
+        self.procs[pid.index()].incarnation
+    }
+
+    /// Read access to `pid`'s stable store (tests and diagnostics).
+    pub fn stable(&self, pid: ProcessId) -> &StableStore {
+        &self.procs[pid.index()].stable
+    }
+
     /// Schedules a crash of `pid` at instant `at`.
     pub fn schedule_crash(&mut self, pid: ProcessId, at: VTime) {
         self.queue.schedule(at, Ev::Crash { pid });
+    }
+
+    /// Schedules a restart of `pid` at instant `at`: if the process is
+    /// crashed at that instant, the registered factory builds it a fresh
+    /// stack (volatile state lost, stable store retained), its
+    /// incarnation is bumped and the new stack's `on_start` runs. A
+    /// restart of a live process is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately if no node factory is registered — scheduling
+    /// an un-servable revival should fail at the call site, not
+    /// mid-simulation.
+    pub fn schedule_restart(&mut self, pid: ProcessId, at: VTime) {
+        assert!(
+            self.factory.is_some(),
+            "schedule_restart({pid}) requires a node factory; call set_node_factory first"
+        );
+        self.queue.schedule(at, Ev::Restart { pid });
     }
 
     /// Schedules a driver tick (delivered to [`Harness::on_tick`]).
@@ -538,9 +665,16 @@ impl Cluster {
             Ev::Deliver {
                 dst,
                 src,
+                src_inc,
                 bytes,
                 tx_end,
             } => {
+                // Drop messages from a previous incarnation of the
+                // sender: the wire-level incarnation stamp detects them.
+                if src_inc != self.procs[src.index()].incarnation {
+                    self.counters.bump("chaos.dropped_stale_incarnation", 1);
+                    return;
+                }
                 // Drop messages whose transmission outlived the sender.
                 if let Some(ct) = self.procs[src.index()].crash_time {
                     if tx_end > ct {
@@ -553,8 +687,12 @@ impl Cluster {
                     .recv_cost(bytes.len() + self.cfg.net.per_msg_overhead as usize);
                 self.exec(dst, at, base, |node, ctx| node.on_message(ctx, src, bytes));
             }
-            Ev::Timer { pid, id, tag } => {
+            Ev::Timer { pid, inc, id, tag } => {
                 let proc = &mut self.procs[pid.index()];
+                // Timers die with their incarnation.
+                if inc != proc.incarnation {
+                    return;
+                }
                 if proc.cancelled.remove(&id.0) {
                     return;
                 }
@@ -574,11 +712,42 @@ impl Cluster {
                     self.counters.bump("cluster.crashes", 1);
                 }
             }
+            Ev::Restart { pid } => self.restart(pid, at),
             Ev::Fault(fault) => {
                 self.counters.bump("chaos.fault_events", 1);
                 self.apply_fault(&fault);
             }
         }
+    }
+
+    /// Revives a crashed process with a fresh stack and a new
+    /// incarnation (see [`Cluster::schedule_restart`]).
+    fn restart(&mut self, pid: ProcessId, at: VTime) {
+        let i = pid.index();
+        if self.procs[i].alive {
+            return; // never crashed (or already revived): no-op
+        }
+        // Take the factory out so building the node can borrow the
+        // process's stable store.
+        let mut factory = self
+            .factory
+            .take()
+            .expect("restart scheduled without factory");
+        let node = factory(pid, at, &self.procs[i].stable);
+        self.factory = Some(factory);
+        let proc = &mut self.procs[i];
+        proc.node = Some(node);
+        proc.alive = true;
+        proc.crash_time = None;
+        proc.incarnation += 1;
+        // Fresh volatile timer namespace; stale timer events are fenced
+        // by the incarnation stamp, stale cancels die here.
+        proc.next_timer = 0;
+        proc.cancelled.clear();
+        self.counters.bump("cluster.restarts", 1);
+        // Tell the harness before any new-incarnation activity.
+        self.pending.push_back(Notification::Restarted(pid, at));
+        self.exec(pid, at, VDur::ZERO, |node, ctx| node.on_start(ctx));
     }
 
     /// Runs one handler on `pid`'s CPU. Returns the handler-completion
@@ -593,11 +762,13 @@ impl Cluster {
         }
         let start = self.procs[i].cpu.acquire(arrival, base_cost);
         let mut node = self.procs[i].node.take().expect("node re-entered");
+        let inc = self.procs[i].incarnation;
 
-        let (charged, outbox, timers, cancels, deliveries, app_ready) = {
+        let (charged, outbox, timers, cancels, deliveries, persists, app_ready) = {
             let mut ctx = NodeCtx {
                 pid,
                 n: self.cfg.n,
+                incarnation: inc,
                 start,
                 charged: base_cost,
                 cost: &self.cfg.cost,
@@ -608,6 +779,7 @@ impl Cluster {
                 timers: Vec::new(),
                 cancels: Vec::new(),
                 deliveries: Vec::new(),
+                persists: Vec::new(),
                 app_ready: false,
             };
             f(node.as_mut(), &mut ctx);
@@ -617,11 +789,23 @@ impl Cluster {
                 ctx.timers,
                 ctx.cancels,
                 ctx.deliveries,
+                ctx.persists,
                 ctx.app_ready,
             )
         };
 
         self.procs[i].node = Some(node);
+        // Stable-storage writes land atomically with the handler.
+        for (key, value) in persists {
+            match value {
+                Some(v) => {
+                    self.procs[i].stable.insert(key, v);
+                }
+                None => {
+                    self.procs[i].stable.remove(&key);
+                }
+            }
+        }
         let extra = charged.saturating_sub(base_cost);
         self.procs[i].cpu.extend(extra);
         let end = start + charged;
@@ -671,6 +855,7 @@ impl Cluster {
                     Ev::Deliver {
                         dst,
                         src: pid,
+                        src_inc: inc,
                         bytes: bytes.clone(),
                         tx_end,
                     },
@@ -681,6 +866,7 @@ impl Cluster {
                 Ev::Deliver {
                     dst,
                     src: pid,
+                    src_inc: inc,
                     bytes,
                     tx_end,
                 },
@@ -688,7 +874,7 @@ impl Cluster {
         }
         for (fire_at, id, tag) in timers {
             self.queue
-                .schedule(fire_at.max(self.now()), Ev::Timer { pid, id, tag });
+                .schedule(fire_at.max(self.now()), Ev::Timer { pid, inc, id, tag });
         }
         for id in cancels {
             self.procs[i].cancelled.insert(id.0);
@@ -720,6 +906,7 @@ impl Cluster {
                 Notification::Delivered(pid, d, at) => harness.on_delivery(&mut api, pid, d, at),
                 Notification::AppReady(pid, at) => harness.on_app_ready(&mut api, pid, at),
                 Notification::Tick(id, at) => harness.on_tick(&mut api, id, at),
+                Notification::Restarted(pid, at) => harness.on_restart(&mut api, pid, at),
             }
         }
     }
@@ -790,5 +977,10 @@ impl ClusterApi<'_> {
     /// True if `pid` has not crashed.
     pub fn alive(&self, pid: ProcessId) -> bool {
         self.cluster.alive(pid)
+    }
+
+    /// Current incarnation of `pid` (0 until its first restart).
+    pub fn incarnation(&self, pid: ProcessId) -> u32 {
+        self.cluster.incarnation(pid)
     }
 }

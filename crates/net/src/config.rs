@@ -78,6 +78,11 @@ pub struct CostModel {
     pub deliver_fixed: VDur,
     /// Additional delivery cost per KiB.
     pub deliver_per_kib: VDur,
+    /// Cost of one stable-storage write (crash-recovery vote records).
+    /// Zero by default: the paper's testbed ran crash-stop, so the
+    /// calibrated good-run curves must not shift; raise it to model a
+    /// synchronous disk/SSD barrier on the ack path.
+    pub stable_write: VDur,
 }
 
 impl Default for CostModel {
@@ -97,6 +102,7 @@ impl Default for CostModel {
             request_fixed: VDur::micros(50),
             deliver_fixed: VDur::micros(200),
             deliver_per_kib: VDur::nanos(1_500),
+            stable_write: VDur::ZERO,
         }
     }
 }
@@ -114,6 +120,7 @@ impl CostModel {
             request_fixed: VDur::ZERO,
             deliver_fixed: VDur::ZERO,
             deliver_per_kib: VDur::ZERO,
+            stable_write: VDur::ZERO,
         }
     }
 

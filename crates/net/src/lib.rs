@@ -60,16 +60,18 @@ pub mod fault;
 pub mod flow;
 pub mod id;
 pub mod message;
+pub mod ratelimit;
 pub mod watermark;
 pub mod wire;
 
 pub use cluster::{
     Admission, AppRequest, Cluster, ClusterApi, CollectingHarness, Delivery, Harness, Node,
-    NodeCtx, NoopHarness, TimerId,
+    NodeCtx, NodeFactory, NoopHarness, StableStore, TimerId,
 };
 pub use config::{ClusterConfig, CostModel, NetModel};
 pub use counters::{Counters, KindCounter};
 pub use fault::{LinkFault, LinkSelector};
 pub use id::{MsgId, ProcessId};
 pub use message::{AppMsg, Batch};
+pub use ratelimit::PeerRateLimiter;
 pub use watermark::WatermarkSet;

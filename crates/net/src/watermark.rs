@@ -51,6 +51,20 @@ impl WatermarkSet {
         }
     }
 
+    /// Marks everything below `watermark` completed in one step
+    /// (crash-recovery preload from a persisted watermark). No-op if
+    /// the log is already past it.
+    pub fn advance_to(&mut self, watermark: u64) {
+        if watermark <= self.watermark {
+            return;
+        }
+        self.watermark = watermark;
+        self.above.retain(|&s| s >= watermark);
+        while self.above.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+    }
+
     /// Everything below this is completed.
     pub fn watermark(&self) -> u64 {
         self.watermark
@@ -100,6 +114,19 @@ mod tests {
         log.complete(0);
         assert_eq!(log.watermark(), 6);
         assert_eq!(log.sparse_len(), 0);
+    }
+
+    #[test]
+    fn advance_to_jumps_and_compacts() {
+        let mut log = WatermarkSet::default();
+        log.complete(7);
+        log.complete(5);
+        log.advance_to(5);
+        assert_eq!(log.watermark(), 6, "sparse 5 absorbed");
+        assert!(!log.is_new(7));
+        assert!(log.is_new(6));
+        log.advance_to(3); // backwards: no-op
+        assert_eq!(log.watermark(), 6);
     }
 
     #[test]

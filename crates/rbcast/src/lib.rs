@@ -19,4 +19,6 @@ mod log;
 mod module;
 
 pub use crate::log::OriginLog;
-pub use module::{relay_set, RbcastConfig, RbcastModule, RbcastVariant, RBCAST_MODULE_ID};
+pub use module::{
+    relay_set, RbcastConfig, RbcastModule, RbcastVariant, RBCAST_MODULE_ID, STABLE_SEQ_KEY,
+};

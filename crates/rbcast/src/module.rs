@@ -30,10 +30,19 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
 use fortika_net::wire::{decode, encode, Wire, WireError, WireReader, WireWriter};
-use fortika_net::{ProcessId, TimerId};
+use fortika_net::{ProcessId, StableStore, TimerId};
 use fortika_sim::VDur;
 
 use crate::log::OriginLog;
+
+/// Stable-store key of this module's rbcast sequence counter.
+///
+/// Persisted write-ahead: a process revived with a reset counter would
+/// reuse sequence numbers its old incarnation already burned, and every
+/// peer's duplicate-suppression log would silently swallow the new
+/// incarnation's broadcasts (its consensus module could then never
+/// disseminate a decision again).
+pub const STABLE_SEQ_KEY: u64 = 3 << 56;
 
 /// Wire demux id of the reliable broadcast module.
 pub const RBCAST_MODULE_ID: ModuleId = 3;
@@ -139,6 +148,19 @@ impl RbcastModule {
         }
     }
 
+    /// Creates the module for a revived process: resumes the rbcast
+    /// sequence counter persisted under [`STABLE_SEQ_KEY`] so the new
+    /// incarnation never reuses burned sequence numbers.
+    pub fn resume(cfg: RbcastConfig, stable: &StableStore) -> Self {
+        let mut module = RbcastModule::new(cfg);
+        if let Some(bytes) = stable.get(&STABLE_SEQ_KEY) {
+            if let Ok(seq) = decode::<u64>(bytes.clone()) {
+                module.next_seq = seq;
+            }
+        }
+        module
+    }
+
     fn complete(&mut self, ctx: &mut FrameworkCtx<'_, '_>, origin: ProcessId, seq: u64) {
         self.logs.entry(origin).or_default().complete(seq);
         if let Some(p) = self.pending.remove(&(origin, seq)) {
@@ -224,6 +246,9 @@ impl Microprotocol for RbcastModule {
             payload: payload.clone(),
         };
         self.next_seq += 1;
+        // Write-ahead: the burned counter is durable before (atomically
+        // with) the first copy of `seq` leaving this process.
+        ctx.persist(STABLE_SEQ_KEY, encode(&self.next_seq));
         ctx.bump("rbcast.initiated", 1);
         // Local delivery first (no network hop for the origin)…
         ctx.raise(Event::RbDeliver {

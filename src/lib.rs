@@ -18,11 +18,12 @@
 //! * [`consensus`] — Chandra–Toueg rotating-coordinator consensus.
 //! * [`abcast`] — the modular atomic broadcast module.
 //! * [`mono`] — the monolithic atomic broadcast with optimizations O1–O3.
-//! * [`chaos`] — declarative fault scenarios (crash / partition-heal /
-//!   lossy / delay-spike / false-suspicion timelines, plus a seeded
-//!   random generator) and the delivery-invariant oracle that audits
-//!   uniform agreement, total order, integrity and validity on every
-//!   run.
+//! * [`chaos`] — declarative fault scenarios (crash / crash-recovery
+//!   restart / partition-heal / lossy / delay-spike / false-suspicion
+//!   timelines, plus a seeded random generator) and the
+//!   recovery-aware delivery-invariant oracle that audits uniform
+//!   agreement, total order, integrity, validity and byte-identical
+//!   replay across process incarnations on every run.
 //!
 //! # Fault scenarios
 //!

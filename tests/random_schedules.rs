@@ -11,7 +11,7 @@
 //! paste its seed into a new pinned test to make it a regression.
 
 use fortika::chaos::{ChaosProfile, LoadPlan, Scenario, ScriptedDriver};
-use fortika::core::{build_nodes_with_windows, StackConfig, StackKind};
+use fortika::core::{build_nodes_with_windows, install_restart_factory, StackConfig, StackKind};
 use fortika::net::{Cluster, ClusterConfig, ProcessId};
 use fortika::sim::{VDur, VTime};
 
@@ -32,13 +32,11 @@ fn liveness_preserving_profile() -> ChaosProfile {
 
 fn run_scenario(kind: StackKind, n: usize, seed: u64, scenario: &Scenario, plan: LoadPlan) {
     let cfg = ClusterConfig::new(n, seed);
-    let nodes = build_nodes_with_windows(
-        kind,
-        n,
-        &StackConfig::default(),
-        &scenario.suspicion_windows(),
-    );
+    let stack_cfg = StackConfig::default();
+    let windows = scenario.suspicion_windows();
+    let nodes = build_nodes_with_windows(kind, n, &stack_cfg, &windows);
     let mut cluster = Cluster::new(cfg, nodes);
+    install_restart_factory(&mut cluster, kind, &stack_cfg, &windows);
     scenario.apply(&mut cluster);
 
     let mut driver = ScriptedDriver::new(n, plan);
