@@ -184,7 +184,11 @@ impl Microprotocol for AbcastModule {
     }
 
     fn subscriptions(&self) -> &'static [EventKind] {
-        &[EventKind::AbcastRequest, EventKind::Decide]
+        &[
+            EventKind::AbcastRequest,
+            EventKind::Decide,
+            EventKind::InstallSnapshot,
+        ]
     }
 
     fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
@@ -209,6 +213,46 @@ impl Microprotocol for AbcastModule {
             }
             Event::Decide { instance, value } => {
                 self.decision_buffer.insert(*instance, value.clone());
+                self.apply_ready_decisions(ctx);
+            }
+            Event::InstallSnapshot { snapshot } => {
+                // The consensus module installed a log-compaction
+                // snapshot (rejoin catch-up): the compacted instances
+                // will never be decided here, so skip straight past
+                // them, seed duplicate suppression with the prefix's
+                // delivered sets, and drop state the snapshot made moot.
+                let next = snapshot.last_included + 1;
+                if next > self.next_decide {
+                    self.next_decide = next;
+                    self.proposed_current = false;
+                }
+                for s in &snapshot.delivered {
+                    let log = self.delivered.per_sender.entry(s.sender).or_default();
+                    log.advance_to(s.watermark);
+                    for &seq in &s.above {
+                        log.complete(seq);
+                    }
+                }
+                self.decision_buffer = self.decision_buffer.split_off(&self.next_decide);
+                let delivered = &self.delivered;
+                self.pending.retain(|id, _| delivered.is_new(*id));
+                // Own in-flight messages the snapshot covers were
+                // ordered cluster-wide: raise their Adelivered so the
+                // flow-control module above releases their window slots
+                // (their app-level delivery is replaced by the install).
+                let own_done: Vec<MsgId> = self
+                    .own_diffused
+                    .keys()
+                    .filter(|id| !delivered.is_new(**id))
+                    .copied()
+                    .collect();
+                self.own_diffused.retain(|id, _| delivered.is_new(*id));
+                if !own_done.is_empty() {
+                    ctx.raise(Event::Adelivered(own_done));
+                }
+                ctx.bump("abcast.snapshot_installs", 1);
+                // Buffered decisions past the snapshot may be contiguous
+                // now; deliver them and re-propose what is still pending.
                 self.apply_ready_decisions(ctx);
             }
             _ => {}

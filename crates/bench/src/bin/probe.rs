@@ -1,27 +1,60 @@
 //! Calibration probe: prints latency/throughput at a few operating
-//! points so the cost model can be tuned against the paper's shapes.
+//! points so the cost model can be tuned against the paper's shapes,
+//! and writes the same numbers as machine-readable
+//! `BENCH_modularity.json` so the bench trajectory accumulates across
+//! commits (format documented in the top-level README).
+
+use std::fmt::Write as _;
 
 use fortika_core::workload::Workload;
-use fortika_core::{Experiment, StackKind};
+use fortika_core::{Experiment, RunReport, StackKind};
+
+/// The probed operating points: `(n, offered load msgs/s, payload bytes)`.
+const POINTS: &[(usize, f64, usize)] = &[
+    (3, 250.0, 16384),
+    (3, 500.0, 16384),
+    (3, 1000.0, 16384),
+    (3, 2000.0, 16384),
+    (3, 4000.0, 16384),
+    (7, 500.0, 16384),
+    (7, 2000.0, 16384),
+    (3, 2000.0, 1024),
+    (7, 2000.0, 1024),
+    (3, 2000.0, 32768),
+    (7, 2000.0, 32768),
+];
+
+/// One JSON record of the probe output.
+fn json_point(out: &mut String, r: &RunReport) {
+    let _ = write!(
+        out,
+        "    {{\"stack\": \"{}\", \"n\": {}, \"offered_load\": {}, \"msg_size\": {}, \
+         \"latency_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}}}, \
+         \"throughput_msgs_per_sec\": {:.2}, \"batch_m\": {:.3}, \"max_cpu_utilization\": {:.4}, \
+         \"msgs_per_instance\": {:.3}, \"bytes_per_instance\": {:.1}}}",
+        r.kind.label(),
+        r.n,
+        r.offered_load,
+        r.msg_size,
+        r.early_latency_ms.mean,
+        r.early_latency_ms.p50,
+        r.early_latency_ms.p90,
+        r.early_latency_ms.p99,
+        r.throughput_msgs_per_sec,
+        r.avg_batch_m,
+        r.max_cpu_utilization,
+        r.msgs_per_instance,
+        r.bytes_per_instance,
+    );
+}
 
 fn main() {
     println!(
         "{:>10} {:>3} {:>6} {:>7} | {:>9} {:>9} {:>7} {:>6} {:>8} {:>9}",
         "stack", "n", "load", "size", "lat(ms)", "thr", "M", "cpu", "msg/inst", "KB/inst"
     );
-    for &(n, load, size) in &[
-        (3usize, 250.0, 16384usize),
-        (3, 500.0, 16384),
-        (3, 1000.0, 16384),
-        (3, 2000.0, 16384),
-        (3, 4000.0, 16384),
-        (7, 500.0, 16384),
-        (7, 2000.0, 16384),
-        (3, 2000.0, 1024),
-        (7, 2000.0, 1024),
-        (3, 2000.0, 32768),
-        (7, 2000.0, 32768),
-    ] {
+    let mut records = Vec::new();
+    for &(n, load, size) in POINTS {
         for kind in [StackKind::Monolithic, StackKind::Modular] {
             let mut exp = Experiment::builder(kind, n)
                 .workload(Workload::constant_rate(load, size))
@@ -43,6 +76,23 @@ fn main() {
                 r.msgs_per_instance,
                 r.bytes_per_instance / 1024.0
             );
+            records.push(r);
         }
+    }
+
+    // Machine-readable trajectory point (see README "Bench trajectory").
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"modularity_cost\",\n  \"seed\": 7,\n");
+    json.push_str("  \"units\": {\"latency\": \"ms\", \"throughput\": \"msgs/s\"},\n");
+    json.push_str("  \"points\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json_point(&mut json, r);
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_modularity.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path} ({} operating points)", records.len()),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
 }

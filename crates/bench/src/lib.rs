@@ -1,9 +1,44 @@
-//! Shared plumbing for the benchmark harnesses.
+//! # fortika-bench — the paper's evaluation as benchmark harnesses
 //!
-//! Each paper table/figure has its own `harness = false` bench target in
-//! `benches/`; this crate holds the code they share: sweep helpers,
+//! Each figure of the paper's evaluation (§5) has its own
+//! `harness = false` bench target under `benches/`, reproducing one
+//! plot over the simulated testbed:
+//!
+//! * `fig8_latency_vs_load` / `fig9_latency_vs_size` — early latency
+//!   against offered load and message size;
+//! * `fig10_throughput_vs_load` / `fig11_throughput_vs_size` — the
+//!   throughput counterparts;
+//! * `analysis_messages` / `analysis_data` — the §5.2 analytical
+//!   message/byte counts cross-checked against simulation counters;
+//! * `ablation_optimizations` / `ablation_flow_control` — the
+//!   monolithic optimizations O1–O3 toggled one by one, and the flow
+//!   window swept;
+//! * `micro` — micro-benchmarks of the simulation substrate itself.
+//!
+//! Two binaries complement them: `probe` prints a calibration table
+//! over a fixed grid of operating points **and** writes the
+//! machine-readable `BENCH_modularity.json` trajectory point (format
+//! in the top-level README), and `crashprobe` exercises the
+//! crash-recovery path under load.
+//!
+//! This crate holds the code they share: sweep helpers, gnuplot-style
 //! table printing and the `FORTIKA_FULL` switch between the quick
 //! default sweep and the full paper-resolution sweep.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fortika_bench::{figure_series, run_point};
+//!
+//! // One operating point of Fig. 8: n = 3, 1 000 msgs/s, 16 KiB.
+//! for (kind, n, label) in figure_series() {
+//!     let summary = run_point(kind, n, 1000.0, 16 * 1024, 2.0);
+//!     println!("{label}: {:.2} ms", summary.early_latency_ms.mean);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use fortika_core::workload::Workload;
 use fortika_core::{Experiment, StackKind, Summary};

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use bytes::Bytes;
 use fortika_net::{
     Admission, AppMsg, AppRequest, Cluster, ClusterApi, Delivery, Harness, MsgId, ProcessId,
+    SnapshotStamp,
 };
 use fortika_sim::{DetRng, VDur, VTime};
 
@@ -215,6 +216,16 @@ impl Harness for ScriptedDriver {
         // A blocking caller that died inside abcast() retries against
         // the revived stack (whose flow window is empty again).
         self.resume_sender(api, pid);
+    }
+
+    fn on_snapshot(
+        &mut self,
+        _api: &mut ClusterApi<'_>,
+        pid: ProcessId,
+        stamp: SnapshotStamp,
+        _at: VTime,
+    ) {
+        self.oracle.note_snapshot(pid, &stamp);
     }
 }
 

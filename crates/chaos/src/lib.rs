@@ -30,21 +30,30 @@
 //!
 //! [`ScenarioEvent::Restart`] revives a crashed process: the cluster's
 //! node factory builds it a fresh stack (all volatile state lost; only
-//! the stable store with the consensus vote records survives), bumps
-//! its incarnation — stamped at the wire level so stale
-//! cross-incarnation messages are fenced — and the revived stack pulls
-//! the decided prefix from peers via bulk state transfer. The oracle is
-//! recovery-aware: it segments each process's log by incarnation
+//! the stable store with the consensus vote records and the latest
+//! log-compaction snapshot survives), bumps its incarnation — stamped
+//! at the wire level so stale cross-incarnation messages are fenced —
+//! and the revived stack pulls the decided prefix from peers via bulk
+//! state transfer, or via chunked **snapshot transfer** when the prefix
+//! was compacted away everywhere. The oracle is recovery-aware: it
+//! segments each process's log by incarnation
 //! ([`DeliveryOracle::note_restart`], fed automatically through
 //! `Harness::on_restart`), requires pre-crash deliveries to agree with
 //! the common order (uniform agreement outlives the crash), requires
 //! the next incarnation to re-deliver that prefix **byte-identically**
 //! ([`Violation::ReplayDivergence`]), and judges the process's final
-//! incarnation like any correct process's log. The generator's
-//! `restart_prob` draws crash-restart cycles that do not consume the
-//! permanent-crash minority budget — a crashed-then-restarted process
-//! is correct again ([`Scenario::crashed`] / [`Scenario::quorum_safe`]).
-//! Runs with restarts must register a factory:
+//! incarnation like any correct process's log. It is also
+//! snapshot-aware ([`DeliveryOracle::note_snapshot`], fed through
+//! `Harness::on_snapshot`): an installed snapshot repositions the
+//! incarnation's deliveries at the snapshot's place in the common order
+//! — byte-identical replay is owed only for the tail — and every
+//! snapshot of the same prefix must agree on digest and count
+//! ([`Violation::SnapshotDivergence`]). The generator's `restart_prob`
+//! draws crash-restart cycles that do not consume the permanent-crash
+//! minority budget — a crashed-then-restarted process is correct again
+//! ([`Scenario::crashed`] / [`Scenario::quorum_safe`]) — while
+//! `recrash_prob` draws crash-restart-**crash** victims that do. Runs
+//! with restarts must register a factory:
 //! `fortika_core::install_restart_factory` or
 //! `Cluster::set_node_factory`.
 //!

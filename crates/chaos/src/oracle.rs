@@ -23,10 +23,10 @@
 //! events, so the same checker audits the modular stack, the monolithic
 //! stack, or any future implementation.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-use fortika_net::{ClusterApi, Delivery, Harness, MsgId, ProcessId};
+use fortika_net::{ClusterApi, Delivery, Harness, MsgId, ProcessId, SnapshotStamp};
 use fortika_sim::VTime;
 
 /// One detected violation of the atomic broadcast contract.
@@ -84,6 +84,16 @@ pub enum Violation {
         /// The lost message.
         id: MsgId,
     },
+    /// Two processes' snapshots of the same decided prefix disagree: a
+    /// snapshot is a pure function of the decided batch sequence, so
+    /// every snapshot covering instances `0..=last_included` must carry
+    /// the identical digest and delivered count.
+    SnapshotDivergence {
+        /// The process whose snapshot contradicts the first one seen.
+        process: ProcessId,
+        /// The compacted prefix both snapshots claim to cover.
+        last_included: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -123,6 +133,14 @@ impl fmt::Display for Violation {
             Violation::MissingDelivery { id } => {
                 write!(f, "validity violated: {id} was abcast by a correct process but never delivered")
             }
+            Violation::SnapshotDivergence {
+                process,
+                last_included,
+            } => write!(
+                f,
+                "snapshot agreement violated: {process}'s snapshot of instances 0..={last_included} \
+                 contradicts another process's snapshot of the same prefix"
+            ),
         }
     }
 }
@@ -198,6 +216,15 @@ pub struct DeliveryOracle {
     /// Per process: indices into its log where a new incarnation begins
     /// (crash-recovery restarts). Empty for never-restarted processes.
     restarts: Vec<Vec<usize>>,
+    /// Per process: snapshot installs as `(segment, index-in-segment,
+    /// position-in-common-order)` — from the install point on, the
+    /// process's deliveries continue at that position (the compacted
+    /// prefix needs no replay).
+    installs: Vec<Vec<(usize, usize, u64)>>,
+    /// Every snapshot stamp seen, as `(process, last_included,
+    /// delivered_count, digest)` — snapshots of the same prefix must
+    /// agree bit for bit.
+    stamps: Vec<(ProcessId, u64, u64, u64)>,
 }
 
 impl DeliveryOracle {
@@ -208,6 +235,8 @@ impl DeliveryOracle {
             submitted: HashSet::new(),
             track_submissions: false,
             restarts: vec![Vec::new(); n],
+            installs: vec![Vec::new(); n],
+            stamps: Vec::new(),
         }
     }
 
@@ -218,6 +247,28 @@ impl DeliveryOracle {
     pub fn note_restart(&mut self, process: ProcessId) {
         let cut = self.logs[process.index()].len();
         self.restarts[process.index()].push(cut);
+    }
+
+    /// Notes a snapshot stamp from `process` (fed automatically through
+    /// `Harness::on_snapshot`). Every stamp joins the cross-process
+    /// digest-agreement audit; an **install** stamp additionally marks
+    /// that the process's deliveries resume at position
+    /// `delivered_count` of the common order — the compacted prefix is
+    /// covered by the snapshot and owes no replay.
+    pub fn note_snapshot(&mut self, process: ProcessId, stamp: &SnapshotStamp) {
+        let p = process.index();
+        self.stamps.push((
+            process,
+            stamp.last_included,
+            stamp.delivered_count,
+            stamp.digest,
+        ));
+        if stamp.installed {
+            let segment = self.restarts[p].len();
+            let seg_start = self.restarts[p].last().copied().unwrap_or(0);
+            let idx = self.logs[p].len() - seg_start;
+            self.installs[p].push((segment, idx, stamp.delivered_count));
+        }
     }
 
     /// The incarnation segments of `process`'s log, oldest first; a
@@ -234,16 +285,25 @@ impl DeliveryOracle {
         out
     }
 
-    /// The delivery order of `process`'s **final** incarnation — what
-    /// agreement checks compare (earlier incarnations are audited
-    /// separately, like crashed processes' logs).
-    fn final_order(&self, process: usize) -> Vec<MsgId> {
-        self.segments(process)
-            .last()
-            .expect("at least one segment")
+    /// The snapshot-install jumps inside one incarnation segment, as
+    /// `(index-in-segment, resume position)`.
+    fn segment_jumps(&self, process: usize, segment: usize) -> Vec<(usize, u64)> {
+        self.installs[process]
             .iter()
-            .map(|(m, _)| *m)
+            .filter(|(s, _, _)| *s == segment)
+            .map(|(_, i, off)| (*i, *off))
             .collect()
+    }
+
+    /// `process`'s final incarnation segment annotated with common-order
+    /// positions, its end position, and whether it is *full* (replays
+    /// from position 0, i.e. contains no snapshot install).
+    fn final_positions(&self, process: usize) -> (Vec<(u64, MsgId)>, u64, bool) {
+        let segments = self.segments(process);
+        let seg_idx = segments.len() - 1;
+        let jumps = self.segment_jumps(process, seg_idx);
+        let (positioned, end) = positioned(segments[seg_idx], &jumps);
+        (positioned, end, jumps.is_empty())
     }
 
     /// Group size.
@@ -330,55 +390,124 @@ impl DeliveryOracle {
 
         // Total order + uniform agreement: correct processes may lag one
         // another only at the tail (deliveries are not synchronized
-        // barriers), so the common order is the longest correct log, and
-        // every correct log must be a prefix of it. In `drained` mode
-        // the prefix tolerance is revoked: all correct logs must be the
-        // identical sequence. Restarted processes are judged by their
-        // **final** incarnation's log — it replays from instance 0, so
-        // it is comparable from index 0; earlier incarnations are
-        // audited separately below.
+        // barriers), so the common order is the reference's final log,
+        // and every correct log must agree with it position by position.
+        // In `drained` mode the lag tolerance is revoked: all correct
+        // logs must reach the same end. Restarted processes are judged
+        // by their **final** incarnation's log; a snapshot-install jump
+        // inside it means the compacted prefix is covered by the
+        // snapshot, so its deliveries are compared from the install
+        // position onward (earlier incarnations are audited below).
+        //
+        // The reference is the correct process reaching the furthest
+        // position; ties prefer a *full* log (no install), so the
+        // common order normally has no holes.
         let reference = *correct
             .iter()
-            .max_by_key(|p| self.final_order(p.index()).len())
+            .max_by_key(|p| {
+                let (_, end, full) = self.final_positions(p.index());
+                (end, full)
+            })
             .expect("nonempty");
-        let common_order = self.final_order(reference.index());
+        let (ref_positions, ref_end, _) = self.final_positions(reference.index());
+        // The common order as known positions; `None` marks positions
+        // inside a prefix the reference itself skipped via snapshot.
+        let mut common: Vec<Option<MsgId>> = vec![None; ref_end as usize];
+        for (pos, id) in &ref_positions {
+            common[*pos as usize] = Some(*id);
+        }
+        // Fill reference holes from the other correct processes' logs
+        // (first filler wins, in `correct` order): a prefix the
+        // reference compacted away is still cross-checked whenever any
+        // correct process delivered it — later processes that contradict
+        // the filler are flagged below exactly like reference
+        // disagreements.
         for &p in correct {
-            let order = self.final_order(p.index());
-            if let Some(i) = first_divergence(&order, &common_order) {
-                violations.push(Violation::Disagreement {
-                    reference,
-                    process: p,
-                    index: i,
-                    expected: common_order.get(i).copied(),
-                    got: order.get(i).copied(),
-                });
-            } else if drained && order.len() < common_order.len() {
+            if p == reference {
+                continue;
+            }
+            for (pos, id) in self.final_positions(p.index()).0 {
+                if let Some(slot @ None) = common.get_mut(pos as usize) {
+                    *slot = Some(id);
+                }
+            }
+        }
+
+        for &p in correct {
+            let (positions, end, _) = self.final_positions(p.index());
+            let mut flagged = false;
+            for (pos, id) in &positions {
+                let i = *pos as usize;
+                match common.get(i) {
+                    Some(Some(c)) if c == id => {}
+                    Some(None) => {} // hole in the reference: unknown
+                    Some(Some(c)) => {
+                        violations.push(Violation::Disagreement {
+                            reference,
+                            process: p,
+                            index: i,
+                            expected: Some(*c),
+                            got: Some(*id),
+                        });
+                        flagged = true;
+                        break;
+                    }
+                    None => {
+                        // Delivered past the furthest reference position
+                        // (cannot normally happen — the reference
+                        // maximizes the end position).
+                        violations.push(Violation::Disagreement {
+                            reference,
+                            process: p,
+                            index: i,
+                            expected: None,
+                            got: Some(*id),
+                        });
+                        flagged = true;
+                        break;
+                    }
+                }
+            }
+            if !flagged && drained && end < ref_end {
                 // A drained run tolerates no lag: a short-but-consistent
                 // correct log means a correct process stopped delivering.
                 violations.push(Violation::Disagreement {
                     reference,
                     process: p,
-                    index: order.len(),
-                    expected: common_order.get(order.len()).copied(),
+                    index: end as usize,
+                    expected: common.get(end as usize).copied().flatten(),
                     got: None,
                 });
             }
         }
 
-        // Consistency of the non-correct (crashed) processes. In a
-        // drained run their logs must be prefixes of the common order;
-        // in a mid-run snapshot a crashed log may also consistently
-        // *extend* it (the victim delivered just before crashing, the
-        // correct processes have not caught up yet) — symmetric with
-        // the lag tolerance granted to correct logs above.
+        // Position-aligned consistency with the common order, applied to
+        // crashed processes' logs and pre-crash incarnations. In a
+        // drained run a log must not extend past the common order; in a
+        // mid-run snapshot it may (the victim delivered just before
+        // crashing, the correct processes have not caught up yet) —
+        // symmetric with the lag tolerance granted to correct logs.
+        let check_overlap = |positions: &[(u64, MsgId)]| -> Option<usize> {
+            for (pos, id) in positions {
+                let i = *pos as usize;
+                match common.get(i) {
+                    Some(Some(c)) if c != id => return Some(i),
+                    Some(_) => {}
+                    None if drained => return Some(common.len()),
+                    None => return None,
+                }
+            }
+            None
+        };
+
         let correct_set: HashSet<ProcessId> = correct.iter().copied().collect();
         for p in 0..self.logs.len() {
             let pid = ProcessId(p as u16);
             if correct_set.contains(&pid) {
                 continue;
             }
-            let order = self.final_order(p);
-            if let Some(index) = overlap_mismatch(&order, &common_order, drained) {
+            let (positions, _, _) = self.final_positions(p);
+            if let Some(index) = check_overlap(&positions) {
                 violations.push(Violation::NonPrefixLog {
                     process: pid,
                     index,
@@ -389,21 +518,39 @@ impl DeliveryOracle {
         // Recovery-aware checks on every non-final incarnation (of any
         // process): (a) uniform agreement — deliveries made before a
         // crash must be consistent with the common order, exactly like
-        // a crashed process's log; (b) byte-identical replay — the next
-        // incarnation must re-deliver the same sequence, so the two
-        // logs must agree on their overlap.
+        // a crashed process's log; (b) replay — the next incarnation
+        // must re-deliver the same sequence *where their positions
+        // overlap*. A snapshot install in the next incarnation skips
+        // the compacted prefix, so byte-identical replay is owed only
+        // from the install position onward — exactly what the aligned
+        // comparison checks.
         for p in 0..self.logs.len() {
             let pid = ProcessId(p as u16);
             let segments = self.segments(p);
             for s in 0..segments.len() - 1 {
-                let order: Vec<MsgId> = segments[s].iter().map(|(m, _)| *m).collect();
-                if let Some(index) = overlap_mismatch(&order, &common_order, drained) {
+                let (a, a_end) = positioned(segments[s], &self.segment_jumps(p, s));
+                if let Some(index) = check_overlap(&a) {
                     violations.push(Violation::NonPrefixLog {
                         process: pid,
                         index,
                     });
                 }
-                let next: Vec<MsgId> = segments[s + 1].iter().map(|(m, _)| *m).collect();
+                let (b, b_end) = positioned(segments[s + 1], &self.segment_jumps(p, s + 1));
+                let b_map: BTreeMap<u64, MsgId> = b.iter().copied().collect();
+                let mut reported = false;
+                for (pos, id) in &a {
+                    if let Some(other) = b_map.get(pos) {
+                        if other != id {
+                            violations.push(Violation::ReplayDivergence {
+                                process: pid,
+                                segment: s,
+                                index: *pos as usize,
+                            });
+                            reported = true;
+                            break;
+                        }
+                    }
+                }
                 // The completeness half of the replay requirement only
                 // binds the *final* incarnation of a *correct* process:
                 // an intermediate incarnation may itself be truncated
@@ -413,17 +560,34 @@ impl DeliveryOracle {
                 // final segment to the common order, and every earlier
                 // segment is overlap-checked against that order above.)
                 let require_full = drained && s + 2 == segments.len() && correct_set.contains(&pid);
-                if let Some(index) = order
-                    .iter()
-                    .zip(next.iter())
-                    .position(|(a, b)| a != b)
-                    .or_else(|| (require_full && next.len() < order.len()).then_some(next.len()))
-                {
+                if !reported && require_full && b_end < a_end {
                     violations.push(Violation::ReplayDivergence {
                         process: pid,
                         segment: s,
-                        index,
+                        index: b_end as usize,
                     });
+                }
+            }
+        }
+
+        // Snapshot agreement: a snapshot is a pure function of the
+        // decided prefix it covers, so every stamp (made or installed)
+        // for the same `last_included` must agree on digest and count.
+        let mut by_prefix: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut snapshot_flagged: HashSet<(ProcessId, u64)> = HashSet::new();
+        for &(p, last_included, count, digest) in &self.stamps {
+            match by_prefix.get(&last_included) {
+                None => {
+                    by_prefix.insert(last_included, (count, digest));
+                }
+                Some(&(c, d)) if c == count && d == digest => {}
+                Some(_) => {
+                    if snapshot_flagged.insert((p, last_included)) {
+                        violations.push(Violation::SnapshotDivergence {
+                            process: p,
+                            last_included,
+                        });
+                    }
                 }
             }
         }
@@ -452,7 +616,11 @@ impl DeliveryOracle {
             }
         }
 
-        // Validity.
+        // Validity (checked against the known part of the common order;
+        // positions compacted away by every correct process's snapshot
+        // are unknown, but install stamps only cover prefixes that were
+        // delivered somewhere).
+        let common_order: Vec<MsgId> = common.iter().flatten().copied().collect();
         if let Some(must) = must_deliver {
             let delivered: HashSet<MsgId> = common_order.iter().copied().collect();
             for id in must {
@@ -478,35 +646,43 @@ impl Harness for DeliveryOracle {
     fn on_restart(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, _at: VTime) {
         self.note_restart(pid);
     }
-}
 
-/// First index at which `order` contradicts `reference` on their
-/// overlap; in `drained` mode an `order` that extends beyond the
-/// reference is also flagged (at the reference's length). The
-/// consistency rule applied to crashed processes' logs and to pre-crash
-/// incarnations of restarted processes.
-fn overlap_mismatch(order: &[MsgId], reference: &[MsgId], drained: bool) -> Option<usize> {
-    match order.iter().zip(reference.iter()).position(|(a, b)| a != b) {
-        Some(i) => Some(i),
-        None if drained && order.len() > reference.len() => Some(reference.len()),
-        None => None,
+    fn on_snapshot(
+        &mut self,
+        _api: &mut ClusterApi<'_>,
+        pid: ProcessId,
+        stamp: SnapshotStamp,
+        _at: VTime,
+    ) {
+        self.note_snapshot(pid, &stamp);
     }
 }
 
-/// Index of the first position where `log` stops being a prefix of
-/// `reference` (`None` when it is a prefix).
-fn first_divergence(log: &[MsgId], reference: &[MsgId]) -> Option<usize> {
-    if log.len() > reference.len() {
-        // Longer than the reference: diverges where the reference ends
-        // at the latest.
-        return Some(
-            log.iter()
-                .zip(reference.iter())
-                .position(|(a, b)| a != b)
-                .unwrap_or(reference.len()),
-        );
+/// Annotates one incarnation segment's deliveries with their positions
+/// in the common order, honouring snapshot installs (`jumps`) that skip
+/// a compacted prefix: at jump index `i`, delivery `i` and everything
+/// after continue from the jump's position. Returns the positioned
+/// entries and the end position (one past the last delivery, or the
+/// last install's position when it trails the deliveries).
+fn positioned(segment: &[(MsgId, VTime)], jumps: &[(usize, u64)]) -> (Vec<(u64, MsgId)>, u64) {
+    let mut out = Vec::with_capacity(segment.len());
+    let mut pos: u64 = 0;
+    for (i, (id, _)) in segment.iter().enumerate() {
+        for &(at, off) in jumps {
+            if at == i {
+                pos = pos.max(off);
+            }
+        }
+        out.push((pos, *id));
+        pos += 1;
     }
-    log.iter().zip(reference.iter()).position(|(a, b)| a != b)
+    // An install after the last delivery still moves the end position.
+    for &(at, off) in jumps {
+        if at == segment.len() {
+            pos = pos.max(off);
+        }
+    }
+    (out, pos)
 }
 
 /// Checks pre-collected per-process delivery orders (e.g. from a
@@ -740,6 +916,165 @@ mod tests {
         }
         let report = oracle.check_drained(&[ProcessId(0), ProcessId(1)], &[]);
         report.assert_ok("double crash-recovery");
+    }
+
+    fn stamp(
+        last_included: u64,
+        delivered_count: u64,
+        digest: u64,
+        installed: bool,
+    ) -> SnapshotStamp {
+        SnapshotStamp {
+            last_included,
+            delivered_count,
+            digest,
+            installed,
+            app_state: bytes::Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_install_skips_replay_but_pins_the_tail() {
+        // p1 crashes after delivering [a, b]; its revival installs a
+        // snapshot covering the first three deliveries and then delivers
+        // only the tail [d]. The compacted prefix owes no replay — but
+        // the tail must still match the common order position by
+        // position.
+        let order = [id(0, 0), id(1, 0), id(0, 1), id(1, 1)];
+        let mut oracle = DeliveryOracle::new(2);
+        for m in order {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+        }
+        oracle.record(ProcessId(1), order[0], VTime::ZERO);
+        oracle.record(ProcessId(1), order[1], VTime::ZERO);
+        oracle.note_restart(ProcessId(1));
+        oracle.note_snapshot(ProcessId(1), &stamp(9, 3, 0xD1, true));
+        oracle.record(ProcessId(1), order[3], VTime::ZERO);
+        let report = oracle.check_drained(&[ProcessId(0), ProcessId(1)], &[]);
+        report.assert_ok("snapshot-installed rejoin");
+        assert_eq!(report.common_order.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_install_tail_divergence_detected() {
+        // Same shape, but the post-install tail contradicts the common
+        // order at its position.
+        let order = [id(0, 0), id(1, 0), id(0, 1), id(1, 1)];
+        let mut oracle = DeliveryOracle::new(2);
+        for m in order {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+        }
+        oracle.note_restart(ProcessId(1));
+        oracle.note_snapshot(ProcessId(1), &stamp(9, 3, 0xD1, true));
+        oracle.record(ProcessId(1), id(9, 9), VTime::ZERO); // rogue tail
+        let report = oracle.check(&[ProcessId(0), ProcessId(1)]);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::Disagreement {
+                    process: ProcessId(1),
+                    index: 3,
+                    ..
+                }
+            )),
+            "got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn snapshot_installed_process_must_still_reach_the_frontier_when_drained() {
+        let order = [id(0, 0), id(1, 0), id(0, 1), id(1, 1)];
+        let mut oracle = DeliveryOracle::new(2);
+        for m in order {
+            oracle.record(ProcessId(0), m, VTime::ZERO);
+        }
+        oracle.note_restart(ProcessId(1));
+        oracle.note_snapshot(ProcessId(1), &stamp(9, 3, 0xD1, true));
+        // Mid-run: catching up, fine.
+        oracle
+            .check(&[ProcessId(0), ProcessId(1)])
+            .assert_ok("mid-run");
+        // Drained: the tail [d] never arrived at p1.
+        let drained = oracle.check_drained(&[ProcessId(0), ProcessId(1)], &[]);
+        assert!(
+            drained.violations.iter().any(|v| matches!(
+                v,
+                Violation::Disagreement {
+                    process: ProcessId(1),
+                    index: 3,
+                    got: None,
+                    ..
+                }
+            )),
+            "got {:?}",
+            drained.violations
+        );
+    }
+
+    #[test]
+    fn compacted_prefix_still_cross_checked_behind_installed_reference() {
+        // The furthest-ahead correct process installed a snapshot, so
+        // its log starts at position 2 — the common order has holes in
+        // the prefix. Two *full* correct processes disagree exactly
+        // there: the oracle must still flag it (the holes are filled
+        // from the full logs, not skipped).
+        let a = id(0, 0);
+        let b = id(1, 0);
+        let c = id(0, 1);
+        let d = id(1, 1);
+        let mut oracle = DeliveryOracle::new(3);
+        oracle.record(ProcessId(0), a, VTime::ZERO);
+        oracle.record(ProcessId(0), b, VTime::ZERO);
+        // p2 delivered the prefix in the opposite order: a real
+        // total-order violation.
+        oracle.record(ProcessId(1), b, VTime::ZERO);
+        oracle.record(ProcessId(1), a, VTime::ZERO);
+        // p3 rejoined via snapshot (covering the contested prefix) and
+        // is furthest ahead — it becomes the reference.
+        oracle.note_restart(ProcessId(2));
+        oracle.note_snapshot(ProcessId(2), &stamp(9, 2, 0xD1, true));
+        oracle.record(ProcessId(2), c, VTime::ZERO);
+        oracle.record(ProcessId(2), d, VTime::ZERO);
+        let report = oracle.check(&[ProcessId(0), ProcessId(1), ProcessId(2)]);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::Disagreement {
+                    process: ProcessId(1),
+                    index: 0,
+                    ..
+                }
+            )),
+            "got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn snapshot_digest_divergence_detected() {
+        let mut oracle = DeliveryOracle::new(3);
+        oracle.record(ProcessId(0), id(0, 0), VTime::ZERO);
+        oracle.record(ProcessId(1), id(0, 0), VTime::ZERO);
+        oracle.note_snapshot(ProcessId(0), &stamp(7, 10, 0xAAAA, false));
+        oracle.note_snapshot(ProcessId(1), &stamp(7, 10, 0xAAAA, false));
+        oracle
+            .check(&[ProcessId(0), ProcessId(1)])
+            .assert_ok("agreeing snapshots");
+        // A third process folds a different digest for the same prefix.
+        oracle.note_snapshot(ProcessId(2), &stamp(7, 10, 0xBBBB, false));
+        let report = oracle.check(&[ProcessId(0), ProcessId(1)]);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::SnapshotDivergence {
+                    process: ProcessId(2),
+                    last_included: 7,
+                }]
+            ),
+            "got {:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -105,7 +105,40 @@ pub enum ScenarioEvent {
     },
 }
 
-/// A declarative fault schedule (see the [module docs](self)).
+/// A declarative fault schedule (see the [crate docs](crate)).
+///
+/// # Example: the timeline DSL, end to end
+///
+/// ```
+/// use fortika_chaos::{check_orders, Scenario, Violation};
+/// use fortika_net::{MsgId, ProcessId};
+/// use fortika_sim::VDur;
+///
+/// // A timeline: {p1, p2} partitioned from {p3} for half a second,
+/// // p2 crash-restarts inside the window, and p1's detector falsely
+/// // suspects p2 for 100 ms after the heal.
+/// let scenario = Scenario::new()
+///     .partition(
+///         vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+///         VDur::millis(100),
+///         VDur::millis(600),
+///     )
+///     .crash(ProcessId(1), VDur::millis(200))
+///     .restart(ProcessId(1), VDur::millis(400))
+///     .false_suspicion(ProcessId(0), ProcessId(1), VDur::millis(700), VDur::millis(800));
+/// assert!(scenario.heals(), "every window closes");
+/// assert!(scenario.quorum_safe(3), "the revived p2 is correct again");
+/// assert_eq!(scenario.restarted(), vec![ProcessId(1)]);
+/// assert_eq!(scenario.horizon(), VDur::millis(800));
+///
+/// // The oracle that audits such runs flags any violation of the
+/// // atomic broadcast contract — here, two "replicas" disagreeing on
+/// // the delivery order:
+/// let a = MsgId::new(ProcessId(0), 0);
+/// let b = MsgId::new(ProcessId(1), 0);
+/// let report = check_orders(&[vec![a, b], vec![b, a]], &[ProcessId(0), ProcessId(1)], &[]);
+/// assert!(matches!(report.violations[0], Violation::Disagreement { .. }));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Scenario {
     events: Vec<ScenarioEvent>,
@@ -488,6 +521,7 @@ impl Scenario {
         let mut victims: Vec<u16> = (0..n as u16).collect();
         let mut used = 0usize;
         let mut permanent = 0usize;
+        let mut revived: Vec<(ProcessId, VDur)> = Vec::new();
         for _ in 0..max_events {
             if rng.unit_f64() >= profile.crash_prob {
                 continue;
@@ -505,9 +539,34 @@ impl Scenario {
                 let down = at(&mut rng, 0.1, 0.7);
                 let up = down + at(&mut rng, 0.05, 0.25);
                 s = s.crash(pid, down).restart(pid, up);
+                revived.push((pid, up));
             } else {
                 permanent += 1;
                 s = s.crash(pid, at(&mut rng, 0.1, 0.9));
+            }
+        }
+
+        // Crash-restart-crash: a revived victim may later go down for
+        // good. It then counts against the permanent minority budget
+        // exactly like a never-revived crash ([`Scenario::crashed`]
+        // treats a process whose last crash follows its last restart as
+        // permanently crashed). Drawn from a derived stream so the
+        // fault windows below keep their shapes across this feature.
+        if profile.recrash_prob > 0.0 {
+            let mut recrash_rng = DetRng::derive(seed, 0x2ECA);
+            for (pid, up) in revived {
+                if permanent >= permanent_budget {
+                    break;
+                }
+                if recrash_rng.unit_f64() < profile.recrash_prob {
+                    permanent += 1;
+                    // Clamped to the horizon: all fault activity must
+                    // finish by `profile.horizon` (revivals land at
+                    // 0.95 × horizon at the latest, so the clamp keeps
+                    // the recrash strictly after the restart).
+                    let down_again = (up + at(&mut recrash_rng, 0.02, 0.2)).min(profile.horizon);
+                    s = s.crash(pid, down_again);
+                }
             }
         }
 
@@ -604,6 +663,12 @@ pub struct ChaosProfile {
     /// register a node factory (`Cluster::set_node_factory` — the
     /// experiment runner and `fortika-core::node_factory` do this).
     pub restart_prob: f64,
+    /// Probability that a crash-restart victim later crashes **again,
+    /// permanently** (crash-restart-crash). The second crash consumes a
+    /// slot of the permanent minority budget, since a process that
+    /// stays down after its revival erodes the quorum like any other
+    /// permanent crash.
+    pub recrash_prob: f64,
     /// Probability of a (healing) partition window.
     pub partition_prob: f64,
     /// Probability of a lossy window.
@@ -625,6 +690,7 @@ impl Default for ChaosProfile {
             max_crashes: usize::MAX,
             crash_prob: 0.5,
             restart_prob: 0.4,
+            recrash_prob: 0.25,
             partition_prob: 0.5,
             loss_prob: 0.5,
             max_loss: 0.3,
@@ -746,6 +812,78 @@ mod tests {
             }
         }
         assert!(any_restart, "default profile never generated a restart");
+    }
+
+    #[test]
+    fn crash_restart_crash_is_a_permanent_crash() {
+        // Audit of the quorum accounting: a process that crashes, comes
+        // back, and then crashes *again* without a later restart stays
+        // down — it must count against the permanent minority, exactly
+        // like a never-revived crash.
+        let s = Scenario::new()
+            .crash(ProcessId(0), VDur::millis(10))
+            .restart(ProcessId(0), VDur::millis(20))
+            .crash(ProcessId(0), VDur::millis(30))
+            .crash(ProcessId(1), VDur::millis(15));
+        assert_eq!(s.crashed(), vec![ProcessId(0), ProcessId(1)]);
+        assert_eq!(s.restarted(), vec![ProcessId(0)]);
+        assert_eq!(s.correct(3), vec![ProcessId(2)]);
+        // Two permanent crashes exceed the minority of n = 3 but not 5.
+        assert!(!s.quorum_safe(3));
+        assert!(s.quorum_safe(5));
+    }
+
+    #[test]
+    fn generator_recrashes_consume_the_permanent_budget() {
+        let profile = ChaosProfile {
+            crash_prob: 1.0,
+            restart_prob: 0.8,
+            recrash_prob: 1.0,
+            ..ChaosProfile::default()
+        };
+        let mut any_recrash = false;
+        for n in [3usize, 5, 7] {
+            for seed in 0..60u64 {
+                let s = Scenario::random(n, seed, &profile);
+                assert!(
+                    s.quorum_safe(n),
+                    "seed {seed} n={n}: {} permanent crashes exceed the minority",
+                    s.crashed().len()
+                );
+                // A crash-restart-crash victim appears in both sets, and
+                // its final crash must strictly follow its restart.
+                let crashed = s.crashed();
+                for pid in s.restarted() {
+                    if !crashed.contains(&pid) {
+                        continue;
+                    }
+                    any_recrash = true;
+                    let last_restart = s
+                        .events()
+                        .iter()
+                        .filter_map(|ev| match ev {
+                            ScenarioEvent::Restart { pid: p, at } if *p == pid => Some(*at),
+                            _ => None,
+                        })
+                        .max()
+                        .expect("restarted");
+                    let last_crash = s
+                        .events()
+                        .iter()
+                        .filter_map(|ev| match ev {
+                            ScenarioEvent::Crash { pid: p, at } if *p == pid => Some(*at),
+                            _ => None,
+                        })
+                        .max()
+                        .expect("crashed");
+                    assert!(
+                        last_crash > last_restart,
+                        "seed {seed}: recrash not after restart"
+                    );
+                }
+            }
+        }
+        assert!(any_recrash, "recrash_prob 1.0 never produced a recrash");
     }
 
     #[test]

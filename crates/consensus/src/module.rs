@@ -48,13 +48,37 @@
 //!   replayed decision re-raises `Event::Decide`, so the stack above
 //!   re-delivers the prefix byte-identically — which the chaos oracle
 //!   checks across incarnations.
+//!
+//! # Log compaction and snapshot state transfer
+//!
+//! The decision cache is bounded, so under unbounded history the old
+//! prefix must eventually go. Instead of evicting it blindly (which made
+//! deep rejoins unservable), every process folds the contiguous decided
+//! prefix through a deterministic [`SnapshotFold`] and periodically
+//! materializes a [`Snapshot`] — application-state digest, per-sender
+//! delivered sets and the `last_included` instance — persisted via the
+//! stable store, then truncates cached decisions at or below
+//! `last_included`. A joiner whose gap starts inside the compacted
+//! prefix receives the snapshot instead, chunked at round-trip pace
+//! ([`SnapshotTransfer`](ConsensusMsg::SnapshotTransfer) /
+//! [`SnapshotPull`](ConsensusMsg::SnapshotPull)); it installs the
+//! snapshot, raises `Event::InstallSnapshot` so the delivery layer skips
+//! the compacted instances, and resumes log catch-up at
+//! `last_included + 1`. Deliveries before the install point are replaced
+//! by the snapshot, so byte-identical replay is owed only for the tail —
+//! the recovery-aware oracle audits exactly that, plus cross-process
+//! agreement on snapshot digests.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
+use fortika_net::snapshot::{chunk_of, stamp_of};
 use fortika_net::wire::{decode, encode};
-use fortika_net::{Batch, PeerRateLimiter, ProcessId, StableStore, TimerId};
+use fortika_net::{
+    AppState, Batch, ChunkOutcome, PeerRateLimiter, ProcessId, Snapshot, SnapshotDownload,
+    SnapshotFold, StableStore, TimerId,
+};
 use fortika_rbcast::OriginLog;
 use fortika_sim::{VDur, VTime};
 
@@ -72,6 +96,8 @@ const TAG_SWEEP: u64 = 0;
 const STABLE_VOTE_TAG: u64 = 1 << 56;
 /// Stable-store key of the contiguous decided watermark.
 const STABLE_WATERMARK_KEY: u64 = 2 << 56;
+/// Stable-store key of the latest log-compaction snapshot.
+const STABLE_SNAPSHOT_KEY: u64 = 3 << 56;
 
 /// Stable-store key of `instance`'s vote record.
 fn vote_key(instance: u64) -> u64 {
@@ -83,6 +109,8 @@ fn vote_key(instance: u64) -> u64 {
 const MAX_TRANSFER: u64 = 16;
 /// Minimum spacing of rejoin re-announcements.
 const JOIN_RETRY: VDur = VDur::millis(300);
+/// Minimum spacing of snapshot offers toward one lagging peer.
+const OFFER_SPACING: VDur = VDur::millis(50);
 
 /// Configuration of the consensus module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +124,12 @@ pub struct ConsensusConfig {
     pub sweep_interval: VDur,
     /// How many decided values are cached for recovery requests.
     pub decision_cache: usize,
+    /// Fold the decided prefix into a log-compaction [`Snapshot`] every
+    /// this many instances (also whenever the decision cache would
+    /// otherwise evict an uncompacted decision). `0` disables
+    /// snapshotting — then a joiner whose gap was evicted everywhere
+    /// stalls forever (`consensus.join_unservable`).
+    pub snapshot_interval: u64,
 }
 
 impl Default for ConsensusConfig {
@@ -104,6 +138,7 @@ impl Default for ConsensusConfig {
             progress_timeout: VDur::secs(1),
             sweep_interval: VDur::millis(250),
             decision_cache: 1024,
+            snapshot_interval: 256,
         }
     }
 }
@@ -179,6 +214,21 @@ pub struct ConsensusModule {
     rejoin_target: u64,
     /// When the last rejoin announcement went out.
     last_join: VTime,
+    /// Deterministic fold of the contiguous decided prefix (feeds
+    /// snapshots; mirrors the delivery path's dedup exactly).
+    fold: SnapshotFold,
+    /// Latest materialized or installed snapshot, plus its cached
+    /// encoding for chunked serving.
+    snapshot: Option<Snapshot>,
+    snapshot_bytes: Bytes,
+    /// In-progress snapshot download (receiver side).
+    download: SnapshotDownload,
+    /// Rate limiter for snapshot offers toward lagging peers (a batch
+    /// of gap requests needs one offer, not eight).
+    offer_limiter: PeerRateLimiter,
+    /// Snapshot recovered from stable storage (restart only); installed
+    /// in `on_start`, where a handler context is available.
+    restored: Option<Snapshot>,
 }
 
 impl ConsensusModule {
@@ -197,12 +247,27 @@ impl ConsensusModule {
             rejoining: false,
             rejoin_target: 0,
             last_join: VTime::ZERO,
+            fold: SnapshotFold::new(None),
+            snapshot: None,
+            snapshot_bytes: Bytes::new(),
+            download: SnapshotDownload::default(),
+            offer_limiter: PeerRateLimiter::new(),
+            restored: None,
         }
     }
 
+    /// Attaches an application-state hook to the snapshot fold (call
+    /// right after [`new`](Self::new)/[`resume`](Self::resume), before
+    /// the module processes anything).
+    pub fn with_app(mut self, app: Option<Box<dyn AppState>>) -> Self {
+        self.fold = SnapshotFold::new(app);
+        self
+    }
+
     /// Creates the module for a process revived after a crash: replays
-    /// the persisted vote records and decided watermark out of `stable`
-    /// and arms the rejoin announcement (see the [module docs](self)).
+    /// the persisted vote records, decided watermark and log-compaction
+    /// snapshot out of `stable` and arms the rejoin announcement (see
+    /// the [crate docs](crate)).
     pub fn resume(cfg: ConsensusConfig, stable: &StableStore) -> Self {
         let mut module = ConsensusModule::new(cfg);
         module.rejoining = true;
@@ -210,6 +275,10 @@ impl ConsensusModule {
             if key == STABLE_WATERMARK_KEY {
                 if let Ok(w) = decode::<u64>(bytes.clone()) {
                     module.decided_log.advance_to(w);
+                }
+            } else if key == STABLE_SNAPSHOT_KEY {
+                if let Ok(snap) = decode::<Snapshot>(bytes.clone()) {
+                    module.restored = Some(snap);
                 }
             } else if key >> 56 == STABLE_VOTE_TAG >> 56 {
                 if let Ok(rec) = decode::<VoteRecord>(bytes.clone()) {
@@ -274,22 +343,81 @@ impl ConsensusModule {
         self.replayed.complete(instance);
         let fence_before = self.decided_log.watermark();
         self.decided_log.complete(instance);
+        self.persist_fence(ctx, fence_before);
+        self.decisions.insert(instance, value.clone());
+        self.fold.absorb(instance, &value);
+        self.maybe_compact(ctx);
+        if self.cfg.snapshot_interval == 0 {
+            // No snapshots: bound the cache by blind eviction (the
+            // pre-compaction behaviour — evicted prefixes become
+            // unservable to joiners).
+            while self.decisions.len() > self.cfg.decision_cache {
+                self.decisions.pop_first();
+            }
+        }
+        self.instances.remove(&instance);
+        ctx.bump("consensus.decided", 1);
+        ctx.raise(Event::Decide { instance, value });
+    }
+
+    /// Persists the voting fence if it advanced past `fence_before` and
+    /// garbage-collects the vote records the advance makes obsolete.
+    fn persist_fence(&mut self, ctx: &mut FrameworkCtx<'_, '_>, fence_before: u64) {
         let fence_after = self.decided_log.watermark();
         if fence_after > fence_before {
-            // The voting fence advanced: persist it and garbage-collect
-            // the vote records it makes obsolete.
             ctx.persist(STABLE_WATERMARK_KEY, encode(&fence_after));
             for k in fence_before..fence_after {
                 ctx.unpersist(vote_key(k));
             }
         }
-        self.decisions.insert(instance, value.clone());
-        while self.decisions.len() > self.cfg.decision_cache {
-            self.decisions.pop_first();
+    }
+
+    /// Materializes a snapshot when the fold ran `snapshot_interval`
+    /// instances past the previous one — or early, whenever the decision
+    /// cache would otherwise have to evict an uncompacted decision
+    /// (compaction replaces eviction, so every instance a joiner may
+    /// miss is servable from either the log tail or the snapshot).
+    fn maybe_compact(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        let interval = self.cfg.snapshot_interval;
+        if interval == 0 {
+            return;
         }
-        self.instances.remove(&instance);
-        ctx.bump("consensus.decided", 1);
-        ctx.raise(Event::Decide { instance, value });
+        let folded = self.fold.next_instance();
+        let base = self.snapshot.as_ref().map_or(0, |s| s.last_included + 1);
+        let overflow = self.decisions.len() > self.cfg.decision_cache;
+        if folded < base + interval && !(overflow && folded > base) {
+            return;
+        }
+        let Some(snap) = self.fold.snapshot() else {
+            return;
+        };
+        ctx.bump("consensus.snapshots", 1);
+        self.set_snapshot(ctx, snap, false);
+    }
+
+    /// Adopts `snap` as this process's serving snapshot: persists it,
+    /// evicts the oldest *compacted* decisions down to the cache bound,
+    /// and reports the stamp to the harness.
+    ///
+    /// Only snapshot-covered entries are evicted, and only while the
+    /// cache overflows — the recent log tail stays as deep as
+    /// `decision_cache` allows, so small gaps (a briefly partitioned
+    /// peer) are still served as cheap `DecisionFull`/`StateTransfer`
+    /// replies and the snapshot path is reserved for deep ones.
+    fn set_snapshot(&mut self, ctx: &mut FrameworkCtx<'_, '_>, snap: Snapshot, installed: bool) {
+        let bytes = encode(&snap);
+        ctx.persist(STABLE_SNAPSHOT_KEY, bytes.clone());
+        while self.decisions.len() > self.cfg.decision_cache {
+            match self.decisions.first_key_value() {
+                Some((&k, _)) if k <= snap.last_included => {
+                    self.decisions.pop_first();
+                }
+                _ => break, // uncompacted entries are never dropped
+            }
+        }
+        ctx.note_snapshot(stamp_of(&snap, installed));
+        self.snapshot_bytes = bytes;
+        self.snapshot = Some(snap);
     }
 
     /// Seeing traffic for instance `seen` while older instances are
@@ -661,21 +789,27 @@ impl ConsensusModule {
         ctx.broadcast_net("consensus.join_request", encode(&msg));
     }
 
-    /// Serves a peer's rejoin announcement with a bulk prefix of decided
-    /// values (consecutive from `watermark`, bounded, stop at the first
-    /// value this process no longer caches).
+    /// Serves a peer's rejoin announcement. A gap the decision log
+    /// still covers is served as a bulk [`StateTransfer`] of decided
+    /// values (consecutive from `watermark`, bounded); a gap whose head
+    /// was compacted away falls back to a chunked [`SnapshotTransfer`]
+    /// — the log there is gone, the snapshot replaces it.
     ///
-    /// Known limit: the decided values live only in the bounded
-    /// `decisions` cache, so once a run outgrows `decision_cache` no
-    /// peer can serve the evicted prefix and a joiner advertising
-    /// instance 0 stalls (`consensus.join_unservable` counts this).
-    /// Serving arbitrarily old prefixes needs application-state
-    /// snapshots — a ROADMAP direction, not covered here.
+    /// With snapshotting disabled (`snapshot_interval == 0`) the old
+    /// limit applies: once a run outgrows `decision_cache`, the evicted
+    /// prefix is unservable and a joiner advertising instance 0 stalls
+    /// (`consensus.join_unservable` counts this).
+    ///
+    /// [`StateTransfer`]: ConsensusMsg::StateTransfer
+    /// [`SnapshotTransfer`]: ConsensusMsg::SnapshotTransfer
     fn serve_join(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, watermark: u64) {
         let frontier = self.replayed.watermark();
         if frontier <= watermark {
             return;
         }
+        // The cheap path first: while the decision log still covers the
+        // head of the gap, a bulk value transfer beats re-shipping the
+        // whole snapshot (the log tail stays `decision_cache` deep).
         let mut values = Vec::new();
         for instance in watermark..frontier.min(watermark + MAX_TRANSFER) {
             match self.decisions.get(&instance) {
@@ -683,19 +817,132 @@ impl ConsensusModule {
                 None => break, // evicted: cannot serve a gapless prefix
             }
         }
-        if values.is_empty() {
-            // Not silent: a joiner below our eviction horizon cannot be
-            // helped by this process.
-            ctx.bump("consensus.join_unservable", 1);
+        if !values.is_empty() {
+            ctx.bump("consensus.state_transfers", 1);
+            let msg = ConsensusMsg::StateTransfer {
+                from: watermark,
+                values,
+                frontier,
+            };
+            ctx.send_net(from, "consensus.state_transfer", encode(&msg));
             return;
         }
-        ctx.bump("consensus.state_transfers", 1);
-        let msg = ConsensusMsg::StateTransfer {
-            from: watermark,
-            values,
-            frontier,
+        if self
+            .snapshot
+            .as_ref()
+            .is_some_and(|s| watermark <= s.last_included)
+        {
+            // The gap begins inside the compacted prefix: ship the
+            // snapshot (first chunk; the joiner pulls the rest at
+            // round-trip pace), then it rejoins the log at
+            // `last_included + 1`.
+            self.serve_snapshot_chunk(ctx, from, 0);
+            return;
+        }
+        // Not silent: a joiner below our eviction horizon cannot be
+        // helped by this process (only possible with snapshots
+        // disabled, or for a gap above the snapshot with a hole in the
+        // local log).
+        ctx.bump("consensus.join_unservable", 1);
+    }
+
+    /// Sends one chunk of the serving snapshot to `from`.
+    fn serve_snapshot_chunk(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        from: ProcessId,
+        offset: u32,
+    ) {
+        let Some(snap) = &self.snapshot else {
+            return;
         };
-        ctx.send_net(from, "consensus.state_transfer", encode(&msg));
+        let Some((total, chunk)) = chunk_of(&self.snapshot_bytes, offset) else {
+            return;
+        };
+        ctx.bump("consensus.snapshot_transfers", 1);
+        let msg = ConsensusMsg::SnapshotTransfer {
+            last_included: snap.last_included,
+            digest: snap.digest,
+            total,
+            offset,
+            chunk,
+            frontier: self.replayed.watermark(),
+        };
+        ctx.send_net(from, "consensus.snapshot_transfer", encode(&msg));
+    }
+
+    /// Receiver side: absorbs one snapshot chunk through the shared
+    /// download state machine, pulling the next at round-trip pace; a
+    /// completed download is installed and chased with a `JoinRequest`
+    /// for the remaining log tail.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_snapshot_chunk(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        from: ProcessId,
+        last_included: u64,
+        digest: u64,
+        total: u32,
+        offset: u32,
+        chunk: Bytes,
+        frontier: u64,
+    ) {
+        self.rejoin_target = self.rejoin_target.max(frontier);
+        self.highest_seen = self.highest_seen.max(frontier);
+        let now = ctx.now();
+        let already_past = self.fold.next_instance() > last_included;
+        match self.download.absorb(
+            from,
+            last_included,
+            digest,
+            total,
+            offset,
+            &chunk,
+            now,
+            JOIN_RETRY,
+            already_past,
+        ) {
+            ChunkOutcome::Pull(offset) => {
+                ctx.bump("consensus.snapshot_pulls", 1);
+                let msg = ConsensusMsg::SnapshotPull {
+                    last_included,
+                    offset,
+                };
+                ctx.send_net(from, "consensus.snapshot_pull", encode(&msg));
+            }
+            ChunkOutcome::Complete(snap) => {
+                self.install_snapshot(ctx, *snap);
+                // Chained tail catch-up from the serving peer.
+                self.last_join = now;
+                let msg = ConsensusMsg::JoinRequest {
+                    watermark: self.replayed.watermark(),
+                };
+                ctx.send_net(from, "consensus.join_request", encode(&msg));
+            }
+            ChunkOutcome::Ignored => {}
+            ChunkOutcome::Corrupt => ctx.bump("consensus.snapshot_garbage", 1),
+        }
+    }
+
+    /// Installs a snapshot: fast-forwards the fold, replay log and
+    /// voting fence to `last_included + 1`, drops per-instance state the
+    /// snapshot made moot, adopts it for serving, and tells the stack
+    /// above (the abcast module skips the compacted prefix).
+    fn install_snapshot(&mut self, ctx: &mut FrameworkCtx<'_, '_>, snap: Snapshot) {
+        if !self.fold.install(&snap) {
+            return; // does not extend past what we already replayed
+        }
+        let next = snap.last_included + 1;
+        self.replayed.advance_to(next);
+        let fence_before = self.decided_log.watermark();
+        self.decided_log.advance_to(next);
+        self.persist_fence(ctx, fence_before);
+        self.instances = self.instances.split_off(&next);
+        self.recovered_votes = self.recovered_votes.split_off(&next);
+        self.highest_seen = self.highest_seen.max(snap.last_included);
+        ctx.bump("consensus.snapshots_installed", 1);
+        self.set_snapshot(ctx, snap.clone(), true);
+        ctx.raise(Event::InstallSnapshot { snapshot: snap });
     }
 
     /// Absorbs a bulk state transfer, then keeps pulling from the same
@@ -740,9 +987,12 @@ impl ConsensusModule {
         if self.rejoining {
             let caught_up = self.replayed.watermark() >= self.decided_log.watermark()
                 && self.replayed.watermark() >= self.rejoin_target;
+            // A healthy snapshot download is progress too: do not spam
+            // re-announcements (and competing offers) while it runs.
+            let downloading = self.download.in_progress(now, JOIN_RETRY);
             if caught_up {
                 self.rejoining = false;
-            } else if now.since(self.last_join) >= JOIN_RETRY {
+            } else if now.since(self.last_join) >= JOIN_RETRY && !downloading {
                 self.announce_join(ctx);
             }
         }
@@ -790,8 +1040,13 @@ impl Microprotocol for ConsensusModule {
 
     fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
         if self.rejoining {
-            // Revived process: advertise "I am at instance 0" and let
-            // peers stream the decided prefix back.
+            // Revived process: restore the persisted snapshot first (the
+            // compacted prefix needs no replay), then advertise the
+            // replay frontier — instance 0 without a snapshot — and let
+            // peers stream the missing prefix back.
+            if let Some(snap) = self.restored.take() {
+                self.install_snapshot(ctx, snap);
+            }
             self.announce_join(ctx);
         }
         ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
@@ -858,6 +1113,22 @@ impl Microprotocol for ConsensusModule {
                         value: v.clone(),
                     };
                     ctx.send_net(from, "consensus.decision_full", encode(&msg));
+                } else if self
+                    .snapshot
+                    .as_ref()
+                    .is_some_and(|s| instance <= s.last_included)
+                {
+                    // The requested decision was compacted away: no peer
+                    // can serve it as a value any more, but the snapshot
+                    // covers it. Offer the snapshot so a *live* lagging
+                    // process (a healed partition minority — not just a
+                    // restarted joiner) can leap past the compaction
+                    // horizon instead of stalling. Rate-limited: one
+                    // offer answers a whole gap-request batch.
+                    let now = ctx.now();
+                    if self.offer_limiter.allow(from, now, OFFER_SPACING) {
+                        self.serve_snapshot_chunk(ctx, from, 0);
+                    }
                 }
             }
             ConsensusMsg::DecisionFull { instance, value } => {
@@ -885,6 +1156,42 @@ impl Microprotocol for ConsensusModule {
                 frontier,
             } => {
                 self.absorb_transfer(ctx, from, first, values, frontier);
+            }
+            ConsensusMsg::SnapshotTransfer {
+                last_included,
+                digest,
+                total,
+                offset,
+                chunk,
+                frontier,
+            } => {
+                self.absorb_snapshot_chunk(
+                    ctx,
+                    from,
+                    last_included,
+                    digest,
+                    total,
+                    offset,
+                    chunk,
+                    frontier,
+                );
+            }
+            ConsensusMsg::SnapshotPull {
+                last_included,
+                offset,
+            } => {
+                match &self.snapshot {
+                    // Exact match: serve the requested chunk.
+                    Some(snap) if snap.last_included == last_included => {
+                        self.serve_snapshot_chunk(ctx, from, offset);
+                    }
+                    // We compacted further since the joiner started; a
+                    // fresh offer supersedes the stale download.
+                    Some(snap) if snap.last_included > last_included => {
+                        self.serve_snapshot_chunk(ctx, from, 0);
+                    }
+                    _ => {}
+                }
             }
         }
     }

@@ -56,10 +56,10 @@ pub enum ConsensusMsg {
         /// First instance the sender is missing.
         watermark: u64,
     },
-    /// Snapshot-style catch-up reply: the decided values of the
-    /// consecutive instances `from, from+1, …` in bulk, plus the
-    /// sender's own replay frontier so the joiner can keep pulling in
-    /// chained rounds until it reaches the live edge.
+    /// Bulk catch-up reply: the decided values of the consecutive
+    /// instances `from, from+1, …`, plus the sender's own replay
+    /// frontier so the joiner can keep pulling in chained rounds until
+    /// it reaches the live edge.
     StateTransfer {
         /// Instance of `values[0]`.
         from: u64,
@@ -67,6 +67,33 @@ pub enum ConsensusMsg {
         values: Vec<Batch>,
         /// The sender's contiguous decided prefix length.
         frontier: u64,
+    },
+    /// One chunk of a log-compaction snapshot, serving a joiner whose
+    /// gap starts below the sender's compacted prefix (the decided
+    /// values there are evicted; the snapshot replaces them). Chunks are
+    /// pulled at round-trip pace via [`SnapshotPull`](Self::SnapshotPull)
+    /// like `StateTransfer` batches; once complete, the joiner installs
+    /// the snapshot and resumes log catch-up at `last_included + 1`.
+    SnapshotTransfer {
+        /// Highest instance the snapshot covers.
+        last_included: u64,
+        /// Digest of the snapshot (integrity check across chunks).
+        digest: u64,
+        /// Total encoded snapshot size in bytes.
+        total: u32,
+        /// Offset of `chunk` within the encoded snapshot.
+        offset: u32,
+        /// The chunk bytes.
+        chunk: bytes::Bytes,
+        /// The sender's contiguous replay frontier (catch-up target).
+        frontier: u64,
+    },
+    /// Joiner-side request for the next snapshot chunk.
+    SnapshotPull {
+        /// Which snapshot is being pulled (its highest instance).
+        last_included: u64,
+        /// Byte offset of the requested chunk.
+        offset: u32,
     },
 }
 
@@ -77,6 +104,8 @@ const TAG_DECISION_REQUEST: u8 = 4;
 const TAG_DECISION_FULL: u8 = 5;
 const TAG_JOIN_REQUEST: u8 = 6;
 const TAG_STATE_TRANSFER: u8 = 7;
+const TAG_SNAPSHOT_TRANSFER: u8 = 8;
+const TAG_SNAPSHOT_PULL: u8 = 9;
 
 impl Wire for ConsensusMsg {
     fn encode(&self, w: &mut WireWriter) {
@@ -131,6 +160,30 @@ impl Wire for ConsensusMsg {
                 w.put_u64(*frontier);
                 values.encode(w);
             }
+            ConsensusMsg::SnapshotTransfer {
+                last_included,
+                digest,
+                total,
+                offset,
+                chunk,
+                frontier,
+            } => {
+                w.put_u8(TAG_SNAPSHOT_TRANSFER);
+                w.put_u64(*last_included);
+                w.put_u64(*digest);
+                w.put_u32(*total);
+                w.put_u32(*offset);
+                w.put_u64(*frontier);
+                chunk.encode(w);
+            }
+            ConsensusMsg::SnapshotPull {
+                last_included,
+                offset,
+            } => {
+                w.put_u8(TAG_SNAPSHOT_PULL);
+                w.put_u64(*last_included);
+                w.put_u32(*offset);
+            }
         }
     }
 
@@ -165,6 +218,18 @@ impl Wire for ConsensusMsg {
                 from: r.get_u64()?,
                 frontier: r.get_u64()?,
                 values: Vec::<Batch>::decode(r)?,
+            }),
+            TAG_SNAPSHOT_TRANSFER => Ok(ConsensusMsg::SnapshotTransfer {
+                last_included: r.get_u64()?,
+                digest: r.get_u64()?,
+                total: r.get_u32()?,
+                offset: r.get_u32()?,
+                frontier: r.get_u64()?,
+                chunk: bytes::Bytes::decode(r)?,
+            }),
+            TAG_SNAPSHOT_PULL => Ok(ConsensusMsg::SnapshotPull {
+                last_included: r.get_u64()?,
+                offset: r.get_u32()?,
             }),
             t => Err(WireError::InvalidTag(t)),
         }
@@ -286,6 +351,18 @@ mod tests {
                 from: 3,
                 values: vec![batch(), Batch::empty(), batch()],
                 frontier: 42,
+            },
+            ConsensusMsg::SnapshotTransfer {
+                last_included: 63,
+                digest: 0xDEAD_BEEF,
+                total: 4097,
+                offset: 4096,
+                chunk: Bytes::from_static(b"tail byte"),
+                frontier: 80,
+            },
+            ConsensusMsg::SnapshotPull {
+                last_included: 63,
+                offset: 4096,
             },
         ];
         for m in msgs {

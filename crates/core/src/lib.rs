@@ -59,4 +59,6 @@ pub use workload::{ArrivalProcess, Workload, WorkloadDriver};
 pub use fortika_chaos::{ChaosProfile, DeliveryOracle, OracleReport, Scenario, Violation};
 pub use fortika_fd::FdConfig;
 pub use fortika_mono::MonoOptimizations;
-pub use fortika_net::{ClusterConfig, CostModel, NetModel};
+pub use fortika_net::{
+    AppState, AppStateFactory, ClusterConfig, CostModel, NetModel, Snapshot, SnapshotStamp,
+};

@@ -6,7 +6,7 @@ use fortika_consensus::{ConsensusConfig, ConsensusModule};
 use fortika_fd::{FdConfig, FdModule, HeartbeatFd, OverlayFd, SuspicionWindow};
 use fortika_framework::CompositeStack;
 use fortika_mono::{MonoConfig, MonoNode, MonoOptimizations};
-use fortika_net::{Cluster, Node, NodeFactory, ProcessId, StableStore};
+use fortika_net::{AppStateFactory, Cluster, Node, NodeFactory, ProcessId, StableStore};
 use fortika_rbcast::{RbcastConfig, RbcastModule};
 use fortika_sim::VTime;
 
@@ -49,6 +49,21 @@ pub struct StackConfig {
     pub rbcast: RbcastConfig,
     /// Modular stack: abcast module configuration.
     pub abcast: AbcastConfig,
+    /// Log-compaction snapshot cadence, applied to **both** stacks
+    /// (overrides the per-stack `snapshot_interval` fields): fold the
+    /// decided prefix into a snapshot every this many instances, and
+    /// whenever the decision cache would otherwise evict an uncompacted
+    /// decision. `0` disables snapshots — deep rejoins then stall once
+    /// the prefix outgrows `decision_cache` (`*.join_unservable`).
+    pub snapshot_interval: u64,
+    /// Decision cache depth, applied to both stacks (overrides the
+    /// per-stack `decision_cache` fields).
+    pub decision_cache: usize,
+    /// Optional application-state hook folded into snapshots: each
+    /// process gets its own state machine, advanced on every delivered
+    /// message, encoded into snapshots and restored on install (see
+    /// `examples/replicated_kv.rs`).
+    pub app_state: Option<AppStateFactory>,
 }
 
 impl Default for StackConfig {
@@ -60,6 +75,9 @@ impl Default for StackConfig {
             consensus: ConsensusConfig::default(),
             rbcast: RbcastConfig::default(),
             abcast: AbcastConfig::default(),
+            snapshot_interval: 256,
+            decision_cache: 1024,
+            app_state: None,
         }
     }
 }
@@ -83,6 +101,7 @@ pub fn build_node_with_windows(
     // Only chaos runs pay for the overlay: windows relevant to this
     // process wrap the detector, everything else runs the bare core.
     let wraps = windows.iter().any(|w| w.observer == me);
+    let app = cfg.app_state.as_ref().map(AppStateFactory::make);
     match kind {
         StackKind::Modular => {
             let fd_module: Box<dyn fortika_framework::Microprotocol> = if wraps {
@@ -93,24 +112,40 @@ pub fn build_node_with_windows(
             Box::new(CompositeStack::new(vec![
                 Box::new(FlowControlModule::new(cfg.window)),
                 Box::new(AbcastModule::new(cfg.abcast.clone())),
-                Box::new(ConsensusModule::new(cfg.consensus.clone())),
+                Box::new(ConsensusModule::new(consensus_config(cfg)).with_app(app)),
                 Box::new(RbcastModule::new(cfg.rbcast.clone())),
                 fd_module,
             ]))
         }
         StackKind::Monolithic => {
-            let mono_cfg = MonoConfig {
-                opts: cfg.mono_opts,
-                window: cfg.window,
-                ..MonoConfig::default()
-            };
             let fd: Box<dyn fortika_fd::FailureDetector> = if wraps {
                 Box::new(OverlayFd::new(n, me, heartbeat, windows))
             } else {
                 Box::new(heartbeat)
             };
-            Box::new(MonoNode::new(mono_cfg, fd))
+            Box::new(MonoNode::new(mono_config(cfg), fd).with_app(app))
         }
+    }
+}
+
+/// The modular consensus configuration with the stack-wide snapshot and
+/// cache knobs applied.
+fn consensus_config(cfg: &StackConfig) -> ConsensusConfig {
+    ConsensusConfig {
+        snapshot_interval: cfg.snapshot_interval,
+        decision_cache: cfg.decision_cache,
+        ..cfg.consensus.clone()
+    }
+}
+
+/// The monolithic configuration with the stack-wide knobs applied.
+fn mono_config(cfg: &StackConfig) -> MonoConfig {
+    MonoConfig {
+        opts: cfg.mono_opts,
+        window: cfg.window,
+        snapshot_interval: cfg.snapshot_interval,
+        decision_cache: cfg.decision_cache,
+        ..MonoConfig::default()
     }
 }
 
@@ -151,6 +186,7 @@ pub fn build_restarted_node(
 ) -> Box<dyn Node> {
     let heartbeat = HeartbeatFd::new_anchored(n, me, cfg.fd.clone(), now);
     let wraps = windows.iter().any(|w| w.observer == me);
+    let app = cfg.app_state.as_ref().map(AppStateFactory::make);
     match kind {
         StackKind::Modular => {
             let fd_module: Box<dyn fortika_framework::Microprotocol> = if wraps {
@@ -166,23 +202,18 @@ pub fn build_restarted_node(
             Box::new(CompositeStack::new(vec![
                 Box::new(FlowControlModule::new(cfg.window)),
                 Box::new(AbcastModule::new(cfg.abcast.clone())),
-                Box::new(ConsensusModule::resume(cfg.consensus.clone(), stable)),
+                Box::new(ConsensusModule::resume(consensus_config(cfg), stable).with_app(app)),
                 Box::new(RbcastModule::resume(cfg.rbcast.clone(), stable)),
                 fd_module,
             ]))
         }
         StackKind::Monolithic => {
-            let mono_cfg = MonoConfig {
-                opts: cfg.mono_opts,
-                window: cfg.window,
-                ..MonoConfig::default()
-            };
             let fd: Box<dyn fortika_fd::FailureDetector> = if wraps {
                 Box::new(OverlayFd::new(n, me, heartbeat, windows.to_vec()))
             } else {
                 Box::new(heartbeat)
             };
-            Box::new(MonoNode::resume(mono_cfg, fd, stable))
+            Box::new(MonoNode::resume(mono_config(cfg), fd, stable).with_app(app))
         }
     }
 }

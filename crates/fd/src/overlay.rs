@@ -38,7 +38,7 @@ impl SuspicionWindow {
 }
 
 /// A failure detector that overlays scripted suspicion windows on an
-/// inner core (see the [module docs](self)).
+/// inner core (see the [crate docs](crate)).
 #[derive(Debug, Clone)]
 pub struct OverlayFd<T> {
     inner: T,

@@ -20,7 +20,7 @@
 //! need does not cross these interfaces.
 
 use bytes::Bytes;
-use fortika_net::{AppMsg, Batch, MsgId, ProcessId};
+use fortika_net::{AppMsg, Batch, MsgId, ProcessId, Snapshot};
 
 /// An event raised on a composite stack's bus.
 #[derive(Debug, Clone)]
@@ -64,6 +64,15 @@ pub enum Event {
     Suspect(ProcessId),
     /// The failure detector stopped suspecting a process.
     Restore(ProcessId),
+    /// The consensus service installed a log-compaction snapshot
+    /// (rejoin catch-up past an evicted decided prefix): the delivery
+    /// layer must fast-forward to instance `last_included + 1`, seed its
+    /// duplicate suppression from the snapshot's delivered sets, and
+    /// never expect the compacted instances to be decided again.
+    InstallSnapshot {
+        /// The installed snapshot.
+        snapshot: Snapshot,
+    },
 }
 
 /// Discriminant of [`Event`], used for subscription routing.
@@ -85,6 +94,8 @@ pub enum EventKind {
     Suspect,
     /// See [`Event::Restore`].
     Restore,
+    /// See [`Event::InstallSnapshot`].
+    InstallSnapshot,
 }
 
 impl Event {
@@ -99,6 +110,7 @@ impl Event {
             Event::RbDeliver { .. } => EventKind::RbDeliver,
             Event::Suspect(_) => EventKind::Suspect,
             Event::Restore(_) => EventKind::Restore,
+            Event::InstallSnapshot { .. } => EventKind::InstallSnapshot,
         }
     }
 }

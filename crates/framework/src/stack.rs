@@ -156,6 +156,12 @@ impl FrameworkCtx<'_, '_> {
         self.node.unpersist(key);
     }
 
+    /// Reports a materialized or installed log-compaction snapshot to
+    /// the harness; see [`fortika_net::NodeCtx::note_snapshot`].
+    pub fn note_snapshot(&mut self, stamp: fortika_net::SnapshotStamp) {
+        self.node.note_snapshot(stamp);
+    }
+
     /// Increments a free-form protocol counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
         self.node.bump(name, by);

@@ -6,6 +6,7 @@
 //! [`MonoMsg::AckDiff`] carries an ack *and* freshly abcast application
 //! messages riding to the coordinator (optimization O2).
 
+use bytes::Bytes;
 use fortika_net::wire::{Wire, WireError, WireReader, WireWriter};
 use fortika_net::{AppMsg, Batch};
 
@@ -102,9 +103,9 @@ pub enum MonoMsg {
         /// First instance the sender is missing.
         watermark: u64,
     },
-    /// Snapshot-style catch-up reply: decided values of consecutive
-    /// instances in bulk plus the sender's applied frontier, so the
-    /// joiner chains pulls until it reaches the live edge.
+    /// Bulk catch-up reply: decided values of consecutive instances
+    /// plus the sender's applied frontier, so the joiner chains pulls
+    /// until it reaches the live edge.
     StateTransfer {
         /// Instance of `values[0]`.
         from: u64,
@@ -112,6 +113,34 @@ pub enum MonoMsg {
         values: Vec<Batch>,
         /// The sender's contiguous applied prefix length.
         frontier: u64,
+    },
+    /// One chunk of a log-compaction snapshot, serving a joiner whose
+    /// gap starts inside the sender's compacted prefix (the decided
+    /// values there are truncated; the snapshot replaces them). Chunks
+    /// are pulled at round-trip pace via
+    /// [`SnapshotPull`](Self::SnapshotPull); once complete, the joiner
+    /// installs the snapshot and resumes log catch-up at
+    /// `last_included + 1`.
+    SnapshotTransfer {
+        /// Highest instance the snapshot covers.
+        last_included: u64,
+        /// Digest of the snapshot (integrity check across chunks).
+        digest: u64,
+        /// Total encoded snapshot size in bytes.
+        total: u32,
+        /// Offset of `chunk` within the encoded snapshot.
+        offset: u32,
+        /// The chunk bytes.
+        chunk: Bytes,
+        /// The sender's contiguous applied frontier (catch-up target).
+        frontier: u64,
+    },
+    /// Joiner-side request for the next snapshot chunk.
+    SnapshotPull {
+        /// Which snapshot is being pulled (its highest instance).
+        last_included: u64,
+        /// Byte offset of the requested chunk.
+        offset: u32,
     },
 }
 
@@ -125,6 +154,8 @@ const TAG_HEARTBEAT: u8 = 7;
 const TAG_ESTIMATE_REQUEST: u8 = 8;
 const TAG_JOIN_REQUEST: u8 = 9;
 const TAG_STATE_TRANSFER: u8 = 10;
+const TAG_SNAPSHOT_TRANSFER: u8 = 11;
+const TAG_SNAPSHOT_PULL: u8 = 12;
 
 impl Wire for Decision {
     fn encode(&self, w: &mut WireWriter) {
@@ -222,6 +253,30 @@ impl Wire for MonoMsg {
                 w.put_u64(*frontier);
                 values.encode(w);
             }
+            MonoMsg::SnapshotTransfer {
+                last_included,
+                digest,
+                total,
+                offset,
+                chunk,
+                frontier,
+            } => {
+                w.put_u8(TAG_SNAPSHOT_TRANSFER);
+                w.put_u64(*last_included);
+                w.put_u64(*digest);
+                w.put_u32(*total);
+                w.put_u32(*offset);
+                w.put_u64(*frontier);
+                chunk.encode(w);
+            }
+            MonoMsg::SnapshotPull {
+                last_included,
+                offset,
+            } => {
+                w.put_u8(TAG_SNAPSHOT_PULL);
+                w.put_u64(*last_included);
+                w.put_u32(*offset);
+            }
         }
     }
 
@@ -264,6 +319,18 @@ impl Wire for MonoMsg {
                 from: r.get_u64()?,
                 frontier: r.get_u64()?,
                 values: Vec::<Batch>::decode(r)?,
+            }),
+            TAG_SNAPSHOT_TRANSFER => Ok(MonoMsg::SnapshotTransfer {
+                last_included: r.get_u64()?,
+                digest: r.get_u64()?,
+                total: r.get_u32()?,
+                offset: r.get_u32()?,
+                frontier: r.get_u64()?,
+                chunk: Bytes::decode(r)?,
+            }),
+            TAG_SNAPSHOT_PULL => Ok(MonoMsg::SnapshotPull {
+                last_included: r.get_u64()?,
+                offset: r.get_u32()?,
             }),
             t => Err(WireError::InvalidTag(t)),
         }
@@ -378,6 +445,18 @@ mod tests {
                 from: 0,
                 values: vec![batch(), Batch::empty()],
                 frontier: 9,
+            },
+            MonoMsg::SnapshotTransfer {
+                last_included: 63,
+                digest: 0xFEED_F00D,
+                total: 9000,
+                offset: 8192,
+                chunk: Bytes::from_static(b"chunk"),
+                frontier: 99,
+            },
+            MonoMsg::SnapshotPull {
+                last_included: 63,
+                offset: 8192,
             },
         ];
         for v in variants {

@@ -32,10 +32,12 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use bytes::Bytes;
 use fortika_fd::{FailureDetector, FdEvent};
 use fortika_net::flow::FlowWindow;
+use fortika_net::snapshot::{chunk_of, stamp_of};
 use fortika_net::wire::{decode, encode};
 use fortika_net::{
-    Admission, AppMsg, AppRequest, Batch, MsgId, Node, NodeCtx, PeerRateLimiter, ProcessId,
-    StableStore, TimerId, WatermarkSet,
+    Admission, AppMsg, AppRequest, AppState, Batch, ChunkOutcome, MsgId, Node, NodeCtx,
+    PeerRateLimiter, ProcessId, Snapshot, SnapshotDownload, SnapshotFold, StableStore, TimerId,
+    WatermarkSet,
 };
 use fortika_sim::{VDur, VTime};
 
@@ -48,6 +50,8 @@ const TAG_SWEEP: u64 = 2;
 const STABLE_VOTE_TAG: u64 = 0x11 << 56;
 /// Stable-store key of the contiguous decided watermark.
 const STABLE_WATERMARK_KEY: u64 = 0x12 << 56;
+/// Stable-store key of the latest log-compaction snapshot.
+const STABLE_SNAPSHOT_KEY: u64 = 0x13 << 56;
 
 /// Stable-store key of `instance`'s vote record.
 fn vote_key(instance: u64) -> u64 {
@@ -59,6 +63,8 @@ fn vote_key(instance: u64) -> u64 {
 const MAX_TRANSFER: u64 = 16;
 /// Minimum spacing of rejoin re-announcements.
 const JOIN_RETRY: VDur = VDur::millis(300);
+/// Minimum spacing of snapshot offers toward one lagging peer.
+const OFFER_SPACING: VDur = VDur::millis(50);
 
 /// Which of the three cross-module optimizations are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +121,12 @@ pub struct MonoConfig {
     pub idle_timeout: VDur,
     /// Decision cache depth for recovery requests.
     pub decision_cache: usize,
+    /// Fold the applied prefix into a log-compaction snapshot every
+    /// this many instances (also whenever the decision cache would
+    /// otherwise evict an uncompacted decision). `0` disables
+    /// snapshotting — then a joiner whose gap was evicted everywhere
+    /// stalls forever (`mono.join_unservable`).
+    pub snapshot_interval: u64,
 }
 
 impl Default for MonoConfig {
@@ -126,6 +138,7 @@ impl Default for MonoConfig {
             sweep_interval: VDur::millis(250),
             idle_timeout: VDur::secs(1),
             decision_cache: 1024,
+            snapshot_interval: 256,
         }
     }
 }
@@ -202,6 +215,21 @@ pub struct MonoNode {
     rejoin_target: u64,
     /// When the last rejoin announcement went out.
     last_join: VTime,
+    /// Deterministic fold of the contiguous applied prefix (feeds
+    /// snapshots; mirrors the delivery path's dedup exactly).
+    fold: SnapshotFold,
+    /// Latest materialized or installed snapshot, plus its cached
+    /// encoding for chunked serving.
+    snapshot: Option<Snapshot>,
+    snapshot_bytes: Bytes,
+    /// In-progress snapshot download (receiver side).
+    download: SnapshotDownload,
+    /// Rate limiter for snapshot offers toward lagging peers (a batch
+    /// of gap requests needs one offer, not eight).
+    offer_limiter: PeerRateLimiter,
+    /// Snapshot recovered from stable storage (restart only); installed
+    /// in `on_start`, where a handler context is available.
+    restored: Option<Snapshot>,
 }
 
 impl MonoNode {
@@ -231,15 +259,30 @@ impl MonoNode {
             rejoining: false,
             rejoin_target: 0,
             last_join: VTime::ZERO,
+            fold: SnapshotFold::new(None),
+            snapshot: None,
+            snapshot_bytes: Bytes::new(),
+            download: SnapshotDownload::default(),
+            offer_limiter: PeerRateLimiter::new(),
+            restored: None,
         }
     }
 
+    /// Attaches an application-state hook to the snapshot fold (call
+    /// right after [`new`](Self::new)/[`resume`](Self::resume), before
+    /// the node processes anything).
+    pub fn with_app(mut self, app: Option<Box<dyn AppState>>) -> Self {
+        self.fold = SnapshotFold::new(app);
+        self
+    }
+
     /// Creates a node for a process revived after a crash: replays the
-    /// persisted vote records and decided watermark out of `stable`
-    /// (CT-safety state, see [`VoteRecord`]) and arms the rejoin
-    /// announcement; everything else — the decided prefix, delivery
-    /// logs, the pool — is rebuilt from peers via
-    /// [`MonoMsg::JoinRequest`] / [`MonoMsg::StateTransfer`].
+    /// persisted vote records, decided watermark and log-compaction
+    /// snapshot out of `stable` (CT-safety state, see [`VoteRecord`])
+    /// and arms the rejoin announcement; everything else — the decided
+    /// tail, delivery logs, the pool — is rebuilt from peers via
+    /// [`MonoMsg::JoinRequest`] / [`MonoMsg::StateTransfer`] /
+    /// [`MonoMsg::SnapshotTransfer`].
     pub fn resume(cfg: MonoConfig, fd: Box<dyn FailureDetector>, stable: &StableStore) -> Self {
         let mut node = MonoNode::new(cfg, fd);
         node.rejoining = true;
@@ -247,6 +290,10 @@ impl MonoNode {
             if key == STABLE_WATERMARK_KEY {
                 if let Ok(w) = decode::<u64>(bytes.clone()) {
                     node.decided_log.advance_to(w);
+                }
+            } else if key == STABLE_SNAPSHOT_KEY {
+                if let Ok(snap) = decode::<Snapshot>(bytes.clone()) {
+                    node.restored = Some(snap);
                 }
             } else if key >> 56 == STABLE_VOTE_TAG >> 56 {
                 if let Ok(rec) = decode::<VoteRecord>(bytes.clone()) {
@@ -565,20 +612,77 @@ impl MonoNode {
         self.replayed.complete(instance);
         let fence_before = self.decided_log.watermark();
         self.decided_log.complete(instance);
+        self.persist_fence(ctx, fence_before);
+        self.decisions.insert(instance, value.clone());
+        self.fold.absorb(instance, &value);
+        self.maybe_compact(ctx);
+        if self.cfg.snapshot_interval == 0 {
+            // No snapshots: bound the cache by blind eviction (the
+            // pre-compaction behaviour — evicted prefixes become
+            // unservable to joiners).
+            while self.decisions.len() > self.cfg.decision_cache {
+                self.decisions.pop_first();
+            }
+        }
+        self.decision_buffer.insert(instance, value);
+    }
+
+    /// Persists the voting fence if it advanced past `fence_before` and
+    /// garbage-collects the vote records the advance makes obsolete.
+    fn persist_fence(&mut self, ctx: &mut NodeCtx<'_>, fence_before: u64) {
         let fence_after = self.decided_log.watermark();
         if fence_after > fence_before {
-            // The voting fence advanced: persist it and garbage-collect
-            // the vote records it makes obsolete.
             ctx.persist(STABLE_WATERMARK_KEY, encode(&fence_after));
             for k in fence_before..fence_after {
                 ctx.unpersist(vote_key(k));
             }
         }
-        self.decisions.insert(instance, value.clone());
-        while self.decisions.len() > self.cfg.decision_cache {
-            self.decisions.pop_first();
+    }
+
+    /// Materializes a snapshot when the fold ran `snapshot_interval`
+    /// instances past the previous one — or early, whenever the decision
+    /// cache would otherwise have to evict an uncompacted decision
+    /// (compaction replaces eviction, so every instance a joiner may
+    /// miss is servable from either the log tail or the snapshot).
+    fn maybe_compact(&mut self, ctx: &mut NodeCtx<'_>) {
+        let interval = self.cfg.snapshot_interval;
+        if interval == 0 {
+            return;
         }
-        self.decision_buffer.insert(instance, value);
+        let folded = self.fold.next_instance();
+        let base = self.snapshot.as_ref().map_or(0, |s| s.last_included + 1);
+        let overflow = self.decisions.len() > self.cfg.decision_cache;
+        if folded < base + interval && !(overflow && folded > base) {
+            return;
+        }
+        let Some(snap) = self.fold.snapshot() else {
+            return;
+        };
+        ctx.bump("mono.snapshots", 1);
+        self.set_snapshot(ctx, snap, false);
+    }
+
+    /// Adopts `snap` as this node's serving snapshot: persists it,
+    /// evicts the oldest *compacted* decisions down to the cache bound,
+    /// and reports the stamp to the harness.
+    fn set_snapshot(&mut self, ctx: &mut NodeCtx<'_>, snap: Snapshot, installed: bool) {
+        let bytes = encode(&snap);
+        ctx.persist(STABLE_SNAPSHOT_KEY, bytes.clone());
+        // Only snapshot-covered entries are evicted, and only while the
+        // cache overflows — the recent log tail stays as deep as
+        // `decision_cache` allows, so small gaps are still served as
+        // cheap replies and the snapshot path covers the deep ones.
+        while self.decisions.len() > self.cfg.decision_cache {
+            match self.decisions.first_key_value() {
+                Some((&k, _)) if k <= snap.last_included => {
+                    self.decisions.pop_first();
+                }
+                _ => break, // uncompacted entries are never dropped
+            }
+        }
+        ctx.note_snapshot(stamp_of(&snap, installed));
+        self.snapshot_bytes = bytes;
+        self.snapshot = Some(snap);
     }
 
     fn apply_decisions(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -1077,19 +1181,24 @@ impl MonoNode {
         );
     }
 
-    /// Serves a peer's rejoin announcement with a bulk prefix of decided
-    /// values (consecutive from `watermark`, bounded, stop at the first
-    /// value this node no longer caches).
+    /// Serves a peer's rejoin announcement. A gap the decision log
+    /// still covers is served as a bulk [`MonoMsg::StateTransfer`] of
+    /// decided values; a gap whose head was compacted away falls back
+    /// to a chunked [`MonoMsg::SnapshotTransfer`] — the log there is
+    /// gone, the snapshot replaces it.
     ///
-    /// Known limit: once a run outgrows `decision_cache`, the evicted
+    /// With snapshotting disabled (`snapshot_interval == 0`) the old
+    /// limit applies: once a run outgrows `decision_cache`, the evicted
     /// prefix is unservable and a joiner advertising instance 0 stalls
-    /// (`mono.join_unservable` counts this); serving arbitrarily old
-    /// prefixes needs snapshots — a ROADMAP direction.
+    /// (`mono.join_unservable` counts this).
     fn serve_join(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, watermark: u64) {
         let frontier = self.replayed.watermark();
         if frontier <= watermark {
             return;
         }
+        // The cheap path first: while the decision log still covers the
+        // head of the gap, a bulk value transfer beats re-shipping the
+        // whole snapshot (the log tail stays `decision_cache` deep).
         let mut values = Vec::new();
         for instance in watermark..frontier.min(watermark + MAX_TRANSFER) {
             match self.decisions.get(&instance) {
@@ -1097,19 +1206,151 @@ impl MonoNode {
                 None => break, // evicted: cannot serve a gapless prefix
             }
         }
-        if values.is_empty() {
-            // Not silent: a joiner below our eviction horizon cannot be
-            // helped by this node.
-            ctx.bump("mono.join_unservable", 1);
+        if !values.is_empty() {
+            ctx.bump("mono.state_transfers", 1);
+            let msg = MonoMsg::StateTransfer {
+                from: watermark,
+                values,
+                frontier,
+            };
+            self.send(ctx, from, "mono.state_transfer", &msg);
             return;
         }
-        ctx.bump("mono.state_transfers", 1);
-        let msg = MonoMsg::StateTransfer {
-            from: watermark,
-            values,
-            frontier,
+        if self
+            .snapshot
+            .as_ref()
+            .is_some_and(|s| watermark <= s.last_included)
+        {
+            // The gap begins inside the compacted prefix: ship the
+            // snapshot (first chunk; the joiner pulls the rest at
+            // round-trip pace), then it rejoins the log at
+            // `last_included + 1`.
+            self.serve_snapshot_chunk(ctx, from, 0);
+            return;
+        }
+        // Not silent: a joiner below our eviction horizon cannot be
+        // helped by this node (only possible with snapshots disabled,
+        // or for a gap above the snapshot with a hole in the local log).
+        ctx.bump("mono.join_unservable", 1);
+    }
+
+    /// Sends one chunk of the serving snapshot to `from`.
+    fn serve_snapshot_chunk(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, offset: u32) {
+        let Some(snap) = &self.snapshot else {
+            return;
         };
-        self.send(ctx, from, "mono.state_transfer", &msg);
+        let Some((total, chunk)) = chunk_of(&self.snapshot_bytes, offset) else {
+            return;
+        };
+        ctx.bump("mono.snapshot_transfers", 1);
+        let msg = MonoMsg::SnapshotTransfer {
+            last_included: snap.last_included,
+            digest: snap.digest,
+            total,
+            offset,
+            chunk,
+            frontier: self.replayed.watermark(),
+        };
+        self.send(ctx, from, "mono.snapshot_transfer", &msg);
+    }
+
+    /// Receiver side: absorbs one snapshot chunk through the shared
+    /// download state machine, pulling the next at round-trip pace; a
+    /// completed download is installed and chased with a `JoinRequest`
+    /// for the remaining log tail.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_snapshot_chunk(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: ProcessId,
+        last_included: u64,
+        digest: u64,
+        total: u32,
+        offset: u32,
+        chunk: Bytes,
+        frontier: u64,
+    ) {
+        self.rejoin_target = self.rejoin_target.max(frontier);
+        self.highest_seen_instance = self.highest_seen_instance.max(frontier);
+        let now = ctx.now();
+        let already_past = self.fold.next_instance() > last_included;
+        match self.download.absorb(
+            from,
+            last_included,
+            digest,
+            total,
+            offset,
+            &chunk,
+            now,
+            JOIN_RETRY,
+            already_past,
+        ) {
+            ChunkOutcome::Pull(offset) => {
+                ctx.bump("mono.snapshot_pulls", 1);
+                let msg = MonoMsg::SnapshotPull {
+                    last_included,
+                    offset,
+                };
+                self.send(ctx, from, "mono.snapshot_pull", &msg);
+            }
+            ChunkOutcome::Complete(snap) => {
+                self.install_snapshot(ctx, *snap);
+                // Chained tail catch-up from the serving peer.
+                self.last_join = now;
+                let wm = self.replayed.watermark();
+                self.send(
+                    ctx,
+                    from,
+                    "mono.join_request",
+                    &MonoMsg::JoinRequest { watermark: wm },
+                );
+            }
+            ChunkOutcome::Ignored => {}
+            ChunkOutcome::Corrupt => ctx.bump("mono.snapshot_garbage", 1),
+        }
+    }
+
+    /// Installs a snapshot: fast-forwards the fold, delivery dedup,
+    /// apply cursor and voting fence to `last_included + 1`, drops state
+    /// the snapshot made moot, and adopts it for serving.
+    fn install_snapshot(&mut self, ctx: &mut NodeCtx<'_>, snap: Snapshot) {
+        if !self.fold.install(&snap) {
+            return; // does not extend past what we already applied
+        }
+        let next = snap.last_included + 1;
+        self.replayed.advance_to(next);
+        let fence_before = self.decided_log.watermark();
+        self.decided_log.advance_to(next);
+        self.persist_fence(ctx, fence_before);
+        if next > self.next_decide {
+            self.next_decide = next;
+        }
+        // Seed duplicate suppression with the compacted prefix's
+        // delivered sets: compacted messages must never re-deliver.
+        for s in &snap.delivered {
+            let log = self.delivered.entry(s.sender).or_default();
+            log.advance_to(s.watermark);
+            for &seq in &s.above {
+                log.complete(seq);
+            }
+        }
+        self.decision_buffer = self.decision_buffer.split_off(&next);
+        self.instances = self.instances.split_off(&next);
+        self.recovered_votes = self.recovered_votes.split_off(&next);
+        self.highest_seen_instance = self.highest_seen_instance.max(snap.last_included);
+        // Messages the snapshot already delivered leave the pool; own
+        // messages among them release their flow-control slots.
+        let fold = &self.fold;
+        self.pool.retain(|id, _| !fold.is_delivered(*id));
+        let own_before = self.own_pending.len();
+        self.own_pending.retain(|id, _| !fold.is_delivered(*id));
+        if self.flow.release(own_before - self.own_pending.len()) {
+            ctx.app_ready();
+        }
+        ctx.bump("mono.snapshots_installed", 1);
+        self.set_snapshot(ctx, snap, true);
+        // Buffered decisions past the snapshot may be contiguous now.
+        self.apply_decisions(ctx);
     }
 
     /// Absorbs a bulk state transfer, then keeps pulling from the same
@@ -1158,9 +1399,12 @@ impl MonoNode {
         if self.rejoining {
             let caught_up = self.replayed.watermark() >= self.decided_log.watermark()
                 && self.replayed.watermark() >= self.rejoin_target;
+            // A healthy snapshot download is progress too: do not spam
+            // re-announcements (and competing offers) while it runs.
+            let downloading = self.download.in_progress(now, JOIN_RETRY);
             if caught_up {
                 self.rejoining = false;
-            } else if now.since(self.last_join) >= JOIN_RETRY {
+            } else if now.since(self.last_join) >= JOIN_RETRY && !downloading {
                 self.announce_join(ctx);
             }
         }
@@ -1200,8 +1444,13 @@ fn fortika_relay_set(origin: ProcessId, n: usize) -> impl Iterator<Item = Proces
 impl Node for MonoNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         if self.rejoining {
-            // Revived process: advertise "I am at instance 0" and let
-            // peers stream the decided prefix back.
+            // Revived process: restore the persisted snapshot first (the
+            // compacted prefix needs no replay), then advertise the
+            // applied frontier — instance 0 without a snapshot — and let
+            // peers stream the missing prefix back.
+            if let Some(snap) = self.restored.take() {
+                self.install_snapshot(ctx, snap);
+            }
             self.announce_join(ctx);
         }
         if let Some(interval) = self.fd.tick_interval() {
@@ -1251,6 +1500,21 @@ impl Node for MonoNode {
                 if let Some(v) = self.decisions.get(&instance) {
                     let msg = decision_full(instance, 0, v.clone());
                     self.send(ctx, from, "mono.decision_full", &msg);
+                } else if self
+                    .snapshot
+                    .as_ref()
+                    .is_some_and(|s| instance <= s.last_included)
+                {
+                    // The requested decision was compacted away: offer
+                    // the snapshot so a *live* lagging process (a healed
+                    // partition minority — not just a restarted joiner)
+                    // can leap past the compaction horizon instead of
+                    // stalling. Rate-limited: one offer answers a whole
+                    // gap-request batch.
+                    let now = ctx.now();
+                    if self.offer_limiter.allow(from, now, OFFER_SPACING) {
+                        self.serve_snapshot_chunk(ctx, from, 0);
+                    }
                 }
             }
             MonoMsg::EstimateRequest { instance, round } => {
@@ -1292,6 +1556,42 @@ impl Node for MonoNode {
                 frontier,
             } => {
                 self.absorb_transfer(ctx, from, first, values, frontier);
+            }
+            MonoMsg::SnapshotTransfer {
+                last_included,
+                digest,
+                total,
+                offset,
+                chunk,
+                frontier,
+            } => {
+                self.absorb_snapshot_chunk(
+                    ctx,
+                    from,
+                    last_included,
+                    digest,
+                    total,
+                    offset,
+                    chunk,
+                    frontier,
+                );
+            }
+            MonoMsg::SnapshotPull {
+                last_included,
+                offset,
+            } => {
+                match &self.snapshot {
+                    // Exact match: serve the requested chunk.
+                    Some(snap) if snap.last_included == last_included => {
+                        self.serve_snapshot_chunk(ctx, from, offset);
+                    }
+                    // We compacted further since the joiner started; a
+                    // fresh offer supersedes the stale download.
+                    Some(snap) if snap.last_included > last_included => {
+                        self.serve_snapshot_chunk(ctx, from, 0);
+                    }
+                    _ => {}
+                }
             }
         }
     }

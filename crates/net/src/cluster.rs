@@ -56,6 +56,7 @@ use crate::counters::Counters;
 use crate::fault::{LinkFault, LinkState};
 use crate::id::{MsgId, ProcessId};
 use crate::message::AppMsg;
+use crate::snapshot::SnapshotStamp;
 
 /// Handle to a pending timer, local to one process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,6 +145,7 @@ pub struct NodeCtx<'a> {
     cancels: Vec<TimerId>,
     deliveries: Vec<(Delivery, VTime)>,
     persists: Vec<(u64, Option<Bytes>)>,
+    snapshots: Vec<(SnapshotStamp, VTime)>,
     app_ready: bool,
 }
 
@@ -259,6 +261,15 @@ impl NodeCtx<'_> {
         self.persists.push((key, None));
     }
 
+    /// Reports that this process materialized or installed a snapshot
+    /// (log compaction / rejoin catch-up); the harness is told via
+    /// [`Harness::on_snapshot`] once this handler completes, so
+    /// recovery-aware observers (the chaos oracle, application mirrors)
+    /// can account for the compacted prefix.
+    pub fn note_snapshot(&mut self, stamp: SnapshotStamp) {
+        self.snapshots.push((stamp, self.now()));
+    }
+
     /// Increments a free-form protocol counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
         self.counters.bump(name, by);
@@ -292,6 +303,22 @@ pub trait Harness {
     /// segment their logs by incarnation.
     fn on_restart(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, at: VTime) {
         let _ = (api, pid, at);
+    }
+
+    /// Process `pid` materialized (`stamp.installed == false`) or
+    /// installed (`true`) a log-compaction snapshot at instant `at`.
+    ///
+    /// Install stamps fire before any delivery past the compacted
+    /// prefix, so observers can realign the process's delivery log with
+    /// the common order (see `fortika_chaos::DeliveryOracle`).
+    fn on_snapshot(
+        &mut self,
+        api: &mut ClusterApi<'_>,
+        pid: ProcessId,
+        stamp: SnapshotStamp,
+        at: VTime,
+    ) {
+        let _ = (api, pid, stamp, at);
     }
 }
 
@@ -377,6 +404,7 @@ enum Notification {
     AppReady(ProcessId, VTime),
     Tick(u64, VTime),
     Restarted(ProcessId, VTime),
+    Snapshot(ProcessId, SnapshotStamp, VTime),
 }
 
 /// The simulated cluster: processes, network, clock and counters.
@@ -764,7 +792,7 @@ impl Cluster {
         let mut node = self.procs[i].node.take().expect("node re-entered");
         let inc = self.procs[i].incarnation;
 
-        let (charged, outbox, timers, cancels, deliveries, persists, app_ready) = {
+        let (charged, outbox, timers, cancels, deliveries, persists, snapshots, app_ready) = {
             let mut ctx = NodeCtx {
                 pid,
                 n: self.cfg.n,
@@ -780,6 +808,7 @@ impl Cluster {
                 cancels: Vec::new(),
                 deliveries: Vec::new(),
                 persists: Vec::new(),
+                snapshots: Vec::new(),
                 app_ready: false,
             };
             f(node.as_mut(), &mut ctx);
@@ -790,6 +819,7 @@ impl Cluster {
                 ctx.cancels,
                 ctx.deliveries,
                 ctx.persists,
+                ctx.snapshots,
                 ctx.app_ready,
             )
         };
@@ -879,6 +909,12 @@ impl Cluster {
         for id in cancels {
             self.procs[i].cancelled.insert(id.0);
         }
+        // Snapshot stamps go out before the handler's deliveries: an
+        // install always precedes the deliveries it repositions.
+        for (stamp, at) in snapshots {
+            self.pending
+                .push_back(Notification::Snapshot(pid, stamp, at));
+        }
         for (d, at) in deliveries {
             self.pending.push_back(Notification::Delivered(pid, d, at));
         }
@@ -907,6 +943,9 @@ impl Cluster {
                 Notification::AppReady(pid, at) => harness.on_app_ready(&mut api, pid, at),
                 Notification::Tick(id, at) => harness.on_tick(&mut api, id, at),
                 Notification::Restarted(pid, at) => harness.on_restart(&mut api, pid, at),
+                Notification::Snapshot(pid, stamp, at) => {
+                    harness.on_snapshot(&mut api, pid, stamp, at)
+                }
             }
         }
     }

@@ -15,6 +15,9 @@
 //! * [`fault`] — link-level fault hooks ([`LinkFault`], [`LinkSelector`]):
 //!   partitions, seeded loss, duplication and delay inflation applied at
 //!   transmission time (driven by the `fortika-chaos` scenario DSL).
+//! * [`snapshot`] — log-compaction snapshots for rejoin catch-up:
+//!   [`Snapshot`], the deterministic [`SnapshotFold`], and the
+//!   [`AppState`] application hook both protocol stacks share.
 //! * [`Counters`] — per-kind traffic accounting.
 //!
 //! # Example: two nodes ping-pong
@@ -61,6 +64,7 @@ pub mod flow;
 pub mod id;
 pub mod message;
 pub mod ratelimit;
+pub mod snapshot;
 pub mod watermark;
 pub mod wire;
 
@@ -74,4 +78,8 @@ pub use fault::{LinkFault, LinkSelector};
 pub use id::{MsgId, ProcessId};
 pub use message::{AppMsg, Batch};
 pub use ratelimit::PeerRateLimiter;
+pub use snapshot::{
+    AppState, AppStateFactory, ChunkOutcome, SenderLog, Snapshot, SnapshotDownload, SnapshotFold,
+    SnapshotStamp,
+};
 pub use watermark::WatermarkSet;

@@ -1,0 +1,569 @@
+//! Log-compaction snapshots for rejoin catch-up.
+//!
+//! Rejoin catch-up (`JoinRequest`/`StateTransfer` in both stacks) serves
+//! the decided prefix out of a bounded per-process decision cache, so a
+//! joiner whose missing prefix has been evicted *everywhere* used to
+//! stall forever (`*.join_unservable`). The fix — standard in production
+//! atomic-broadcast systems (Ring Paxos recovers replicas from
+//! checkpointed state; Chop Chop serves joiners from compacted server
+//! state) — is to fold the decided prefix into an application-state
+//! **snapshot** and serve *that* instead of the evicted log.
+//!
+//! This module holds the stack-agnostic pieces both implementations
+//! share:
+//!
+//! * [`Snapshot`] — the compacted prefix: the highest folded instance
+//!   (`last_included`), the per-sender delivered sets needed to keep
+//!   suppressing duplicates of compacted messages, an order-sensitive
+//!   digest of the delivered sequence (peers folding the same prefix
+//!   produce bit-identical snapshots — the chaos oracle audits this),
+//!   and an opaque application state blob.
+//! * [`SnapshotFold`] — the deterministic folder: absorbs decided
+//!   batches as the contiguous decided prefix grows, replicating the
+//!   delivery path's first-occurrence dedup exactly, and materializes /
+//!   installs snapshots.
+//! * [`AppState`] / [`AppStateFactory`] — the application hook: a state
+//!   machine folded forward on every delivered message, encoded into
+//!   the snapshot and restored on install (see
+//!   `examples/replicated_kv.rs` for the flagship use).
+//! * [`SnapshotStamp`] — what a process reports to the harness when it
+//!   makes or installs a snapshot (feeds the recovery-aware oracle).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::id::{MsgId, ProcessId};
+use crate::message::{AppMsg, Batch};
+use crate::watermark::WatermarkSet;
+use crate::wire::{Wire, WireError, WireReader, WireWriter};
+use fortika_sim::{VDur, VTime};
+
+/// Application state machine folded forward by snapshotting stacks.
+///
+/// Implementations must be deterministic: two replicas applying the same
+/// delivered sequence must produce byte-identical [`encode`] output,
+/// because the encoded state ships inside snapshots that the digest
+/// check expects to agree across peers.
+///
+/// [`encode`]: AppState::encode
+pub trait AppState {
+    /// Folds one delivered message into the state (called in delivery
+    /// order, exactly once per delivered message).
+    fn apply(&mut self, msg: &AppMsg);
+    /// Encodes the current state for inclusion in a snapshot.
+    fn encode(&self) -> Bytes;
+    /// Replaces the state with a decoded snapshot blob.
+    fn restore(&mut self, state: &Bytes);
+}
+
+/// Cloneable constructor of per-process [`AppState`] machines, carried
+/// inside stack configuration (each process folds its own instance).
+#[derive(Clone)]
+pub struct AppStateFactory(Rc<dyn Fn() -> Box<dyn AppState>>);
+
+impl AppStateFactory {
+    /// Wraps a constructor closure.
+    pub fn new(f: impl Fn() -> Box<dyn AppState> + 'static) -> Self {
+        AppStateFactory(Rc::new(f))
+    }
+
+    /// Builds one fresh state machine.
+    pub fn make(&self) -> Box<dyn AppState> {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for AppStateFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AppStateFactory(..)")
+    }
+}
+
+/// Per-sender delivered set inside a [`Snapshot`] (watermark plus the
+/// sparse completions above it — the wire form of [`WatermarkSet`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SenderLog {
+    /// The sender these sequence numbers belong to.
+    pub sender: ProcessId,
+    /// Every sequence number below this was delivered.
+    pub watermark: u64,
+    /// Delivered sequence numbers at or above the watermark.
+    pub above: Vec<u64>,
+}
+
+impl Wire for SenderLog {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u16(self.sender.0);
+        w.put_u64(self.watermark);
+        self.above.encode(w);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(SenderLog {
+            sender: ProcessId(r.get_u16()?),
+            watermark: r.get_u64()?,
+            above: Vec::<u64>::decode(r)?,
+        })
+    }
+}
+
+/// The compacted decided prefix of instances `0..=last_included`.
+///
+/// A snapshot is a pure function of the decided batch sequence, so every
+/// process folding the same prefix produces a byte-identical snapshot —
+/// which is what lets *any* peer serve it and lets the oracle audit
+/// agreement on [`digest`](Snapshot::digest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Highest consensus instance folded into this snapshot.
+    pub last_included: u64,
+    /// Messages delivered over instances `0..=last_included` (the
+    /// joiner's position in the common delivery order after install).
+    pub delivered_count: u64,
+    /// Order-sensitive digest of the delivered `(id, payload)` sequence.
+    pub digest: u64,
+    /// Per-sender delivered sets: the duplicate-suppression state a
+    /// joiner needs so compacted messages are never re-delivered.
+    pub delivered: Vec<SenderLog>,
+    /// Opaque application state produced by the [`AppState`] hook
+    /// (empty without one).
+    pub app_state: Bytes,
+}
+
+impl Wire for Snapshot {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.last_included);
+        w.put_u64(self.delivered_count);
+        w.put_u64(self.digest);
+        self.delivered.encode(w);
+        self.app_state.encode(w);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(Snapshot {
+            last_included: r.get_u64()?,
+            delivered_count: r.get_u64()?,
+            digest: r.get_u64()?,
+            delivered: Vec::<SenderLog>::decode(r)?,
+            app_state: Bytes::decode(r)?,
+        })
+    }
+}
+
+/// What a process reports to the harness when it materializes
+/// (`installed == false`) or installs (`installed == true`) a snapshot.
+///
+/// The recovery-aware oracle consumes these: installs mark where a
+/// revived process's delivery log resumes in the common order, and all
+/// stamps for the same `last_included` must agree on digest and count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotStamp {
+    /// Highest instance covered.
+    pub last_included: u64,
+    /// Messages delivered over the covered prefix.
+    pub delivered_count: u64,
+    /// Digest of the covered delivery sequence.
+    pub digest: u64,
+    /// True when the process *installed* this snapshot (skipping replay
+    /// of the covered prefix); false when it folded it locally.
+    pub installed: bool,
+    /// The snapshot's application state (lets harness-side application
+    /// mirrors restore themselves on install).
+    pub app_state: Bytes,
+}
+
+/// FNV-1a step over one delivered message.
+fn digest_msg(mut h: u64, msg: &AppMsg) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut step = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in msg.id.sender.0.to_le_bytes() {
+        step(b);
+    }
+    for b in msg.id.seq.to_le_bytes() {
+        step(b);
+    }
+    for &b in msg.payload.iter() {
+        step(b);
+    }
+    h
+}
+
+const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Deterministic folder of the decided prefix.
+///
+/// Absorbs decided `(instance, batch)` pairs in any order, folds the
+/// contiguous prefix in instance order, and replicates the delivery
+/// path's semantics bit for bit: within the fold, a message counts (and
+/// feeds the digest / [`AppState`]) only on its first occurrence.
+pub struct SnapshotFold {
+    /// Next instance to fold (everything below is folded).
+    next: u64,
+    /// Decided batches that arrived ahead of the contiguous frontier.
+    buffered: BTreeMap<u64, Batch>,
+    delivered: BTreeMap<ProcessId, WatermarkSet>,
+    delivered_count: u64,
+    digest: u64,
+    app: Option<Box<dyn AppState>>,
+}
+
+impl SnapshotFold {
+    /// A fresh fold at instance 0, with an optional application hook.
+    pub fn new(app: Option<Box<dyn AppState>>) -> Self {
+        SnapshotFold {
+            next: 0,
+            buffered: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            delivered_count: 0,
+            digest: DIGEST_SEED,
+            app,
+        }
+    }
+
+    /// The contiguous fold frontier: every instance below is folded.
+    pub fn next_instance(&self) -> u64 {
+        self.next
+    }
+
+    /// Messages folded so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Running digest of the folded delivery sequence.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// True if `id` was delivered within the folded prefix.
+    pub fn is_delivered(&self, id: MsgId) -> bool {
+        self.delivered
+            .get(&id.sender)
+            .is_some_and(|log| !log.is_new(id.seq))
+    }
+
+    /// Absorbs the decision of `instance`, folding forward as far as the
+    /// contiguous prefix allows.
+    pub fn absorb(&mut self, instance: u64, batch: &Batch) {
+        if instance < self.next || self.buffered.contains_key(&instance) {
+            return;
+        }
+        self.buffered.insert(instance, batch.clone());
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        while let Some(batch) = self.buffered.remove(&self.next) {
+            for msg in batch.msgs() {
+                let log = self.delivered.entry(msg.id.sender).or_default();
+                if !log.is_new(msg.id.seq) {
+                    continue; // delivered by an earlier instance
+                }
+                log.complete(msg.id.seq);
+                self.delivered_count += 1;
+                self.digest = digest_msg(self.digest, msg);
+                if let Some(app) = &mut self.app {
+                    app.apply(msg);
+                }
+            }
+            self.next += 1;
+        }
+    }
+
+    /// Materializes the fold as a snapshot covering `0..next_instance`
+    /// (`None` while nothing has been folded).
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        if self.next == 0 {
+            return None;
+        }
+        let delivered = self
+            .delivered
+            .iter()
+            .map(|(&sender, log)| SenderLog {
+                sender,
+                watermark: log.watermark(),
+                above: log.sparse().collect(),
+            })
+            .collect();
+        Some(Snapshot {
+            last_included: self.next - 1,
+            delivered_count: self.delivered_count,
+            digest: self.digest,
+            delivered,
+            app_state: self.app.as_ref().map(|a| a.encode()).unwrap_or_default(),
+        })
+    }
+
+    /// Replaces the fold with a received snapshot (rejoin catch-up).
+    /// Returns false — and leaves the fold untouched — when the snapshot
+    /// does not extend past the local fold frontier.
+    pub fn install(&mut self, snap: &Snapshot) -> bool {
+        if snap.last_included < self.next {
+            return false;
+        }
+        self.next = snap.last_included + 1;
+        self.delivered = snap
+            .delivered
+            .iter()
+            .map(|s| {
+                (
+                    s.sender,
+                    WatermarkSet::from_parts(s.watermark, s.above.iter().copied()),
+                )
+            })
+            .collect();
+        self.delivered_count = snap.delivered_count;
+        self.digest = snap.digest;
+        if let Some(app) = &mut self.app {
+            app.restore(&snap.app_state);
+        }
+        // Drop covered buffers, then keep folding past the snapshot with
+        // whatever contiguous decisions were already buffered.
+        self.buffered = self.buffered.split_off(&self.next);
+        self.drain();
+        true
+    }
+}
+
+/// Stamp for a materialized [`Snapshot`] (avoids re-encoding the app
+/// state when the snapshot is already at hand).
+pub fn stamp_of(snap: &Snapshot, installed: bool) -> SnapshotStamp {
+    SnapshotStamp {
+        last_included: snap.last_included,
+        delivered_count: snap.delivered_count,
+        digest: snap.digest,
+        installed,
+        app_state: snap.app_state.clone(),
+    }
+}
+
+/// Bytes per snapshot-transfer chunk (shared by both stacks).
+pub const SNAPSHOT_CHUNK: usize = 4096;
+
+/// The `(total, chunk)` pair for one transfer message: the slice of the
+/// encoded snapshot starting at `offset`, or `None` when the offset is
+/// out of range.
+pub fn chunk_of(encoded: &Bytes, offset: u32) -> Option<(u32, Bytes)> {
+    let total = encoded.len() as u32;
+    if offset >= total {
+        return None;
+    }
+    let end = (offset as usize + SNAPSHOT_CHUNK).min(total as usize);
+    Some((total, encoded.slice(offset as usize..end)))
+}
+
+/// What a receiver should do with an absorbed snapshot chunk.
+#[derive(Debug)]
+pub enum ChunkOutcome {
+    /// Mid-download: pull the chunk at this offset from the serving
+    /// peer.
+    Pull(u32),
+    /// Download complete and verified: install this snapshot.
+    Complete(Box<Snapshot>),
+    /// Chunk ignored (stale offer, foreign peer, duplicate, reorder).
+    Ignored,
+    /// A completed download failed to decode or contradicted its
+    /// header — discard and let the retry path start over.
+    Corrupt,
+}
+
+/// Joiner-side reassembly of a chunked snapshot download — the state
+/// machine both stacks share: one in-flight download bound to a single
+/// serving peer, superseded only by a strictly newer snapshot or after
+/// stalling for `stale_after` (lost chunk or pull).
+#[derive(Default)]
+pub struct SnapshotDownload {
+    rx: Option<Rx>,
+}
+
+struct Rx {
+    peer: ProcessId,
+    last_included: u64,
+    digest: u64,
+    total: u32,
+    buf: Vec<u8>,
+    last_activity: VTime,
+}
+
+impl SnapshotDownload {
+    /// True while a download is making progress (received a chunk less
+    /// than `stale_after` ago) — used to suppress competing rejoin
+    /// announcements.
+    pub fn in_progress(&self, now: VTime, stale_after: VDur) -> bool {
+        self.rx
+            .as_ref()
+            .is_some_and(|rx| now.since(rx.last_activity) < stale_after)
+    }
+
+    /// Absorbs one chunk. `already_past` tells the download that the
+    /// local fold has moved beyond the offered snapshot (stale offers
+    /// are dropped without touching an in-flight download).
+    #[allow(clippy::too_many_arguments)]
+    pub fn absorb(
+        &mut self,
+        from: ProcessId,
+        last_included: u64,
+        digest: u64,
+        total: u32,
+        offset: u32,
+        chunk: &Bytes,
+        now: VTime,
+        stale_after: VDur,
+        already_past: bool,
+    ) -> ChunkOutcome {
+        if already_past {
+            return ChunkOutcome::Ignored;
+        }
+        let start_new = match &self.rx {
+            None => offset == 0,
+            // Switch downloads only for a strictly newer snapshot, or
+            // when the current one stalled.
+            Some(rx) => {
+                offset == 0
+                    && (last_included > rx.last_included
+                        || now.since(rx.last_activity) >= stale_after)
+            }
+        };
+        if start_new {
+            self.rx = Some(Rx {
+                peer: from,
+                last_included,
+                digest,
+                total,
+                buf: Vec::with_capacity(total as usize),
+                last_activity: now,
+            });
+        }
+        let Some(rx) = &mut self.rx else {
+            return ChunkOutcome::Ignored;
+        };
+        if rx.peer != from
+            || rx.last_included != last_included
+            || rx.digest != digest
+            || rx.total != total
+            || offset as usize != rx.buf.len()
+        {
+            return ChunkOutcome::Ignored; // duplicate, reordered or foreign
+        }
+        rx.buf.extend_from_slice(chunk);
+        rx.last_activity = now;
+        if (rx.buf.len() as u32) < rx.total {
+            return ChunkOutcome::Pull(rx.buf.len() as u32);
+        }
+        let buf = self.rx.take().expect("download in progress").buf;
+        match crate::wire::decode::<Snapshot>(Bytes::from(buf)) {
+            Ok(snap) if snap.digest == digest && snap.last_included == last_included => {
+                ChunkOutcome::Complete(Box::new(snap))
+            }
+            _ => ChunkOutcome::Corrupt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode, encode};
+
+    fn msg(sender: u16, seq: u64, body: &[u8]) -> AppMsg {
+        AppMsg::new(
+            MsgId::new(ProcessId(sender), seq),
+            Bytes::from(body.to_vec()),
+        )
+    }
+
+    #[test]
+    fn fold_is_order_insensitive_in_absorption_but_folds_in_order() {
+        let batches = [
+            Batch::normalize(vec![msg(0, 0, b"a")]),
+            Batch::normalize(vec![msg(1, 0, b"b")]),
+            Batch::normalize(vec![msg(0, 1, b"c")]),
+        ];
+        let mut in_order = SnapshotFold::new(None);
+        for (i, b) in batches.iter().enumerate() {
+            in_order.absorb(i as u64, b);
+        }
+        let mut shuffled = SnapshotFold::new(None);
+        shuffled.absorb(2, &batches[2]);
+        shuffled.absorb(0, &batches[0]);
+        shuffled.absorb(1, &batches[1]);
+        assert_eq!(in_order.next_instance(), 3);
+        assert_eq!(shuffled.next_instance(), 3);
+        assert_eq!(in_order.digest(), shuffled.digest());
+        assert_eq!(in_order.delivered_count(), 3);
+    }
+
+    #[test]
+    fn fold_dedups_first_occurrence_like_delivery() {
+        // The same message decided in two instances counts once.
+        let b = Batch::normalize(vec![msg(0, 0, b"x")]);
+        let mut fold = SnapshotFold::new(None);
+        fold.absorb(0, &b);
+        let digest_once = fold.digest();
+        fold.absorb(1, &b);
+        assert_eq!(fold.delivered_count(), 1);
+        assert_eq!(fold.digest(), digest_once, "duplicate must not re-fold");
+        assert!(fold.is_delivered(MsgId::new(ProcessId(0), 0)));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = msg(0, 0, b"a");
+        let b = msg(1, 0, b"b");
+        let mut ab = SnapshotFold::new(None);
+        ab.absorb(0, &Batch::normalize(vec![a.clone()]));
+        ab.absorb(1, &Batch::normalize(vec![b.clone()]));
+        let mut ba = SnapshotFold::new(None);
+        ba.absorb(0, &Batch::normalize(vec![b]));
+        ba.absorb(1, &Batch::normalize(vec![a]));
+        assert_ne!(ab.digest(), ba.digest());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_installs() {
+        let mut fold = SnapshotFold::new(None);
+        fold.absorb(0, &Batch::normalize(vec![msg(0, 0, b"a"), msg(1, 0, b"b")]));
+        fold.absorb(1, &Batch::normalize(vec![msg(0, 2, b"gap")]));
+        let snap = fold.snapshot().expect("two instances folded");
+        assert_eq!(snap.last_included, 1);
+        assert_eq!(snap.delivered_count, 3);
+        let bytes = encode(&snap);
+        let back: Snapshot = decode(bytes).unwrap();
+        assert_eq!(back, snap);
+
+        let mut joiner = SnapshotFold::new(None);
+        assert!(joiner.install(&back));
+        assert_eq!(joiner.next_instance(), 2);
+        assert_eq!(joiner.digest(), fold.digest());
+        assert!(joiner.is_delivered(MsgId::new(ProcessId(0), 2)));
+        assert!(!joiner.is_delivered(MsgId::new(ProcessId(0), 1)), "gap");
+        // A stale snapshot does not regress the fold.
+        assert!(!joiner.install(&back));
+    }
+
+    #[test]
+    fn install_continues_with_buffered_tail() {
+        let mut fold = SnapshotFold::new(None);
+        let tail = Batch::normalize(vec![msg(2, 0, b"tail")]);
+        fold.absorb(2, &tail); // ahead of the frontier: buffered
+        assert_eq!(fold.next_instance(), 0);
+        let mut donor = SnapshotFold::new(None);
+        donor.absorb(0, &Batch::normalize(vec![msg(0, 0, b"a")]));
+        donor.absorb(1, &Batch::normalize(vec![msg(1, 0, b"b")]));
+        let snap = donor.snapshot().unwrap();
+        assert!(fold.install(&snap));
+        // The buffered instance 2 folds immediately after the install.
+        assert_eq!(fold.next_instance(), 3);
+        assert_eq!(fold.delivered_count(), 3);
+    }
+
+    #[test]
+    fn empty_fold_has_no_snapshot() {
+        let fold = SnapshotFold::new(None);
+        assert!(fold.snapshot().is_none());
+    }
+}

@@ -70,6 +70,26 @@ impl WatermarkSet {
         self.watermark
     }
 
+    /// The sparse completions at or above the watermark, ascending
+    /// (snapshot encoding; see `fortika_net::Snapshot`).
+    pub fn sparse(&self) -> impl Iterator<Item = u64> + '_ {
+        self.above.iter().copied()
+    }
+
+    /// Rebuilds a set from its parts (snapshot decoding): everything
+    /// below `watermark` completed plus the sparse entries `above`,
+    /// compacting when they close the gap.
+    pub fn from_parts(watermark: u64, above: impl IntoIterator<Item = u64>) -> Self {
+        let mut set = WatermarkSet {
+            watermark,
+            above: above.into_iter().filter(|&s| s >= watermark).collect(),
+        };
+        while set.above.remove(&set.watermark) {
+            set.watermark += 1;
+        }
+        set
+    }
+
     /// Number of completed entries retained above the watermark.
     pub fn sparse_len(&self) -> usize {
         self.above.len()

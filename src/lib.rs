@@ -22,8 +22,18 @@
 //!   restart / partition-heal / lossy / delay-spike / false-suspicion
 //!   timelines, plus a seeded random generator) and the
 //!   recovery-aware delivery-invariant oracle that audits uniform
-//!   agreement, total order, integrity, validity and byte-identical
-//!   replay across process incarnations on every run.
+//!   agreement, total order, integrity, validity, byte-identical
+//!   replay across process incarnations and snapshot digest agreement
+//!   on every run.
+//!
+//! Both stacks compact their decided history: the prefix below the
+//! contiguous watermark folds into an application-state [`Snapshot`]
+//! (`fortika_net::Snapshot`), persisted per process and served to
+//! rejoining processes in chunked snapshot transfers when the log tail
+//! no longer covers their gap — so crash-recovery works under
+//! unbounded history (see `examples/replicated_kv.rs`).
+//!
+//! [`Snapshot`]: crate::net::Snapshot
 //!
 //! # Fault scenarios
 //!

@@ -193,6 +193,10 @@ fn random_restart_scenarios_preserve_safety_on_both_stacks() {
         horizon: VDur::secs(2),
         restart_prob: 1.0,
         crash_prob: 0.9,
+        // This suite is about pure crash-restart cycles; the
+        // crash-restart-crash variant is fuzzed via the default profile
+        // in `random_fault_scenarios_preserve_safety_on_both_stacks`.
+        recrash_prob: 0.0,
         ..ChaosProfile::default()
     };
     for seed in 100..112u64 {
@@ -212,6 +216,69 @@ fn random_restart_scenarios_preserve_safety_on_both_stacks() {
                 kind.label()
             );
         }
+    }
+}
+
+/// Crash-recovery depth (ROADMAP): a process restarts **while a
+/// partition is still active**. The victim is revived inside the
+/// isolated minority, so its rejoin announcements go unanswered until
+/// the network heals — after healing it must catch up with zero
+/// violations, drained equality with the common order, and
+/// deterministic replay, on both stacks.
+#[test]
+fn restart_during_active_partition_catches_up_after_heal() {
+    let scenario = || {
+        Scenario::new()
+            // {p1, p2} vs {p3} from 0.5 s to 3 s.
+            .partition(
+                vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+                VDur::millis(500),
+                VDur::secs(3),
+            )
+            // The isolated p3 dies at 1 s and is revived at 1.5 s —
+            // still partitioned away, with nobody able to serve its
+            // rejoin until the heal.
+            .crash(ProcessId(2), VDur::secs(1))
+            .restart(ProcessId(2), VDur::millis(1500))
+    };
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        let run = |seed: u64| {
+            let n = 3;
+            let cfg = ClusterConfig::new(n, seed);
+            let stack_cfg = StackConfig::default();
+            let nodes = build_nodes_with_windows(kind, n, &stack_cfg, &[]);
+            let mut cluster = Cluster::new(cfg, nodes);
+            install_restart_factory(&mut cluster, kind, &stack_cfg, &[]);
+            scenario().apply(&mut cluster);
+            let mut driver =
+                ScriptedDriver::new(n, LoadPlan::round_robin(n, 36, VDur::millis(100), 512));
+            driver.start(&mut cluster);
+            cluster.run_until(VTime::ZERO + VDur::secs(10), &mut driver);
+            assert!(cluster.alive(ProcessId(2)), "p3 should be revived");
+            assert_eq!(cluster.incarnation(ProcessId(2)), 1);
+            let correct = scenario().correct(n);
+            assert_eq!(correct.len(), n, "a restarted process is correct");
+            let report = driver
+                .oracle()
+                .check_drained(&correct, &driver.accepted_at(&correct));
+            report.assert_ok(&format!("{} restart during partition", kind.label()));
+            (driver.oracle().logs().to_vec(), report.common_order)
+        };
+        let (logs_a, common_a) = run(21);
+        let (logs_b, common_b) = run(21);
+        assert_eq!(
+            logs_a,
+            logs_b,
+            "{}: same seed must replay identically",
+            kind.label()
+        );
+        assert_eq!(common_a, common_b);
+        assert!(
+            common_a.len() >= 25,
+            "{}: the majority should keep ordering through the outage ({} delivered)",
+            kind.label(),
+            common_a.len()
+        );
     }
 }
 
