@@ -1,15 +1,36 @@
-//! Calibration probe: prints latency/throughput at a few operating
-//! points so the cost model can be tuned against the paper's shapes,
-//! and writes the same numbers as machine-readable
-//! `BENCH_modularity.json` so the bench trajectory accumulates across
-//! commits (format documented in the top-level README).
+//! Calibration probe and sweep emitter.
+//!
+//! Prints latency/throughput tables at fixed operating points so the
+//! cost model can be tuned against the paper's shapes, and writes four
+//! machine-readable trajectory files meant to be committed so
+//! performance history accumulates (formats documented in the
+//! top-level README, "Benchmarks"):
+//!
+//! * `BENCH_modularity.json` — the good-run modularity sweep;
+//! * `BENCH_degraded.json` — the same comparison under *resource*
+//!   faults (degraded links, slow nodes), oracle-audited;
+//! * `BENCH_stable_write.json` — the durability sweep: synchronous
+//!   stable-write cost from free to 2 ms per persist;
+//! * `BENCH_snapshot_cadence.json` — snapshot cadence × load with
+//!   non-zero snapshot encode/install pricing.
+//!
+//! `--quick` trims every sweep to a smoke-sized operating set (CI runs
+//! this) and writes it under `target/bench-quick/` so the committed
+//! full-resolution files are never clobbered. In either mode the probe
+//! re-reads every file it wrote — and in quick mode also the four
+//! *committed* files — and fails (exit 1) unless the JSON parses,
+//! covers both stacks, and (for committed files) keeps at least 8
+//! operating points, so the committed bench files cannot silently rot.
 
 use std::fmt::Write as _;
 
+use fortika_bench::json;
 use fortika_core::workload::Workload;
-use fortika_core::{Experiment, RunReport, StackKind};
+use fortika_core::{Experiment, RunReport, Scenario, StackConfig, StackKind};
+use fortika_net::{CostModel, LinkSelector, ProcessId};
+use fortika_sim::VDur;
 
-/// The probed operating points: `(n, offered load msgs/s, payload bytes)`.
+/// The modularity operating points: `(n, offered load msgs/s, payload bytes)`.
 const POINTS: &[(usize, f64, usize)] = &[
     (3, 250.0, 16384),
     (3, 500.0, 16384),
@@ -24,14 +45,45 @@ const POINTS: &[(usize, f64, usize)] = &[
     (7, 2000.0, 32768),
 ];
 
-/// One JSON record of the probe output.
-fn json_point(out: &mut String, r: &RunReport) {
+/// Trimmed modularity set for `--quick` (still both group sizes).
+const POINTS_QUICK: &[(usize, f64, usize)] = &[(3, 1000.0, 16384), (7, 2000.0, 1024)];
+
+/// Resource-fault configurations for the degraded sweep:
+/// `(label, slow_factor_milli on p0, degrade rate_milli on all links)`.
+const FAULTS: &[(&str, u64, u64)] = &[
+    ("slow_node", 4000, 1000),
+    ("degraded_link", 1000, 250),
+    ("slow+degraded", 2500, 500),
+];
+
+/// Base operating points for the degraded sweep.
+const DEGRADED_POINTS: &[(usize, f64, usize)] = &[
+    (3, 1000.0, 16384),
+    (3, 2000.0, 16384),
+    (7, 2000.0, 16384),
+    (3, 2000.0, 1024),
+];
+const DEGRADED_POINTS_QUICK: &[(usize, f64, usize)] = &[(3, 2000.0, 16384)];
+
+/// Stable-write costs swept, in microseconds per persisted record.
+const STABLE_US: &[u64] = &[0, 50, 200, 500, 1000, 2000];
+const STABLE_US_QUICK: &[u64] = &[0, 500];
+
+/// Snapshot cadences swept (instances between snapshots) × loads.
+const CADENCES: &[u64] = &[32, 128, 512, 1024];
+const CADENCES_QUICK: &[u64] = &[32, 512];
+const CADENCE_LOADS: &[f64] = &[500.0, 2000.0];
+const CADENCE_LOADS_QUICK: &[f64] = &[500.0];
+
+/// The common fields of one JSON record (shared by all four sweeps);
+/// `extra` appends sweep-specific fields.
+fn json_point(out: &mut String, r: &RunReport, extra: &str) {
     let _ = write!(
         out,
         "    {{\"stack\": \"{}\", \"n\": {}, \"offered_load\": {}, \"msg_size\": {}, \
          \"latency_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}}}, \
          \"throughput_msgs_per_sec\": {:.2}, \"batch_m\": {:.3}, \"max_cpu_utilization\": {:.4}, \
-         \"msgs_per_instance\": {:.3}, \"bytes_per_instance\": {:.1}}}",
+         \"msgs_per_instance\": {:.3}, \"bytes_per_instance\": {:.1}{}}}",
         r.kind.label(),
         r.n,
         r.offered_load,
@@ -45,16 +97,120 @@ fn json_point(out: &mut String, r: &RunReport) {
         r.max_cpu_utilization,
         r.msgs_per_instance,
         r.bytes_per_instance,
+        extra,
     );
 }
 
-fn main() {
-    println!(
-        "{:>10} {:>3} {:>6} {:>7} | {:>9} {:>9} {:>7} {:>6} {:>8} {:>9}",
-        "stack", "n", "load", "size", "lat(ms)", "thr", "M", "cpu", "msg/inst", "KB/inst"
+/// The four committed trajectory files (and their quick-mode
+/// basenames under [`QUICK_DIR`]).
+const BENCH_FILES: [&str; 4] = [
+    "BENCH_modularity.json",
+    "BENCH_degraded.json",
+    "BENCH_stable_write.json",
+    "BENCH_snapshot_cadence.json",
+];
+
+/// Where `--quick` writes its smoke output, so it never clobbers the
+/// committed full-resolution sweeps in the repo root.
+const QUICK_DIR: &str = "target/bench-quick";
+
+/// Every committed sweep must keep at least this many operating points
+/// (the acceptance bar; quick smoke output is exempt).
+const MIN_COMMITTED_POINTS: usize = 8;
+
+/// The output path for `file`: the repo root in full mode, the
+/// throwaway [`QUICK_DIR`] in quick mode.
+fn bench_path(file: &str, quick: bool) -> String {
+    if quick {
+        format!("{QUICK_DIR}/{file}")
+    } else {
+        file.to_string()
+    }
+}
+
+/// Wraps records in the common envelope and writes `file` (placed per
+/// [`bench_path`]), then re-reads and verifies it (JSON parses, both
+/// stacks; full mode additionally enforces the committed point floor).
+fn write_bench(file: &str, quick: bool, benchmark: &str, records: &[String]) -> Result<(), String> {
+    let path = bench_path(file, quick);
+    if quick {
+        std::fs::create_dir_all(QUICK_DIR).map_err(|e| format!("mkdir {QUICK_DIR}: {e}"))?;
+    }
+    let mut doc = String::new();
+    let _ = write!(
+        doc,
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"seed\": 7,\n  \
+         \"units\": {{\"latency\": \"ms\", \"throughput\": \"msgs/s\"}},\n  \"points\": [\n"
     );
+    for (i, r) in records.iter().enumerate() {
+        doc.push_str(r);
+        doc.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("  ]\n}\n");
+    std::fs::write(&path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+    verify_bench(&path, if quick { 1 } else { MIN_COMMITTED_POINTS })?;
+    println!("wrote {path} ({} operating points)", records.len());
+    Ok(())
+}
+
+/// Asserts that a bench file parses, holds at least `min_points`
+/// operating points, and covers both stacks.
+fn verify_bench(path: &str, min_points: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let points = doc
+        .get("points")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| format!("{path}: no points array"))?;
+    if points.len() < min_points {
+        return Err(format!(
+            "{path}: {} operating points, need at least {min_points}",
+            points.len()
+        ));
+    }
+    for want in ["modular", "monolithic"] {
+        if !points
+            .iter()
+            .any(|p| p.get("stack").and_then(json::Value::as_str) == Some(want))
+        {
+            return Err(format!("{path}: no {want} points"));
+        }
+    }
+    Ok(())
+}
+
+fn print_run_row(label: &str, r: &RunReport) {
+    println!(
+        "{:>14} {:>10} {:>3} {:>6.0} {:>7} | {:>9.3} {:>9.1} {:>7.2} {:>6.2} {:>8.2} {:>9.1}",
+        label,
+        r.kind.label(),
+        r.n,
+        r.offered_load,
+        r.msg_size,
+        r.early_latency_ms.mean,
+        r.throughput_msgs_per_sec,
+        r.avg_batch_m,
+        r.max_cpu_utilization,
+        r.msgs_per_instance,
+        r.bytes_per_instance / 1024.0
+    );
+}
+
+fn print_header(title: &str) {
+    println!();
+    println!("## {title}");
+    println!(
+        "{:>14} {:>10} {:>3} {:>6} {:>7} | {:>9} {:>9} {:>7} {:>6} {:>8} {:>9}",
+        "point", "stack", "n", "load", "size", "lat(ms)", "thr", "M", "cpu", "msg/inst", "KB/inst"
+    );
+}
+
+/// Sweep 1: the good-run modularity comparison (`BENCH_modularity.json`).
+fn sweep_modularity(quick: bool) -> Result<(), String> {
+    print_header("modularity (good runs)");
+    let points = if quick { POINTS_QUICK } else { POINTS };
     let mut records = Vec::new();
-    for &(n, load, size) in POINTS {
+    for &(n, load, size) in points {
         for kind in [StackKind::Monolithic, StackKind::Modular] {
             let mut exp = Experiment::builder(kind, n)
                 .workload(Workload::constant_rate(load, size))
@@ -63,36 +219,206 @@ fn main() {
                 .seed(7)
                 .build();
             let r = exp.run();
-            println!(
-                "{:>10} {:>3} {:>6.0} {:>7} | {:>9.3} {:>9.1} {:>7.2} {:>6.2} {:>8.2} {:>9.1}",
-                kind.label(),
-                n,
-                load,
-                size,
-                r.early_latency_ms.mean,
-                r.throughput_msgs_per_sec,
-                r.avg_batch_m,
-                r.max_cpu_utilization,
-                r.msgs_per_instance,
-                r.bytes_per_instance / 1024.0
-            );
-            records.push(r);
+            print_run_row("good", &r);
+            let mut rec = String::new();
+            json_point(&mut rec, &r, "");
+            records.push(rec);
         }
     }
+    write_bench("BENCH_modularity.json", quick, "modularity_cost", &records)
+}
 
-    // Machine-readable trajectory point (see README "Bench trajectory").
-    let mut json = String::new();
-    json.push_str("{\n  \"benchmark\": \"modularity_cost\",\n  \"seed\": 7,\n");
-    json.push_str("  \"units\": {\"latency\": \"ms\", \"throughput\": \"msgs/s\"},\n");
-    json.push_str("  \"points\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        json_point(&mut json, r);
-        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+/// Sweep 2: the same comparison under resource faults — a slow node
+/// and/or degraded links covering the whole measurement window
+/// (`BENCH_degraded.json`). Every run is oracle-audited; the recorded
+/// `oracle_violations` must stay 0.
+fn sweep_degraded(quick: bool) -> Result<(), String> {
+    print_header("modularity under resource faults");
+    let points = if quick {
+        DEGRADED_POINTS_QUICK
+    } else {
+        DEGRADED_POINTS
+    };
+    let from = VDur::millis(1000);
+    let until = VDur::millis(3000); // warm-up 1 s + measure 2 s
+    let mut records = Vec::new();
+    for &(n, load, size) in points {
+        for &(label, slow, rate) in FAULTS {
+            for kind in [StackKind::Monolithic, StackKind::Modular] {
+                let mut scenario = Scenario::new();
+                if slow > 1000 {
+                    scenario = scenario.slow_node(ProcessId(0), slow, from, until);
+                }
+                if rate < 1000 {
+                    scenario = scenario.degrade_link(LinkSelector::All, rate, from, until);
+                }
+                let mut exp = Experiment::builder(kind, n)
+                    .workload(Workload::constant_rate(load, size))
+                    .warmup_secs(1.0)
+                    .measure_secs(2.0)
+                    .seed(7)
+                    .scenario(scenario)
+                    .build();
+                let r = exp.run();
+                print_run_row(label, &r);
+                let violations = r.oracle.as_ref().map_or(0, |o| o.violations.len());
+                if violations > 0 {
+                    return Err(format!(
+                        "degraded sweep {label} ({} n={n} load={load}): {violations} oracle violations",
+                        kind.label()
+                    ));
+                }
+                let extra = format!(
+                    ", \"fault\": \"{label}\", \"slow_factor_milli\": {slow}, \
+                     \"degrade_rate_milli\": {rate}, \"oracle_violations\": {violations}"
+                );
+                let mut rec = String::new();
+                json_point(&mut rec, &r, &extra);
+                records.push(rec);
+            }
+        }
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_modularity.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path} ({} operating points)", records.len()),
-        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    write_bench(
+        "BENCH_degraded.json",
+        quick,
+        "modularity_under_degradation",
+        &records,
+    )
+}
+
+/// Sweep 3: stable-write cost from free to a 2 ms synchronous barrier
+/// per persisted record (`BENCH_stable_write.json`).
+fn sweep_stable_write(quick: bool) -> Result<(), String> {
+    print_header("stable-write cost");
+    let costs = if quick { STABLE_US_QUICK } else { STABLE_US };
+    let (n, load, size) = (3usize, 1000.0, 1024usize);
+    let mut records = Vec::new();
+    for &us in costs {
+        for kind in [StackKind::Monolithic, StackKind::Modular] {
+            let cost = CostModel {
+                stable_write: VDur::micros(us),
+                ..CostModel::default()
+            };
+            let mut exp = Experiment::builder(kind, n)
+                .workload(Workload::constant_rate(load, size))
+                .warmup_secs(1.0)
+                .measure_secs(2.0)
+                .seed(7)
+                .cost(cost)
+                .build();
+            let r = exp.run();
+            print_run_row(&format!("{us}us"), &r);
+            let extra = format!(
+                ", \"stable_write_us\": {us}, \"max_durability_utilization\": {:.4}",
+                r.max_durability_utilization
+            );
+            let mut rec = String::new();
+            json_point(&mut rec, &r, &extra);
+            records.push(rec);
+        }
     }
+    write_bench(
+        "BENCH_stable_write.json",
+        quick,
+        "stable_write_cost",
+        &records,
+    )
+}
+
+/// Sweep 4: snapshot cadence × load with non-zero snapshot pricing
+/// (`BENCH_snapshot_cadence.json`).
+fn sweep_snapshot_cadence(quick: bool) -> Result<(), String> {
+    print_header("snapshot cadence");
+    let cadences = if quick { CADENCES_QUICK } else { CADENCES };
+    let loads = if quick {
+        CADENCE_LOADS_QUICK
+    } else {
+        CADENCE_LOADS
+    };
+    let (n, size) = (3usize, 1024usize);
+    for &interval in cadences {
+        assert!(interval > 0, "cadence sweep must keep snapshots enabled");
+    }
+    let mut records = Vec::new();
+    for &interval in cadences {
+        for &load in loads {
+            for kind in [StackKind::Monolithic, StackKind::Modular] {
+                // Priced durability: a 50 µs stable write, 40 µs/KiB
+                // snapshot encode (install ×1.5), plus a 500 µs fixed
+                // cost per snapshot — see docs/COST_MODEL.md.
+                let mut cost = CostModel::with_durability(VDur::micros(50), VDur::micros(40));
+                cost.snapshot_encode_fixed = VDur::micros(500);
+                cost.snapshot_install_fixed = VDur::micros(500);
+                let mut exp = Experiment::builder(kind, n)
+                    .workload(Workload::constant_rate(load, size))
+                    .warmup_secs(1.0)
+                    .measure_secs(2.0)
+                    .seed(7)
+                    .cost(cost)
+                    .stack_config(StackConfig {
+                        snapshot_interval: interval,
+                        ..StackConfig::default()
+                    })
+                    .build();
+                let r = exp.run();
+                print_run_row(&format!("every {interval}"), &r);
+                let snapshots =
+                    r.counters.event("consensus.snapshots") + r.counters.event("mono.snapshots");
+                let extra = format!(
+                    ", \"snapshot_interval\": {interval}, \"snapshots_in_window\": {snapshots}, \
+                     \"max_durability_utilization\": {:.4}",
+                    r.max_durability_utilization
+                );
+                let mut rec = String::new();
+                json_point(&mut rec, &r, &extra);
+                records.push(rec);
+            }
+        }
+    }
+    write_bench(
+        "BENCH_snapshot_cadence.json",
+        quick,
+        "snapshot_cadence",
+        &records,
+    )
+}
+
+/// One named sweep: takes `quick`, runs, writes + verifies its file.
+type Sweep = (&'static str, fn(bool) -> Result<(), String>);
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        println!("probe --quick: trimmed operating set under {QUICK_DIR}/ (CI smoke mode)");
+    }
+    let sweeps: [Sweep; 4] = [
+        ("modularity", sweep_modularity),
+        ("degraded", sweep_degraded),
+        ("stable_write", sweep_stable_write),
+        ("snapshot_cadence", sweep_snapshot_cadence),
+    ];
+    for (name, sweep) in sweeps {
+        if let Err(e) = sweep(quick) {
+            eprintln!("probe: {name} sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if quick {
+        // Quick mode never touches the committed sweeps, so audit them
+        // too: they must still parse, cover both stacks and hold the
+        // full-resolution point floor — stale or hand-mangled committed
+        // bench files fail CI here.
+        for file in BENCH_FILES {
+            if let Err(e) = verify_bench(file, MIN_COMMITTED_POINTS) {
+                eprintln!("probe: committed bench file check failed: {e}");
+                eprintln!("probe: regenerate with `cargo run --release -p fortika-bench --bin probe` and commit the result");
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "committed BENCH files verified ({} files)",
+            BENCH_FILES.len()
+        );
+    }
+    println!("\nall bench files verified (JSON parses, both stacks covered)");
 }

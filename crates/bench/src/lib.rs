@@ -15,15 +15,19 @@
 //!   window swept;
 //! * `micro` — micro-benchmarks of the simulation substrate itself.
 //!
-//! Two binaries complement them: `probe` prints a calibration table
-//! over a fixed grid of operating points **and** writes the
-//! machine-readable `BENCH_modularity.json` trajectory point (format
-//! in the top-level README), and `crashprobe` exercises the
-//! crash-recovery path under load.
+//! Two binaries complement them: `probe` prints calibration tables and
+//! writes the four machine-readable `BENCH_*.json` trajectory files —
+//! the modularity sweep, the resource-fault (degraded links / slow
+//! nodes) sweep, the stable-write cost sweep and the snapshot-cadence
+//! sweep (formats in the top-level README, knobs in
+//! `docs/COST_MODEL.md`) — then re-reads and verifies each through
+//! [`json`]; `crashprobe` exercises the crash-recovery path under
+//! load.
 //!
 //! This crate holds the code they share: sweep helpers, gnuplot-style
-//! table printing and the `FORTIKA_FULL` switch between the quick
-//! default sweep and the full paper-resolution sweep.
+//! table printing, the dependency-free [`json`] validator, and the
+//! `FORTIKA_FULL` switch between the quick default sweep and the full
+//! paper-resolution sweep.
 //!
 //! # Example
 //!
@@ -39,6 +43,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 use fortika_core::workload::Workload;
 use fortika_core::{Experiment, StackKind, Summary};

@@ -7,12 +7,15 @@
 //!
 //! * [`Scenario`] — a declarative fault timeline: crashes, **restarts**
 //!   (crash-recovery with volatile-state loss), partitions with
-//!   healing, lossy/duplicating/delayed link windows, scripted false
-//!   suspicions. Built with chainable constructors or drawn from the
-//!   seeded [`Scenario::random`] generator ([`ChaosProfile`]) for
-//!   fuzzing. Applies onto a [`fortika_net::Cluster`] (whose link-level
-//!   fault hooks this crate drives) or into
-//!   `Experiment::builder(..).scenario(..)` in `fortika-core`.
+//!   healing, lossy/duplicating/delayed link windows, **resource
+//!   faults** (degraded-link bandwidth windows, slow-node CPU
+//!   windows), scripted false suspicions. Built with chainable
+//!   constructors or drawn from the seeded [`Scenario::random`]
+//!   generator ([`ChaosProfile`]; [`ChaosProfile::resource_only`] for
+//!   the resource family alone) for fuzzing. Applies onto a
+//!   [`fortika_net::Cluster`] (whose link-level fault hooks this crate
+//!   drives) or into `Experiment::builder(..).scenario(..)` in
+//!   `fortika-core`.
 //! * [`DeliveryOracle`] — the delivery-invariant checker: records every
 //!   `adeliver` and verifies uniform agreement, total order, integrity
 //!   and (when faults heal) validity, reporting typed [`Violation`]s.

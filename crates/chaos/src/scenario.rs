@@ -86,6 +86,39 @@ pub enum ScenarioEvent {
         /// Window end (`None` = rest of the run).
         until: Option<VDur>,
     },
+    /// Shrink the bandwidth of the selected links to
+    /// `rate_milli / 1000` of nominal during `[from, until)` — a
+    /// *degraded* link serializes traffic at the reduced rate (messages
+    /// queue behind each other), unlike [`DelaySpike`] which only
+    /// stretches propagation.
+    ///
+    /// [`DelaySpike`]: ScenarioEvent::DelaySpike
+    DegradeLink {
+        /// Affected links.
+        link: LinkSelector,
+        /// Bandwidth multiplier in thousandths, `1..=1000` (100 = 10 %
+        /// of nominal).
+        rate_milli: u64,
+        /// Window start.
+        from: VDur,
+        /// Window end (`None` = rest of the run).
+        until: Option<VDur>,
+    },
+    /// Multiply every CPU cost `pid` charges by `factor_milli / 1000`
+    /// during `[from, until)` — a *slow node* (thermal throttling, a
+    /// noisy neighbour, GC pressure). The process stays correct and
+    /// keeps all its state; it just burns more CPU per event, which
+    /// saturates it at a lower offered load.
+    SlowNode {
+        /// The throttled process.
+        pid: ProcessId,
+        /// CPU cost multiplier in thousandths (4000 = 4× slower).
+        factor_milli: u64,
+        /// Window start.
+        from: VDur,
+        /// Window end (`None` = rest of the run).
+        until: Option<VDur>,
+    },
     /// Force `observer`'s failure detector to (wrongly) suspect
     /// `suspect` during `[from, until)` — scripted ◇P inaccuracy.
     ///
@@ -246,6 +279,86 @@ impl Scenario {
         })
     }
 
+    /// Degrades the selected links to `rate_milli / 1000` of nominal
+    /// bandwidth during the window (resource fault: the link becomes a
+    /// serial bottleneck, so large messages and bursts queue).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fortika_chaos::Scenario;
+    /// use fortika_net::{LinkSelector, ProcessId};
+    /// use fortika_sim::VDur;
+    ///
+    /// // p0's outbound links run at 10 % of nominal bandwidth for
+    /// // 400 ms, then recover.
+    /// let s = Scenario::new().degrade_link(
+    ///     LinkSelector::From(ProcessId(0)),
+    ///     100,
+    ///     VDur::millis(100),
+    ///     VDur::millis(500),
+    /// );
+    /// assert!(s.heals(), "the degradation window closes");
+    /// assert_eq!(s.horizon(), VDur::millis(500));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_milli` is in `1..=1000`.
+    pub fn degrade_link(
+        self,
+        link: LinkSelector,
+        rate_milli: u64,
+        from: VDur,
+        until: VDur,
+    ) -> Self {
+        assert!(
+            (1..=1000).contains(&rate_milli),
+            "degraded rate {rate_milli}‰ out of range (1..=1000)"
+        );
+        self.event(ScenarioEvent::DegradeLink {
+            link,
+            rate_milli,
+            from,
+            until: Some(until),
+        })
+    }
+
+    /// Throttles `pid`'s CPU by `factor_milli / 1000` during the window
+    /// (resource fault: every handler cost is multiplied, so the
+    /// process saturates at a lower load but stays correct).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fortika_chaos::Scenario;
+    /// use fortika_net::ProcessId;
+    /// use fortika_sim::VDur;
+    ///
+    /// // p1 runs 4× slower between 200 ms and 800 ms.
+    /// let s = Scenario::new().slow_node(
+    ///     ProcessId(1),
+    ///     4000,
+    ///     VDur::millis(200),
+    ///     VDur::millis(800),
+    /// );
+    /// assert!(s.heals());
+    /// assert_eq!(s.correct(3).len(), 3, "a slow node is still correct");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor_milli` is zero.
+    pub fn slow_node(self, pid: ProcessId, factor_milli: u64, from: VDur, until: VDur) -> Self {
+        assert!(factor_milli > 0, "slowdown factor must be positive");
+        self.event(ScenarioEvent::SlowNode {
+            pid,
+            factor_milli,
+            from,
+            until: Some(until),
+        })
+    }
+
     /// Scripts a false suspicion: `observer` wrongly suspects `suspect`
     /// during the window.
     pub fn false_suspicion(
@@ -367,6 +480,40 @@ impl Scenario {
                         );
                     }
                 }
+                ScenarioEvent::DegradeLink {
+                    link,
+                    rate_milli,
+                    from,
+                    until,
+                } => {
+                    cluster.schedule_fault(
+                        t0 + *from,
+                        LinkFault::Degrade {
+                            link: *link,
+                            rate_milli: *rate_milli,
+                        },
+                    );
+                    if let Some(until) = until {
+                        cluster.schedule_fault(
+                            t0 + *until,
+                            LinkFault::Degrade {
+                                link: *link,
+                                rate_milli: 1000,
+                            },
+                        );
+                    }
+                }
+                ScenarioEvent::SlowNode {
+                    pid,
+                    factor_milli,
+                    from,
+                    until,
+                } => {
+                    cluster.schedule_slowdown(t0 + *from, *pid, *factor_milli);
+                    if let Some(until) = until {
+                        cluster.schedule_slowdown(t0 + *until, *pid, 1000);
+                    }
+                }
                 ScenarioEvent::FalseSuspicion { .. } => {}
             }
         }
@@ -468,7 +615,9 @@ impl Scenario {
             ScenarioEvent::Partition { until, .. }
             | ScenarioEvent::Lossy { until, .. }
             | ScenarioEvent::Duplicate { until, .. }
-            | ScenarioEvent::DelaySpike { until, .. } => until.is_some(),
+            | ScenarioEvent::DelaySpike { until, .. }
+            | ScenarioEvent::DegradeLink { until, .. }
+            | ScenarioEvent::SlowNode { until, .. } => until.is_some(),
             ScenarioEvent::Crash { .. }
             | ScenarioEvent::Restart { .. }
             | ScenarioEvent::FalseSuspicion { .. } => true,
@@ -485,7 +634,9 @@ impl Scenario {
                 ScenarioEvent::Partition { from, until, .. }
                 | ScenarioEvent::Lossy { from, until, .. }
                 | ScenarioEvent::Duplicate { from, until, .. }
-                | ScenarioEvent::DelaySpike { from, until, .. } => until.unwrap_or(*from),
+                | ScenarioEvent::DelaySpike { from, until, .. }
+                | ScenarioEvent::DegradeLink { from, until, .. }
+                | ScenarioEvent::SlowNode { from, until, .. } => until.unwrap_or(*from),
                 ScenarioEvent::FalseSuspicion { until, .. } => *until,
             })
             .fold(VDur::ZERO, |a, b| if a > b { a } else { b })
@@ -618,6 +769,29 @@ impl Scenario {
             s = s.delay_spike(link, factor, from, until);
         }
 
+        // Resource-fault windows (degraded link, slow node), drawn from
+        // a derived stream so the omission-fault families above keep
+        // their shapes across this feature (same pattern as recrash).
+        if profile.degrade_prob > 0.0 || profile.slow_prob > 0.0 {
+            let mut res_rng = DetRng::derive(seed, 0x2E50);
+            if res_rng.unit_f64() < profile.degrade_prob {
+                let link = random_selector(&mut res_rng, n);
+                // 5 %–50 % of nominal bandwidth.
+                let rate = 50 + res_rng.below(451);
+                let from = at(&mut res_rng, 0.0, 0.6);
+                let until = from + at(&mut res_rng, 0.1, 0.35);
+                s = s.degrade_link(link, rate, from, until);
+            }
+            if res_rng.unit_f64() < profile.slow_prob {
+                let pid = ProcessId(res_rng.below(n as u64) as u16);
+                // 2×–6× slower.
+                let factor = 2000 + res_rng.below(4001);
+                let from = at(&mut res_rng, 0.0, 0.6);
+                let until = from + at(&mut res_rng, 0.1, 0.35);
+                s = s.slow_node(pid, factor, from, until);
+            }
+        }
+
         // One scripted false suspicion of a (possibly healthy) process.
         if rng.unit_f64() < profile.false_suspicion_prob {
             let observer = ProcessId(rng.below(n as u64) as u16);
@@ -679,6 +853,12 @@ pub struct ChaosProfile {
     pub dup_prob: f64,
     /// Probability of a delay-spike window.
     pub delay_prob: f64,
+    /// Probability of a degraded-link window (bandwidth shrunk to
+    /// 5–50 % of nominal; the link serializes at the reduced rate).
+    pub degrade_prob: f64,
+    /// Probability of a slow-node window (one process's CPU costs
+    /// multiplied 2–6×; the victim stays correct, just slower).
+    pub slow_prob: f64,
     /// Probability of a scripted false-suspicion window.
     pub false_suspicion_prob: f64,
 }
@@ -696,6 +876,8 @@ impl Default for ChaosProfile {
             max_loss: 0.3,
             dup_prob: 0.35,
             delay_prob: 0.35,
+            degrade_prob: 0.25,
+            slow_prob: 0.25,
             false_suspicion_prob: 0.35,
         }
     }
@@ -707,6 +889,26 @@ impl ChaosProfile {
     pub fn network_only() -> Self {
         ChaosProfile {
             crash_prob: 0.0,
+            ..ChaosProfile::default()
+        }
+    }
+
+    /// A profile of **resource faults only** (degraded links, slow
+    /// nodes): no process crashes, no message is ever dropped — the
+    /// cluster merely runs short of bandwidth and CPU. Latency and
+    /// throughput suffer, but every safety *and* liveness obligation
+    /// still holds, which is exactly what the resource-fault regression
+    /// suite asserts.
+    pub fn resource_only() -> Self {
+        ChaosProfile {
+            crash_prob: 0.0,
+            partition_prob: 0.0,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            false_suspicion_prob: 0.0,
+            degrade_prob: 0.9,
+            slow_prob: 0.9,
             ..ChaosProfile::default()
         }
     }
@@ -896,6 +1098,53 @@ mod tests {
             "generator barely varies: {}",
             distinct.len()
         );
+    }
+
+    #[test]
+    fn resource_fault_windows_heal_and_extend_horizon() {
+        let s = Scenario::new()
+            .degrade_link(LinkSelector::All, 100, VDur::millis(50), VDur::millis(150))
+            .slow_node(ProcessId(2), 4000, VDur::millis(100), VDur::millis(400));
+        assert!(s.heals());
+        assert_eq!(s.horizon(), VDur::millis(400));
+        // Resource faults crash nobody: everyone stays correct.
+        assert_eq!(s.crashed(), vec![]);
+        assert_eq!(s.correct(3).len(), 3);
+        assert!(s.quorum_safe(3));
+    }
+
+    #[test]
+    fn resource_only_profile_generates_only_resource_faults() {
+        let mut any_degrade = false;
+        let mut any_slow = false;
+        for seed in 0..40u64 {
+            let s = Scenario::random(4, seed, &ChaosProfile::resource_only());
+            for ev in s.events() {
+                match ev {
+                    ScenarioEvent::DegradeLink { rate_milli, .. } => {
+                        assert!((1..=1000).contains(rate_milli));
+                        any_degrade = true;
+                    }
+                    ScenarioEvent::SlowNode {
+                        pid, factor_milli, ..
+                    } => {
+                        assert!(pid.index() < 4);
+                        assert!(*factor_milli >= 1000, "generator must not speed nodes up");
+                        any_slow = true;
+                    }
+                    other => panic!("resource_only generated {other:?}"),
+                }
+            }
+            assert!(s.heals(), "seed {seed}: resource window never closes");
+        }
+        assert!(any_degrade, "profile never degraded a link");
+        assert!(any_slow, "profile never slowed a node");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degrade_rate_zero_rejected() {
+        let _ = Scenario::new().degrade_link(LinkSelector::All, 0, VDur::ZERO, VDur::millis(1));
     }
 
     #[test]

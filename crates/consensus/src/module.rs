@@ -406,6 +406,16 @@ impl ConsensusModule {
     /// replies and the snapshot path is reserved for deep ones.
     fn set_snapshot(&mut self, ctx: &mut FrameworkCtx<'_, '_>, snap: Snapshot, installed: bool) {
         let bytes = encode(&snap);
+        // Durability is not free: materializing charges the encode
+        // cost, installing charges decode + restore + re-encode for
+        // serving — both proportional to the snapshot's encoded size
+        // (zero under the default calibration; see docs/COST_MODEL.md).
+        let cost = if installed {
+            ctx.costs().snapshot_install_cost(bytes.len())
+        } else {
+            ctx.costs().snapshot_encode_cost(bytes.len())
+        };
+        ctx.charge_durability(cost);
         ctx.persist(STABLE_SNAPSHOT_KEY, bytes.clone());
         while self.decisions.len() > self.cfg.decision_cache {
             match self.decisions.first_key_value() {

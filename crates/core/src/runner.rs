@@ -106,12 +106,18 @@ impl Experiment {
         let busy_at_start: Vec<VDur> = ProcessId::all(self.n)
             .map(|p| cluster.cpu_busy(p))
             .collect();
+        let dur_at_start: Vec<VDur> = ProcessId::all(self.n)
+            .map(|p| cluster.durability_busy(p))
+            .collect();
 
         // Measurement window + drain (so in-flight messages complete).
         cluster.run_until(window_end, &mut tap);
         let counters_at_end = cluster.counters().clone();
         let busy_at_end: Vec<VDur> = ProcessId::all(self.n)
             .map(|p| cluster.cpu_busy(p))
+            .collect();
+        let dur_at_end: Vec<VDur> = ProcessId::all(self.n)
+            .map(|p| cluster.durability_busy(p))
             .collect();
         // Under a scenario, drain past the last fault plus a margin so
         // healing (and post-heal catch-up) happens inside the run.
@@ -150,6 +156,11 @@ impl Experiment {
         let utilization: Vec<f64> = busy_at_start
             .iter()
             .zip(&busy_at_end)
+            .map(|(&s, &e)| (e.saturating_sub(s).as_secs_f64() / secs).clamp(0.0, 1.0))
+            .collect();
+        let durability_utilization: Vec<f64> = dur_at_start
+            .iter()
+            .zip(&dur_at_end)
             .map(|(&s, &e)| (e.saturating_sub(s).as_secs_f64() / secs).clamp(0.0, 1.0))
             .collect();
 
@@ -201,6 +212,7 @@ impl Experiment {
             },
             max_cpu_utilization: utilization.iter().cloned().fold(0.0, f64::max),
             mean_cpu_utilization: utilization.iter().sum::<f64>() / self.n as f64,
+            max_durability_utilization: durability_utilization.iter().cloned().fold(0.0, f64::max),
             counters: window,
             oracle: oracle_report,
         }
@@ -358,10 +370,20 @@ pub struct RunReport {
     pub msgs_per_instance: f64,
     /// Bytes per consensus instance (compare §5.2.2).
     pub bytes_per_instance: f64,
-    /// Highest per-process CPU utilization in the window.
+    /// Highest per-process CPU utilization in the window. Durability
+    /// time (stable writes, snapshot encode/install) is CPU time like
+    /// any other and is folded in — a `stable_write` sweep moves this
+    /// number, which is how the sweep benches detect saturation.
     pub max_cpu_utilization: f64,
     /// Mean per-process CPU utilization in the window.
     pub mean_cpu_utilization: f64,
+    /// Highest per-process share of the window spent on durability
+    /// alone (a subset of
+    /// [`max_cpu_utilization`](RunReport::max_cpu_utilization)): how
+    /// much of the busiest process's time went to stable writes and
+    /// snapshot encode/install. Zero under the default
+    /// (free-durability) calibration.
+    pub max_durability_utilization: f64,
     /// Counter deltas over the window (heartbeats included).
     pub counters: Counters,
     /// Delivery-invariant audit of the whole run (present when a

@@ -172,6 +172,17 @@ impl FrameworkCtx<'_, '_> {
     pub fn charge(&mut self, cost: VDur) {
         self.node.charge(cost);
     }
+
+    /// Charges durability CPU (stable writes, snapshot encode/install);
+    /// see [`fortika_net::NodeCtx::charge_durability`].
+    pub fn charge_durability(&mut self, cost: VDur) {
+        self.node.charge_durability(cost);
+    }
+
+    /// The cluster's cost model, for modules that charge custom costs.
+    pub fn costs(&self) -> &fortika_net::CostModel {
+        self.node.costs()
+    }
 }
 
 fn envelope(module_id: ModuleId, payload: &Bytes) -> Bytes {

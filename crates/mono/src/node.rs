@@ -667,6 +667,16 @@ impl MonoNode {
     /// and reports the stamp to the harness.
     fn set_snapshot(&mut self, ctx: &mut NodeCtx<'_>, snap: Snapshot, installed: bool) {
         let bytes = encode(&snap);
+        // Durability is not free: materializing charges the encode
+        // cost, installing charges decode + restore + re-encode for
+        // serving — both proportional to the snapshot's encoded size
+        // (zero under the default calibration; see docs/COST_MODEL.md).
+        let cost = if installed {
+            ctx.costs().snapshot_install_cost(bytes.len())
+        } else {
+            ctx.costs().snapshot_encode_cost(bytes.len())
+        };
+        ctx.charge_durability(cost);
         ctx.persist(STABLE_SNAPSHOT_KEY, bytes.clone());
         // Only snapshot-covered entries are evicted, and only while the
         // cache overflows — the recent log tail stays as deep as

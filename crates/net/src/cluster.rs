@@ -136,6 +136,12 @@ pub struct NodeCtx<'a> {
     incarnation: u32,
     start: VTime,
     charged: VDur,
+    /// CPU time spent on stable-storage writes within this handler
+    /// (a subset of `charged`; surfaced for durability accounting).
+    durability: VDur,
+    /// CPU slowdown multiplier in thousandths (1000 = nominal speed);
+    /// every charge is scaled by it — see [`Cluster::apply_slowdown`].
+    cpu_milli: u64,
     cost: &'a CostModel,
     per_msg_overhead: u32,
     counters: &'a mut Counters,
@@ -175,14 +181,15 @@ impl NodeCtx<'_> {
         self.cost
     }
 
-    /// Charges extra CPU time to this handler.
+    /// Charges extra CPU time to this handler, scaled by the process's
+    /// current slow-node multiplier (see [`Cluster::apply_slowdown`]).
     pub fn charge(&mut self, cost: VDur) {
-        self.charged += cost;
+        self.charged += scale_milli(cost, self.cpu_milli);
     }
 
     /// Charges one microprotocol dispatch (the framework's per-hop cost).
     pub fn charge_dispatch(&mut self) {
-        self.charged += self.cost.dispatch;
+        self.charge(self.cost.dispatch);
     }
 
     /// Sends `bytes` to `dst` over the quasi-reliable channel.
@@ -249,7 +256,7 @@ impl NodeCtx<'_> {
     /// Charges the stable-write CPU cost from the cluster's
     /// [`CostModel`].
     pub fn persist(&mut self, key: u64, value: Bytes) {
-        self.charge(self.cost.stable_write);
+        self.charge_durability(self.cost.stable_write);
         self.persists.push((key, Some(value)));
     }
 
@@ -257,8 +264,19 @@ impl NodeCtx<'_> {
     /// stable-write cost as [`persist`](Self::persist) — a delete is a
     /// tombstone record in a real write-ahead log, not a free operation.
     pub fn unpersist(&mut self, key: u64) {
-        self.charge(self.cost.stable_write);
+        self.charge_durability(self.cost.stable_write);
         self.persists.push((key, None));
+    }
+
+    /// Charges CPU time that is *durability* work (stable writes,
+    /// snapshot encode/install): counted in the handler's cost like any
+    /// charge, and additionally accumulated per process so utilization
+    /// reports can break out the durability share
+    /// (see [`Cluster::durability_busy`]).
+    pub fn charge_durability(&mut self, cost: VDur) {
+        let scaled = scale_milli(cost, self.cpu_milli);
+        self.charged += scaled;
+        self.durability += scaled;
     }
 
     /// Reports that this process materialized or installed a snapshot
@@ -367,6 +385,12 @@ struct Proc {
     incarnation: u32,
     /// Survives crashes and restarts (see [`StableStore`]).
     stable: StableStore,
+    /// CPU slowdown multiplier in thousandths (1000 = nominal). A
+    /// hardware property, so it survives restarts.
+    cpu_milli: u64,
+    /// Accumulated durability CPU time (stable writes, snapshot
+    /// encode/install) — a subset of the CPU's busy time.
+    durability_busy: VDur,
     next_timer: u64,
     cancelled: HashSet<u64>,
 }
@@ -397,6 +421,10 @@ enum Ev {
         pid: ProcessId,
     },
     Fault(LinkFault),
+    Slow {
+        pid: ProcessId,
+        factor_milli: u64,
+    },
 }
 
 enum Notification {
@@ -420,6 +448,12 @@ pub struct Cluster {
     last_arrival: Vec<VTime>,
     /// Per-(src,dst) fault state, consulted at transmission time.
     links: Vec<LinkState>,
+    /// Per-(src,dst) serializer occupancy for *degraded* links: when a
+    /// link's rate is below nominal, messages additionally queue
+    /// through the link itself at the reduced rate. Untouched (and
+    /// cost-free) at full rate, so fault-free timing is byte-identical
+    /// to builds without the feature.
+    link_free: Vec<VTime>,
     /// Dedicated RNG stream for fault decisions (drop/duplicate draws),
     /// derived from the seed so fault-free traffic keeps its jitter
     /// stream regardless of how many faults are active.
@@ -447,6 +481,8 @@ impl Cluster {
                 crash_time: None,
                 incarnation: 0,
                 stable: StableStore::new(),
+                cpu_milli: 1000,
+                durability_busy: VDur::ZERO,
                 next_timer: 0,
                 cancelled: HashSet::new(),
             })
@@ -455,6 +491,7 @@ impl Cluster {
         let fault_rng = DetRng::derive(cfg.seed, 0xFA17);
         let last_arrival = vec![VTime::ZERO; cfg.n * cfg.n];
         let links = vec![LinkState::default(); cfg.n * cfg.n];
+        let link_free = vec![VTime::ZERO; cfg.n * cfg.n];
         Cluster {
             cfg,
             queue: EventQueue::new(),
@@ -464,6 +501,7 @@ impl Cluster {
             pending: VecDeque::new(),
             last_arrival,
             links,
+            link_free,
             fault_rng,
             factory: None,
             started: false,
@@ -496,6 +534,21 @@ impl Cluster {
     /// Accumulated CPU busy time of process `pid`.
     pub fn cpu_busy(&self, pid: ProcessId) -> VDur {
         self.procs[pid.index()].cpu.busy_time()
+    }
+
+    /// Accumulated durability CPU time of `pid`: stable-storage writes
+    /// plus snapshot encode/install, as charged through
+    /// [`NodeCtx::charge_durability`]. A subset of
+    /// [`cpu_busy`](Cluster::cpu_busy), broken out so utilization
+    /// reports can attribute the durability share.
+    pub fn durability_busy(&self, pid: ProcessId) -> VDur {
+        self.procs[pid.index()].durability_busy
+    }
+
+    /// Current CPU slowdown multiplier of `pid` in thousandths
+    /// (1000 = nominal speed).
+    pub fn cpu_factor_milli(&self, pid: ProcessId) -> u64 {
+        self.procs[pid.index()].cpu_milli
     }
 
     /// True if `pid` has not crashed.
@@ -543,6 +596,35 @@ impl Cluster {
         self.queue.schedule(at, Ev::Tick { id });
     }
 
+    /// Schedules a CPU slowdown of `pid` to take effect at `at`:
+    /// from then on, every cost the process charges is multiplied by
+    /// `factor_milli / 1000` (e.g. `4000` = 4× slower handlers;
+    /// `1000` restores nominal speed). Handlers already queued on the
+    /// CPU at `at` are unaffected — the multiplier acts at charge time,
+    /// like a clock-throttled core.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately if `factor_milli` is zero (an infinitely fast
+    /// CPU is a scenario bug, not a fault).
+    pub fn schedule_slowdown(&mut self, at: VTime, pid: ProcessId, factor_milli: u64) {
+        assert!(
+            factor_milli > 0,
+            "slowdown factor for {pid} must be positive (1000 = nominal)"
+        );
+        self.queue.schedule(at, Ev::Slow { pid, factor_milli });
+    }
+
+    /// Applies a CPU slowdown immediately (see
+    /// [`Cluster::schedule_slowdown`]).
+    pub fn apply_slowdown(&mut self, pid: ProcessId, factor_milli: u64) {
+        assert!(
+            factor_milli > 0,
+            "slowdown factor for {pid} must be positive (1000 = nominal)"
+        );
+        self.procs[pid.index()].cpu_milli = factor_milli;
+    }
+
     /// Schedules a link fault to take effect at instant `at`.
     ///
     /// # Panics
@@ -567,6 +649,13 @@ impl Cluster {
                         self.cfg.n
                     );
                 }
+            }
+            LinkFault::Degrade { rate_milli, .. } => {
+                assert!(
+                    (1..=1000).contains(rate_milli),
+                    "degraded rate {rate_milli}‰ out of range for fault scheduled at {at} \
+                     (1 = 0.1 % of nominal, 1000 = full rate)"
+                );
             }
             _ => {}
         }
@@ -620,6 +709,13 @@ impl Cluster {
             }
             LinkFault::DelaySpike { link, factor_milli } => {
                 self.for_links(*link, |st| st.delay_milli = (*factor_milli).max(1));
+            }
+            LinkFault::Degrade { link, rate_milli } => {
+                assert!(
+                    (1..=1000).contains(rate_milli),
+                    "degraded rate {rate_milli}‰ out of range (1..=1000)"
+                );
+                self.for_links(*link, |st| st.rate_milli = *rate_milli);
             }
             LinkFault::Reset => {
                 for st in &mut self.links {
@@ -745,6 +841,10 @@ impl Cluster {
                 self.counters.bump("chaos.fault_events", 1);
                 self.apply_fault(&fault);
             }
+            Ev::Slow { pid, factor_milli } => {
+                self.counters.bump("chaos.slow_events", 1);
+                self.procs[pid.index()].cpu_milli = factor_milli;
+            }
         }
     }
 
@@ -788,17 +888,33 @@ impl Cluster {
         if !self.procs[i].alive {
             return None;
         }
+        // A slow-node window stretches every cost the handler charges,
+        // the base cost included.
+        let cpu_milli = self.procs[i].cpu_milli;
+        let base_cost = scale_milli(base_cost, cpu_milli);
         let start = self.procs[i].cpu.acquire(arrival, base_cost);
         let mut node = self.procs[i].node.take().expect("node re-entered");
         let inc = self.procs[i].incarnation;
 
-        let (charged, outbox, timers, cancels, deliveries, persists, snapshots, app_ready) = {
+        let (
+            charged,
+            durability,
+            outbox,
+            timers,
+            cancels,
+            deliveries,
+            persists,
+            snapshots,
+            app_ready,
+        ) = {
             let mut ctx = NodeCtx {
                 pid,
                 n: self.cfg.n,
                 incarnation: inc,
                 start,
                 charged: base_cost,
+                durability: VDur::ZERO,
+                cpu_milli,
                 cost: &self.cfg.cost,
                 per_msg_overhead: self.cfg.net.per_msg_overhead,
                 counters: &mut self.counters,
@@ -814,6 +930,7 @@ impl Cluster {
             f(node.as_mut(), &mut ctx);
             (
                 ctx.charged,
+                ctx.durability,
                 ctx.outbox,
                 ctx.timers,
                 ctx.cancels,
@@ -838,6 +955,7 @@ impl Cluster {
         }
         let extra = charged.saturating_sub(base_cost);
         self.procs[i].cpu.extend(extra);
+        self.procs[i].durability_busy += durability;
         let end = start + charged;
 
         // Materialize sends: serialize through the NIC, then apply link
@@ -846,9 +964,26 @@ impl Cluster {
         // messages, exactly like pulling a cable.
         for (dst, _kind, bytes) in outbox {
             let wire = bytes.len() as u64 + u64::from(self.cfg.net.per_msg_overhead);
-            let tx_end = self.procs[i].nic.transmit(end, wire);
+            let mut tx_end = self.procs[i].nic.transmit(end, wire);
             let slot = i * self.cfg.n + dst.index();
             let link = self.links[slot];
+            if link.rate_milli < 1000 {
+                // Degraded link: after leaving the NIC, the message
+                // serializes again through the link itself at the
+                // reduced rate, queuing behind earlier traffic on the
+                // same directed link (a congested switch port). At full
+                // rate this stage is bypassed, so fault-free timing is
+                // untouched.
+                let rate = ((u128::from(self.cfg.net.bandwidth_bytes_per_sec)
+                    * u128::from(link.rate_milli))
+                    / 1000)
+                    .max(1);
+                let tx_ns = (u128::from(wire) * 1_000_000_000 / rate).min(u128::from(u64::MAX));
+                let start_tx = tx_end.max(self.link_free[slot]);
+                tx_end = start_tx + VDur::nanos(tx_ns as u64);
+                self.link_free[slot] = tx_end;
+                self.counters.bump("chaos.degraded_tx", 1);
+            }
             // Exactly one main-RNG jitter draw per send, whatever the
             // link's fate — so the timing of messages that *do* arrive
             // is identical to the fault-free run with the same seed
@@ -987,6 +1122,17 @@ impl ClusterApi<'_> {
         self.cluster.schedule_fault(at, fault);
     }
 
+    /// Applies a CPU slowdown to `pid` immediately (see
+    /// [`Cluster::apply_slowdown`]).
+    pub fn apply_slowdown(&mut self, pid: ProcessId, factor_milli: u64) {
+        self.cluster.apply_slowdown(pid, factor_milli);
+    }
+
+    /// Schedules a CPU slowdown (see [`Cluster::schedule_slowdown`]).
+    pub fn schedule_slowdown(&mut self, at: VTime, pid: ProcessId, factor_milli: u64) {
+        self.cluster.schedule_slowdown(at, pid, factor_milli);
+    }
+
     /// True if the directed link `src → dst` is cut by a partition.
     pub fn link_blocked(&self, src: ProcessId, dst: ProcessId) -> bool {
         self.cluster.link_blocked(src, dst)
@@ -1011,6 +1157,12 @@ impl ClusterApi<'_> {
     /// CPU busy time of `pid` so far.
     pub fn cpu_busy(&self, pid: ProcessId) -> VDur {
         self.cluster.cpu_busy(pid)
+    }
+
+    /// Durability CPU time of `pid` so far (see
+    /// [`Cluster::durability_busy`]).
+    pub fn durability_busy(&self, pid: ProcessId) -> VDur {
+        self.cluster.durability_busy(pid)
     }
 
     /// True if `pid` has not crashed.

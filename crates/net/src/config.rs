@@ -83,6 +83,22 @@ pub struct CostModel {
     /// calibrated good-run curves must not shift; raise it to model a
     /// synchronous disk/SSD barrier on the ack path.
     pub stable_write: VDur,
+    /// Fixed CPU cost of materializing one log-compaction snapshot
+    /// (fold bookkeeping, allocation). Zero by default for the same
+    /// reason as [`stable_write`](CostModel::stable_write): the paper's
+    /// testbed never checkpointed, so the calibrated curves must not
+    /// shift. Raise it (with the per-KiB term) for snapshot-cadence
+    /// sweeps.
+    pub snapshot_encode_fixed: VDur,
+    /// Additional snapshot-materialization cost per KiB of encoded
+    /// snapshot (serialization + the stable write of the checkpoint).
+    pub snapshot_encode_per_kib: VDur,
+    /// Fixed CPU cost of installing a received snapshot (decode setup,
+    /// state swap). Zero by default.
+    pub snapshot_install_fixed: VDur,
+    /// Additional snapshot-install cost per KiB of encoded snapshot
+    /// (decode + application-state restore + re-encode for serving).
+    pub snapshot_install_per_kib: VDur,
 }
 
 impl Default for CostModel {
@@ -103,6 +119,10 @@ impl Default for CostModel {
             deliver_fixed: VDur::micros(200),
             deliver_per_kib: VDur::nanos(1_500),
             stable_write: VDur::ZERO,
+            snapshot_encode_fixed: VDur::ZERO,
+            snapshot_encode_per_kib: VDur::ZERO,
+            snapshot_install_fixed: VDur::ZERO,
+            snapshot_install_per_kib: VDur::ZERO,
         }
     }
 }
@@ -121,6 +141,10 @@ impl CostModel {
             deliver_fixed: VDur::ZERO,
             deliver_per_kib: VDur::ZERO,
             stable_write: VDur::ZERO,
+            snapshot_encode_fixed: VDur::ZERO,
+            snapshot_encode_per_kib: VDur::ZERO,
+            snapshot_install_fixed: VDur::ZERO,
+            snapshot_install_per_kib: VDur::ZERO,
         }
     }
 
@@ -137,6 +161,53 @@ impl CostModel {
     /// CPU cost of adelivering a message of `bytes` payload bytes.
     pub fn deliver_cost(&self, bytes: usize) -> VDur {
         self.deliver_fixed + per_kib(self.deliver_per_kib, bytes)
+    }
+
+    /// CPU cost of materializing a snapshot whose encoded form is
+    /// `bytes` long (charged by both stacks when they compact).
+    pub fn snapshot_encode_cost(&self, bytes: usize) -> VDur {
+        self.snapshot_encode_fixed + per_kib(self.snapshot_encode_per_kib, bytes)
+    }
+
+    /// CPU cost of installing a received snapshot of `bytes` encoded
+    /// bytes (charged by both stacks on rejoin catch-up).
+    pub fn snapshot_install_cost(&self, bytes: usize) -> VDur {
+        self.snapshot_install_fixed + per_kib(self.snapshot_install_per_kib, bytes)
+    }
+
+    /// The calibrated default with non-zero durability pricing: every
+    /// stable write costs `stable_write`, and snapshots charge
+    /// `per_kib` of encoded bytes to materialize (plus the same rate
+    /// ×1.5 to install — decode, state restore and re-encode for
+    /// serving). The resource-fault sweeps (`BENCH_stable_write.json`,
+    /// `BENCH_snapshot_cadence.json`) are built on this constructor;
+    /// see `docs/COST_MODEL.md` for calibration guidance.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fortika_net::CostModel;
+    /// use fortika_sim::VDur;
+    ///
+    /// // A 200 µs synchronous SSD barrier per vote persist, and
+    /// // 40 µs/KiB of snapshot encode time.
+    /// let cost = CostModel::with_durability(VDur::micros(200), VDur::micros(40));
+    /// assert_eq!(cost.stable_write, VDur::micros(200));
+    /// // A 64 KiB snapshot costs 64 × 40 µs = 2.56 ms to materialize…
+    /// assert_eq!(cost.snapshot_encode_cost(64 * 1024), VDur::micros(2560));
+    /// // …and 1.5× that to install.
+    /// assert_eq!(cost.snapshot_install_cost(64 * 1024), VDur::micros(3840));
+    /// // Message-path costs keep the paper's calibration.
+    /// assert_eq!(cost.send_fixed, CostModel::default().send_fixed);
+    /// ```
+    pub fn with_durability(stable_write: VDur, snapshot_per_kib: VDur) -> Self {
+        CostModel {
+            stable_write,
+            snapshot_encode_per_kib: snapshot_per_kib,
+            snapshot_install_per_kib: snapshot_per_kib
+                + VDur::nanos(snapshot_per_kib.as_nanos() / 2),
+            ..CostModel::default()
+        }
     }
 }
 
@@ -221,6 +292,23 @@ mod tests {
         let cost = CostModel::free();
         assert_eq!(cost.send_cost(1 << 20), VDur::ZERO);
         assert_eq!(cost.recv_cost(1 << 20), VDur::ZERO);
+        assert_eq!(cost.snapshot_encode_cost(1 << 20), VDur::ZERO);
+        assert_eq!(cost.snapshot_install_cost(1 << 20), VDur::ZERO);
+    }
+
+    #[test]
+    fn durability_defaults_to_free_but_scales_when_priced() {
+        // Default calibration: crash-stop testbed, no checkpointing —
+        // durability must not shift the good-run curves.
+        let cost = CostModel::default();
+        assert_eq!(cost.stable_write, VDur::ZERO);
+        assert_eq!(cost.snapshot_encode_cost(4096), VDur::ZERO);
+        assert_eq!(cost.snapshot_install_cost(4096), VDur::ZERO);
+        // Priced: linear in encoded bytes, install ≥ encode.
+        let cost = CostModel::with_durability(VDur::micros(100), VDur::micros(10));
+        assert_eq!(cost.snapshot_encode_cost(2048), VDur::micros(20));
+        assert_eq!(cost.snapshot_install_cost(2048), VDur::micros(30));
+        assert!(cost.snapshot_install_cost(2048) > cost.snapshot_encode_cost(2048));
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! decision recovery) only fires when that construction is broken on
 //! purpose. This module provides the vocabulary for breaking it:
 //! per-link state (partition membership, seeded drop probability,
-//! duplication, delay inflation) that the [`Cluster`](crate::Cluster)
-//! consults at transmission time, plus scheduled [`LinkFault`] actions
-//! that flip that state mid-run.
+//! duplication, delay inflation, bandwidth degradation) that the
+//! [`Cluster`](crate::Cluster) consults at transmission time, plus
+//! scheduled [`LinkFault`] actions that flip that state mid-run.
 //!
 //! Faults compose: a link can simultaneously sit across a partition,
 //! drop 10 % of what remains and triple its latency. Fault randomness
@@ -100,6 +100,21 @@ pub enum LinkFault {
         /// Delay multiplier in thousandths.
         factor_milli: u64,
     },
+    /// Shrinks the *bandwidth* of the selected links to
+    /// `rate_milli / 1000` of the configured NIC rate (`100` = 10 % of
+    /// nominal, `1000` = full rate, i.e. restore). Unlike
+    /// [`DelaySpike`](LinkFault::DelaySpike), which stretches
+    /// propagation uniformly, a degraded link *serializes*: messages
+    /// queue behind each other at the reduced rate, so large messages
+    /// and bursts suffer disproportionately — the congested-switch /
+    /// half-duplex failure mode Ring Paxos shows flips throughput
+    /// rankings.
+    Degrade {
+        /// Affected links.
+        link: LinkSelector,
+        /// Bandwidth multiplier in thousandths, `1..=1000`.
+        rate_milli: u64,
+    },
     /// Restores every link to the fault-free default.
     Reset,
 }
@@ -115,6 +130,10 @@ pub(crate) struct LinkState {
     pub dup_p: f64,
     /// Delay multiplier in thousandths (1000 = ×1).
     pub delay_milli: u64,
+    /// Bandwidth multiplier in thousandths (1000 = full rate). Below
+    /// 1000 the link becomes its own serial server at the reduced
+    /// rate — messages queue behind each other on it.
+    pub rate_milli: u64,
 }
 
 impl Default for LinkState {
@@ -124,6 +143,7 @@ impl Default for LinkState {
             drop_p: 0.0,
             dup_p: 0.0,
             delay_milli: 1000,
+            rate_milli: 1000,
         }
     }
 }
@@ -153,5 +173,6 @@ mod tests {
         assert_eq!(st.drop_p, 0.0);
         assert_eq!(st.dup_p, 0.0);
         assert_eq!(st.delay_milli, 1000);
+        assert_eq!(st.rate_milli, 1000);
     }
 }

@@ -13,8 +13,10 @@
 //! * [`Cluster`], [`Node`], [`NodeCtx`], [`Harness`] — the simulation
 //!   harness (see [`cluster`] module docs for crash semantics).
 //! * [`fault`] — link-level fault hooks ([`LinkFault`], [`LinkSelector`]):
-//!   partitions, seeded loss, duplication and delay inflation applied at
-//!   transmission time (driven by the `fortika-chaos` scenario DSL).
+//!   partitions, seeded loss, duplication, delay inflation and bandwidth
+//!   degradation applied at transmission time, plus per-process CPU
+//!   slowdowns ([`Cluster::apply_slowdown`]) — all driven by the
+//!   `fortika-chaos` scenario DSL.
 //! * [`snapshot`] — log-compaction snapshots for rejoin catch-up:
 //!   [`Snapshot`], the deterministic [`SnapshotFold`], and the
 //!   [`AppState`] application hook both protocol stacks share.

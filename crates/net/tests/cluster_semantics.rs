@@ -454,3 +454,38 @@ fn stale_incarnation_messages_are_fenced_at_delivery() {
         1
     );
 }
+
+#[test]
+fn durability_time_is_tracked_and_folded_into_cpu_busy() {
+    // Regression for the utilization-accounting gap: stable writes are
+    // CPU time (they extend cpu_busy) *and* are broken out separately
+    // in durability_busy so sweeps can attribute them.
+    struct Persister;
+    impl Node for Persister {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            for key in 0..5u64 {
+                ctx.persist(key, Bytes::from_static(b"v"));
+            }
+            ctx.unpersist(0);
+        }
+        fn on_message(&mut self, _: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {}
+        fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+            Admission::Blocked
+        }
+    }
+    let mut cfg = ClusterConfig::instant(1, 1);
+    cfg.cost.stable_write = VDur::micros(200);
+    let mut cluster = Cluster::new(cfg, vec![Box::new(Persister)]);
+    cluster.run_idle(VTime::ZERO + VDur::millis(1));
+    // 5 persists + 1 unpersist (tombstone) at 200 µs each.
+    let p0 = ProcessId(0);
+    assert_eq!(cluster.durability_busy(p0), VDur::micros(1200));
+    assert_eq!(cluster.cpu_busy(p0), VDur::micros(1200));
+    // A slow-node window stretches durability work like any CPU work.
+    let mut cfg = ClusterConfig::instant(1, 1);
+    cfg.cost.stable_write = VDur::micros(200);
+    let mut slow = Cluster::new(cfg, vec![Box::new(Persister)]);
+    slow.apply_slowdown(p0, 3000);
+    slow.run_idle(VTime::ZERO + VDur::millis(1));
+    assert_eq!(slow.durability_busy(p0), VDur::micros(3600));
+}

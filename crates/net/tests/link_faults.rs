@@ -328,3 +328,181 @@ fn surviving_messages_keep_fault_free_timing() {
         );
     }
 }
+
+#[test]
+fn degraded_link_serializes_at_reduced_rate() {
+    // Deterministic setup: 1 MB/s NIC, no jitter, no propagation. One
+    // 1000-byte message takes 1 ms through the NIC; a link degraded to
+    // 10 % then serializes it again at 100 KB/s (10 ms), so arrival is
+    // at ~11 ms instead of ~1 ms.
+    struct OneShot;
+    impl Node for OneShot {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.pid() == ProcessId(0) {
+                ctx.send(ProcessId(1), "test.one", Bytes::from(vec![0u8; 1000]));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {
+            ctx.bump("test.arrived_at_us", ctx.now().as_nanos() / 1000);
+        }
+        fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+            Admission::Blocked
+        }
+    }
+    let run = |rate_milli: u64| -> u64 {
+        let mut cfg = ClusterConfig::new(2, 7);
+        cfg.cost = CostModel::free();
+        cfg.net = NetModel {
+            bandwidth_bytes_per_sec: 1_000_000,
+            prop_delay: VDur::ZERO,
+            jitter: VDur::ZERO,
+            per_msg_overhead: 0,
+        };
+        let mut cluster = Cluster::new(cfg, vec![Box::new(OneShot), Box::new(OneShot)]);
+        if rate_milli < 1000 {
+            cluster.apply_fault(&LinkFault::Degrade {
+                link: LinkSelector::All,
+                rate_milli,
+            });
+        }
+        cluster.run_idle(VTime::ZERO + VDur::secs(1));
+        cluster.counters().event("test.arrived_at_us")
+    };
+    assert_eq!(run(1000), 1000, "full rate: NIC serialization only");
+    assert_eq!(run(100), 11_000, "10 % rate: NIC + 10 ms link stage");
+    assert_eq!(run(500), 3_000, "50 % rate: NIC + 2 ms link stage");
+}
+
+#[test]
+fn degraded_link_queues_consecutive_messages() {
+    // Regression: a degraded link is a serial server, not a delay — a
+    // burst of messages must queue behind each other on it. 10 sends of
+    // 1000 bytes at t≈0 through a 10 %-degraded 1 MB/s link drain one
+    // per 10 ms, so the last arrives at ~100 ms (a pure delay model
+    // would deliver them all at ~11 ms).
+    struct Burst;
+    impl Node for Burst {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.pid() == ProcessId(0) {
+                for _ in 0..10 {
+                    ctx.send(ProcessId(1), "test.burst", Bytes::from(vec![0u8; 1000]));
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _: ProcessId, _: Bytes) {
+            ctx.bump("test.arrivals", 1);
+        }
+        fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+            Admission::Blocked
+        }
+    }
+    let mut cfg = ClusterConfig::new(2, 7);
+    cfg.cost = CostModel::free();
+    cfg.net = NetModel {
+        bandwidth_bytes_per_sec: 1_000_000,
+        prop_delay: VDur::ZERO,
+        jitter: VDur::ZERO,
+        per_msg_overhead: 0,
+    };
+    let mut cluster = Cluster::new(cfg, vec![Box::new(Burst), Box::new(Burst)]);
+    cluster.apply_fault(&LinkFault::Degrade {
+        link: LinkSelector::All,
+        rate_milli: 100,
+    });
+    // Run in 1 ms steps and remember when the arrival counter last
+    // moved — the final arrival instant, at millisecond resolution.
+    let mut last = VTime::ZERO;
+    let mut seen = 0;
+    for ms in 1..=200u64 {
+        cluster.run_idle(VTime::ZERO + VDur::millis(ms));
+        let now = cluster.counters().event("test.arrivals");
+        if now > seen {
+            seen = now;
+            last = VTime::ZERO + VDur::millis(ms);
+        }
+    }
+    assert_eq!(seen, 10, "all burst messages arrive");
+    assert!(
+        last >= VTime::ZERO + VDur::millis(91),
+        "last arrival at {last:?}: the degraded link must serialize the burst (~100 ms)"
+    );
+    assert_eq!(cluster.counters().event("chaos.degraded_tx"), 10);
+}
+
+#[test]
+fn slow_node_stretches_handler_costs() {
+    // A node whose CPU is throttled 4× charges 4× for every handler:
+    // with a 1 ms receive cost, the echo comes back later.
+    struct Echo;
+    impl Node for Echo {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.pid() == ProcessId(0) {
+                ctx.send(ProcessId(1), "test.ping", Bytes::from_static(b"ping"));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, bytes: Bytes) {
+            if bytes.as_ref() == b"ping" {
+                ctx.send(from, "test.pong", Bytes::from_static(b"pong"));
+            } else {
+                ctx.bump("test.pong_at_us", ctx.now().as_nanos() / 1000);
+            }
+        }
+        fn on_request(&mut self, _: &mut NodeCtx<'_>, _: AppRequest) -> Admission {
+            Admission::Blocked
+        }
+    }
+    let run = |factor_milli: u64| -> (u64, VDur) {
+        let mut cfg = ClusterConfig::new(2, 7);
+        cfg.cost = CostModel::free();
+        cfg.cost.recv_fixed = VDur::millis(1);
+        cfg.net = NetModel::instant();
+        let mut cluster = Cluster::new(cfg, vec![Box::new(Echo), Box::new(Echo)]);
+        cluster.apply_slowdown(ProcessId(1), factor_milli);
+        cluster.run_idle(VTime::ZERO + VDur::secs(1));
+        (
+            cluster.counters().event("test.pong_at_us"),
+            cluster.cpu_busy(ProcessId(1)),
+        )
+    };
+    // Nominal: p1 receives (1 ms), p0 receives the pong (1 ms) => 2 ms.
+    let (nominal_us, nominal_busy) = run(1000);
+    assert_eq!(nominal_us, 2000);
+    // p1 throttled 4×: its receive takes 4 ms, p0's still 1 ms => 5 ms.
+    let (slow_us, slow_busy) = run(4000);
+    assert_eq!(slow_us, 5000);
+    assert_eq!(slow_busy, nominal_busy + VDur::millis(3));
+    assert_eq!(run(1000), run(1000), "slowdowns replay deterministically");
+}
+
+#[test]
+fn slowdown_windows_schedule_and_restore() {
+    let mut cluster = chatter_cluster(2, 9, 0);
+    assert_eq!(cluster.cpu_factor_milli(ProcessId(0)), 1000);
+    cluster.schedule_slowdown(VTime::ZERO + VDur::millis(10), ProcessId(0), 3000);
+    cluster.schedule_slowdown(VTime::ZERO + VDur::millis(20), ProcessId(0), 1000);
+    cluster.run_idle(VTime::ZERO + VDur::millis(15));
+    assert_eq!(cluster.cpu_factor_milli(ProcessId(0)), 3000);
+    cluster.run_idle(VTime::ZERO + VDur::millis(30));
+    assert_eq!(cluster.cpu_factor_milli(ProcessId(0)), 1000);
+    assert_eq!(cluster.counters().event("chaos.slow_events"), 2);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn degrade_rate_out_of_range_rejected_at_schedule_time() {
+    let mut cluster = chatter_cluster(2, 9, 0);
+    cluster.schedule_fault(
+        VTime::ZERO + VDur::millis(1),
+        LinkFault::Degrade {
+            link: LinkSelector::All,
+            rate_milli: 0,
+        },
+    );
+}
+
+#[test]
+#[should_panic(expected = "must be positive")]
+fn zero_slowdown_rejected_at_schedule_time() {
+    let mut cluster = chatter_cluster(2, 9, 0);
+    cluster.schedule_slowdown(VTime::ZERO + VDur::millis(1), ProcessId(0), 0);
+}
