@@ -14,10 +14,24 @@
 //! * relies on the consensus module's own decision dissemination (O3
 //!   impossible).
 //!
-//! Instances run sequentially at each process: instance `k+1` is proposed
-//! only after the decision of instance `k` has been processed locally —
-//! the coordinator, which decides first, therefore pipelines `proposal
-//! k+1` right behind `decision k`, exactly as in Fig. 5 of the paper.
+//! # Windowed instance execution
+//!
+//! The proposal path is a *windowed sequencer*: two cursors,
+//! `next_propose` and `next_decide`, bound a window of at most
+//! [`AbcastConfig::pipeline_depth`] consensus instances in flight.
+//! With the default depth of 1 instances run strictly sequentially at
+//! each process — instance `k+1` is proposed only after the decision of
+//! instance `k` has been processed locally, the paper's Fig. 5 regime —
+//! while larger depths overlap the decision round-trips of α
+//! consecutive instances (the classic pipelining lever of Ring Paxos
+//! and friends). Two invariants hold at every depth:
+//!
+//! * **in-order apply** — decisions are buffered and applied strictly
+//!   in instance order, so `adeliver` order is identical to the
+//!   α = 1 order of the same decision sequence;
+//! * **no double proposal** — the pending set is deduplicated against
+//!   batches already proposed in outstanding instances, so a message
+//!   rides at most one in-flight proposal at a time.
 //!
 //! Correctness note (also §3.3): diffusion over plain channels can lose a
 //! message's copies when the *sender* crashes mid-diffusion. Delivery
@@ -26,7 +40,7 @@
 //! so that partially-diffused messages held by some processes are
 //! eventually ordered (or safely forgotten if nobody proposes them).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
@@ -60,6 +74,19 @@ pub struct AbcastConfig {
     /// restores validity once the network heals, and never fires in good
     /// runs (delivery latency is orders of magnitude below it).
     pub retransmit_interval: VDur,
+    /// The paper's α: how many consensus instances this process keeps
+    /// in flight concurrently (the windowed-sequencer depth).
+    ///
+    /// `1` (the default) is the seed-faithful regime: instance `k+1` is
+    /// proposed only after decision `k` was applied locally. Larger
+    /// depths overlap decision round-trips; decisions are still
+    /// **applied strictly in instance order**, so depth changes
+    /// throughput and latency but never delivery order guarantees.
+    /// Note the interaction with the flow-control `window`: each sender
+    /// can only have `window` own messages outstanding, so a deep
+    /// pipeline only fills if the flow window (× senders) offers enough
+    /// distinct messages to populate α disjoint batches.
+    pub pipeline_depth: u64,
 }
 
 impl Default for AbcastConfig {
@@ -68,6 +95,7 @@ impl Default for AbcastConfig {
             idle_timeout: VDur::secs(1),
             idle_consensus: true,
             retransmit_interval: VDur::millis(500),
+            pipeline_depth: 1,
         }
     }
 }
@@ -105,10 +133,15 @@ pub struct AbcastModule {
     /// Received but not yet delivered messages.
     pending: BTreeMap<MsgId, AppMsg>,
     delivered: DeliveredLog,
-    /// Next instance whose decision we will apply.
+    /// Next instance whose decision we will apply (the decided cursor).
     next_decide: u64,
-    /// Whether we have an outstanding proposal for `next_decide`.
-    proposed_current: bool,
+    /// Next instance we will propose (the proposing cursor). Runs at
+    /// most [`AbcastConfig::pipeline_depth`] ahead of `next_decide`.
+    next_propose: u64,
+    /// Message ids proposed in each outstanding instance (keys in
+    /// `next_decide..next_propose`): the dedup set that keeps a pending
+    /// message out of more than one in-flight proposal.
+    proposed: BTreeMap<u64, Vec<MsgId>>,
     /// Decisions that arrived out of instance order.
     decision_buffer: BTreeMap<u64, Batch>,
     /// Own messages awaiting delivery → when their diffusion last went
@@ -124,35 +157,69 @@ impl AbcastModule {
             pending: BTreeMap::new(),
             delivered: DeliveredLog::default(),
             next_decide: 0,
-            proposed_current: false,
+            next_propose: 0,
+            proposed: BTreeMap::new(),
             decision_buffer: BTreeMap::new(),
             own_diffused: BTreeMap::new(),
         }
     }
 
-    /// Proposes the current pending set for the next instance, if we have
-    /// messages and no proposal in flight.
-    fn maybe_propose(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
-        if self.proposed_current || self.pending.is_empty() {
-            return;
-        }
-        self.propose_now(ctx);
+    /// Instances proposed but not yet applied (current window load).
+    fn in_flight(&self) -> u64 {
+        self.next_propose - self.next_decide
     }
 
-    fn propose_now(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
-        let batch = Batch::normalize(self.pending.values().cloned().collect());
-        self.proposed_current = true;
+    /// The pending messages not already riding an outstanding proposal
+    /// (empty when everything pending is claimed by the window).
+    fn fresh_batch(&self) -> Batch {
+        if self.proposed.values().all(Vec::is_empty) {
+            return Batch::normalize(self.pending.values().cloned().collect());
+        }
+        let claimed: BTreeSet<MsgId> = self.proposed.values().flatten().copied().collect();
+        Batch::normalize(
+            self.pending
+                .iter()
+                .filter(|(id, _)| !claimed.contains(id))
+                .map(|(_, m)| m.clone())
+                .collect(),
+        )
+    }
+
+    /// Fills the proposal window: keeps proposing fresh (unclaimed)
+    /// pending messages for consecutive instances until the window holds
+    /// `pipeline_depth` instances or nothing fresh is left.
+    fn maybe_propose(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        while self.in_flight() < self.cfg.pipeline_depth.max(1) {
+            let batch = self.fresh_batch();
+            if batch.is_empty() {
+                return;
+            }
+            self.propose_now(ctx, batch);
+        }
+    }
+
+    /// Proposes `batch` for instance `next_propose` and advances the
+    /// proposing cursor.
+    fn propose_now(&mut self, ctx: &mut FrameworkCtx<'_, '_>, batch: Batch) {
+        self.proposed.insert(
+            self.next_propose,
+            batch.msgs().iter().map(|m| m.id).collect(),
+        );
         ctx.bump("abcast.proposals", 1);
+        if self.in_flight() > 0 {
+            ctx.bump("abcast.pipelined_proposals", 1);
+        }
         ctx.raise(Event::Propose {
-            instance: self.next_decide,
+            instance: self.next_propose,
             value: batch,
         });
+        self.next_propose += 1;
     }
 
     fn apply_ready_decisions(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
         while let Some(batch) = self.decision_buffer.remove(&self.next_decide) {
             let mut ids = Vec::new();
-            for msg in batch.into_msgs() {
+            for msg in batch.msgs() {
                 if !self.delivered.is_new(msg.id) {
                     continue; // already delivered in an earlier instance
                 }
@@ -167,8 +234,9 @@ impl AbcastModule {
                 ctx.bump("abcast.delivered", ids.len() as u64);
                 ctx.raise(Event::Adelivered(ids));
             }
+            self.proposed.remove(&self.next_decide);
             self.next_decide += 1;
-            self.proposed_current = false;
+            self.next_propose = self.next_propose.max(self.next_decide);
         }
         self.maybe_propose(ctx);
     }
@@ -224,7 +292,11 @@ impl Microprotocol for AbcastModule {
                 let next = snapshot.last_included + 1;
                 if next > self.next_decide {
                     self.next_decide = next;
-                    self.proposed_current = false;
+                    self.next_propose = self.next_propose.max(next);
+                    // Window entries the snapshot compacted away will
+                    // never be decided here; outstanding proposals past
+                    // the snapshot stay live.
+                    self.proposed = self.proposed.split_off(&next);
                 }
                 for s in &snapshot.delivered {
                     let log = self.delivered.per_sender.entry(s.sender).or_default();
@@ -275,10 +347,15 @@ impl Microprotocol for AbcastModule {
             TAG_IDLE => {
                 // The paper's liveness guard: periodically run consensus
                 // even with nothing to order, so every process keeps
-                // advancing through the instance stream.
-                if !self.proposed_current {
+                // advancing through the instance stream. Pipeline-aware:
+                // the keep-alive fires only when *no* instance is in
+                // flight, so under load an idle (possibly empty-batch)
+                // proposal never consumes a window slot that real
+                // traffic could use.
+                if self.in_flight() == 0 {
                     ctx.bump("abcast.idle_proposals", 1);
-                    self.propose_now(ctx);
+                    let batch = self.fresh_batch();
+                    self.propose_now(ctx, batch);
                 }
                 ctx.set_timer(self.cfg.idle_timeout, TAG_IDLE);
             }

@@ -1,7 +1,7 @@
 //! Calibration probe and sweep emitter.
 //!
 //! Prints latency/throughput tables at fixed operating points so the
-//! cost model can be tuned against the paper's shapes, and writes four
+//! cost model can be tuned against the paper's shapes, and writes five
 //! machine-readable trajectory files meant to be committed so
 //! performance history accumulates (formats documented in the
 //! top-level README, "Benchmarks"):
@@ -12,12 +12,15 @@
 //! * `BENCH_stable_write.json` — the durability sweep: synchronous
 //!   stable-write cost from free to 2 ms per persist;
 //! * `BENCH_snapshot_cadence.json` — snapshot cadence × load with
-//!   non-zero snapshot encode/install pricing.
+//!   non-zero snapshot encode/install pricing;
+//! * `BENCH_pipeline.json` — pipelined instance execution: the
+//!   windowed-sequencer depth α × load, both stacks (self-verified:
+//!   some depth > 1 must beat depth 1 per stack).
 //!
 //! `--quick` trims every sweep to a smoke-sized operating set (CI runs
 //! this) and writes it under `target/bench-quick/` so the committed
 //! full-resolution files are never clobbered. In either mode the probe
-//! re-reads every file it wrote — and in quick mode also the four
+//! re-reads every file it wrote — and in quick mode also the five
 //! *committed* files — and fails (exit 1) unless the JSON parses,
 //! covers both stacks, and (for committed files) keeps at least 8
 //! operating points, so the committed bench files cannot silently rot.
@@ -27,7 +30,7 @@ use std::fmt::Write as _;
 use fortika_bench::json;
 use fortika_core::workload::Workload;
 use fortika_core::{Experiment, RunReport, Scenario, StackConfig, StackKind};
-use fortika_net::{CostModel, LinkSelector, ProcessId};
+use fortika_net::{CostModel, LinkSelector, NetModel, ProcessId};
 use fortika_sim::VDur;
 
 /// The modularity operating points: `(n, offered load msgs/s, payload bytes)`.
@@ -75,7 +78,14 @@ const CADENCES_QUICK: &[u64] = &[32, 512];
 const CADENCE_LOADS: &[f64] = &[500.0, 2000.0];
 const CADENCE_LOADS_QUICK: &[f64] = &[500.0];
 
-/// The common fields of one JSON record (shared by all four sweeps);
+/// Pipeline depths swept (instances concurrently in flight) × loads.
+const PIPELINE_DEPTHS: &[usize] = &[1, 2, 4, 8];
+const PIPELINE_DEPTHS_QUICK: &[usize] = &[1, 4];
+/// Flow-control window used by the pipeline sweep: wide enough that
+/// the pipeline (not admission) is the binding constraint.
+const PIPELINE_WINDOW: usize = 12;
+
+/// The common fields of one JSON record (shared by all five sweeps);
 /// `extra` appends sweep-specific fields.
 fn json_point(out: &mut String, r: &RunReport, extra: &str) {
     let _ = write!(
@@ -101,13 +111,14 @@ fn json_point(out: &mut String, r: &RunReport, extra: &str) {
     );
 }
 
-/// The four committed trajectory files (and their quick-mode
+/// The five committed trajectory files (and their quick-mode
 /// basenames under [`QUICK_DIR`]).
-const BENCH_FILES: [&str; 4] = [
+const BENCH_FILES: [&str; 5] = [
     "BENCH_modularity.json",
     "BENCH_degraded.json",
     "BENCH_stable_write.json",
     "BENCH_snapshot_cadence.json",
+    "BENCH_pipeline.json",
 ];
 
 /// Where `--quick` writes its smoke output, so it never clobbers the
@@ -383,6 +394,123 @@ fn sweep_snapshot_cadence(quick: bool) -> Result<(), String> {
     )
 }
 
+/// The wide-area network of the pipeline sweep: a 2 ms one-way
+/// propagation delay makes the decision round-trip — not the CPU — the
+/// thing pipelining must hide.
+fn wan_net() -> NetModel {
+    NetModel {
+        prop_delay: VDur::millis(2),
+        jitter: VDur::micros(100),
+        ..NetModel::default()
+    }
+}
+
+/// A modern-CPU calibration (≈10× the default Pentium-4-era speed):
+/// with cheap handlers the stacks are latency-bound on [`wan_net`], the
+/// regime where an in-flight instance window converts directly into
+/// throughput (Ring Paxos / Chop Chop territory).
+fn fast_cpu() -> CostModel {
+    CostModel {
+        send_fixed: VDur::micros(35),
+        send_per_kib: VDur::nanos(250),
+        recv_fixed: VDur::micros(40),
+        recv_per_kib: VDur::nanos(350),
+        dispatch: VDur::nanos(2_500),
+        timer_fixed: VDur::micros(2),
+        request_fixed: VDur::micros(5),
+        deliver_fixed: VDur::micros(20),
+        deliver_per_kib: VDur::nanos(150),
+        ..CostModel::default()
+    }
+}
+
+/// Sweep 5: pipelined instance execution — windowed-sequencer depth ×
+/// load × network regime, both stacks (`BENCH_pipeline.json`).
+///
+/// Two regimes bound the story: on the paper's CPU-bound `lan`
+/// calibration extra instances only buy the monolithic stack anything
+/// (the modular stack's per-instance message complexity eats the CPU
+/// the window frees), while on the latency-bound `wan` regime the
+/// window overlaps decision round-trips and throughput climbs with
+/// depth on both stacks. Self-verified: for each stack, some depth > 1
+/// must beat the depth-1 throughput on at least one operating point,
+/// otherwise the pipeline is not engaging and the sweep fails.
+fn sweep_pipeline(quick: bool) -> Result<(), String> {
+    print_header("pipelined instances (depth x load x regime)");
+    let depths = if quick {
+        PIPELINE_DEPTHS_QUICK
+    } else {
+        PIPELINE_DEPTHS
+    };
+    // (regime label, offered loads, net, cost).
+    let lan_loads: &[f64] = if quick { &[4000.0] } else { &[1000.0, 4000.0] };
+    let wan_loads: &[f64] = &[8000.0];
+    let regimes: [(&str, &[f64], NetModel, CostModel); 2] = [
+        ("lan", lan_loads, NetModel::default(), CostModel::default()),
+        ("wan", wan_loads, wan_net(), fast_cpu()),
+    ];
+    let (n, size) = (3usize, 1024usize);
+    let mut records = Vec::new();
+    // (stack, regime, load) -> depth-1 baseline throughput.
+    let mut baseline: Vec<(StackKind, &str, f64, f64)> = Vec::new();
+    let mut speedup = [false; 2]; // [monolithic, modular]
+    for (regime, loads, net, cost) in &regimes {
+        for &load in *loads {
+            for &depth in depths {
+                for kind in [StackKind::Monolithic, StackKind::Modular] {
+                    let mut exp = Experiment::builder(kind, n)
+                        .workload(Workload::constant_rate(load, size))
+                        .warmup_secs(1.0)
+                        .measure_secs(2.0)
+                        .seed(7)
+                        .net(net.clone())
+                        .cost(cost.clone())
+                        .stack_config(StackConfig {
+                            pipeline_depth: depth,
+                            window: PIPELINE_WINDOW,
+                            ..StackConfig::default()
+                        })
+                        .build();
+                    let r = exp.run();
+                    print_run_row(&format!("{regime} depth {depth}"), &r);
+                    if depth == 1 {
+                        baseline.push((kind, regime, load, r.throughput_msgs_per_sec));
+                    } else {
+                        let base = baseline
+                            .iter()
+                            .find(|(k, g, l, _)| *k == kind && g == regime && *l == load)
+                            .map(|(_, _, _, t)| *t)
+                            .unwrap_or(f64::INFINITY);
+                        let idx = matches!(kind, StackKind::Modular) as usize;
+                        speedup[idx] |= r.throughput_msgs_per_sec > base;
+                    }
+                    let extra = format!(
+                        ", \"regime\": \"{regime}\", \"pipeline_depth\": {depth}, \
+                         \"flow_window\": {PIPELINE_WINDOW}"
+                    );
+                    let mut rec = String::new();
+                    json_point(&mut rec, &r, &extra);
+                    records.push(rec);
+                }
+            }
+        }
+    }
+    for (idx, label) in [(0usize, "monolithic"), (1, "modular")] {
+        if !speedup[idx] {
+            return Err(format!(
+                "pipeline sweep: no depth > 1 beat the depth-1 {label} throughput at any \
+                 operating point — pipelining is not engaging"
+            ));
+        }
+    }
+    write_bench(
+        "BENCH_pipeline.json",
+        quick,
+        "pipelined_instances",
+        &records,
+    )
+}
+
 /// One named sweep: takes `quick`, runs, writes + verifies its file.
 type Sweep = (&'static str, fn(bool) -> Result<(), String>);
 
@@ -391,11 +519,12 @@ fn main() {
     if quick {
         println!("probe --quick: trimmed operating set under {QUICK_DIR}/ (CI smoke mode)");
     }
-    let sweeps: [Sweep; 4] = [
+    let sweeps: [Sweep; 5] = [
         ("modularity", sweep_modularity),
         ("degraded", sweep_degraded),
         ("stable_write", sweep_stable_write),
         ("snapshot_cadence", sweep_snapshot_cadence),
+        ("pipeline", sweep_pipeline),
     ];
     for (name, sweep) in sweeps {
         if let Err(e) = sweep(quick) {

@@ -1,0 +1,232 @@
+//! Scenario coverage: which protocol branches did a fuzz campaign
+//! actually reach?
+//!
+//! A fuzz campaign that never triggers a round change, never pulls a
+//! decision gap and never offers a snapshot is only *vacuously* green —
+//! the recovery machinery it claims to audit never ran. The
+//! [`CoverageReport`] makes that visible: it folds the protocol
+//! counters every run already maintains (both stacks bump them under
+//! the same logical names) into a per-branch tally, so a suite can
+//! print — and assert on — what its campaign exercised.
+//!
+//! This is deliberately cheap instrumentation: no new hooks, no
+//! tracing — just an aggregation over [`fortika_net::Counters`], which
+//! the cluster hands out for free after every run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fortika_net::Counters;
+
+/// One protocol branch the report tracks: a logical name plus the
+/// counter keys (one per stack, usually) that witness it.
+struct Branch {
+    name: &'static str,
+    /// Counter keys summed into this branch (modular + monolithic
+    /// spellings of the same protocol event).
+    keys: &'static [&'static str],
+}
+
+/// The protocol branches a chaos campaign can reach, with the counters
+/// that witness each. Extend this table as new recovery paths grow
+/// counters.
+const BRANCHES: &[Branch] = &[
+    Branch {
+        name: "round_changes",
+        keys: &["consensus.round_changes", "mono.round_changes"],
+    },
+    Branch {
+        name: "progress_rotations",
+        keys: &["consensus.progress_rotations", "mono.progress_rotations"],
+    },
+    Branch {
+        name: "gap_pulls",
+        keys: &["consensus.gap_requests", "mono.gap_requests"],
+    },
+    Branch {
+        name: "tag_misses",
+        keys: &["consensus.tag_misses", "mono.tag_misses"],
+    },
+    Branch {
+        name: "state_transfers",
+        keys: &["consensus.state_transfers", "mono.state_transfers"],
+    },
+    Branch {
+        name: "snapshot_offers",
+        keys: &["consensus.snapshot_transfers", "mono.snapshot_transfers"],
+    },
+    Branch {
+        name: "snapshot_installs",
+        keys: &["consensus.snapshots_installed", "mono.snapshots_installed"],
+    },
+    Branch {
+        name: "join_requests",
+        keys: &["consensus.join_requests", "mono.join_requests"],
+    },
+    Branch {
+        name: "rejoins_completed",
+        keys: &["consensus.rejoins_completed", "mono.rejoins_completed"],
+    },
+    Branch {
+        name: "idle_proposals",
+        keys: &["abcast.idle_proposals"],
+    },
+    Branch {
+        name: "pipelined_proposals",
+        keys: &["abcast.pipelined_proposals", "mono.pipelined_proposals"],
+    },
+    Branch {
+        name: "sender_retransmits",
+        keys: &["abcast.retransmits"],
+    },
+    Branch {
+        name: "estimate_solicitations",
+        keys: &["mono.estimate_requests"],
+    },
+    Branch {
+        name: "stale_incarnation_drops",
+        keys: &["chaos.dropped_stale_incarnation"],
+    },
+];
+
+/// Aggregated protocol-branch coverage of a fuzz campaign.
+///
+/// Feed it each run's final counters with [`absorb`](Self::absorb)
+/// (e.g. `report.absorb(cluster.counters())`), then print it or query
+/// individual branches. `Display` renders a table of every tracked
+/// branch with its total event count and how many runs reached it.
+///
+/// # Example
+///
+/// ```
+/// use fortika_chaos::CoverageReport;
+/// use fortika_net::Counters;
+///
+/// let mut report = CoverageReport::new();
+/// let mut counters = Counters::new();
+/// counters.bump("mono.round_changes", 3);
+/// report.absorb(&counters);
+/// assert_eq!(report.runs(), 1);
+/// assert_eq!(report.total("round_changes"), 3);
+/// assert!(report.reached("round_changes"));
+/// assert!(!report.reached("gap_pulls"));
+/// assert!(report.missed().contains(&"gap_pulls"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoverageReport {
+    runs: u64,
+    /// branch name -> (total events, runs in which the branch fired).
+    tallies: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl CoverageReport {
+    /// An empty report (zero runs).
+    pub fn new() -> Self {
+        CoverageReport::default()
+    }
+
+    /// Folds one run's final counters into the report.
+    pub fn absorb(&mut self, counters: &Counters) {
+        self.runs += 1;
+        for branch in BRANCHES {
+            let hits: u64 = branch.keys.iter().map(|k| counters.event(k)).sum();
+            let entry = self.tallies.entry(branch.name).or_insert((0, 0));
+            entry.0 += hits;
+            entry.1 += u64::from(hits > 0);
+        }
+    }
+
+    /// Number of runs absorbed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total events of `branch` across all absorbed runs (zero for
+    /// unknown branches).
+    pub fn total(&self, branch: &str) -> u64 {
+        self.tallies.get(branch).map_or(0, |(t, _)| *t)
+    }
+
+    /// True when at least one absorbed run reached `branch`.
+    pub fn reached(&self, branch: &str) -> bool {
+        self.total(branch) > 0
+    }
+
+    /// The tracked branches no absorbed run ever reached — the holes in
+    /// the campaign (a non-empty result is not a failure by itself:
+    /// e.g. a restart-free campaign never completes a rejoin).
+    pub fn missed(&self) -> Vec<&'static str> {
+        BRANCHES
+            .iter()
+            .map(|b| b.name)
+            .filter(|name| !self.reached(name))
+            .collect()
+    }
+
+    /// All tracked branch names, in table order.
+    pub fn branch_names() -> Vec<&'static str> {
+        BRANCHES.iter().map(|b| b.name).collect()
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario coverage over {} runs:", self.runs)?;
+        for branch in BRANCHES {
+            let (total, in_runs) = self.tallies.get(branch.name).copied().unwrap_or((0, 0));
+            let mark = if total > 0 { "reached" } else { "  -    " };
+            writeln!(
+                f,
+                "  {:<24} {mark} {total:>10} events in {in_runs}/{} runs",
+                branch.name, self.runs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_both_stacks_spellings() {
+        let mut report = CoverageReport::new();
+        let mut modular = Counters::new();
+        modular.bump("consensus.gap_requests", 2);
+        modular.bump("abcast.idle_proposals", 1);
+        let mut mono = Counters::new();
+        mono.bump("mono.gap_requests", 5);
+        report.absorb(&modular);
+        report.absorb(&mono);
+        assert_eq!(report.runs(), 2);
+        assert_eq!(report.total("gap_pulls"), 7);
+        assert!(report.reached("idle_proposals"));
+        assert!(!report.reached("snapshot_offers"));
+    }
+
+    #[test]
+    fn missed_lists_unreached_branches() {
+        let report = CoverageReport::new();
+        assert_eq!(report.missed().len(), CoverageReport::branch_names().len());
+        let mut report = report;
+        let mut c = Counters::new();
+        c.bump("chaos.dropped_stale_incarnation", 1);
+        report.absorb(&c);
+        assert!(!report.missed().contains(&"stale_incarnation_drops"));
+        assert!(report.missed().contains(&"round_changes"));
+    }
+
+    #[test]
+    fn display_renders_every_branch() {
+        let mut report = CoverageReport::new();
+        let mut c = Counters::new();
+        c.bump("mono.round_changes", 1);
+        report.absorb(&c);
+        let text = report.to_string();
+        for name in CoverageReport::branch_names() {
+            assert!(text.contains(name), "missing branch {name} in display");
+        }
+        assert!(text.contains("reached"));
+    }
+}

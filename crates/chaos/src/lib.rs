@@ -24,6 +24,19 @@
 //! * [`ScriptedDriver`] / [`LoadPlan`] — a blocking-caller workload
 //!   driver that submits a scripted plan, skips crashed senders and
 //!   feeds the oracle.
+//! * [`CoverageReport`] — scenario-coverage metrics: folds each run's
+//!   protocol counters into a per-branch tally (round changes, gap
+//!   pulls, snapshot offers, idle proposals, stale-incarnation drops…)
+//!   so a fuzz campaign can print which recovery paths it actually
+//!   exercised instead of passing vacuously.
+//!
+//! Scenarios also carry a **configuration axis**: the generator draws a
+//! windowed-sequencer depth per scenario
+//! ([`Scenario::pipeline_depth`], bounded by
+//! [`ChaosProfile::max_pipeline_depth`]), so every fault family is
+//! fuzzed against pipelined instance execution too — harnesses apply it
+//! through `StackConfig::pipeline_depth` and the oracle's obligations
+//! are unchanged (pipelining must never show in delivery order).
 //!
 //! Everything is deterministic: a `(scenario, cluster seed)` pair
 //! replays bit-for-bit, so any violation the fuzzer finds is a
@@ -84,10 +97,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coverage;
 mod driver;
 mod oracle;
 mod scenario;
 
+pub use coverage::CoverageReport;
 pub use driver::{LoadPlan, ScriptedDriver, Submission};
 pub use oracle::{check_orders, DeliveryOracle, OracleReport, Violation};
 pub use scenario::{ChaosProfile, Scenario, ScenarioEvent};

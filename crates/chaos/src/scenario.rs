@@ -172,15 +172,51 @@ pub enum ScenarioEvent {
 /// let report = check_orders(&[vec![a, b], vec![b, a]], &[ProcessId(0), ProcessId(1)], &[]);
 /// assert!(matches!(report.violations[0], Violation::Disagreement { .. }));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     events: Vec<ScenarioEvent>,
+    /// Windowed-sequencer depth the run under this scenario should use
+    /// (`StackConfig::pipeline_depth` in `fortika-core`). Not a fault:
+    /// a *configuration* axis the fuzzer varies so every fault family
+    /// is also exercised against pipelined runs.
+    pipeline_depth: usize,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            events: Vec::new(),
+            pipeline_depth: 1,
+        }
+    }
 }
 
 impl Scenario {
     /// An empty (fault-free) scenario.
     pub fn new() -> Self {
         Scenario::default()
+    }
+
+    /// Sets the windowed-sequencer depth α runs under this scenario
+    /// should configure (see [`Scenario::pipeline_depth`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "pipeline depth must be at least 1");
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// The windowed-sequencer depth α this scenario asks the stacks to
+    /// run with (default 1, the seed-faithful sequential regime). The
+    /// random generator draws it from its own stream
+    /// ([`ChaosProfile::max_pipeline_depth`]), so every generated fault
+    /// timeline is also fuzzed against pipelined instance execution;
+    /// harnesses apply it via `StackConfig::pipeline_depth`.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
     }
 
     /// The timeline events, in insertion order.
@@ -804,6 +840,15 @@ impl Scenario {
             s = s.false_suspicion(observer, suspect, from, until);
         }
 
+        // Pipeline depth: a configuration axis, not a fault — drawn
+        // uniformly from 1..=max so every fault family above is also
+        // fuzzed against pipelined instance execution. A derived stream
+        // keeps the fault-window shapes identical across this feature.
+        if profile.max_pipeline_depth > 1 {
+            let mut depth_rng = DetRng::derive(seed, 0xA1FA);
+            s.pipeline_depth = 1 + depth_rng.below(profile.max_pipeline_depth as u64) as usize;
+        }
+
         s
     }
 }
@@ -861,6 +906,11 @@ pub struct ChaosProfile {
     pub slow_prob: f64,
     /// Probability of a scripted false-suspicion window.
     pub false_suspicion_prob: f64,
+    /// Upper bound of the windowed-sequencer depth drawn per scenario
+    /// (uniform in `1..=max_pipeline_depth`, from a derived RNG stream
+    /// so fault-window shapes are preserved). `1` pins every run to the
+    /// seed-faithful sequential regime.
+    pub max_pipeline_depth: usize,
 }
 
 impl Default for ChaosProfile {
@@ -879,6 +929,7 @@ impl Default for ChaosProfile {
             degrade_prob: 0.25,
             slow_prob: 0.25,
             false_suspicion_prob: 0.35,
+            max_pipeline_depth: 4,
         }
     }
 }
@@ -1086,6 +1137,44 @@ mod tests {
             }
         }
         assert!(any_recrash, "recrash_prob 1.0 never produced a recrash");
+    }
+
+    #[test]
+    fn generator_draws_bounded_pipeline_depths() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..60u64 {
+            let a = Scenario::random(4, seed, &ChaosProfile::default());
+            let b = Scenario::random(4, seed, &ChaosProfile::default());
+            assert_eq!(
+                a.pipeline_depth(),
+                b.pipeline_depth(),
+                "seed {seed}: depth draw not reproducible"
+            );
+            assert!(
+                (1..=4).contains(&a.pipeline_depth()),
+                "seed {seed}: depth {} out of 1..=4",
+                a.pipeline_depth()
+            );
+            seen.insert(a.pipeline_depth());
+        }
+        assert!(seen.len() > 2, "depth barely varies: {seen:?}");
+        // Depth 1 pins the sequential regime.
+        let pinned = ChaosProfile {
+            max_pipeline_depth: 1,
+            ..ChaosProfile::default()
+        };
+        for seed in 0..10u64 {
+            assert_eq!(Scenario::random(4, seed, &pinned).pipeline_depth(), 1);
+        }
+        // Hand-built scenarios default to 1 and are overridable.
+        assert_eq!(Scenario::new().pipeline_depth(), 1);
+        assert_eq!(Scenario::new().with_pipeline_depth(6).pipeline_depth(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_pipeline_depth_rejected() {
+        let _ = Scenario::new().with_pipeline_depth(0);
     }
 
     #[test]

@@ -25,6 +25,17 @@
 //! estimates from a majority — which intersects every ack quorum — and
 //! adopts the max-timestamp estimate.
 //!
+//! # Pipelined instances
+//!
+//! All per-instance state — protocol rounds, durable vote records, the
+//! decided log and its watermark GC — is keyed by instance number, so
+//! any number of instances may run **concurrently**: the module is
+//! agnostic to how far ahead the delivery layer's windowed sequencer
+//! proposes ([`ConsensusConfig::pipeline_depth`] only informs the gap
+//! heuristic, which must not mistake in-flight window instances for
+//! missed decisions). Decisions are raised as they land; the layer
+//! above buffers and applies them strictly in instance order.
+//!
 //! # Crash-recovery
 //!
 //! A process revived via `Cluster::schedule_restart` loses all volatile
@@ -130,6 +141,17 @@ pub struct ConsensusConfig {
     /// snapshotting — then a joiner whose gap was evicted everywhere
     /// stalls forever (`consensus.join_unservable`).
     pub snapshot_interval: u64,
+    /// The delivery layer's windowed-sequencer depth α (how many
+    /// instances it keeps in flight concurrently; see
+    /// `AbcastConfig::pipeline_depth` in `fortika-abcast`).
+    ///
+    /// The module runs any number of instances concurrently regardless —
+    /// per-instance state, durable vote records and the watermark GC are
+    /// all keyed by instance — but its *gap heuristic* needs the depth:
+    /// traffic for an instance within `watermark + α` is normal
+    /// pipelining, not evidence of missed decisions, so only sightings
+    /// beyond the window trigger decision pulls.
+    pub pipeline_depth: u64,
 }
 
 impl Default for ConsensusConfig {
@@ -139,6 +161,7 @@ impl Default for ConsensusConfig {
             sweep_interval: VDur::millis(250),
             decision_cache: 1024,
             snapshot_interval: 256,
+            pipeline_depth: 1,
         }
     }
 }
@@ -438,7 +461,10 @@ impl ConsensusModule {
     fn maybe_request_gap(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, seen: u64) {
         self.highest_seen = self.highest_seen.max(seen);
         let watermark = self.decided_log.watermark();
-        if seen <= watermark || from == ctx.pid() {
+        // Instances inside the pipeline window above the contiguous
+        // decided watermark are normally in flight, not missing.
+        let expected = watermark + self.cfg.pipeline_depth.max(1) - 1;
+        if seen <= expected || from == ctx.pid() {
             return;
         }
         // Rate limited per peer: throttling catch-up toward one lagging
@@ -1150,7 +1176,8 @@ impl Microprotocol for ConsensusModule {
                 // replies from re-requesting the same range.
                 let now = ctx.now();
                 let watermark = self.decided_log.watermark();
-                if self.highest_seen > watermark
+                let expected = watermark + self.cfg.pipeline_depth.max(1) - 1;
+                if self.highest_seen > expected
                     && self.gap_limiter.allow(from, now, VDur::millis(5))
                 {
                     let hi = self.highest_seen;

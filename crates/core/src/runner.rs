@@ -73,12 +73,21 @@ impl Experiment {
             .as_ref()
             .map(|s| s.suspicion_windows())
             .unwrap_or_default();
-        let nodes = build_nodes_with_windows(self.kind, self.n, &self.stack, &windows);
+        // A scenario may carry a windowed-sequencer depth (the chaos
+        // generator draws one so fault fuzzing also covers pipelined
+        // runs); the deeper of the two requests wins, so an explicit
+        // stack_config override is never silently weakened.
+        let mut stack = self.stack.clone();
+        if let Some(scenario) = &self.scenario {
+            stack.pipeline_depth = stack.pipeline_depth.max(scenario.pipeline_depth());
+        }
+        let stack = &stack;
+        let nodes = build_nodes_with_windows(self.kind, self.n, stack, &windows);
         let mut cluster = Cluster::new(cluster_cfg, nodes);
         if let Some(scenario) = &self.scenario {
             // Crash-recovery support: scenarios may revive crashed
             // processes, which needs a factory for fresh stacks.
-            crate::stack::install_restart_factory(&mut cluster, self.kind, &self.stack, &windows);
+            crate::stack::install_restart_factory(&mut cluster, self.kind, stack, &windows);
             scenario.apply(&mut cluster);
         }
 
@@ -265,7 +274,11 @@ impl ExperimentBuilder {
     /// faults and scripted suspicions run against this experiment, the
     /// runner registers the crash-recovery restart factory, and the
     /// delivery-invariant oracle audits every `adeliver` (see
-    /// [`RunReport::oracle`]).
+    /// [`RunReport::oracle`]). A scenario that carries a windowed-
+    /// sequencer depth (`Scenario::pipeline_depth` — the chaos
+    /// generator draws one per scenario) raises the stack's
+    /// `pipeline_depth` to at least that value, so generated fault
+    /// timelines also fuzz pipelined instance execution.
     ///
     /// # Example: crash-recovery under audit
     ///

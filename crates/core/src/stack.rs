@@ -59,6 +59,17 @@ pub struct StackConfig {
     /// Decision cache depth, applied to both stacks (overrides the
     /// per-stack `decision_cache` fields).
     pub decision_cache: usize,
+    /// Windowed-sequencer depth α, applied to **both** stacks
+    /// (overrides the per-stack `pipeline_depth` fields): how many
+    /// consensus instances each process keeps in flight concurrently.
+    /// `1` (the default) reproduces the paper's strictly sequential
+    /// instance execution; larger depths overlap decision round-trips
+    /// while decisions are still applied strictly in instance order.
+    /// The effective batch supply is bounded by the flow-control
+    /// [`window`](StackConfig::window): a deep pipeline only fills when
+    /// the flow windows offer enough distinct messages for α disjoint
+    /// batches.
+    pub pipeline_depth: usize,
     /// Optional application-state hook folded into snapshots: each
     /// process gets its own state machine, advanced on every delivered
     /// message, encoded into snapshots and restored on install (see
@@ -77,6 +88,7 @@ impl Default for StackConfig {
             abcast: AbcastConfig::default(),
             snapshot_interval: 256,
             decision_cache: 1024,
+            pipeline_depth: 1,
             app_state: None,
         }
     }
@@ -111,7 +123,7 @@ pub fn build_node_with_windows(
             };
             Box::new(CompositeStack::new(vec![
                 Box::new(FlowControlModule::new(cfg.window)),
-                Box::new(AbcastModule::new(cfg.abcast.clone())),
+                Box::new(AbcastModule::new(abcast_config(cfg))),
                 Box::new(ConsensusModule::new(consensus_config(cfg)).with_app(app)),
                 Box::new(RbcastModule::new(cfg.rbcast.clone())),
                 fd_module,
@@ -128,12 +140,22 @@ pub fn build_node_with_windows(
     }
 }
 
+/// The modular abcast configuration with the stack-wide pipeline knob
+/// applied.
+fn abcast_config(cfg: &StackConfig) -> AbcastConfig {
+    AbcastConfig {
+        pipeline_depth: cfg.pipeline_depth.max(1) as u64,
+        ..cfg.abcast.clone()
+    }
+}
+
 /// The modular consensus configuration with the stack-wide snapshot and
 /// cache knobs applied.
 fn consensus_config(cfg: &StackConfig) -> ConsensusConfig {
     ConsensusConfig {
         snapshot_interval: cfg.snapshot_interval,
         decision_cache: cfg.decision_cache,
+        pipeline_depth: cfg.pipeline_depth.max(1) as u64,
         ..cfg.consensus.clone()
     }
 }
@@ -145,6 +167,7 @@ fn mono_config(cfg: &StackConfig) -> MonoConfig {
         window: cfg.window,
         snapshot_interval: cfg.snapshot_interval,
         decision_cache: cfg.decision_cache,
+        pipeline_depth: cfg.pipeline_depth.max(1),
         ..MonoConfig::default()
     }
 }
@@ -201,7 +224,7 @@ pub fn build_restarted_node(
             };
             Box::new(CompositeStack::new(vec![
                 Box::new(FlowControlModule::new(cfg.window)),
-                Box::new(AbcastModule::new(cfg.abcast.clone())),
+                Box::new(AbcastModule::new(abcast_config(cfg))),
                 Box::new(ConsensusModule::resume(consensus_config(cfg), stable).with_app(app)),
                 Box::new(RbcastModule::resume(cfg.rbcast.clone(), stable)),
                 fd_module,

@@ -22,12 +22,20 @@
 //! `2(n−1)` messages per consensus instance — against
 //! `(n−1)(M + 2 + ⌊(n+1)/2⌋)` for the modular stack (§5.2.1).
 //!
+//! The proposal path is a windowed sequencer
+//! ([`MonoConfig::pipeline_depth`]): at the default depth 1 consensus
+//! slots run strictly one at a time as in the paper, while larger
+//! depths keep α slots outstanding concurrently (their decision
+//! round-trips overlap; decisions are still applied strictly in
+//! instance order, and the pool is deduplicated against batches already
+//! proposed in live slots).
+//!
 //! Safety is the same Chandra–Toueg argument as in `fortika-consensus`:
 //! deciding requires a majority of acks for an exact `(instance, round)`;
 //! acks lock the proposal with adoption timestamp `round+1`; coordinators
 //! of later rounds adopt the max-timestamp estimate from a majority.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use bytes::Bytes;
 use fortika_fd::{FailureDetector, FdEvent};
@@ -127,6 +135,21 @@ pub struct MonoConfig {
     /// snapshotting — then a joiner whose gap was evicted everywhere
     /// stalls forever (`mono.join_unservable`).
     pub snapshot_interval: u64,
+    /// The windowed-sequencer depth α: how many consensus slots this
+    /// node keeps outstanding concurrently.
+    ///
+    /// `1` (the default) is the seed-faithful regime — the coordinator
+    /// starts slot `k+1` only once slot `k`'s decision was applied
+    /// locally (modulo O1, which combines `decision k` with `proposal
+    /// k+1` in one message). Larger depths let the coordinator keep α
+    /// slots in flight, overlapping their decision round-trips; the
+    /// pool is deduplicated against batches already proposed in live
+    /// slots, and decisions are still **applied strictly in instance
+    /// order**. Interaction with flow control: each sender may hold at
+    /// most [`window`](MonoConfig::window) own messages outstanding, so
+    /// a deep pipeline only fills when the flow windows offer enough
+    /// distinct messages for α disjoint batches.
+    pub pipeline_depth: usize,
 }
 
 impl Default for MonoConfig {
@@ -139,6 +162,7 @@ impl Default for MonoConfig {
             idle_timeout: VDur::secs(1),
             decision_cache: 1024,
             snapshot_interval: 256,
+            pipeline_depth: 1,
         }
     }
 }
@@ -378,6 +402,41 @@ impl MonoNode {
         Batch::normalize(self.pool.values().cloned().collect())
     }
 
+    /// First free consensus slot in the proposal window, or `None` while
+    /// the window is full. A slot is busy when it is already decided
+    /// (applied or buffered) or carries live instance state; the window
+    /// spans `pipeline_depth` slots from the apply cursor.
+    fn open_slot(&self) -> Option<u64> {
+        let depth = self.cfg.pipeline_depth.max(1);
+        if self.instances.len() >= depth {
+            return None;
+        }
+        (self.next_decide..self.next_decide + depth as u64)
+            .find(|k| !self.is_decided(*k) && !self.instances.contains_key(k))
+    }
+
+    /// The pool minus messages already claimed by a live proposal in an
+    /// outstanding slot (the pipeline dedup: a message rides at most one
+    /// in-flight batch at a time).
+    fn fresh_pool_batch(&self) -> Batch {
+        let mut claimed: BTreeSet<MsgId> = BTreeSet::new();
+        for inst in self.instances.values() {
+            if let Some((_, v)) = &inst.last_proposal {
+                claimed.extend(v.msgs().iter().map(|m| m.id));
+            }
+        }
+        if claimed.is_empty() {
+            return self.pool_batch();
+        }
+        Batch::normalize(
+            self.pool
+                .values()
+                .filter(|m| !claimed.contains(&m.id))
+                .cloned()
+                .collect(),
+        )
+    }
+
     fn send(&self, ctx: &mut NodeCtx<'_>, dst: ProcessId, kind: &'static str, msg: &MonoMsg) {
         ctx.send(dst, kind, encode(msg));
     }
@@ -410,53 +469,76 @@ impl MonoNode {
         msgs
     }
 
-    /// Bootstraps instance `next_decide` when we hold work for it.
+    /// Bootstraps consensus slots while we hold fresh work and the
+    /// proposal window has room (one slot per pass at the seed-faithful
+    /// depth 1; up to `pipeline_depth` outstanding slots beyond it).
     fn try_start_instance(&mut self, ctx: &mut NodeCtx<'_>) {
-        if !self.instances.is_empty() {
-            return;
-        }
-        let k = self.next_decide;
-        if self.is_decided(k) || self.pool.is_empty() {
-            return;
-        }
-        let n = ctx.n();
-        let me = ctx.pid();
-        let now = ctx.now();
-        let inst = self.inst_entry(k, now);
-        if Self::coordinator(0, n) == me && inst.round == 0 && inst.proposal_sent_round.is_none() {
-            // A lock recovered from stable storage pins the proposal
-            // value (re-proposing anything else in the same round could
-            // split the tag-decide receivers); otherwise propose the
-            // current pool.
-            let locked = inst.estimate.clone();
-            let batch = locked.unwrap_or_else(|| self.pool_batch());
-            let inst = self.instances.get_mut(&k).expect("created above");
-            inst.estimate = Some(batch.clone());
-            inst.ts = 1;
-            inst.last_proposal = Some((0, batch.clone()));
-            inst.proposal_sent_round = Some(0);
-            inst.acks.insert(me);
-            ctx.bump("mono.proposals", 1);
-            self.persist_vote(ctx, k, 0, 1, &batch);
-            self.broadcast(
-                ctx,
-                "mono.proposal",
-                &MonoMsg::Step {
-                    decision: None,
-                    proposal: Some(Proposal {
-                        instance: k,
-                        round: 0,
-                        value: batch,
-                    }),
-                },
-            );
-            self.check_decide(ctx, k);
-        } else {
-            // Instance registered (above) so round rotation can engage;
-            // if its coordinator is already suspected, rotate now.
-            let round = inst.round;
-            if self.suspected.contains(&Self::coordinator(round, n)) {
-                self.advance_round(ctx, k);
+        loop {
+            let Some(k) = self.open_slot() else { return };
+            if self.pool.is_empty() {
+                return;
+            }
+            let n = ctx.n();
+            let me = ctx.pid();
+            let now = ctx.now();
+            if Self::coordinator(0, n) != me {
+                // Instance registered so round rotation can engage; if
+                // its coordinator is already suspected, rotate now. No
+                // batch is needed on this path — keep it cheap, it runs
+                // on every non-coordinator message arrival.
+                let inst = self.inst_entry(k, now);
+                let round = inst.round;
+                if self.suspected.contains(&Self::coordinator(round, n)) {
+                    self.advance_round(ctx, k);
+                }
+                return;
+            }
+            let fresh = self.fresh_pool_batch();
+            if fresh.is_empty() {
+                return; // everything pending already rides a live slot
+            }
+            let inst = self.inst_entry(k, now);
+            if inst.round == 0 && inst.proposal_sent_round.is_none() {
+                // A lock recovered from stable storage pins the proposal
+                // value (re-proposing anything else in the same round
+                // could split the tag-decide receivers); otherwise
+                // propose the fresh (unclaimed) pool.
+                let locked = inst.estimate.clone();
+                let batch = locked.unwrap_or(fresh);
+                let inst = self.instances.get_mut(&k).expect("created above");
+                inst.estimate = Some(batch.clone());
+                inst.ts = 1;
+                inst.last_proposal = Some((0, batch.clone()));
+                inst.proposal_sent_round = Some(0);
+                inst.acks.insert(me);
+                ctx.bump("mono.proposals", 1);
+                if k > self.next_decide {
+                    ctx.bump("mono.pipelined_proposals", 1);
+                }
+                self.persist_vote(ctx, k, 0, 1, &batch);
+                self.broadcast(
+                    ctx,
+                    "mono.proposal",
+                    &MonoMsg::Step {
+                        decision: None,
+                        proposal: Some(Proposal {
+                            instance: k,
+                            round: 0,
+                            value: batch,
+                        }),
+                    },
+                );
+                self.check_decide(ctx, k);
+                // Loop: with depth > 1 another slot may still be open.
+            } else {
+                // Coordinator, but a recovered later-round lock forbids
+                // a round-0 proposal: the instance is registered
+                // (above); rotate if its coordinator is suspected.
+                let round = inst.round;
+                if self.suspected.contains(&Self::coordinator(round, n)) {
+                    self.advance_round(ctx, k);
+                }
+                return;
             }
         }
     }
@@ -535,18 +617,23 @@ impl MonoNode {
         // the decision we are about to emit.
         self.apply_decisions_core(ctx);
 
-        // Assemble the next proposal if we have work and still coordinate
-        // (and no recovered later-round lock forbids a round-0 proposal).
-        let k1 = self.next_decide;
-        let can_propose = self.instances.is_empty()
-            && !self.pool.is_empty()
-            && !self.is_decided(k1)
-            && Self::coordinator(0, n) == me
-            && self.recovered_votes.get(&k1).is_none_or(|r| r.round == 0);
-        if can_propose {
+        // Assemble the next proposal if the window has a free slot, we
+        // have fresh work and still coordinate (and no recovered
+        // later-round lock forbids a round-0 proposal). Cheap gates
+        // first; the fresh (dedup) set is only built when they pass.
+        let followup = self
+            .open_slot()
+            .filter(|k1| {
+                !self.pool.is_empty()
+                    && Self::coordinator(0, n) == me
+                    && self.recovered_votes.get(k1).is_none_or(|r| r.round == 0)
+            })
+            .map(|k1| (k1, self.fresh_pool_batch()))
+            .filter(|(_, fresh)| !fresh.is_empty());
+        if let Some((k1, fresh)) = followup {
             let now = ctx.now();
             let locked = self.inst_entry(k1, now).estimate.clone();
-            let batch = locked.unwrap_or_else(|| self.pool_batch());
+            let batch = locked.unwrap_or(fresh);
             let inst = self.instances.get_mut(&k1).expect("created above");
             inst.estimate = Some(batch.clone());
             inst.ts = 1;
@@ -554,6 +641,12 @@ impl MonoNode {
             inst.proposal_sent_round = Some(0);
             inst.acks.insert(me);
             ctx.bump("mono.proposals", 1);
+            if k1 > self.next_decide {
+                // The combined step overlaps an instance still in
+                // flight below it: count it as pipeline engagement
+                // like the standalone path does.
+                ctx.bump("mono.pipelined_proposals", 1);
+            }
             self.persist_vote(ctx, k1, 0, 1, &batch);
             let proposal = Proposal {
                 instance: k1,
@@ -598,6 +691,11 @@ impl MonoNode {
                     proposal: None,
                 },
             );
+        }
+        // With a window deeper than one, the combined Step fills only
+        // one slot — standalone proposals may still top the window up.
+        if self.cfg.pipeline_depth > 1 {
+            self.try_start_instance(ctx);
         }
     }
 
@@ -713,7 +811,10 @@ impl MonoNode {
         while let Some(batch) = self.decision_buffer.remove(&self.next_decide) {
             let k = self.next_decide;
             let mut own_delivered = 0;
-            for m in batch.into_msgs() {
+            // By reference: the same decided batch is shared (Arc) with
+            // the decision cache and the snapshot fold — don't copy it
+            // just to read ids and payload sizes.
+            for m in batch.msgs() {
                 if !self.msg_is_new(m.id) {
                     continue;
                 }
@@ -790,7 +891,7 @@ impl MonoNode {
                 // per-peer rate limit keeps the batch's several replies
                 // from each re-requesting the same range.
                 let now = ctx.now();
-                if self.highest_seen_instance > self.next_decide
+                if self.highest_seen_instance > self.expected_frontier()
                     && !self.is_decided(self.next_decide)
                     && self.gap_limiter.allow(from, now, VDur::millis(5))
                 {
@@ -824,9 +925,17 @@ impl MonoNode {
         }
     }
 
+    /// Highest instance that can legitimately be in flight while our
+    /// apply cursor sits at `next_decide`: anything seen beyond it means
+    /// decisions were missed (the α = 1 frontier is `next_decide`
+    /// itself).
+    fn expected_frontier(&self) -> u64 {
+        self.next_decide + self.cfg.pipeline_depth.max(1) as u64 - 1
+    }
+
     fn maybe_request_gap(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, seen_instance: u64) {
         self.highest_seen_instance = self.highest_seen_instance.max(seen_instance);
-        if seen_instance <= self.next_decide || self.is_decided(self.next_decide) {
+        if seen_instance <= self.expected_frontier() || self.is_decided(self.next_decide) {
             return;
         }
         // Rate limited per peer: throttling catch-up toward one lagging

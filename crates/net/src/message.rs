@@ -1,5 +1,7 @@
 //! Application-level messages.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 
 use crate::id::MsgId;
@@ -51,9 +53,15 @@ impl Wire for AppMsg {
 /// Within a batch, delivery order is deterministic: ascending [`MsgId`]
 /// (sender, then sequence number). [`Batch::normalize`] establishes that
 /// order and drops duplicates, so that equal batches have equal encodings.
+///
+/// The message vector is shared behind an [`Arc`]: a decided batch is
+/// held simultaneously by the decision cache, the in-order apply
+/// buffer, per-instance protocol state and the snapshot fold, so
+/// `clone()` must be a reference-count bump, not a deep copy of every
+/// payload.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Batch {
-    msgs: Vec<AppMsg>,
+    msgs: Arc<Vec<AppMsg>>,
 }
 
 impl Batch {
@@ -66,7 +74,9 @@ impl Batch {
     pub fn normalize(mut msgs: Vec<AppMsg>) -> Self {
         msgs.sort_by_key(|m| m.id);
         msgs.dedup_by_key(|m| m.id);
-        Batch { msgs }
+        Batch {
+            msgs: Arc::new(msgs),
+        }
     }
 
     /// Messages in delivery order.
@@ -90,8 +100,13 @@ impl Batch {
     }
 
     /// Consumes the batch, yielding messages in delivery order.
+    ///
+    /// Cheap only when this is the last reference to the shared vector;
+    /// otherwise the messages are copied out. Hot paths that only need
+    /// to *read* the messages should iterate [`msgs`](Self::msgs)
+    /// instead.
     pub fn into_msgs(self) -> Vec<AppMsg> {
-        self.msgs
+        Arc::try_unwrap(self.msgs).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 

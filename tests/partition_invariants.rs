@@ -12,7 +12,7 @@
 //! validity (a liveness property) is *not* asserted here; the
 //! `random_schedules` suite covers it with loss-free scenarios.
 
-use fortika::chaos::{ChaosProfile, LoadPlan, Scenario, ScriptedDriver};
+use fortika::chaos::{ChaosProfile, CoverageReport, LoadPlan, Scenario, ScriptedDriver};
 use fortika::core::{build_nodes_with_windows, install_restart_factory, StackConfig, StackKind};
 use fortika::net::{Cluster, ClusterConfig, MsgId, ProcessId};
 use fortika::sim::{VDur, VTime};
@@ -33,20 +33,27 @@ type DeliveryLogs = Vec<Vec<(MsgId, VTime)>>;
 /// logs (with timestamps) and the scenario's correct set.
 fn run_once(kind: StackKind, n: usize, seed: u64) -> (DeliveryLogs, Vec<ProcessId>, Scenario) {
     let scenario = Scenario::random(n, seed, &profile());
-    run_once_with(kind, n, seed, &scenario)
+    run_once_with(kind, n, seed, &scenario, None)
 }
 
-/// Like [`run_once`] with an explicit scenario.
+/// Like [`run_once`] with an explicit scenario, optionally folding the
+/// run's protocol counters into a campaign-wide coverage report. The
+/// scenario's drawn pipeline depth is applied to the stack, so the
+/// random campaigns fuzz pipelined instance execution too.
 fn run_once_with(
     kind: StackKind,
     n: usize,
     seed: u64,
     scenario: &Scenario,
+    coverage: Option<&mut CoverageReport>,
 ) -> (DeliveryLogs, Vec<ProcessId>, Scenario) {
     let plan = LoadPlan::random(n, seed, 30, VDur::millis(1800), 1024);
 
     let cfg = ClusterConfig::new(n, seed);
-    let stack_cfg = StackConfig::default();
+    let stack_cfg = StackConfig {
+        pipeline_depth: scenario.pipeline_depth(),
+        ..StackConfig::default()
+    };
     let windows = scenario.suspicion_windows();
     let nodes = build_nodes_with_windows(kind, n, &stack_cfg, &windows);
     let mut cluster = Cluster::new(cfg, nodes);
@@ -63,15 +70,22 @@ fn run_once_with(
         "{} n={n} seed={seed}\nscenario: {scenario:?}",
         kind.label()
     ));
+    if let Some(report) = coverage {
+        report.absorb(cluster.counters());
+    }
     (driver.oracle().logs().to_vec(), correct, scenario.clone())
 }
 
 #[test]
 fn random_fault_scenarios_preserve_safety_on_both_stacks() {
+    let mut coverage = CoverageReport::new();
+    let mut pipelined = 0u64;
     for seed in 0..SCENARIOS {
         let n = 3 + (seed % 3) as usize; // 3, 4, 5
+        let scenario = Scenario::random(n, seed, &profile());
+        pipelined += u64::from(scenario.pipeline_depth() > 1);
         for kind in [StackKind::Modular, StackKind::Monolithic] {
-            let (logs, correct, _) = run_once(kind, n, seed);
+            let (logs, correct, _) = run_once_with(kind, n, seed, &scenario, Some(&mut coverage));
             assert!(!correct.is_empty());
             // The fuzz must actually exercise delivery, not vacuously pass.
             let delivered: usize = logs.iter().map(Vec::len).sum();
@@ -81,6 +95,15 @@ fn random_fault_scenarios_preserve_safety_on_both_stacks() {
                 kind.label()
             );
         }
+    }
+    // Scenario coverage (ROADMAP metric): show which protocol branches
+    // this campaign actually reached, and pin the ones it must reach —
+    // a campaign with crashes, partitions and restarts that never
+    // round-changes or pulls a gap is auditing nothing.
+    println!("{coverage}");
+    assert!(pipelined > 0, "the generator never drew a pipelined run");
+    for must in ["round_changes", "gap_pulls", "idle_proposals"] {
+        assert!(coverage.reached(must), "campaign never reached {must}");
     }
 }
 
@@ -207,7 +230,7 @@ fn random_restart_scenarios_preserve_safety_on_both_stacks() {
         }
         assert!(scenario.crashed().is_empty(), "restart_prob 1: all revive");
         for kind in [StackKind::Modular, StackKind::Monolithic] {
-            let (logs, correct, _) = run_once_with(kind, n, seed, &scenario);
+            let (logs, correct, _) = run_once_with(kind, n, seed, &scenario, None);
             assert_eq!(correct.len(), n);
             let delivered: usize = logs.iter().map(Vec::len).sum();
             assert!(

@@ -10,7 +10,7 @@
 //! delivery-invariant oracle. Failures print the offending scenario;
 //! paste its seed into a new pinned test to make it a regression.
 
-use fortika::chaos::{ChaosProfile, LoadPlan, Scenario, ScriptedDriver};
+use fortika::chaos::{ChaosProfile, CoverageReport, LoadPlan, Scenario, ScriptedDriver};
 use fortika::core::{build_nodes_with_windows, install_restart_factory, StackConfig, StackKind};
 use fortika::net::{Cluster, ClusterConfig, ProcessId};
 use fortika::sim::{VDur, VTime};
@@ -31,8 +31,26 @@ fn liveness_preserving_profile() -> ChaosProfile {
 }
 
 fn run_scenario(kind: StackKind, n: usize, seed: u64, scenario: &Scenario, plan: LoadPlan) {
+    run_scenario_covered(kind, n, seed, scenario, plan, None);
+}
+
+/// Like [`run_scenario`], optionally folding the run's counters into a
+/// campaign coverage report. The scenario's drawn pipeline depth is
+/// applied to the stack, so random campaigns also fuzz pipelined runs
+/// — under the unchanged oracle, including validity.
+fn run_scenario_covered(
+    kind: StackKind,
+    n: usize,
+    seed: u64,
+    scenario: &Scenario,
+    plan: LoadPlan,
+    coverage: Option<&mut CoverageReport>,
+) {
     let cfg = ClusterConfig::new(n, seed);
-    let stack_cfg = StackConfig::default();
+    let stack_cfg = StackConfig {
+        pipeline_depth: scenario.pipeline_depth(),
+        ..StackConfig::default()
+    };
     let windows = scenario.suspicion_windows();
     let nodes = build_nodes_with_windows(kind, n, &stack_cfg, &windows);
     let mut cluster = Cluster::new(cfg, nodes);
@@ -55,18 +73,29 @@ fn run_scenario(kind: StackKind, n: usize, seed: u64, scenario: &Scenario, plan:
             "{} n={n} seed={seed}\nscenario: {scenario:?}",
             kind.label()
         ));
+    if let Some(report) = coverage {
+        report.absorb(cluster.counters());
+    }
 }
 
 #[test]
 fn atomic_broadcast_properties_hold_under_random_faults() {
+    let mut coverage = CoverageReport::new();
     for seed in 0..12u64 {
         let n = 3 + (seed % 3) as usize; // 3, 4, 5
         let scenario = Scenario::random(n, seed, &liveness_preserving_profile());
         for kind in [StackKind::Modular, StackKind::Monolithic] {
             let plan = LoadPlan::random(n, seed, 24, VDur::millis(1200), 2048);
-            run_scenario(kind, n, seed, &scenario, plan);
+            run_scenario_covered(kind, n, seed, &scenario, plan, Some(&mut coverage));
         }
     }
+    // Scenario coverage report (ROADMAP metric): what did this
+    // validity-preserving campaign actually reach?
+    println!("{coverage}");
+    assert!(
+        coverage.reached("idle_proposals"),
+        "campaign never exercised the idle-consensus keep-alive"
+    );
 }
 
 /// Hand-picked nasty schedules, pinned as regressions.
