@@ -209,6 +209,12 @@ impl AbcastModule {
         if self.in_flight() > 0 {
             ctx.bump("abcast.pipelined_proposals", 1);
         }
+        ctx.trace_span(
+            "abcast",
+            self.next_propose,
+            "proposed",
+            batch.msgs().len() as u64,
+        );
         ctx.raise(Event::Propose {
             instance: self.next_propose,
             value: batch,
@@ -230,6 +236,7 @@ impl AbcastModule {
                 ids.push(msg.id);
             }
             ctx.bump("abcast.instances_applied", 1);
+            ctx.trace_span("abcast", self.next_decide, "applied", ids.len() as u64);
             if !ids.is_empty() {
                 ctx.bump("abcast.delivered", ids.len() as u64);
                 ctx.raise(Event::Adelivered(ids));
@@ -323,6 +330,7 @@ impl Microprotocol for AbcastModule {
                     ctx.raise(Event::Adelivered(own_done));
                 }
                 ctx.bump("abcast.snapshot_installs", 1);
+                ctx.trace_span("abcast", snapshot.last_included, "snapshot_install", 0);
                 // Buffered decisions past the snapshot may be contiguous
                 // now; deliver them and re-propose what is still pending.
                 self.apply_ready_decisions(ctx);

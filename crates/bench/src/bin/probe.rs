@@ -24,12 +24,20 @@
 //! *committed* files — and fails (exit 1) unless the JSON parses,
 //! covers both stacks, and (for committed files) keeps at least 8
 //! operating points, so the committed bench files cannot silently rot.
+//! Quick mode additionally folds every run's window counters into a
+//! [`CoverageReport`] and writes it to `target/coverage-report.json`.
+//!
+//! `--trace` runs the tracing smoke instead of the sweeps: one traced
+//! run per stack, verifying that the latency decomposition's components
+//! sum to the end-to-end latency and that the JSONL / Chrome exports
+//! under `target/trace/` are well-formed.
 
 use std::fmt::Write as _;
 
 use fortika_bench::json;
+use fortika_chaos::CoverageReport;
 use fortika_core::workload::Workload;
-use fortika_core::{Experiment, RunReport, Scenario, StackConfig, StackKind};
+use fortika_core::{Experiment, RunReport, Scenario, StackConfig, StackKind, TraceConfig};
 use fortika_net::{CostModel, LinkSelector, NetModel, ProcessId};
 use fortika_sim::VDur;
 
@@ -217,7 +225,7 @@ fn print_header(title: &str) {
 }
 
 /// Sweep 1: the good-run modularity comparison (`BENCH_modularity.json`).
-fn sweep_modularity(quick: bool) -> Result<(), String> {
+fn sweep_modularity(quick: bool, coverage: &mut CoverageReport) -> Result<(), String> {
     print_header("modularity (good runs)");
     let points = if quick { POINTS_QUICK } else { POINTS };
     let mut records = Vec::new();
@@ -230,6 +238,7 @@ fn sweep_modularity(quick: bool) -> Result<(), String> {
                 .seed(7)
                 .build();
             let r = exp.run();
+            coverage.absorb(&r.counters);
             print_run_row("good", &r);
             let mut rec = String::new();
             json_point(&mut rec, &r, "");
@@ -243,7 +252,7 @@ fn sweep_modularity(quick: bool) -> Result<(), String> {
 /// and/or degraded links covering the whole measurement window
 /// (`BENCH_degraded.json`). Every run is oracle-audited; the recorded
 /// `oracle_violations` must stay 0.
-fn sweep_degraded(quick: bool) -> Result<(), String> {
+fn sweep_degraded(quick: bool, coverage: &mut CoverageReport) -> Result<(), String> {
     print_header("modularity under resource faults");
     let points = if quick {
         DEGRADED_POINTS_QUICK
@@ -271,6 +280,7 @@ fn sweep_degraded(quick: bool) -> Result<(), String> {
                     .scenario(scenario)
                     .build();
                 let r = exp.run();
+                coverage.absorb(&r.counters);
                 print_run_row(label, &r);
                 let violations = r.oracle.as_ref().map_or(0, |o| o.violations.len());
                 if violations > 0 {
@@ -299,7 +309,7 @@ fn sweep_degraded(quick: bool) -> Result<(), String> {
 
 /// Sweep 3: stable-write cost from free to a 2 ms synchronous barrier
 /// per persisted record (`BENCH_stable_write.json`).
-fn sweep_stable_write(quick: bool) -> Result<(), String> {
+fn sweep_stable_write(quick: bool, coverage: &mut CoverageReport) -> Result<(), String> {
     print_header("stable-write cost");
     let costs = if quick { STABLE_US_QUICK } else { STABLE_US };
     let (n, load, size) = (3usize, 1000.0, 1024usize);
@@ -318,6 +328,7 @@ fn sweep_stable_write(quick: bool) -> Result<(), String> {
                 .cost(cost)
                 .build();
             let r = exp.run();
+            coverage.absorb(&r.counters);
             print_run_row(&format!("{us}us"), &r);
             let extra = format!(
                 ", \"stable_write_us\": {us}, \"max_durability_utilization\": {:.4}",
@@ -338,7 +349,7 @@ fn sweep_stable_write(quick: bool) -> Result<(), String> {
 
 /// Sweep 4: snapshot cadence × load with non-zero snapshot pricing
 /// (`BENCH_snapshot_cadence.json`).
-fn sweep_snapshot_cadence(quick: bool) -> Result<(), String> {
+fn sweep_snapshot_cadence(quick: bool, coverage: &mut CoverageReport) -> Result<(), String> {
     print_header("snapshot cadence");
     let cadences = if quick { CADENCES_QUICK } else { CADENCES };
     let loads = if quick {
@@ -372,6 +383,7 @@ fn sweep_snapshot_cadence(quick: bool) -> Result<(), String> {
                     })
                     .build();
                 let r = exp.run();
+                coverage.absorb(&r.counters);
                 print_run_row(&format!("every {interval}"), &r);
                 let snapshots =
                     r.counters.event("consensus.snapshots") + r.counters.event("mono.snapshots");
@@ -435,7 +447,7 @@ fn fast_cpu() -> CostModel {
 /// depth on both stacks. Self-verified: for each stack, some depth > 1
 /// must beat the depth-1 throughput on at least one operating point,
 /// otherwise the pipeline is not engaging and the sweep fails.
-fn sweep_pipeline(quick: bool) -> Result<(), String> {
+fn sweep_pipeline(quick: bool, coverage: &mut CoverageReport) -> Result<(), String> {
     print_header("pipelined instances (depth x load x regime)");
     let depths = if quick {
         PIPELINE_DEPTHS_QUICK
@@ -472,6 +484,7 @@ fn sweep_pipeline(quick: bool) -> Result<(), String> {
                         })
                         .build();
                     let r = exp.run();
+                    coverage.absorb(&r.counters);
                     print_run_row(&format!("{regime} depth {depth}"), &r);
                     if depth == 1 {
                         baseline.push((kind, regime, load, r.throughput_msgs_per_sec));
@@ -511,14 +524,109 @@ fn sweep_pipeline(quick: bool) -> Result<(), String> {
     )
 }
 
-/// One named sweep: takes `quick`, runs, writes + verifies its file.
-type Sweep = (&'static str, fn(bool) -> Result<(), String>);
+/// Where the tracing smoke writes its exports.
+const TRACE_DIR: &str = "target/trace";
+
+/// The `--trace` smoke: one traced run per stack at a moderate
+/// operating point. Verifies the decomposition identity (queueing +
+/// transmission + CPU = end-to-end, durability ⊆ CPU) and that the
+/// JSONL / Chrome exports under [`TRACE_DIR`] re-read as well-formed.
+fn trace_smoke() -> Result<(), String> {
+    println!("probe --trace: tracing smoke (decomposition + exports)");
+    println!(
+        "{:>10} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "stack", "total", "queue", "wire", "cpu", "durable", "p99", "samples"
+    );
+    std::fs::create_dir_all(TRACE_DIR).map_err(|e| format!("mkdir {TRACE_DIR}: {e}"))?;
+    for kind in [StackKind::Monolithic, StackKind::Modular] {
+        let mut exp = Experiment::builder(kind, 3)
+            .workload(Workload::constant_rate(500.0, 1024))
+            .warmup_secs(0.5)
+            .measure_secs(1.0)
+            .seed(7)
+            .trace(TraceConfig::on())
+            .build();
+        let r = exp.run();
+        let label = kind.label();
+        let d = r
+            .latency_decomposition
+            .ok_or_else(|| format!("{label}: tracing on but no decomposition"))?;
+        if d.samples == 0 {
+            return Err(format!("{label}: no latency samples decomposed"));
+        }
+        let sum = d.queueing.mean_ms + d.transmission.mean_ms + d.cpu.mean_ms;
+        if (sum - d.total.mean_ms).abs() > 1e-6 {
+            return Err(format!(
+                "{label}: decomposition components sum to {sum} ms, end-to-end is {} ms",
+                d.total.mean_ms
+            ));
+        }
+        println!(
+            "{label:>10} | {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7}",
+            d.total.mean_ms,
+            d.queueing.mean_ms,
+            d.transmission.mean_ms,
+            d.cpu.mean_ms,
+            d.durability.mean_ms,
+            d.total.p99_ms,
+            d.samples
+        );
+        let trace = r.trace.ok_or_else(|| format!("{label}: no trace"))?;
+        let jsonl_path = format!("{TRACE_DIR}/probe-{label}.jsonl");
+        let chrome_path = format!("{TRACE_DIR}/probe-{label}.trace.json");
+        std::fs::write(&jsonl_path, trace.to_jsonl())
+            .map_err(|e| format!("write {jsonl_path}: {e}"))?;
+        std::fs::write(&chrome_path, trace.to_chrome_json())
+            .map_err(|e| format!("write {chrome_path}: {e}"))?;
+        // Re-read and sanity-check both exports.
+        let jsonl = std::fs::read_to_string(&jsonl_path)
+            .map_err(|e| format!("re-read {jsonl_path}: {e}"))?;
+        let meta = jsonl
+            .lines()
+            .last()
+            .ok_or_else(|| format!("{jsonl_path}: empty"))?;
+        if !meta.contains("\"meta\":true") {
+            return Err(format!("{jsonl_path}: missing trailing meta line"));
+        }
+        let chrome = std::fs::read_to_string(&chrome_path)
+            .map_err(|e| format!("re-read {chrome_path}: {e}"))?;
+        let doc = json::parse(&chrome).map_err(|e| format!("{chrome_path}: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| format!("{chrome_path}: no traceEvents array"))?;
+        if events.is_empty() {
+            return Err(format!("{chrome_path}: traceEvents is empty"));
+        }
+        println!(
+            "wrote {jsonl_path}, {chrome_path} ({} events)",
+            trace.events.len()
+        );
+    }
+    Ok(())
+}
+
+/// One named sweep: takes `quick` and the campaign coverage tally,
+/// runs, writes + verifies its file.
+type Sweep = (
+    &'static str,
+    fn(bool, &mut CoverageReport) -> Result<(), String>,
+);
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--trace") {
+        if let Err(e) = trace_smoke() {
+            eprintln!("probe: trace smoke failed: {e}");
+            std::process::exit(1);
+        }
+        println!("\ntracing smoke passed (decomposition sums, exports well-formed)");
+        return;
+    }
     if quick {
         println!("probe --quick: trimmed operating set under {QUICK_DIR}/ (CI smoke mode)");
     }
+    let mut coverage = CoverageReport::new();
     let sweeps: [Sweep; 5] = [
         ("modularity", sweep_modularity),
         ("degraded", sweep_degraded),
@@ -527,7 +635,7 @@ fn main() {
         ("pipeline", sweep_pipeline),
     ];
     for (name, sweep) in sweeps {
-        if let Err(e) = sweep(quick) {
+        if let Err(e) = sweep(quick, &mut coverage) {
             eprintln!("probe: {name} sweep failed: {e}");
             std::process::exit(1);
         }
@@ -548,6 +656,14 @@ fn main() {
             "committed BENCH files verified ({} files)",
             BENCH_FILES.len()
         );
+        // The per-branch coverage of everything this smoke run
+        // exercised, archived by CI next to the violation dumps.
+        let coverage_path = std::path::Path::new("target/coverage-report.json");
+        if let Err(e) = coverage.write_json(coverage_path) {
+            eprintln!("probe: writing {}: {e}", coverage_path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", coverage_path.display());
     }
     println!("\nall bench files verified (JSON parses, both stacks covered)");
 }

@@ -167,6 +167,46 @@ impl CoverageReport {
     pub fn branch_names() -> Vec<&'static str> {
         BRANCHES.iter().map(|b| b.name).collect()
     }
+
+    /// Renders the report as a JSON object: run count, per-branch
+    /// totals (`{"events": …, "runs_reached": …}` in table order) and
+    /// the list of missed branches. Deterministic — same report, same
+    /// bytes — so CI can archive and diff it across campaigns.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"runs\": {},", self.runs);
+        out.push_str("  \"branches\": {\n");
+        for (i, branch) in BRANCHES.iter().enumerate() {
+            let (total, in_runs) = self.tallies.get(branch.name).copied().unwrap_or((0, 0));
+            let comma = if i + 1 < BRANCHES.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"events\": {total}, \"runs_reached\": {in_runs}}}{comma}",
+                branch.name
+            );
+        }
+        out.push_str("  },\n  \"missed\": [");
+        for (i, name) in self.missed().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\"");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`, creating parent
+    /// directories as needed. The fuzz suites and `probe --quick` call
+    /// this with `target/coverage-report.json` so CI can archive which
+    /// recovery branches the campaign reached.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
 }
 
 impl fmt::Display for CoverageReport {
@@ -215,6 +255,25 @@ mod tests {
         report.absorb(&c);
         assert!(!report.missed().contains(&"stale_incarnation_drops"));
         assert!(report.missed().contains(&"round_changes"));
+    }
+
+    #[test]
+    fn json_is_valid_and_deterministic() {
+        let mut report = CoverageReport::new();
+        let mut c = Counters::new();
+        c.bump("mono.round_changes", 2);
+        c.bump("consensus.gap_requests", 1);
+        report.absorb(&c);
+        let json = report.to_json();
+        assert_eq!(json, report.to_json());
+        assert!(json.contains("\"runs\": 1"));
+        assert!(json.contains("\"round_changes\": {\"events\": 2, \"runs_reached\": 1}"));
+        assert!(json.contains("\"gap_pulls\": {\"events\": 1, \"runs_reached\": 1}"));
+        assert!(json.contains("\"missed\": ["));
+        assert!(json.contains("\"snapshot_offers\""));
+        // Crude structural check: balanced braces, ends with newline.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]

@@ -101,11 +101,13 @@ mod coverage;
 mod driver;
 mod oracle;
 mod scenario;
+mod trace_dump;
 
 pub use coverage::CoverageReport;
 pub use driver::{LoadPlan, ScriptedDriver, Submission};
 pub use oracle::{check_orders, DeliveryOracle, OracleReport, Violation};
 pub use scenario::{ChaosProfile, Scenario, ScenarioEvent};
+pub use trace_dump::{dump_violation_trace, DUMP_WINDOW};
 
 // Re-export the net-level fault vocabulary so scenario authors need
 // only this crate.

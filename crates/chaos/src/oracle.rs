@@ -96,6 +96,23 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// The offending process, when the violation implicates one
+    /// ([`MissingDelivery`](Violation::MissingDelivery) implicates the
+    /// whole group). Trace dumps anchor their bounded window here.
+    pub fn process(&self) -> Option<ProcessId> {
+        match *self {
+            Violation::Disagreement { process, .. }
+            | Violation::DuplicateDelivery { process, .. }
+            | Violation::UnknownDelivery { process, .. }
+            | Violation::NonPrefixLog { process, .. }
+            | Violation::ReplayDivergence { process, .. }
+            | Violation::SnapshotDivergence { process, .. } => Some(process),
+            Violation::MissingDelivery { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

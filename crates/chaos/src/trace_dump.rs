@@ -1,0 +1,124 @@
+//! Violation trace dumps: when the oracle reports a safety violation
+//! during a traced run, write the bounded event window around the
+//! offending process to disk so the failure is inspectable without a
+//! re-run.
+//!
+//! Two artifacts per dump, both deterministic for a given `(scenario,
+//! seed)` pair:
+//!
+//! * `<stem>.jsonl` — one JSON object per event plus a trailing meta
+//!   line (`Trace::to_jsonl`), greppable and diffable;
+//! * `<stem>.trace.json` — Chrome trace-event format
+//!   (`Trace::to_chrome_json`), loadable in Perfetto / `chrome://tracing`
+//!   to see the violating instance's lifecycle spans on a timeline.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use fortika_trace::Trace;
+
+use crate::oracle::OracleReport;
+
+/// How many events involving the offending process a dump keeps. Bounds
+/// the artifact size regardless of the run length or buffer capacity.
+pub const DUMP_WINDOW: usize = 512;
+
+/// Writes the bounded trace window around the first violation's
+/// offending process into `dir` (created if missing) and returns the
+/// paths written, `[jsonl, chrome]`.
+///
+/// The window anchors on [`Violation::process`]; a violation that
+/// implicates no single process ([`Violation::MissingDelivery`]) falls
+/// back to the full (already ring-bounded) trace. Returns `Ok(vec![])`
+/// without touching the filesystem when the report has no violations.
+///
+/// The file stem is `violation-<label>` — pass something that
+/// identifies the run (e.g. `"modular-seed42"`); dumps of the same run
+/// are byte-identical, so overwriting is harmless.
+///
+/// [`Violation::process`]: crate::Violation::process
+/// [`Violation::MissingDelivery`]: crate::Violation::MissingDelivery
+pub fn dump_violation_trace(
+    trace: &Trace,
+    report: &OracleReport,
+    dir: &Path,
+    label: &str,
+) -> io::Result<Vec<PathBuf>> {
+    let Some(violation) = report.violations.first() else {
+        return Ok(Vec::new());
+    };
+    let window = match violation.process() {
+        Some(pid) => trace.around_pid(pid.0, DUMP_WINDOW),
+        None => trace.clone(),
+    };
+    fs::create_dir_all(dir)?;
+    let jsonl_path = dir.join(format!("violation-{label}.jsonl"));
+    let chrome_path = dir.join(format!("violation-{label}.trace.json"));
+    fs::write(&jsonl_path, window.to_jsonl())?;
+    fs::write(&chrome_path, window.to_chrome_json())?;
+    Ok(vec![jsonl_path, chrome_path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Violation;
+    use fortika_net::{MsgId, ProcessId};
+    use fortika_trace::{TraceBuffer, TraceData};
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuffer::new(64);
+        for i in 0..6u64 {
+            b.push(
+                i * 1000,
+                TraceData::Span {
+                    pid: (i % 3) as u16,
+                    stack: "consensus",
+                    instance: i,
+                    phase: "decided",
+                    detail: 0,
+                },
+            );
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn clean_report_writes_nothing() {
+        let report = OracleReport {
+            violations: vec![],
+            deliveries: 10,
+            common_order: vec![],
+        };
+        let dir = std::env::temp_dir().join("fortika-dump-clean");
+        let written = dump_violation_trace(&sample_trace(), &report, &dir, "x").unwrap();
+        assert!(written.is_empty());
+        assert!(!dir.join("violation-x.jsonl").exists());
+    }
+
+    #[test]
+    fn violation_dump_windows_on_offender() {
+        let report = OracleReport {
+            violations: vec![Violation::DuplicateDelivery {
+                process: ProcessId(1),
+                id: MsgId::new(ProcessId(0), 7),
+            }],
+            deliveries: 10,
+            common_order: vec![],
+        };
+        let dir = std::env::temp_dir().join("fortika-dump-test");
+        let written = dump_violation_trace(&sample_trace(), &report, &dir, "unit").unwrap();
+        assert_eq!(written.len(), 2);
+        let jsonl = fs::read_to_string(&written[0]).unwrap();
+        // Only pid 1's events (instances 1 and 4) plus the meta line.
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"instance\":1"));
+        assert!(lines[1].contains("\"instance\":4"));
+        assert!(lines[2].contains("\"meta\":true"));
+        let chrome = fs::read_to_string(&written[1]).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("consensus #1"));
+    }
+}

@@ -380,6 +380,7 @@ impl ConsensusModule {
         }
         self.instances.remove(&instance);
         ctx.bump("consensus.decided", 1);
+        ctx.trace_span("consensus", instance, "decided", 0);
         ctx.raise(Event::Decide { instance, value });
     }
 
@@ -415,6 +416,7 @@ impl ConsensusModule {
             return;
         };
         ctx.bump("consensus.snapshots", 1);
+        ctx.trace_span("consensus", snap.last_included, "snapshot_offer", 0);
         self.set_snapshot(ctx, snap, false);
     }
 
@@ -484,6 +486,7 @@ impl ConsensusModule {
         for instance in watermark..seen.min(watermark + MAX_BATCH) {
             if !self.is_decided(instance) {
                 ctx.bump("consensus.gap_requests", 1);
+                ctx.trace_span("consensus", instance, "gap_pull", u64::from(from.0));
                 let msg = ConsensusMsg::DecisionRequest { instance };
                 ctx.send_net(from, "consensus.decision_request", encode(&msg));
             }
@@ -567,6 +570,7 @@ impl ConsensusModule {
         inst.acks.clear();
         inst.acks.insert(me);
         ctx.bump("consensus.proposals", 1);
+        ctx.trace_span("consensus", instance, "proposed", u64::from(round));
         // Coordinator self-ack: durable before (atomically with) the
         // proposal leaves this process.
         self.persist_vote(ctx, instance, round, round + 1, &value);
@@ -596,6 +600,7 @@ impl ConsensusModule {
         inst.round_entered = now;
         inst.acks.clear();
         ctx.bump("consensus.round_changes", 1);
+        ctx.trace_span("consensus", instance, "round_change", u64::from(round));
         let estimate = inst.estimate.clone().unwrap_or_default();
         let ts = inst.ts;
         let coord = coordinator(round, n);
@@ -627,6 +632,7 @@ impl ConsensusModule {
             inst.ts = 0;
         }
         ctx.bump("consensus.instances", 1);
+        ctx.trace_span("consensus", instance, "open", 0);
         if inst.round == 0 && coordinator(0, n) == me && inst.proposal_sent_round.is_none() {
             // Round 0, we coordinate: propose our own initial value
             // immediately (no estimate phase — first optimization) and
@@ -637,6 +643,7 @@ impl ConsensusModule {
             inst.proposal_sent_round = Some(0);
             inst.acks.insert(me);
             ctx.bump("consensus.proposals", 1);
+            ctx.trace_span("consensus", instance, "proposed", 0);
             self.persist_vote(ctx, instance, 0, 1, &v);
             let msg = ConsensusMsg::Propose {
                 instance,
@@ -699,6 +706,7 @@ impl ConsensusModule {
         inst.last_proposal = Some((round, value.clone()));
         let pending_hit = inst.pending_tag == Some(round);
         self.persist_vote(ctx, instance, round, round + 1, &value);
+        ctx.trace_span("consensus", instance, "voted", u64::from(round));
         let ack = ConsensusMsg::Ack { instance, round };
         ctx.send_net(from, "consensus.ack", encode(&ack));
         if pending_hit {
@@ -977,6 +985,7 @@ impl ConsensusModule {
         self.recovered_votes = self.recovered_votes.split_off(&next);
         self.highest_seen = self.highest_seen.max(snap.last_included);
         ctx.bump("consensus.snapshots_installed", 1);
+        ctx.trace_span("consensus", snap.last_included, "snapshot_install", 0);
         self.set_snapshot(ctx, snap.clone(), true);
         ctx.raise(Event::InstallSnapshot { snapshot: snap });
     }

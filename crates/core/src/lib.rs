@@ -52,7 +52,7 @@ pub use stack::{
     build_node, build_node_with_windows, build_nodes, build_nodes_with_windows,
     build_restarted_node, install_restart_factory, node_factory, StackConfig, StackKind,
 };
-pub use workload::{ArrivalProcess, Workload, WorkloadDriver};
+pub use workload::{ArrivalProcess, LatencySample, Workload, WorkloadDriver};
 
 // Re-export the pieces callers need to configure experiments without
 // importing every workspace crate.
@@ -61,4 +61,7 @@ pub use fortika_fd::FdConfig;
 pub use fortika_mono::MonoOptimizations;
 pub use fortika_net::{
     AppState, AppStateFactory, ClusterConfig, CostModel, NetModel, Snapshot, SnapshotStamp,
+};
+pub use fortika_trace::{
+    ComponentSummary, DecompSample, LatencyDecomposition, Trace, TraceConfig, TraceData, TraceEvent,
 };

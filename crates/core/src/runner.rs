@@ -9,6 +9,7 @@ use fortika_net::{
 };
 use fortika_sim::stats::{mean_ci95, MeanCi};
 use fortika_sim::{VDur, VTime};
+use fortika_trace::{decompose_window, LatencyDecomposition, Trace, TraceConfig, WindowSpec};
 
 use crate::stack::{build_nodes_with_windows, StackConfig, StackKind};
 use crate::workload::{Workload, WorkloadDriver};
@@ -27,6 +28,7 @@ pub struct Experiment {
     measure: VDur,
     drain: VDur,
     scenario: Option<Scenario>,
+    trace: TraceConfig,
 }
 
 /// Builder for [`Experiment`] (see [`Experiment::builder`]).
@@ -53,6 +55,7 @@ impl Experiment {
                 measure: VDur::secs(3),
                 drain: VDur::millis(500),
                 scenario: None,
+                trace: TraceConfig::default(),
             },
         }
     }
@@ -68,6 +71,7 @@ impl Experiment {
         let mut cluster_cfg = ClusterConfig::new(self.n, self.seed);
         cluster_cfg.net = self.net.clone();
         cluster_cfg.cost = self.cost.clone();
+        cluster_cfg.trace = self.trace.clone();
         let windows = self
             .scenario
             .as_ref()
@@ -100,6 +104,11 @@ impl Experiment {
             window_end,
             self.seed,
         );
+        if self.trace.enabled {
+            // Keep per-message observations so every latency sample can
+            // be decomposed against the event trace below.
+            driver.enable_sample_log();
+        }
         driver.start(&mut cluster);
         // Record deliveries for the oracle only when a scenario asked
         // for an audit — plain benchmark runs skip the bookkeeping.
@@ -135,12 +144,46 @@ impl Experiment {
             end_of_drain = end_of_drain.max(VTime::ZERO + scenario.horizon() + VDur::secs(1));
         }
         cluster.run_until(end_of_drain, &mut tap);
+        let trace = cluster.take_trace();
 
         let oracle_report = self.scenario.as_ref().and_then(|scenario| {
             let correct = scenario.correct(self.n);
             oracle.as_ref().map(|o| o.check(&correct))
         });
+        // A violating traced run leaves its bounded evidence window on
+        // disk before anything else can panic on the report.
+        if let (Some(trace), Some(report)) = (&trace, &oracle_report) {
+            if !report.is_ok() {
+                let label = format!("{:?}-seed{}", self.kind, self.seed).to_lowercase();
+                let dir = std::path::Path::new("target").join("trace");
+                match fortika_chaos::dump_violation_trace(trace, report, &dir, &label) {
+                    Ok(paths) => {
+                        for p in paths {
+                            eprintln!("violation trace written: {}", p.display());
+                        }
+                    }
+                    Err(e) => eprintln!("violation trace dump failed: {e}"),
+                }
+            }
+        }
         let stats = driver.finish();
+        let latency_decomposition = trace.as_ref().map(|t| {
+            let samples: Vec<_> = stats
+                .samples
+                .iter()
+                .map(|s| {
+                    decompose_window(
+                        &t.events,
+                        &WindowSpec {
+                            pid: s.earliest_pid.0,
+                            t0_ns: s.t0.as_nanos(),
+                            te_ns: s.earliest.as_nanos(),
+                        },
+                    )
+                })
+                .collect();
+            LatencyDecomposition::from_samples(&samples)
+        });
         let secs = self.measure.as_secs_f64();
         let per_proc_rates: Vec<f64> = stats
             .delivered_per_proc
@@ -224,6 +267,8 @@ impl Experiment {
             max_durability_utilization: durability_utilization.iter().cloned().fold(0.0, f64::max),
             counters: window,
             oracle: oracle_report,
+            trace,
+            latency_decomposition,
         }
     }
 
@@ -321,6 +366,33 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables event tracing for the run (off by default). Tracing
+    /// never changes simulated timing — the benchmark numbers with and
+    /// without it are bit-identical — but a traced run additionally
+    /// yields [`RunReport::trace`] and
+    /// [`RunReport::latency_decomposition`], and a traced run whose
+    /// oracle reports a violation dumps the bounded event window around
+    /// the offending process under `target/trace/`.
+    ///
+    /// ```
+    /// use fortika_core::{Experiment, StackKind, TraceConfig};
+    ///
+    /// let mut exp = Experiment::builder(StackKind::Modular, 3)
+    ///     .warmup_secs(0.2)
+    ///     .measure_secs(0.5)
+    ///     .trace(TraceConfig::on())
+    ///     .build();
+    /// let report = exp.run();
+    /// let trace = report.trace.expect("tracing was on");
+    /// assert!(!trace.events.is_empty());
+    /// let d = report.latency_decomposition.expect("tracing was on");
+    /// assert!(d.samples > 0);
+    /// ```
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.inner.trace = trace;
+        self
+    }
+
     /// Finishes building.
     pub fn build(self) -> Experiment {
         self.inner
@@ -404,6 +476,19 @@ pub struct RunReport {
     /// total order, integrity, prefix-consistency of crashed processes —
     /// over every `adeliver` from start to drain.
     pub oracle: Option<OracleReport>,
+    /// The frozen event trace (present when tracing was enabled via
+    /// [`ExperimentBuilder::trace`]): wire events, handler executions
+    /// and per-instance lifecycle spans, ring-bounded at the configured
+    /// capacity. Export with [`Trace::to_jsonl`] /
+    /// [`Trace::to_chrome_json`].
+    pub trace: Option<Trace>,
+    /// Per-decision latency decomposition (present when tracing was
+    /// enabled): each in-window early-latency sample split into
+    /// queueing, transmission, CPU and durability time at the
+    /// first-delivering process, with percentiles per component. The
+    /// four components sum to the end-to-end window exactly (integer
+    /// nanoseconds; durability is also counted inside CPU).
+    pub latency_decomposition: Option<LatencyDecomposition>,
 }
 
 /// Forwards workload callbacks while teeing every delivery into the

@@ -88,7 +88,24 @@ struct SenderState {
 struct PendingMsg {
     t0: VTime,
     earliest: VTime,
+    earliest_pid: ProcessId,
     count: usize,
+}
+
+/// One finalized early-latency observation, kept only when the sample
+/// log is enabled (tracing runs): which message, when its `abcast` call
+/// completed, and where/when it was first adelivered. The trace
+/// decomposition anchors its per-decision window on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySample {
+    /// The sampled message.
+    pub id: MsgId,
+    /// Completion instant of the admitted `abcast` call.
+    pub t0: VTime,
+    /// Earliest adeliver instant across all processes.
+    pub earliest: VTime,
+    /// Process that adelivered first.
+    pub earliest_pid: ProcessId,
 }
 
 /// Measurement window results for one run.
@@ -105,6 +122,9 @@ pub struct WindowStats {
     pub admitted: u64,
     /// Admitted-in-window messages never observed delivered by run end.
     pub lost_samples: u64,
+    /// Per-message latency observations (empty unless the sample log
+    /// was enabled via [`WorkloadDriver::enable_sample_log`]).
+    pub samples: Vec<LatencySample>,
 }
 
 /// Drives the symmetric workload and records the paper's metrics.
@@ -128,6 +148,10 @@ pub struct WorkloadDriver {
     ///
     /// [`drain_accepted_ids`]: Self::drain_accepted_ids
     accepted_ids: Vec<MsgId>,
+    /// `Some` when per-message observations should be kept for the
+    /// trace decomposition (None on plain benchmark runs: no per-sample
+    /// allocation, identical behaviour otherwise).
+    sample_log: Option<Vec<LatencySample>>,
 }
 
 impl WorkloadDriver {
@@ -168,6 +192,26 @@ impl WorkloadDriver {
             admitted: 0,
             payload,
             accepted_ids: Vec::new(),
+            sample_log: None,
+        }
+    }
+
+    /// Keeps one [`LatencySample`] per in-window message so the runner
+    /// can decompose each decision's latency against the event trace.
+    /// Off by default; plain benchmark runs never pay for it.
+    pub fn enable_sample_log(&mut self) {
+        self.sample_log = Some(Vec::new());
+    }
+
+    /// Records a finalized in-window observation when the log is on.
+    fn log_sample(&mut self, id: MsgId, p: &PendingMsg) {
+        if let Some(log) = self.sample_log.as_mut() {
+            log.push(LatencySample {
+                id,
+                t0: p.t0,
+                earliest: p.earliest,
+                earliest_pid: p.earliest_pid,
+            });
         }
     }
 
@@ -200,14 +244,15 @@ impl WorkloadDriver {
     /// delivery; admitted messages never delivered are counted lost.
     pub fn finish(mut self) -> WindowStats {
         let mut lost = 0;
-        let drained: Vec<PendingMsg> = self.pending.drain().map(|(_, p)| p).collect();
-        for p in drained {
+        let drained: Vec<(MsgId, PendingMsg)> = self.pending.drain().collect();
+        for (id, p) in drained {
             let in_window = p.t0 >= self.window_start && p.t0 <= self.window_end;
             if p.count > 0 {
                 if in_window {
                     let ms = p.earliest.since(p.t0).as_millis_f64();
                     self.latency_ms.add(ms);
                     self.latency_hist.record(ms);
+                    self.log_sample(id, &p);
                 }
             } else if in_window {
                 // Admitted during the window but never observed delivered
@@ -222,6 +267,7 @@ impl WorkloadDriver {
             delivered_per_proc: self.delivered_per_proc,
             admitted: self.admitted,
             lost_samples: lost,
+            samples: self.sample_log.unwrap_or_default(),
         }
     }
 
@@ -238,6 +284,7 @@ impl WorkloadDriver {
                     PendingMsg {
                         t0,
                         earliest: VTime::MAX,
+                        earliest_pid: pid,
                         count: 0,
                     },
                 );
@@ -307,6 +354,7 @@ impl Harness for WorkloadDriver {
             p.count += 1;
             if at < p.earliest {
                 p.earliest = at;
+                p.earliest_pid = pid;
             }
             if p.count == self.n {
                 // Everyone delivered: finalize the latency sample.
@@ -315,6 +363,7 @@ impl Harness for WorkloadDriver {
                     let ms = p.earliest.since(p.t0).as_millis_f64();
                     self.latency_ms.add(ms);
                     self.latency_hist.record(ms);
+                    self.log_sample(d.msg, &p);
                 }
             }
         }

@@ -183,6 +183,25 @@ impl FrameworkCtx<'_, '_> {
     pub fn costs(&self) -> &fortika_net::CostModel {
         self.node.costs()
     }
+
+    /// True if event tracing is recording this run; see
+    /// [`fortika_net::NodeCtx::trace_enabled`].
+    pub fn trace_enabled(&self) -> bool {
+        self.node.trace_enabled()
+    }
+
+    /// Records a protocol lifecycle marker for `instance` of `stack`;
+    /// a no-op when tracing is off — see
+    /// [`fortika_net::NodeCtx::trace_span`].
+    pub fn trace_span(
+        &mut self,
+        stack: &'static str,
+        instance: u64,
+        phase: &'static str,
+        detail: u64,
+    ) {
+        self.node.trace_span(stack, instance, phase, detail);
+    }
 }
 
 fn envelope(module_id: ModuleId, payload: &Bytes) -> Bytes {

@@ -515,6 +515,7 @@ impl MonoNode {
                 if k > self.next_decide {
                     ctx.bump("mono.pipelined_proposals", 1);
                 }
+                ctx.trace_span("mono", k, "proposed", 0);
                 self.persist_vote(ctx, k, 0, 1, &batch);
                 self.broadcast(
                     ctx,
@@ -641,6 +642,7 @@ impl MonoNode {
             inst.proposal_sent_round = Some(0);
             inst.acks.insert(me);
             ctx.bump("mono.proposals", 1);
+            ctx.trace_span("mono", k1, "proposed", 0);
             if k1 > self.next_decide {
                 // The combined step overlaps an instance still in
                 // flight below it: count it as pipeline engagement
@@ -707,6 +709,7 @@ impl MonoNode {
         if !self.replayed.is_new(instance) {
             return;
         }
+        ctx.trace_span("mono", instance, "decided", 0);
         self.replayed.complete(instance);
         let fence_before = self.decided_log.watermark();
         self.decided_log.complete(instance);
@@ -757,6 +760,7 @@ impl MonoNode {
             return;
         };
         ctx.bump("mono.snapshots", 1);
+        ctx.trace_span("mono", snap.last_included, "snapshot_offer", 0);
         self.set_snapshot(ctx, snap, false);
     }
 
@@ -831,6 +835,7 @@ impl MonoNode {
                 ctx.bump("abcast.delivered", 1);
             }
             ctx.bump("consensus.decided", 1);
+            ctx.trace_span("mono", k, "applied", batch.msgs().len() as u64);
             self.instances.remove(&k);
             self.next_decide += 1;
             self.last_progress = ctx.now();
@@ -955,6 +960,7 @@ impl MonoNode {
         for instance in self.next_decide..hi {
             if !self.is_decided(instance) {
                 ctx.bump("mono.gap_requests", 1);
+                ctx.trace_span("mono", instance, "gap_pull", u64::from(from.0));
                 let req = MonoMsg::DecisionRequest { instance };
                 self.send(ctx, from, "mono.decision_request", &req);
             }
@@ -991,6 +997,7 @@ impl MonoNode {
         // The vote is made durable atomically with the ack so a future
         // incarnation of this process honours the lock.
         self.persist_vote(ctx, p.instance, p.round, p.round + 1, &p.value);
+        ctx.trace_span("mono", p.instance, "voted", u64::from(p.round));
         let msgs = if self.cfg.opts.piggyback_on_acks {
             self.drain_pool()
         } else {
@@ -1151,6 +1158,7 @@ impl MonoNode {
         inst.acks.clear();
         inst.acks.insert(me);
         ctx.bump("mono.proposals", 1);
+        ctx.trace_span("mono", instance, "proposed", u64::from(round));
         // Coordinator self-ack: durable before the proposal leaves.
         self.persist_vote(ctx, instance, round, round + 1, &value);
         self.broadcast(
@@ -1185,6 +1193,7 @@ impl MonoNode {
         inst.round_entered = now;
         inst.acks.clear();
         ctx.bump("mono.round_changes", 1);
+        ctx.trace_span("mono", instance, "round_change", u64::from(round));
         let coord = Self::coordinator(round, n);
         if coord == me {
             let estimate = inst
@@ -1467,6 +1476,7 @@ impl MonoNode {
             ctx.app_ready();
         }
         ctx.bump("mono.snapshots_installed", 1);
+        ctx.trace_span("mono", snap.last_included, "snapshot_install", 0);
         self.set_snapshot(ctx, snap, true);
         // Buffered decisions past the snapshot may be contiguous now.
         self.apply_decisions(ctx);

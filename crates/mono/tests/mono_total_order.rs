@@ -260,16 +260,11 @@ fn saturated_pipeline_costs_two_messages_per_process_pair() {
     cluster.schedule_tick(VTime::ZERO + VDur::millis(1), 0);
     // Warm up 200 ms, then measure a 200 ms steady-state window.
     cluster.run_until(VTime::ZERO + VDur::millis(200), &mut driver);
-    let snap_msgs = cluster
-        .counters()
-        .total_msgs_excluding(|k| k.starts_with("fd."));
-    let snap_decided = cluster.counters().event("consensus.decided");
+    let snap = cluster.counters().clone();
     cluster.run_until(VTime::ZERO + VDur::millis(400), &mut driver);
-    let msgs = cluster
-        .counters()
-        .total_msgs_excluding(|k| k.starts_with("fd."))
-        - snap_msgs;
-    let decided = cluster.counters().event("consensus.decided") - snap_decided;
+    let window = cluster.counters().delta_since(&snap);
+    let msgs = window.total_msgs_excluding(|k| k.starts_with("fd."));
+    let decided = window.event("consensus.decided");
     assert!(decided > 100, "pipeline should have decided many instances");
     // consensus.decided counts per process: instances ≈ decided / n.
     let instances = decided as f64 / n as f64;

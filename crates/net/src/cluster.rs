@@ -50,6 +50,7 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use bytes::Bytes;
 use fortika_sim::{CpuResource, DetRng, EventQueue, LinkResource, VDur, VTime};
+use fortika_trace::{Trace, TraceBuffer, TraceData};
 
 use crate::config::{ClusterConfig, CostModel};
 use crate::counters::Counters;
@@ -145,6 +146,7 @@ pub struct NodeCtx<'a> {
     cost: &'a CostModel,
     per_msg_overhead: u32,
     counters: &'a mut Counters,
+    trace: Option<&'a mut TraceBuffer>,
     next_timer: &'a mut u64,
     outbox: Vec<(ProcessId, &'static str, Bytes)>,
     timers: Vec<(VTime, TimerId, u64)>,
@@ -292,6 +294,45 @@ impl NodeCtx<'_> {
     pub fn bump(&mut self, name: &'static str, by: u64) {
         self.counters.bump(name, by);
     }
+
+    /// True if event tracing is recording this run.
+    ///
+    /// Protocols never need to check this before calling
+    /// [`trace_span`](Self::trace_span) — the span call is already a
+    /// no-op when tracing is off — but it lets them skip *preparing*
+    /// span details that are expensive to compute.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Records a protocol lifecycle marker for `instance` of `stack`
+    /// (e.g. `"proposed"`, `"voted"`, `"decided"`, `"applied"`).
+    ///
+    /// `detail` carries phase-specific context (round number, batch
+    /// size); pass zero when unused. Free when tracing is disabled:
+    /// one branch, no allocation, no simulated cost, no randomness —
+    /// so span emission can never change a run's timing.
+    pub fn trace_span(
+        &mut self,
+        stack: &'static str,
+        instance: u64,
+        phase: &'static str,
+        detail: u64,
+    ) {
+        let at_ns = (self.start + self.charged).as_nanos();
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(
+                at_ns,
+                TraceData::Span {
+                    pid: self.pid.0,
+                    stack,
+                    instance,
+                    phase,
+                    detail,
+                },
+            );
+        }
+    }
 }
 
 /// Observer/driver callbacks invoked by [`Cluster::run_until`].
@@ -401,6 +442,9 @@ enum Ev {
         src: ProcessId,
         /// Sender incarnation at transmission time.
         src_inc: u32,
+        /// Kind tag of the message (trace/accounting only — the
+        /// receiving stack decodes the payload, never the tag).
+        kind: &'static str,
         bytes: Bytes,
         tx_end: VTime,
     },
@@ -460,6 +504,9 @@ pub struct Cluster {
     fault_rng: DetRng,
     /// Builds fresh stacks for revived processes (crash-recovery runs).
     factory: Option<NodeFactory>,
+    /// Bounded event-trace ring; `None` (the default) records nothing
+    /// and keeps every record point a single branch.
+    trace: Option<TraceBuffer>,
     started: bool,
 }
 
@@ -492,6 +539,10 @@ impl Cluster {
         let last_arrival = vec![VTime::ZERO; cfg.n * cfg.n];
         let links = vec![LinkState::default(); cfg.n * cfg.n];
         let link_free = vec![VTime::ZERO; cfg.n * cfg.n];
+        let trace = cfg
+            .trace
+            .enabled
+            .then(|| TraceBuffer::new(cfg.trace.capacity));
         Cluster {
             cfg,
             queue: EventQueue::new(),
@@ -504,7 +555,29 @@ impl Cluster {
             link_free,
             fault_rng,
             factory: None,
+            trace,
             started: false,
+        }
+    }
+
+    /// True if this cluster is recording an event trace.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Takes the recorded event trace out of the cluster (freezing the
+    /// ring). Returns `None` if tracing was disabled or the trace was
+    /// already taken.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take().map(TraceBuffer::finish)
+    }
+
+    /// Records a trace event at instant `at` if tracing is on. The
+    /// closure only runs when recording, so a disabled trace costs one
+    /// branch and never constructs the event.
+    fn record(&mut self, at: VTime, data: impl FnOnce() -> TraceData) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(at.as_nanos(), data());
         }
     }
 
@@ -790,21 +863,43 @@ impl Cluster {
                 dst,
                 src,
                 src_inc,
+                kind,
                 bytes,
                 tx_end,
             } => {
+                let wire = bytes.len() as u64 + u64::from(self.cfg.net.per_msg_overhead);
                 // Drop messages from a previous incarnation of the
                 // sender: the wire-level incarnation stamp detects them.
                 if src_inc != self.procs[src.index()].incarnation {
                     self.counters.bump("chaos.dropped_stale_incarnation", 1);
+                    self.record(at, || TraceData::Drop {
+                        src: src.0,
+                        dst: dst.0,
+                        kind,
+                        bytes: wire,
+                        reason: "stale_incarnation",
+                    });
                     return;
                 }
                 // Drop messages whose transmission outlived the sender.
                 if let Some(ct) = self.procs[src.index()].crash_time {
                     if tx_end > ct {
+                        self.record(at, || TraceData::Drop {
+                            src: src.0,
+                            dst: dst.0,
+                            kind,
+                            bytes: wire,
+                            reason: "crashed_sender",
+                        });
                         return;
                     }
                 }
+                self.record(at, || TraceData::Deliver {
+                    dst: dst.0,
+                    src: src.0,
+                    kind,
+                    bytes: wire,
+                });
                 let base = self
                     .cfg
                     .cost
@@ -918,6 +1013,7 @@ impl Cluster {
                 cost: &self.cfg.cost,
                 per_msg_overhead: self.cfg.net.per_msg_overhead,
                 counters: &mut self.counters,
+                trace: self.trace.as_mut(),
                 next_timer: &mut self.procs[i].next_timer,
                 outbox: Vec::new(),
                 timers: Vec::new(),
@@ -957,14 +1053,22 @@ impl Cluster {
         self.procs[i].cpu.extend(extra);
         self.procs[i].durability_busy += durability;
         let end = start + charged;
+        self.record(end, || TraceData::Handler {
+            pid: pid.0,
+            inc,
+            start_ns: start.as_nanos(),
+            cpu_ns: charged.as_nanos(),
+            durability_ns: durability.as_nanos(),
+        });
 
         // Materialize sends: serialize through the NIC, then apply link
         // faults, then propagate. Fault state is read at transmission
         // time — a partition raised later does not retract in-flight
         // messages, exactly like pulling a cable.
-        for (dst, _kind, bytes) in outbox {
+        for (dst, kind, bytes) in outbox {
             let wire = bytes.len() as u64 + u64::from(self.cfg.net.per_msg_overhead);
             let mut tx_end = self.procs[i].nic.transmit(end, wire);
+            let nic_tx_end = tx_end;
             let slot = i * self.cfg.n + dst.index();
             let link = self.links[slot];
             if link.rate_milli < 1000 {
@@ -993,10 +1097,24 @@ impl Cluster {
             if link.blocked {
                 // The NIC transmitted into a cut link: bytes are gone.
                 self.counters.bump("chaos.dropped_partition", 1);
+                self.record(end, || TraceData::Drop {
+                    src: pid.0,
+                    dst: dst.0,
+                    kind,
+                    bytes: wire,
+                    reason: "partition",
+                });
                 continue;
             }
             if link.drop_p > 0.0 && self.fault_rng.unit_f64() < link.drop_p {
                 self.counters.bump("chaos.dropped_loss", 1);
+                self.record(end, || TraceData::Drop {
+                    src: pid.0,
+                    dst: dst.0,
+                    kind,
+                    bytes: wire,
+                    reason: "loss",
+                });
                 continue;
             }
             // TCP-like channels: per-pair FIFO despite jitter; a
@@ -1015,23 +1133,45 @@ impl Cluster {
                 None
             };
             if let Some(arrival2) = duplicate {
+                self.record(end, || TraceData::Send {
+                    src: pid.0,
+                    dst: dst.0,
+                    kind,
+                    bytes: wire,
+                    inc,
+                    tx_end_ns: tx_end.as_nanos(),
+                    arrival_ns: arrival2.as_nanos(),
+                    queue_ns: tx_end.since(nic_tx_end).as_nanos(),
+                });
                 self.queue.schedule(
                     arrival2,
                     Ev::Deliver {
                         dst,
                         src: pid,
                         src_inc: inc,
+                        kind,
                         bytes: bytes.clone(),
                         tx_end,
                     },
                 );
             }
+            self.record(end, || TraceData::Send {
+                src: pid.0,
+                dst: dst.0,
+                kind,
+                bytes: wire,
+                inc,
+                tx_end_ns: tx_end.as_nanos(),
+                arrival_ns: arrival.as_nanos(),
+                queue_ns: tx_end.since(nic_tx_end).as_nanos(),
+            });
             self.queue.schedule(
                 arrival,
                 Ev::Deliver {
                     dst,
                     src: pid,
                     src_inc: inc,
+                    kind,
                     bytes,
                     tx_end,
                 },

@@ -6,6 +6,7 @@
 //! *mechanisms* (CPU saturation, NIC serialization) produce the shapes.
 
 use fortika_sim::VDur;
+use fortika_trace::TraceConfig;
 
 /// Parameters of the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -228,6 +229,9 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Master RNG seed (jitter and any protocol randomness derive from it).
     pub seed: u64,
+    /// Event-trace recording (disabled by default; enabling it never
+    /// changes simulated timing — see `fortika_trace`).
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -239,6 +243,7 @@ impl ClusterConfig {
             net: NetModel::default(),
             cost: CostModel::default(),
             seed,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -249,6 +254,7 @@ impl ClusterConfig {
             net: NetModel::instant(),
             cost: CostModel::free(),
             seed,
+            trace: TraceConfig::default(),
         }
     }
 }

@@ -176,6 +176,54 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_sends_still_count_messages() {
+        // Control messages can serialize to zero payload bytes; the
+        // message tally must still move (the paper counts messages and
+        // bytes as separate axes).
+        let mut c = Counters::new();
+        c.record_send("ctl.empty", 0);
+        c.record_send("ctl.empty", 0);
+        assert_eq!(c.kind("ctl.empty"), KindCounter { msgs: 2, bytes: 0 });
+        assert_eq!(c.total_msgs(), 2);
+        assert_eq!(c.total_bytes(), 0);
+    }
+
+    #[test]
+    fn unknown_kind_lookups_are_zero_everywhere() {
+        let c = Counters::new();
+        assert_eq!(c.kind("never.seen"), KindCounter::default());
+        assert_eq!(c.event("never.seen"), 0);
+        assert_eq!(c.total_msgs_excluding(|_| false), 0);
+        assert_eq!(c.iter_sends().count(), 0);
+        assert_eq!(c.iter_events().count(), 0);
+        // Delta against a counter that has keys we lack: saturates to
+        // zero instead of underflowing.
+        let mut later = Counters::new();
+        later.record_send("x", 1);
+        later.bump("n", 1);
+        let d = c.delta_since(&later);
+        assert_eq!(d.kind("x"), KindCounter::default());
+        assert_eq!(d.event("n"), 0);
+    }
+
+    #[test]
+    fn heartbeat_exclusion_drops_msgs_but_not_other_kinds() {
+        let mut c = Counters::new();
+        c.record_send("fd.heartbeat", 32);
+        c.record_send("fd.heartbeat", 32);
+        c.record_send("consensus.ack", 20);
+        c.record_send("abcast.diffuse", 512);
+        // The runner's convention: everything under "fd." is liveness
+        // background noise, not protocol cost.
+        assert_eq!(c.total_msgs_excluding(|k| k.starts_with("fd.")), 2);
+        // The unfiltered totals still see the heartbeats.
+        assert_eq!(c.total_msgs(), 4);
+        // Excluding nothing matches total_msgs; excluding everything is 0.
+        assert_eq!(c.total_msgs_excluding(|_| false), c.total_msgs());
+        assert_eq!(c.total_msgs_excluding(|_| true), 0);
+    }
+
+    #[test]
     fn display_lists_counters() {
         let mut c = Counters::new();
         c.record_send("k", 9);

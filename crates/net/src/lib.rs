@@ -77,6 +77,7 @@ pub use cluster::{
 pub use config::{ClusterConfig, CostModel, NetModel};
 pub use counters::{Counters, KindCounter};
 pub use fault::{LinkFault, LinkSelector};
+pub use fortika_trace::{Trace, TraceConfig, TraceData, TraceEvent};
 pub use id::{MsgId, ProcessId};
 pub use message::{AppMsg, Batch};
 pub use ratelimit::PeerRateLimiter;

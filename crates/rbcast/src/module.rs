@@ -250,6 +250,7 @@ impl Microprotocol for RbcastModule {
         // with) the first copy of `seq` leaving this process.
         ctx.persist(STABLE_SEQ_KEY, encode(&self.next_seq));
         ctx.bump("rbcast.initiated", 1);
+        ctx.trace_span("rbcast", msg.seq, "initiated", u64::from(msg.origin.0));
         // Local delivery first (no network hop for the origin)…
         ctx.raise(Event::RbDeliver {
             stream: msg.stream,
@@ -292,6 +293,7 @@ impl Microprotocol for RbcastModule {
         // Completion evidence did not arrive in time: some transmitter
         // may have crashed mid-broadcast. Become a transmitter.
         ctx.bump("rbcast.floods", 1);
+        ctx.trace_span("rbcast", key.1, "flood", u64::from(key.0 .0));
         ctx.broadcast_net("rb.flood", encode(&p.msg));
         self.complete(ctx, key.0, key.1);
     }

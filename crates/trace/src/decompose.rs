@@ -1,0 +1,391 @@
+//! Per-decision latency decomposition.
+//!
+//! Given a trace and a latency window — from submission `t0` to the
+//! earliest `adeliver` at the delivering process — partition the window
+//! into four disjoint components:
+//!
+//! * **durability** — CPU time the delivering process spent on stable
+//!   writes / snapshot work,
+//! * **cpu** — its remaining CPU-busy time,
+//! * **transmission** — time covered by messages in flight *towards*
+//!   the process (NIC + degraded-link serialization + propagation),
+//!   excluding instants the CPU was already busy,
+//! * **queueing** — everything else: the message (or the work it
+//!   depends on) sat in a queue — behind the CPU of *another* process,
+//!   behind flow control, or behind the protocol's own batching.
+//!
+//! The partition is exhaustive and exclusive by construction, so the
+//! four components **sum exactly** to the end-to-end window in integer
+//! nanoseconds — the property the acceptance tests check.
+
+use crate::event::{TraceData, TraceEvent};
+
+/// One latency window to decompose: the paper's `t0 → adeliver` span
+/// observed at process `pid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// The process whose delivery closed the window.
+    pub pid: u16,
+    /// Submission instant (`t0`), nanoseconds.
+    pub t0_ns: u64,
+    /// Earliest-delivery instant, nanoseconds.
+    pub te_ns: u64,
+}
+
+/// The four-way split of one latency window, in nanoseconds.
+///
+/// Invariant: `queueing_ns + transmission_ns + cpu_ns + durability_ns
+/// == total_ns`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecompSample {
+    /// End-to-end window length (`te − t0`).
+    pub total_ns: u64,
+    /// Time not explained by CPU or transmission: queueing/batching.
+    pub queueing_ns: u64,
+    /// Time covered by in-flight messages towards the process.
+    pub transmission_ns: u64,
+    /// CPU-busy time at the process, durability excluded.
+    pub cpu_ns: u64,
+    /// Durability (stable write / snapshot) CPU time at the process.
+    pub durability_ns: u64,
+}
+
+/// Decomposes one latency window against the recorded events.
+///
+/// Uses `Handler` events for the process's CPU-busy intervals (and
+/// their durability share) and `Send` events addressed to the process
+/// for in-flight intervals. Events evicted from the ring simply shrink
+/// the explained share — unexplained time lands in `queueing_ns`, never
+/// in a negative component.
+pub fn decompose_window(events: &[TraceEvent], w: &WindowSpec) -> DecompSample {
+    let (lo, hi) = (w.t0_ns, w.te_ns.max(w.t0_ns));
+    let total = hi - lo;
+
+    // CPU-busy intervals at `pid`, clipped to the window. Handlers on
+    // one serial CPU never overlap, but merge anyway so the measure is
+    // robust to any recording artefact.
+    let mut busy: Vec<(u64, u64)> = Vec::new();
+    let mut durability: u64 = 0;
+    for e in events {
+        if let TraceData::Handler {
+            pid,
+            start_ns,
+            cpu_ns,
+            durability_ns,
+            ..
+        } = e.data
+        {
+            if pid != w.pid || cpu_ns == 0 {
+                continue;
+            }
+            let (s, t) = (start_ns, start_ns + cpu_ns);
+            let (cs, ct) = (s.max(lo), t.min(hi));
+            if cs >= ct {
+                continue;
+            }
+            busy.push((cs, ct));
+            // The handler's durability share, pro-rated by how much of
+            // the handler falls inside the window.
+            durability +=
+                (u128::from(durability_ns) * u128::from(ct - cs) / u128::from(cpu_ns)) as u64;
+        }
+    }
+    let busy = union(busy);
+    let cpu_total = measure(&busy);
+    let durability = durability.min(cpu_total);
+
+    // In-flight intervals of messages addressed to `pid`: from the
+    // sender's handler-completion (send issue) to scheduled arrival.
+    let mut transit: Vec<(u64, u64)> = Vec::new();
+    for e in events {
+        if let TraceData::Send {
+            dst, arrival_ns, ..
+        } = e.data
+        {
+            if dst != w.pid {
+                continue;
+            }
+            let (cs, ct) = (e.at_ns.max(lo), arrival_ns.min(hi));
+            if cs < ct {
+                transit.push((cs, ct));
+            }
+        }
+    }
+    let transmission = measure(&subtract(&union(transit), &busy));
+
+    let queueing = total - cpu_total - transmission;
+    DecompSample {
+        total_ns: total,
+        queueing_ns: queueing,
+        transmission_ns: transmission,
+        cpu_ns: cpu_total - durability,
+        durability_ns: durability,
+    }
+}
+
+/// Sorts and merges intervals into a disjoint ascending set.
+fn union(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, t) in iv {
+        match out.last_mut() {
+            Some((_, pt)) if s <= *pt => *pt = (*pt).max(t),
+            _ => out.push((s, t)),
+        }
+    }
+    out
+}
+
+/// Total length of a disjoint interval set.
+fn measure(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|(s, t)| t - s).sum()
+}
+
+/// `a − b` for disjoint ascending interval sets.
+fn subtract(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut bi = 0;
+    for &(mut s, t) in a {
+        while s < t {
+            while bi < b.len() && b[bi].1 <= s {
+                bi += 1;
+            }
+            match b.get(bi) {
+                Some(&(bs, bt)) if bs < t => {
+                    if s < bs {
+                        out.push((s, bs));
+                    }
+                    s = bt.max(s);
+                }
+                _ => {
+                    out.push((s, t));
+                    s = t;
+                }
+            }
+        }
+    }
+    union(out)
+}
+
+/// Mean and percentiles of one latency component, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentSummary {
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (nearest-rank).
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
+impl ComponentSummary {
+    fn from_ns(values_ns: &mut [u64]) -> Self {
+        if values_ns.is_empty() {
+            return ComponentSummary::default();
+        }
+        values_ns.sort_unstable();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let pick = |v: &[u64], p: f64| {
+            let idx = ((v.len() - 1) as f64 * p).round() as usize;
+            ms(v[idx])
+        };
+        let sum: u128 = values_ns.iter().map(|&v| u128::from(v)).sum();
+        ComponentSummary {
+            mean_ms: sum as f64 / values_ns.len() as f64 / 1e6,
+            p50_ms: pick(values_ns, 0.50),
+            p90_ms: pick(values_ns, 0.90),
+            p99_ms: pick(values_ns, 0.99),
+        }
+    }
+}
+
+/// Aggregated latency decomposition across all measured decisions.
+///
+/// Component means sum to the total mean (within float rounding),
+/// because every per-sample split is exact in integer nanoseconds.
+/// Percentiles are per-component (each component's own distribution),
+/// so they do not sum — only the means do.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyDecomposition {
+    /// Number of latency samples decomposed.
+    pub samples: usize,
+    /// End-to-end window.
+    pub total: ComponentSummary,
+    /// Queueing/batching share.
+    pub queueing: ComponentSummary,
+    /// In-flight transmission share.
+    pub transmission: ComponentSummary,
+    /// CPU share (durability excluded).
+    pub cpu: ComponentSummary,
+    /// Durability share.
+    pub durability: ComponentSummary,
+}
+
+impl LatencyDecomposition {
+    /// Aggregates per-sample splits into means and percentiles.
+    pub fn from_samples(samples: &[DecompSample]) -> Self {
+        let col = |f: fn(&DecompSample) -> u64| {
+            let mut v: Vec<u64> = samples.iter().map(f).collect();
+            ComponentSummary::from_ns(&mut v)
+        };
+        LatencyDecomposition {
+            samples: samples.len(),
+            total: col(|s| s.total_ns),
+            queueing: col(|s| s.queueing_ns),
+            transmission: col(|s| s.transmission_ns),
+            cpu: col(|s| s.cpu_ns),
+            durability: col(|s| s.durability_ns),
+        }
+    }
+
+    /// Sum of the component means, in milliseconds — equals
+    /// `total.mean_ms` up to float rounding (the acceptance check).
+    pub fn component_mean_sum_ms(&self) -> f64 {
+        self.queueing.mean_ms
+            + self.transmission.mean_ms
+            + self.cpu.mean_ms
+            + self.durability.mean_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceBuffer;
+
+    fn handler(b: &mut TraceBuffer, pid: u16, start: u64, cpu: u64, dur: u64) {
+        b.push(
+            start + cpu,
+            TraceData::Handler {
+                pid,
+                inc: 0,
+                start_ns: start,
+                cpu_ns: cpu,
+                durability_ns: dur,
+            },
+        );
+    }
+
+    fn send_to(b: &mut TraceBuffer, at: u64, dst: u16, arrival: u64) {
+        b.push(
+            at,
+            TraceData::Send {
+                src: 9,
+                dst,
+                kind: "k",
+                bytes: 10,
+                inc: 0,
+                tx_end_ns: at,
+                arrival_ns: arrival,
+                queue_ns: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn interval_subtract() {
+        assert_eq!(subtract(&[(0, 10)], &[(3, 5)]), vec![(0, 3), (5, 10)]);
+        assert_eq!(subtract(&[(0, 10)], &[(0, 10)]), vec![]);
+        assert_eq!(
+            subtract(&[(0, 4), (6, 10)], &[(2, 8)]),
+            vec![(0, 2), (8, 10)]
+        );
+        assert_eq!(subtract(&[(5, 6)], &[]), vec![(5, 6)]);
+    }
+
+    #[test]
+    fn components_sum_exactly() {
+        let mut b = TraceBuffer::new(64);
+        handler(&mut b, 1, 100, 200, 50); // busy [100,300), 50 durability
+        handler(&mut b, 1, 500, 100, 0); // busy [500,600)
+        send_to(&mut b, 250, 1, 450); // transit [250,450): 150 ns outside busy
+        let t = b.finish();
+        let w = WindowSpec {
+            pid: 1,
+            t0_ns: 0,
+            te_ns: 1_000,
+        };
+        let s = decompose_window(&t.events, &w);
+        assert_eq!(s.total_ns, 1_000);
+        assert_eq!(s.cpu_ns + s.durability_ns, 300);
+        assert_eq!(s.durability_ns, 50);
+        assert_eq!(s.transmission_ns, 150);
+        assert_eq!(
+            s.queueing_ns + s.transmission_ns + s.cpu_ns + s.durability_ns,
+            s.total_ns
+        );
+    }
+
+    #[test]
+    fn window_clipping_prorates_durability() {
+        let mut b = TraceBuffer::new(8);
+        handler(&mut b, 0, 0, 1_000, 500); // half of the handler is durability
+        let t = b.finish();
+        // Window covers only the second half of the handler.
+        let s = decompose_window(
+            &t.events,
+            &WindowSpec {
+                pid: 0,
+                t0_ns: 500,
+                te_ns: 1_000,
+            },
+        );
+        assert_eq!(s.total_ns, 500);
+        assert_eq!(s.cpu_ns + s.durability_ns, 500);
+        assert_eq!(s.durability_ns, 250); // pro-rated
+        assert_eq!(s.queueing_ns, 0);
+    }
+
+    #[test]
+    fn other_processes_do_not_leak_in() {
+        let mut b = TraceBuffer::new(8);
+        handler(&mut b, 3, 0, 400, 0);
+        send_to(&mut b, 0, 3, 200);
+        let t = b.finish();
+        let s = decompose_window(
+            &t.events,
+            &WindowSpec {
+                pid: 1,
+                t0_ns: 0,
+                te_ns: 400,
+            },
+        );
+        assert_eq!(s.cpu_ns, 0);
+        assert_eq!(s.transmission_ns, 0);
+        assert_eq!(s.queueing_ns, 400);
+    }
+
+    #[test]
+    fn aggregation_means_sum() {
+        let samples: Vec<DecompSample> = (1..=100u64)
+            .map(|i| {
+                let t = i * 1_000;
+                DecompSample {
+                    total_ns: t,
+                    queueing_ns: t / 2,
+                    transmission_ns: t / 4,
+                    cpu_ns: t - t / 2 - t / 4 - t / 8,
+                    durability_ns: t / 8,
+                }
+            })
+            .collect();
+        let d = LatencyDecomposition::from_samples(&samples);
+        assert_eq!(d.samples, 100);
+        let sum = d.component_mean_sum_ms();
+        assert!(
+            (sum - d.total.mean_ms).abs() < 1e-9,
+            "{sum} vs {}",
+            d.total.mean_ms
+        );
+        assert!(d.total.p99_ms >= d.total.p50_ms);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let d = LatencyDecomposition::from_samples(&[]);
+        assert_eq!(d.samples, 0);
+        assert_eq!(d.total.mean_ms, 0.0);
+    }
+}

@@ -1,16 +1,24 @@
-//! Latency distribution profile — beyond the paper's means.
+//! Latency profile and decomposition — beyond the paper's means.
 //!
 //! The paper reports mean early latency with confidence intervals. This
-//! example looks at the *distribution*: median and tail percentiles for
-//! both stacks at a moderately loaded operating point, under the paper's
-//! constant-rate arrivals and under Poisson arrivals (an extension —
-//! bursty arrivals stress queueing in a way perfectly regular arrivals
-//! cannot).
+//! example runs both stacks traced and splits every decision's latency
+//! into its physical components — **queueing** (decided upon but waiting:
+//! batching delay, NIC/degraded-link backlog, event-loop wait),
+//! **transmission** (bits in flight toward the first-delivering
+//! process), **CPU** (handler execution there, with the **durability**
+//! share called out separately) — under the paper's constant-rate
+//! arrivals and under Poisson arrivals (an extension: bursty arrivals
+//! stress queueing in a way perfectly regular arrivals cannot).
+//!
+//! The components are measured from the event trace
+//! (`RunReport::latency_decomposition`) and sum to the end-to-end
+//! latency exactly, so the table answers *where* the modular stack's
+//! extra latency goes, not just how large it is.
 //!
 //! Run with: `cargo run --release --example latency_profile`
 
 use fortika::core::workload::Workload;
-use fortika::core::{Experiment, StackKind};
+use fortika::core::{Experiment, StackKind, TraceConfig};
 
 fn profile(kind: StackKind, workload: Workload, label: &str) {
     let mut exp = Experiment::builder(kind, 3)
@@ -18,22 +26,33 @@ fn profile(kind: StackKind, workload: Workload, label: &str) {
         .warmup_secs(1.0)
         .measure_secs(3.0)
         .seed(17)
+        .trace(TraceConfig::on())
         .build();
     let r = exp.run();
-    let l = &r.early_latency_ms;
+    let d = r
+        .latency_decomposition
+        .expect("tracing was enabled, the decomposition is present");
     println!(
-        "{label:<34} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9}",
-        l.mean, l.p50, l.p90, l.p99, l.max, l.samples
+        "{label:<34} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7}",
+        d.total.mean_ms,
+        d.queueing.mean_ms,
+        d.transmission.mean_ms,
+        d.cpu.mean_ms,
+        d.durability.mean_ms,
+        d.total.p99_ms,
+        d.samples
     );
 }
 
 fn main() {
     let load = 800.0;
     let size = 4096;
-    println!("Early latency distribution (ms), n=3, load={load} msg/s, {size}-byte messages\n");
+    println!("Early-latency decomposition (ms), n=3, load={load} msg/s, {size}-byte messages\n");
+    println!("queue + wire + cpu = total (exact, per decision, at the first deliverer);");
+    println!("durability is the stable-write share already inside cpu.\n");
     println!(
-        "{:<34} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
-        "configuration", "mean", "p50", "p90", "p99", "max", "samples"
+        "{:<34} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "configuration", "total", "queue", "wire", "cpu", "durable", "p99", "samples"
     );
     for kind in [StackKind::Monolithic, StackKind::Modular] {
         profile(
@@ -50,6 +69,9 @@ fn main() {
         );
     }
     println!();
-    println!("Poisson arrivals lengthen the tail (p99) much more than the median —");
-    println!("bursts queue behind the serial per-process CPU in both stacks.");
+    println!("The modular stack's extra latency is overwhelmingly CPU time at the");
+    println!("delivering process — the marshaling and event-routing overhead of");
+    println!("composition, the paper's core finding — while its wire share stays");
+    println!("small. Poisson bursts mostly stretch the tail (p99): arrivals queue");
+    println!("behind the serial per-process CPU in both stacks.");
 }

@@ -25,6 +25,11 @@
 //!   agreement, total order, integrity, validity, byte-identical
 //!   replay across process incarnations and snapshot digest agreement
 //!   on every run.
+//! * [`trace`] — bounded deterministic event tracing: wire events,
+//!   handler executions, per-instance lifecycle spans, JSONL and
+//!   Chrome trace-event exports, and per-decision latency
+//!   decomposition. Off by default and free when off; see
+//!   `docs/TRACING.md`.
 //!
 //! Both stacks compact their decided history: the prefix below the
 //! contiguous watermark folds into an application-state [`Snapshot`]
@@ -93,3 +98,4 @@ pub use fortika_mono as mono;
 pub use fortika_net as net;
 pub use fortika_rbcast as rbcast;
 pub use fortika_sim as sim;
+pub use fortika_trace as trace;

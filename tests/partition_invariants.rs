@@ -101,6 +101,11 @@ fn random_fault_scenarios_preserve_safety_on_both_stacks() {
     // a campaign with crashes, partitions and restarts that never
     // round-changes or pulls a gap is auditing nothing.
     println!("{coverage}");
+    // Archive the campaign's coverage for CI (best-effort: the asserts
+    // below are the gate, the file is evidence).
+    let _ = coverage.write_json(std::path::Path::new(
+        "target/coverage-partition-invariants.json",
+    ));
     assert!(pipelined > 0, "the generator never drew a pipelined run");
     for must in ["round_changes", "gap_pulls", "idle_proposals"] {
         assert!(coverage.reached(must), "campaign never reached {must}");

@@ -92,6 +92,11 @@ fn atomic_broadcast_properties_hold_under_random_faults() {
     // Scenario coverage report (ROADMAP metric): what did this
     // validity-preserving campaign actually reach?
     println!("{coverage}");
+    // Archive the campaign's coverage for CI (best-effort: the assert
+    // below is the gate, the file is evidence).
+    let _ = coverage.write_json(std::path::Path::new(
+        "target/coverage-random-schedules.json",
+    ));
     assert!(
         coverage.reached("idle_proposals"),
         "campaign never exercised the idle-consensus keep-alive"

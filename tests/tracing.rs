@@ -1,0 +1,181 @@
+//! End-to-end checks of the tracing subsystem: determinism, zero
+//! interference with simulated timing, latency decomposition, and
+//! violation dumps.
+//!
+//! These run against both stacks through the public `Experiment` API —
+//! the same path `probe --trace` and the examples use.
+
+use fortika::core::workload::Workload;
+use fortika::core::{Experiment, StackKind, TraceConfig};
+use fortika::trace::TraceData;
+
+fn traced_report(kind: StackKind, seed: u64) -> fortika::core::RunReport {
+    Experiment::builder(kind, 3)
+        .workload(Workload::constant_rate(300.0, 256))
+        .seed(seed)
+        .warmup_secs(0.2)
+        .measure_secs(0.6)
+        .trace(TraceConfig::on())
+        .build()
+        .run()
+}
+
+#[test]
+fn same_seed_same_jsonl_on_both_stacks() {
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        let a = traced_report(kind, 11).trace.expect("tracing on");
+        let b = traced_report(kind, 11).trace.expect("tracing on");
+        assert_eq!(
+            a.to_jsonl(),
+            b.to_jsonl(),
+            "{kind:?}: same seed must replay to byte-identical JSONL"
+        );
+        assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+        // And a different seed must not (the trace actually reflects
+        // the run, it is not a constant).
+        let c = traced_report(kind, 12).trace.expect("tracing on");
+        assert_ne!(a.to_jsonl(), c.to_jsonl());
+    }
+}
+
+#[test]
+fn tracing_does_not_change_measurements() {
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        let base = Experiment::builder(kind, 3)
+            .workload(Workload::constant_rate(300.0, 256))
+            .seed(21)
+            .warmup_secs(0.2)
+            .measure_secs(0.6)
+            .build()
+            .run();
+        let traced = traced_report(kind, 21);
+        // Bit-identical metrics: tracing must be observation only.
+        assert_eq!(
+            base.early_latency_ms.mean, traced.early_latency_ms.mean,
+            "{kind:?}: tracing changed latency"
+        );
+        assert_eq!(base.throughput_msgs_per_sec, traced.throughput_msgs_per_sec);
+        assert_eq!(base.delivered_total, traced.delivered_total);
+        assert_eq!(base.msgs_in_window, traced.msgs_in_window);
+        assert_eq!(base.bytes_in_window, traced.bytes_in_window);
+        assert!(base.trace.is_none() && base.latency_decomposition.is_none());
+    }
+}
+
+#[test]
+fn decomposition_components_sum_to_end_to_end() {
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        let report = traced_report(kind, 31);
+        let d = report
+            .latency_decomposition
+            .expect("tracing yields a decomposition");
+        assert!(d.samples > 50, "{kind:?}: too few samples ({})", d.samples);
+        // queueing + transmission + cpu must equal the end-to-end mean
+        // (durability is a subset of cpu, not an addend). The
+        // per-sample identity is exact in integer nanoseconds; the mean
+        // only rounds through f64.
+        let sum = d.queueing.mean_ms + d.transmission.mean_ms + d.cpu.mean_ms;
+        assert!(
+            (sum - d.total.mean_ms).abs() < 1e-6,
+            "{kind:?}: components sum {sum} != total {}",
+            d.total.mean_ms
+        );
+        // The decomposition mean must also match the run's reported
+        // early latency — both average the same samples.
+        assert!(
+            (d.total.mean_ms - report.early_latency_ms.mean).abs() < 1e-6,
+            "{kind:?}: decomposition total {} != early latency {}",
+            d.total.mean_ms,
+            report.early_latency_ms.mean
+        );
+        // Sanity on the shape: some time is spent on CPU and some on
+        // the wire in every real run.
+        assert!(d.cpu.mean_ms > 0.0, "{kind:?}: zero CPU time");
+        assert!(d.transmission.mean_ms > 0.0, "{kind:?}: zero wire time");
+        assert!(d.total.p99_ms >= d.total.p50_ms);
+    }
+}
+
+#[test]
+fn trace_contains_all_event_classes_and_spans() {
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        let trace = traced_report(kind, 41).trace.expect("tracing on");
+        let mut sends = 0u64;
+        let mut delivers = 0u64;
+        let mut handlers = 0u64;
+        let mut phases: Vec<&'static str> = Vec::new();
+        for e in &trace.events {
+            match e.data {
+                TraceData::Send { .. } => sends += 1,
+                TraceData::Deliver { .. } => delivers += 1,
+                TraceData::Handler { .. } => handlers += 1,
+                TraceData::Span { phase, .. } => phases.push(phase),
+                TraceData::Drop { .. } => {}
+            }
+        }
+        assert!(sends > 0 && delivers > 0 && handlers > 0, "{kind:?}");
+        for expected in ["proposed", "voted", "decided", "applied"] {
+            assert!(
+                phases.contains(&expected),
+                "{kind:?}: no {expected:?} span in {phases:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn violation_dump_is_bounded_and_carries_spans() {
+    use fortika::chaos::{dump_violation_trace, OracleReport, Violation, DUMP_WINDOW};
+    use fortika::net::{MsgId, ProcessId};
+
+    let trace = traced_report(StackKind::Modular, 61).trace.expect("on");
+    // The stacks are correct, so no real run violates; fabricate the
+    // oracle outcome — the dump path only looks at the first violation's
+    // offending process.
+    let report = OracleReport {
+        violations: vec![Violation::DuplicateDelivery {
+            process: ProcessId(1),
+            id: MsgId::new(ProcessId(0), 3),
+        }],
+        deliveries: 1,
+        common_order: vec![],
+    };
+    let dir = std::env::temp_dir().join("fortika-trace-e2e");
+    let written = dump_violation_trace(&trace, &report, &dir, "e2e").unwrap();
+    assert_eq!(written.len(), 2);
+    let jsonl = std::fs::read_to_string(&written[0]).unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    // Bounded: at most the dump window plus the meta line.
+    assert!(lines.len() <= DUMP_WINDOW + 1);
+    // Every event involves the offending process, and its lifecycle
+    // spans are present.
+    assert!(lines.iter().any(|l| l.contains("\"ev\":\"span\"")));
+    assert!(lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"span\""))
+        .all(|l| l.contains("\"pid\":1")));
+    let chrome = std::fs::read_to_string(&written[1]).unwrap();
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("abcast #"));
+}
+
+#[test]
+fn trace_buffer_is_bounded() {
+    let report = Experiment::builder(StackKind::Modular, 3)
+        .workload(Workload::constant_rate(300.0, 256))
+        .seed(51)
+        .warmup_secs(0.2)
+        .measure_secs(0.6)
+        .trace(TraceConfig::with_capacity(256))
+        .build()
+        .run();
+    let trace = report.trace.expect("tracing on");
+    assert_eq!(trace.capacity, 256);
+    assert!(trace.events.len() <= 256);
+    assert!(trace.dropped > 0, "a real run overflows 256 events");
+    // The meta line reports the eviction accounting.
+    let jsonl = trace.to_jsonl();
+    let meta = jsonl.lines().last().unwrap();
+    assert!(meta.contains("\"meta\":true"));
+    assert!(meta.contains(&format!("\"dropped\":{}", trace.dropped)));
+}
