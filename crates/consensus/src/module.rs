@@ -80,7 +80,7 @@
 //! the recovery-aware oracle audits exactly that, plus cross-process
 //! agreement on snapshot digests.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
@@ -177,9 +177,9 @@ struct Instance {
     /// round-tagged `DECISION` notice.
     last_proposal: Option<(u32, Batch)>,
     /// Acks gathered while coordinating the current round.
-    acks: HashSet<ProcessId>,
+    acks: BTreeSet<ProcessId>,
     /// Highest-round estimate received from each peer (round, value, ts).
-    estimates: HashMap<ProcessId, (u32, Batch, u32)>,
+    estimates: BTreeMap<ProcessId, (u32, Batch, u32)>,
     /// Last round for which we (as coordinator) already proposed.
     proposal_sent_round: Option<u32>,
     /// A `DECISION` tag arrived for this round but the matching proposal
@@ -197,8 +197,8 @@ impl Instance {
             estimate: None,
             ts: 0,
             last_proposal: None,
-            acks: HashSet::new(),
-            estimates: HashMap::new(),
+            acks: BTreeSet::new(),
+            estimates: BTreeMap::new(),
             proposal_sent_round: None,
             pending_tag: None,
             last_request: None,
@@ -223,7 +223,7 @@ pub struct ConsensusModule {
     /// so a revived process re-raises the whole decided prefix.
     replayed: OriginLog,
     decisions: BTreeMap<u64, Batch>,
-    suspected: HashSet<ProcessId>,
+    suspected: BTreeSet<ProcessId>,
     /// Per-peer rate limiter for gap/rejoin recovery requests.
     gap_limiter: PeerRateLimiter,
     /// Highest instance number observed in any peer message.
@@ -263,7 +263,7 @@ impl ConsensusModule {
             decided_log: OriginLog::default(),
             replayed: OriginLog::default(),
             decisions: BTreeMap::new(),
-            suspected: HashSet::new(),
+            suspected: BTreeSet::new(),
             gap_limiter: PeerRateLimiter::new(),
             highest_seen: 0,
             recovered_votes: BTreeMap::new(),

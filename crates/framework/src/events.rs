@@ -75,8 +75,10 @@ pub enum Event {
     },
 }
 
-/// Discriminant of [`Event`], used for subscription routing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Discriminant of [`Event`], used for subscription routing. `Ord` so
+/// the stack's subscription table can be a `BTreeMap` (dispatch order
+/// must never depend on a hasher seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// See [`Event::AbcastRequest`].
     AbcastRequest,

@@ -1,6 +1,6 @@
 //! Composite stacks: the composition kernel.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::{BufMut, Bytes, BytesMut};
 use fortika_net::wire::WireReader;
@@ -224,8 +224,8 @@ fn envelope(module_id: ModuleId, payload: &Bytes) -> Bytes {
 /// Construction panics if two modules share a [`ModuleId`].
 pub struct CompositeStack {
     modules: Vec<Box<dyn Microprotocol>>,
-    by_id: HashMap<ModuleId, usize>,
-    subs: HashMap<EventKind, Vec<usize>>,
+    by_id: BTreeMap<ModuleId, usize>,
+    subs: BTreeMap<EventKind, Vec<usize>>,
     bus: VecDeque<Event>,
 }
 
@@ -233,8 +233,8 @@ impl CompositeStack {
     /// Composes a stack; `modules` are ordered top (application side)
     /// to bottom (network side). Request admission is offered top-down.
     pub fn new(modules: Vec<Box<dyn Microprotocol>>) -> Self {
-        let mut by_id = HashMap::new();
-        let mut subs: HashMap<EventKind, Vec<usize>> = HashMap::new();
+        let mut by_id = BTreeMap::new();
+        let mut subs: BTreeMap<EventKind, Vec<usize>> = BTreeMap::new();
         for (idx, m) in modules.iter().enumerate() {
             let prev = by_id.insert(m.module_id(), idx);
             assert!(

@@ -1,0 +1,12 @@
+// Fixture: ambient randomness — OS-seeded, unreplayable.
+
+fn bad() {
+    let _x = rand::random::<u64>();
+    let mut _r = thread_rng();
+}
+
+fn fine() {
+    // `operand::` must not match `rand::`.
+    use operand::thing;
+    let _ = thing;
+}

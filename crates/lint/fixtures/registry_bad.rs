@@ -1,0 +1,57 @@
+// Fixture: registry gaps — a scenario event that `apply` never
+// schedules, and a violation the `Display` impl renders through a
+// wildcard. Both are exactly the rot the registry rules exist to catch.
+
+pub enum ScenarioEvent {
+    Crash { pid: u64 },
+    Restart { pid: u64 },
+    Quake { magnitude: f64 },
+}
+
+impl Scenario {
+    pub fn apply(&self, net: &mut Net) {
+        match self.event {
+            ScenarioEvent::Crash { pid } => net.crash(pid),
+            ScenarioEvent::Restart { pid } => net.restart(pid),
+            _ => {}
+        }
+    }
+
+    pub fn heals(&self) -> bool {
+        matches!(
+            self.event,
+            ScenarioEvent::Restart { .. } | ScenarioEvent::Quake { .. } | ScenarioEvent::Crash { .. }
+        )
+    }
+
+    pub fn horizon(&self) -> u64 {
+        match self.event {
+            ScenarioEvent::Crash { .. } => 0,
+            ScenarioEvent::Restart { .. } => 1,
+            ScenarioEvent::Quake { .. } => 2,
+        }
+    }
+}
+
+pub enum Violation {
+    Divergence { pid: u64 },
+    Stall,
+}
+
+impl Violation {
+    pub fn process(&self) -> Option<u64> {
+        match self {
+            Violation::Divergence { pid } => Some(*pid),
+            Violation::Stall => None,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Divergence { pid } => write!(f, "divergence at {pid}"),
+            _ => write!(f, "violation"),
+        }
+    }
+}

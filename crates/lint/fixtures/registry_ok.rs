@@ -1,0 +1,49 @@
+// Fixture: fully-wired registries — every variant named in every sink.
+
+pub enum ScenarioEvent {
+    Crash { pid: u64 },
+    Restart { pid: u64 },
+}
+
+impl Scenario {
+    pub fn apply(&self, net: &mut Net) {
+        match self.event {
+            ScenarioEvent::Crash { pid } => net.crash(pid),
+            ScenarioEvent::Restart { pid } => net.restart(pid),
+        }
+    }
+
+    pub fn heals(&self) -> bool {
+        matches!(self.event, ScenarioEvent::Restart { .. } | ScenarioEvent::Crash { .. })
+    }
+
+    pub fn horizon(&self) -> u64 {
+        match self.event {
+            ScenarioEvent::Crash { .. } => 0,
+            ScenarioEvent::Restart { .. } => 1,
+        }
+    }
+}
+
+pub enum Violation {
+    Divergence { pid: u64 },
+    Stall,
+}
+
+impl Violation {
+    pub fn process(&self) -> Option<u64> {
+        match self {
+            Violation::Divergence { pid } => Some(*pid),
+            Violation::Stall => None,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Divergence { pid } => write!(f, "divergence at {pid}"),
+            Violation::Stall => write!(f, "stall"),
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: OS threads — scheduling order belongs to the event queue.
+
+fn bad_qualified() {
+    std::thread::spawn(|| {});
+}
+
+fn bad_bare() {
+    use std::thread;
+    thread::spawn(|| {});
+}

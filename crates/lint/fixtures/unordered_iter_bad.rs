@@ -1,0 +1,26 @@
+// Fixture: HashMap/HashSet iteration whose order escapes.
+
+struct State {
+    peers: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+}
+
+fn bad_method(s: &State) {
+    for v in s.peers.values() {
+        emit(v);
+    }
+}
+
+fn bad_for_loop(s: &State) {
+    for id in &s.seen {
+        emit(id);
+    }
+}
+
+fn bad_local() {
+    let mut scratch = HashMap::new();
+    scratch.insert(1, 2);
+    for (k, v) in scratch.iter() {
+        emit(k + v);
+    }
+}

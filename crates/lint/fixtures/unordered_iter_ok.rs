@@ -1,0 +1,35 @@
+// Fixture: iteration sites that neutralize order — collect-then-sort,
+// order-insensitive reductions, waivers, and test-only code. All clean.
+
+struct State {
+    peers: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+}
+
+fn sorted(s: &State) -> Vec<u32> {
+    let mut v: Vec<u32> = s.peers.values().copied().collect();
+    v.sort();
+    v
+}
+
+fn reduced(s: &State) -> usize {
+    s.peers.values().filter(|v| **v > 0).count()
+}
+
+fn waived(s: &State) {
+    // lint:allow(unordered-iter): the fold below is commutative
+    for id in &s.seen {
+        acc_xor(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn order_free_assert() {
+        let m: HashMap<u64, u32> = HashMap::new();
+        for v in m.values() {
+            assert!(*v < 10);
+        }
+    }
+}

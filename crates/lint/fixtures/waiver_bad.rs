@@ -1,0 +1,13 @@
+// Fixture: malformed waivers — each is itself a violation, because a
+// waiver that silently fails to parse would un-suppress on the next
+// edit (or worse, suppress nothing while looking like it does).
+
+fn missing_reason() {
+    // lint:allow(wall-clock)
+    let _x = 1;
+}
+
+fn empty_reason() {
+    // lint:allow(unordered-iter):
+    let _y = 2;
+}

@@ -1,0 +1,20 @@
+// Fixture: every wall-clock spelling the rule must catch, plus the
+// near-misses it must not. Never compiled — scanned by tests/fixtures.rs.
+
+use std::time::Instant;
+
+fn bad_direct() {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+}
+
+fn bad_imported() {
+    let _t = Instant::now();
+}
+
+fn fine() {
+    // std::time::Instant in a comment must not fire.
+    let _s = "std::time::Instant";
+    let restart_instant = 7;
+    let _ = restart_instant;
+}

@@ -1,0 +1,7 @@
+// Fixture: the same violation carrying a waiver with a written reason —
+// suppressed, and accounted in the report's waiver list.
+
+fn waived() {
+    // lint:allow(wall-clock): coarse startup stamp, never compared across runs
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,188 @@
+//! Findings, waiver accounting and the machine-readable report.
+//!
+//! `fortika-lint` emits two artifacts from one run: human diagnostics
+//! (`file:line: rule: message`, one per finding, compiler-style so
+//! editors can jump) and `target/lint-report.json`, a deterministic
+//! JSON document CI archives. The JSON is hand-rolled with the same
+//! discipline as the bench emitter — and like the bench files it can be
+//! re-validated by `fortika_bench::json`, though the lint crate itself
+//! depends on nothing.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `wall-clock`, `layering`).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line (0 = whole-file finding).
+    pub line: usize,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+/// A waiver that actually suppressed a finding, for the report's audit
+/// trail (unused waivers are reported too, as findings — dead waivers
+/// rot into false confidence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsedWaiver {
+    /// The waived rule.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// The written justification.
+    pub reason: String,
+}
+
+/// Outcome of a full analyzer run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Waivers that suppressed at least one finding.
+    pub waivers: Vec<UsedWaiver>,
+    /// Number of `.rs` files scanned by the determinism rules.
+    pub files_scanned: usize,
+    /// Number of crate manifests in the layering graph.
+    pub crates_checked: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Canonical ordering, applied once after all rules ran.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.findings.dedup();
+        self.waivers
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.waivers.dedup();
+    }
+
+    /// Human diagnostics: one `file:line: rule: message` per finding
+    /// plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.line > 0 {
+                let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            } else {
+                let _ = writeln!(out, "{}: [{}] {}", f.file, f.rule, f.message);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "fortika-lint: {} violation(s), {} waiver(s) in use, {} files / {} crates checked",
+            self.findings.len(),
+            self.waivers.len(),
+            self.files_scanned,
+            self.crates_checked,
+        );
+        out
+    }
+
+    /// The machine-readable report (deterministic: same tree, same
+    /// bytes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"crates_checked\": {},", self.crates_checked);
+        let _ = writeln!(out, "  \"violations\": {},", self.findings.len());
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{comma}",
+                escape(f.rule),
+                escape(&f.file),
+                f.line,
+                escape(&f.message)
+            );
+        }
+        out.push_str("  ],\n  \"waivers\": [\n");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let comma = if i + 1 < self.waivers.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{comma}",
+                escape(&w.rule),
+                escape(&w.file),
+                w.line,
+                escape(&w.reason)
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_and_deterministic_json() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "layering",
+            file: "crates/net/Cargo.toml".into(),
+            line: 9,
+            message: "b \"quoted\"".into(),
+        });
+        r.findings.push(Finding {
+            rule: "wall-clock",
+            file: "crates/net/src/a.rs".into(),
+            line: 3,
+            message: "a".into(),
+        });
+        r.sort();
+        assert_eq!(r.findings[0].rule, "layering");
+        let json = r.to_json();
+        assert_eq!(json, r.to_json());
+        assert!(json.contains("\"violations\": 2"));
+        assert!(json.contains("b \\\"quoted\\\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn human_render_is_compiler_style() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "ambient-rng",
+            file: "crates/sim/src/rng.rs".into(),
+            line: 12,
+            message: "thread_rng is banned".into(),
+        });
+        let text = r.render_human();
+        assert!(text.contains("crates/sim/src/rng.rs:12: [ambient-rng] thread_rng is banned"));
+        assert!(text.contains("1 violation(s)"));
+    }
+}

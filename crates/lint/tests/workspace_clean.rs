@@ -1,0 +1,37 @@
+//! The committed tree must satisfy its own lints: this is the same
+//! check CI's `cargo run -p fortika-lint` gate performs, wired into
+//! `cargo test` so a violation fails fast locally too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found"
+    );
+
+    let report = fortika_lint::run(root).expect("scan succeeds");
+    assert!(
+        report.clean(),
+        "the committed workspace must be lint-clean; fix or waive:\n{}",
+        report.render_human()
+    );
+    // The scan actually covered the tree (guards against a refactor
+    // that silently walks the wrong directory and reports vacuous
+    // success).
+    assert!(
+        report.files_scanned > 30,
+        "only {} files scanned",
+        report.files_scanned
+    );
+    assert!(
+        report.crates_checked >= 14,
+        "only {} crates checked",
+        report.crates_checked
+    );
+}

@@ -35,7 +35,7 @@
 //! acks lock the proposal with adoption timestamp `round+1`; coordinators
 //! of later rounds adopt the max-timestamp estimate from a majority.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use fortika_fd::{FailureDetector, FdEvent};
@@ -172,8 +172,8 @@ struct Inst {
     round_entered: VTime,
     estimate: Option<Batch>,
     ts: u32,
-    acks: HashSet<ProcessId>,
-    estimates: HashMap<ProcessId, (u32, Batch, u32)>,
+    acks: BTreeSet<ProcessId>,
+    estimates: BTreeMap<ProcessId, (u32, Batch, u32)>,
     last_proposal: Option<(u32, Batch)>,
     proposal_sent_round: Option<u32>,
     pending_tag: Option<u32>,
@@ -186,8 +186,8 @@ impl Inst {
             round_entered: now,
             estimate: None,
             ts: 0,
-            acks: HashSet::new(),
-            estimates: HashMap::new(),
+            acks: BTreeSet::new(),
+            estimates: BTreeMap::new(),
             last_proposal: None,
             proposal_sent_round: None,
             pending_tag: None,
@@ -200,7 +200,7 @@ pub struct MonoNode {
     cfg: MonoConfig,
     fd: Box<dyn FailureDetector>,
     fd_scratch: Vec<FdEvent>,
-    suspected: HashSet<ProcessId>,
+    suspected: BTreeSet<ProcessId>,
     flow: FlowWindow,
     /// Next instance whose decision will be applied.
     next_decide: u64,
@@ -264,7 +264,7 @@ impl MonoNode {
             cfg,
             fd,
             fd_scratch: Vec::new(),
-            suspected: HashSet::new(),
+            suspected: BTreeSet::new(),
             flow: FlowWindow::new(window),
             next_decide: 0,
             delivered: BTreeMap::new(),

@@ -46,7 +46,7 @@
 //! their vote-critical state there and rebuild everything else — the
 //! decided prefix, delivery logs, timers — from peers after rejoining.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
 use fortika_sim::{CpuResource, DetRng, EventQueue, LinkResource, VDur, VTime};
@@ -433,7 +433,7 @@ struct Proc {
     /// encode/install) — a subset of the CPU's busy time.
     durability_busy: VDur,
     next_timer: u64,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
 }
 
 enum Ev {
@@ -531,7 +531,7 @@ impl Cluster {
                 cpu_milli: 1000,
                 durability_busy: VDur::ZERO,
                 next_timer: 0,
-                cancelled: HashSet::new(),
+                cancelled: BTreeSet::new(),
             })
             .collect();
         let rng = DetRng::seed(cfg.seed);

@@ -7,7 +7,7 @@
 //! whole window; [`PeerRateLimiter`] keys the window by peer, which is
 //! what the recovery protocols actually need.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fortika_sim::{VDur, VTime};
 
@@ -19,7 +19,7 @@ use crate::id::ProcessId;
 /// window; requests toward distinct peers never suppress each other.
 #[derive(Debug, Clone, Default)]
 pub struct PeerRateLimiter {
-    last: HashMap<ProcessId, VTime>,
+    last: BTreeMap<ProcessId, VTime>,
 }
 
 impl PeerRateLimiter {

@@ -25,7 +25,7 @@
 //! restores agreement under any crash pattern within the majority
 //! assumption; floods never occur in good runs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
@@ -129,9 +129,9 @@ struct Pending {
 pub struct RbcastModule {
     cfg: RbcastConfig,
     next_seq: u64,
-    logs: HashMap<ProcessId, OriginLog>,
-    pending: HashMap<(ProcessId, u64), Pending>,
-    timer_keys: HashMap<u64, (ProcessId, u64)>,
+    logs: BTreeMap<ProcessId, OriginLog>,
+    pending: BTreeMap<(ProcessId, u64), Pending>,
+    timer_keys: BTreeMap<u64, (ProcessId, u64)>,
     next_timer_tag: u64,
 }
 
@@ -141,9 +141,9 @@ impl RbcastModule {
         RbcastModule {
             cfg,
             next_seq: 0,
-            logs: HashMap::new(),
-            pending: HashMap::new(),
-            timer_keys: HashMap::new(),
+            logs: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            timer_keys: BTreeMap::new(),
             next_timer_tag: 0,
         }
     }
