@@ -31,13 +31,22 @@
 //! run per stack, verifying that the latency decomposition's components
 //! sum to the end-to-end latency and that the JSONL / Chrome exports
 //! under `target/trace/` are well-formed.
+//!
+//! `--fuzz-quick` runs a bounded coverage-steered fuzz campaign per
+//! stack (see `docs/FUZZING.md`), archives each campaign's coverage
+//! matrix under `target/fuzz/`, and fails (exit 1) on any safety
+//! violation — after ddmin-shrinking the offending scenario and writing
+//! the minimized reproducer next to the matrix.
 
 use std::fmt::Write as _;
 
 use fortika_bench::json;
-use fortika_chaos::CoverageReport;
+use fortika_chaos::{minimize, CoverageReport, FuzzCampaign, FuzzConfig, StopReason};
 use fortika_core::workload::Workload;
-use fortika_core::{Experiment, RunReport, Scenario, StackConfig, StackKind, TraceConfig};
+use fortika_core::{
+    fuzz_runner, run_fuzz_scenario, Experiment, RunReport, Scenario, StackConfig, StackKind,
+    TraceConfig,
+};
 use fortika_net::{CostModel, LinkSelector, NetModel, ProcessId};
 use fortika_sim::VDur;
 
@@ -606,6 +615,94 @@ fn trace_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// Where `--fuzz-quick` archives its coverage matrices and reproducers.
+const FUZZ_DIR: &str = "target/fuzz";
+
+/// The `--fuzz-quick` smoke: one bounded steered campaign per stack.
+/// Small enough for CI (≤ 32 runs per stack, plateau stop armed) yet
+/// real: every run builds a cluster, injects the drawn scenario, drives
+/// load and audits safety. The coverage matrix of each campaign lands
+/// in [`FUZZ_DIR`] (CI uploads it); a violation ddmin-shrinks its
+/// scenario, writes the minimized reproducer alongside, and fails the
+/// stage.
+fn fuzz_quick() -> Result<(), String> {
+    println!("probe --fuzz-quick: bounded steered fuzz campaign per stack");
+    std::fs::create_dir_all(FUZZ_DIR).map_err(|e| format!("mkdir {FUZZ_DIR}: {e}"))?;
+    println!(
+        "{:>10} | {:>5} {:>7} {:>7} {:>9}  stop",
+        "stack", "runs", "batches", "cells", "families"
+    );
+    for kind in [StackKind::Monolithic, StackKind::Modular] {
+        let label = kind.label();
+        let cfg = FuzzConfig {
+            batch_runs: 8,
+            max_batches: 4,
+            plateau_batches: 2,
+            ..FuzzConfig::new(3, 42)
+        };
+        let report = FuzzCampaign::new(cfg).run(fuzz_runner(kind, 3, StackConfig::default()));
+
+        let matrix_path = format!("{FUZZ_DIR}/coverage-matrix-{label}.json");
+        report
+            .coverage
+            .write_json(std::path::Path::new(&matrix_path))
+            .map_err(|e| format!("write {matrix_path}: {e}"))?;
+        // The archived artifact must re-read as well-formed JSON.
+        let text = std::fs::read_to_string(&matrix_path)
+            .map_err(|e| format!("re-read {matrix_path}: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("{matrix_path}: {e}"))?;
+        if doc.get("runs").and_then(json::Value::as_f64) != Some(report.coverage.runs() as f64) {
+            return Err(format!("{matrix_path}: run count does not round-trip"));
+        }
+        let families = CoverageReport::family_names()
+            .iter()
+            .filter(|f| report.coverage.family_runs(f) > 0)
+            .count();
+        println!(
+            "{label:>10} | {:>5} {:>7} {:>7} {:>9}  {:?}",
+            report.runs,
+            report.batches,
+            report.coverage.reached_cells().len(),
+            families,
+            report.stop
+        );
+        println!("wrote {matrix_path}");
+
+        if report.stop == StopReason::Violation {
+            let failing = report
+                .failure
+                .expect("violation stop always carries the failing run");
+            let kind_str = failing.violation.kind();
+            let stack_cfg = StackConfig::default();
+            let min = minimize(&failing.scenario, |candidate| {
+                run_fuzz_scenario(kind, 3, &stack_cfg, candidate, failing.seed)
+                    .violation
+                    .as_ref()
+                    .is_some_and(|v| v.kind() == kind_str)
+            });
+            let repro_path = format!("{FUZZ_DIR}/violation-{label}-seed{}.min.txt", failing.seed);
+            let body = format!(
+                "stack: {label}\nn: 3\nseed: {}\nviolation: {}\nevents: {} (of {})\n\
+                 scenario: {:#?}\n",
+                failing.seed,
+                failing.violation,
+                min.events(),
+                min.original_events,
+                min.scenario,
+            );
+            std::fs::write(&repro_path, body).map_err(|e| format!("write {repro_path}: {e}"))?;
+            return Err(format!(
+                "{label}: safety violation {kind_str} at seed {} — minimized reproducer \
+                 ({} of {} events) written to {repro_path}",
+                failing.seed,
+                min.events(),
+                min.original_events,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// One named sweep: takes `quick` and the campaign coverage tally,
 /// runs, writes + verifies its file.
 type Sweep = (
@@ -621,6 +718,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("\ntracing smoke passed (decomposition sums, exports well-formed)");
+        return;
+    }
+    if std::env::args().any(|a| a == "--fuzz-quick") {
+        if let Err(e) = fuzz_quick() {
+            eprintln!("probe: fuzz smoke failed: {e}");
+            std::process::exit(1);
+        }
+        println!("\nfuzz smoke passed (no safety violations, coverage matrices archived)");
         return;
     }
     if quick {

@@ -18,6 +18,8 @@ use std::fmt;
 
 use fortika_net::Counters;
 
+use crate::scenario::{Scenario, FAMILIES};
+
 /// One protocol branch the report tracks: a logical name plus the
 /// counter keys (one per stack, usually) that witness it.
 struct Branch {
@@ -117,6 +119,12 @@ pub struct CoverageReport {
     runs: u64,
     /// branch name -> (total events, runs in which the branch fired).
     tallies: BTreeMap<&'static str, (u64, u64)>,
+    /// family name -> runs absorbed whose scenario contained the family.
+    family_runs: BTreeMap<&'static str, u64>,
+    /// Co-occurrence matrix: family name -> branch name -> number of
+    /// runs that contained the family *and* reached the branch. Only
+    /// populated by [`absorb_with_scenario`](Self::absorb_with_scenario).
+    matrix: BTreeMap<&'static str, BTreeMap<&'static str, u64>>,
 }
 
 impl CoverageReport {
@@ -125,14 +133,59 @@ impl CoverageReport {
         CoverageReport::default()
     }
 
-    /// Folds one run's final counters into the report.
-    pub fn absorb(&mut self, counters: &Counters) {
+    /// Folds one run's final counters into the branch tallies and
+    /// reports, per branch, whether the run reached it.
+    fn fold_counters(&mut self, counters: &Counters) -> Vec<(&'static str, bool)> {
         self.runs += 1;
+        let mut reached = Vec::with_capacity(BRANCHES.len());
         for branch in BRANCHES {
             let hits: u64 = branch.keys.iter().map(|k| counters.event(k)).sum();
             let entry = self.tallies.entry(branch.name).or_insert((0, 0));
             entry.0 += hits;
             entry.1 += u64::from(hits > 0);
+            reached.push((branch.name, hits > 0));
+        }
+        reached
+    }
+
+    /// Folds one run's final counters into the report.
+    pub fn absorb(&mut self, counters: &Counters) {
+        let _ = self.fold_counters(counters);
+    }
+
+    /// Folds one run's final counters *and its scenario* into the
+    /// report: besides the per-branch tallies of
+    /// [`absorb`](Self::absorb), every (event family × reached branch)
+    /// pair of the run is credited in the co-occurrence matrix
+    /// ([`cell`](Self::cell)). This is the event-level coverage the
+    /// steered generator ([`crate::ChaosProfile::steered`]) feeds on.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fortika_chaos::{CoverageReport, Scenario};
+    /// use fortika_net::{Counters, ProcessId};
+    /// use fortika_sim::VDur;
+    ///
+    /// let mut report = CoverageReport::new();
+    /// let mut counters = Counters::new();
+    /// counters.bump("mono.round_changes", 2);
+    /// let scenario = Scenario::new().crash(ProcessId(0), VDur::millis(5));
+    /// report.absorb_with_scenario(&counters, &scenario);
+    /// assert_eq!(report.cell("crash", "round_changes"), 1);
+    /// assert_eq!(report.cell("crash", "gap_pulls"), 0);
+    /// assert_eq!(report.family_runs("crash"), 1);
+    /// ```
+    pub fn absorb_with_scenario(&mut self, counters: &Counters, scenario: &Scenario) {
+        let reached = self.fold_counters(counters);
+        for family in scenario.families() {
+            *self.family_runs.entry(family).or_insert(0) += 1;
+            let row = self.matrix.entry(family).or_default();
+            for (branch, hit) in &reached {
+                if *hit {
+                    *row.entry(branch).or_insert(0) += 1;
+                }
+            }
         }
     }
 
@@ -168,10 +221,65 @@ impl CoverageReport {
         BRANCHES.iter().map(|b| b.name).collect()
     }
 
+    /// All event-family names of the co-occurrence matrix, in canonical
+    /// order: the nine `ScenarioEvent` families plus the `pipelined`
+    /// configuration axis.
+    pub fn family_names() -> Vec<&'static str> {
+        FAMILIES.to_vec()
+    }
+
+    /// Runs absorbed via [`absorb_with_scenario`](Self::absorb_with_scenario)
+    /// whose scenario contained `family` (zero for unknown families).
+    pub fn family_runs(&self, family: &str) -> u64 {
+        self.family_runs.get(family).copied().unwrap_or(0)
+    }
+
+    /// One cell of the co-occurrence matrix: in how many absorbed runs
+    /// did a scenario containing `family` reach `branch`?
+    pub fn cell(&self, family: &str, branch: &str) -> u64 {
+        self.matrix
+            .get(family)
+            .and_then(|row| row.get(branch))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All non-zero matrix cells as `(family, branch)` pairs, in
+    /// canonical (family order × branch order) order — the campaign's
+    /// event-level coverage surface. Steered-vs-unsteered comparisons
+    /// set-difference these.
+    pub fn reached_cells(&self) -> Vec<(&'static str, &'static str)> {
+        let mut out = Vec::new();
+        for family in FAMILIES {
+            for branch in BRANCHES {
+                if self.cell(family, branch.name) > 0 {
+                    out.push((*family, branch.name));
+                }
+            }
+        }
+        out
+    }
+
+    /// The coverage deficit of `family`: the fraction of tracked
+    /// branches no absorbed run containing the family has reached.
+    /// 1.0 for a family never absorbed (everything about it is
+    /// unknown), 0.0 once its matrix row is full. This is the steering
+    /// signal of [`crate::ChaosProfile::steered`].
+    pub fn family_deficit(&self, family: &str) -> f64 {
+        let total = BRANCHES.len() as f64;
+        let row_reached = self
+            .matrix
+            .get(family)
+            .map_or(0, |row| row.values().filter(|c| **c > 0).count());
+        1.0 - row_reached as f64 / total
+    }
+
     /// Renders the report as a JSON object: run count, per-branch
-    /// totals (`{"events": …, "runs_reached": …}` in table order) and
-    /// the list of missed branches. Deterministic — same report, same
-    /// bytes — so CI can archive and diff it across campaigns.
+    /// totals (`{"events": …, "runs_reached": …}` in table order), the
+    /// family × branch co-occurrence matrix (every family in canonical
+    /// order, with its run count and non-zero cells) and the list of
+    /// missed branches. Deterministic — same report, same bytes — so CI
+    /// can archive and diff it across campaigns.
     pub fn to_json(&self) -> String {
         use fmt::Write;
         let mut out = String::from("{\n");
@@ -185,6 +293,27 @@ impl CoverageReport {
                 "    \"{}\": {{\"events\": {total}, \"runs_reached\": {in_runs}}}{comma}",
                 branch.name
             );
+        }
+        out.push_str("  },\n  \"families\": {\n");
+        for (i, family) in FAMILIES.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{family}\": {{\"runs\": {}, \"cells\": {{",
+                self.family_runs(family)
+            );
+            let mut first = true;
+            for branch in BRANCHES {
+                let cell = self.cell(family, branch.name);
+                if cell > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    let _ = write!(out, "\"{}\": {cell}", branch.name);
+                }
+            }
+            let comma = if i + 1 < FAMILIES.len() { "," } else { "" };
+            let _ = writeln!(out, "}}}}{comma}");
         }
         out.push_str("  },\n  \"missed\": [");
         for (i, name) in self.missed().iter().enumerate() {
@@ -220,6 +349,22 @@ impl fmt::Display for CoverageReport {
                 "  {:<24} {mark} {total:>10} events in {in_runs}/{} runs",
                 branch.name, self.runs
             )?;
+        }
+        if !self.family_runs.is_empty() {
+            writeln!(f, "event-family co-occurrence (cells reached):")?;
+            let total = BRANCHES.len();
+            for family in FAMILIES {
+                let row_reached = self
+                    .matrix
+                    .get(family)
+                    .map_or(0, |row| row.values().filter(|c| **c > 0).count());
+                writeln!(
+                    f,
+                    "  {:<16} {:>3} runs, {row_reached:>2}/{total} branches",
+                    family,
+                    self.family_runs(family)
+                )?;
+            }
         }
         Ok(())
     }
@@ -274,6 +419,66 @@ mod tests {
         // Crude structural check: balanced braces, ends with newline.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn matrix_credits_only_the_scenarios_families() {
+        use fortika_net::{LinkSelector, ProcessId};
+        use fortika_sim::VDur;
+
+        let mut report = CoverageReport::new();
+        let crashy = Scenario::new().crash(ProcessId(0), VDur::millis(5));
+        let lossy = Scenario::new().lossy(LinkSelector::All, 0.2, VDur::ZERO, VDur::millis(10));
+
+        let mut c = Counters::new();
+        c.bump("mono.round_changes", 2);
+        report.absorb_with_scenario(&c, &crashy);
+        let mut c2 = Counters::new();
+        c2.bump("consensus.gap_requests", 1);
+        c2.bump("mono.round_changes", 1);
+        report.absorb_with_scenario(&c2, &lossy);
+        // Plain absorb contributes to tallies but not to the matrix.
+        report.absorb(&c);
+
+        assert_eq!(report.runs(), 3);
+        assert_eq!(report.family_runs("crash"), 1);
+        assert_eq!(report.family_runs("lossy"), 1);
+        assert_eq!(report.family_runs("pipelined"), 0);
+        assert_eq!(report.cell("crash", "round_changes"), 1);
+        assert_eq!(report.cell("crash", "gap_pulls"), 0);
+        assert_eq!(report.cell("lossy", "gap_pulls"), 1);
+        assert_eq!(report.cell("lossy", "round_changes"), 1);
+        assert_eq!(
+            report.reached_cells(),
+            vec![
+                ("crash", "round_changes"),
+                ("lossy", "round_changes"),
+                ("lossy", "gap_pulls"),
+            ]
+        );
+        // Deficits: crash reached 1/14 branches, unknown families 14/14.
+        let total = CoverageReport::branch_names().len() as f64;
+        assert!((report.family_deficit("crash") - (1.0 - 1.0 / total)).abs() < 1e-12);
+        assert!((report.family_deficit("partition") - 1.0).abs() < 1e-12);
+        // Matrix cells land in the JSON, all families serialized.
+        let json = report.to_json();
+        assert!(json.contains("\"families\": {"));
+        assert!(json.contains("\"crash\": {\"runs\": 1, \"cells\": {\"round_changes\": 1}}"));
+        assert!(json.contains("\"pipelined\": {\"runs\": 0, \"cells\": {}}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn family_vocabulary_is_stable() {
+        let families = CoverageReport::family_names();
+        assert_eq!(families.len(), 10);
+        assert_eq!(families[0], "crash");
+        assert!(families.contains(&"pipelined"));
+        // The deficit of an empty report is total for every family.
+        let empty = CoverageReport::new();
+        for family in families {
+            assert_eq!(empty.family_deficit(family), 1.0);
+        }
     }
 
     #[test]

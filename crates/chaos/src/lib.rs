@@ -28,7 +28,20 @@
 //!   protocol counters into a per-branch tally (round changes, gap
 //!   pulls, snapshot offers, idle proposals, stale-incarnation drops…)
 //!   so a fuzz campaign can print which recovery paths it actually
-//!   exercised instead of passing vacuously.
+//!   exercised instead of passing vacuously. Feeding it scenarios too
+//!   ([`CoverageReport::absorb_with_scenario`]) builds the event-level
+//!   **co-occurrence matrix**: which fault families ran in runs that
+//!   reached which branches.
+//! * [`FuzzCampaign`] — feedback-directed fuzzing: runs generated
+//!   scenarios in batches, folds the matrix, re-steers the profile
+//!   toward under-covered family × branch cells between batches
+//!   ([`ChaosProfile::steered`]), and stops on a coverage plateau or
+//!   the first oracle violation.
+//! * [`minimize`] — counterexample minimization: ddmin-shrinks a
+//!   failing scenario's event list (and pipeline depth) to a locally
+//!   minimal reproducer, using the deterministic simulator as the
+//!   "still fails" predicate. See `docs/FUZZING.md` for the loop end
+//!   to end.
 //!
 //! Scenarios also carry a **configuration axis**: the generator draws a
 //! windowed-sequencer depth per scenario
@@ -97,14 +110,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod coverage;
 mod driver;
+mod minimize;
 mod oracle;
 mod scenario;
 mod trace_dump;
 
+pub use campaign::{CampaignReport, FailingRun, FuzzCampaign, FuzzConfig, RunOutcome, StopReason};
 pub use coverage::CoverageReport;
 pub use driver::{LoadPlan, ScriptedDriver, Submission};
+pub use minimize::{minimize, MinimizeReport};
 pub use oracle::{check_orders, DeliveryOracle, OracleReport, Violation};
 pub use scenario::{ChaosProfile, Scenario, ScenarioEvent};
 pub use trace_dump::{dump_violation_trace, DUMP_WINDOW};

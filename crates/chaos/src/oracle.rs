@@ -111,6 +111,22 @@ impl Violation {
             Violation::MissingDelivery { .. } => None,
         }
     }
+
+    /// The violation's variant name, as a stable string — the identity
+    /// the counterexample minimizer ([`crate::minimize`]) preserves
+    /// while shrinking: a candidate scenario only counts as a
+    /// reproducer when it trips a violation of the same kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Disagreement { .. } => "Disagreement",
+            Violation::DuplicateDelivery { .. } => "DuplicateDelivery",
+            Violation::UnknownDelivery { .. } => "UnknownDelivery",
+            Violation::NonPrefixLog { .. } => "NonPrefixLog",
+            Violation::ReplayDivergence { .. } => "ReplayDivergence",
+            Violation::MissingDelivery { .. } => "MissingDelivery",
+            Violation::SnapshotDivergence { .. } => "SnapshotDivergence",
+        }
+    }
 }
 
 impl fmt::Display for Violation {

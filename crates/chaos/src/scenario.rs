@@ -17,6 +17,30 @@ use fortika_fd::SuspicionWindow;
 use fortika_net::{Cluster, LinkFault, LinkSelector, ProcessId};
 use fortika_sim::{DetRng, VDur, VTime};
 
+use crate::coverage::CoverageReport;
+
+/// Every event family a scenario can contain, in canonical order: the
+/// nine [`ScenarioEvent`] variants plus the `pipelined` configuration
+/// axis ([`Scenario::pipeline_depth`] > 1). This is the row vocabulary
+/// of the coverage co-occurrence matrix ([`CoverageReport`]); keep it
+/// in sync with [`ScenarioEvent::family`].
+pub(crate) const FAMILIES: &[&str] = &[
+    "crash",
+    "restart",
+    "partition",
+    "lossy",
+    "duplicate",
+    "delay_spike",
+    "degrade_link",
+    "slow_node",
+    "false_suspicion",
+    "pipelined",
+];
+
+/// Probability knobs never steer above this: a residual of unsteered
+/// draws keeps campaigns exploring shapes outside the boosted family.
+const MAX_STEERED_PROB: f64 = 0.9;
+
 /// One typed event on a scenario timeline. All instants are offsets
 /// from the start of the run.
 #[derive(Debug, Clone)]
@@ -138,6 +162,25 @@ pub enum ScenarioEvent {
     },
 }
 
+impl ScenarioEvent {
+    /// The event's family name — the row vocabulary of the coverage
+    /// co-occurrence matrix ([`CoverageReport`]). Stable strings, one
+    /// per variant, matching [`CoverageReport::family_names`].
+    pub fn family(&self) -> &'static str {
+        match self {
+            ScenarioEvent::Crash { .. } => "crash",
+            ScenarioEvent::Restart { .. } => "restart",
+            ScenarioEvent::Partition { .. } => "partition",
+            ScenarioEvent::Lossy { .. } => "lossy",
+            ScenarioEvent::Duplicate { .. } => "duplicate",
+            ScenarioEvent::DelaySpike { .. } => "delay_spike",
+            ScenarioEvent::DegradeLink { .. } => "degrade_link",
+            ScenarioEvent::SlowNode { .. } => "slow_node",
+            ScenarioEvent::FalseSuspicion { .. } => "false_suspicion",
+        }
+    }
+}
+
 /// A declarative fault schedule (see the [crate docs](crate)).
 ///
 /// # Example: the timeline DSL, end to end
@@ -222,6 +265,26 @@ impl Scenario {
     /// The timeline events, in insertion order.
     pub fn events(&self) -> &[ScenarioEvent] {
         &self.events
+    }
+
+    /// The distinct event families this scenario exercises, in the
+    /// canonical order of [`CoverageReport::family_names`]. Includes
+    /// the `pipelined` configuration family when
+    /// [`pipeline_depth`](Self::pipeline_depth) exceeds 1. This is what
+    /// [`CoverageReport::absorb_with_scenario`] co-occurs against the
+    /// protocol branches a run reached.
+    pub fn families(&self) -> Vec<&'static str> {
+        FAMILIES
+            .iter()
+            .copied()
+            .filter(|family| {
+                if *family == "pipelined" {
+                    self.pipeline_depth > 1
+                } else {
+                    self.events.iter().any(|ev| ev.family() == *family)
+                }
+            })
+            .collect()
     }
 
     /// Appends an arbitrary event.
@@ -963,6 +1026,58 @@ impl ChaosProfile {
             ..ChaosProfile::default()
         }
     }
+
+    /// Coverage-steered reweighting: boosts the probability of every
+    /// fault family in proportion to its **coverage deficit** — the
+    /// fraction of protocol branches no absorbed run containing that
+    /// family has reached ([`CoverageReport::family_deficit`]) — so the
+    /// next batch of [`Scenario::random`] draws leans toward the
+    /// family × branch cells the campaign has not witnessed yet.
+    ///
+    /// Three invariants keep steering safe and reproducible:
+    ///
+    /// * **Empty report ⇒ identity.** With zero absorbed runs the
+    ///   profile is returned unchanged, so an unsteered campaign's
+    ///   draws are byte-identical to today's.
+    /// * **Disabled families stay disabled.** A knob at 0.0 is never
+    ///   raised: steering explores within the profile author's fault
+    ///   envelope, it does not widen it (a validity-preserving profile
+    ///   stays validity-preserving).
+    /// * **Same streams.** Steering only changes knob *values*; the
+    ///   generator consumes its RNG streams identically, so the same
+    ///   `(seed, CoverageReport)` pair always yields the same scenario.
+    ///
+    /// Boosts are capped at 0.9 so a residual of unsteered draws keeps
+    /// exploring combinations outside the deficit-ranked families.
+    pub fn steered(&self, report: &CoverageReport) -> ChaosProfile {
+        if report.runs() == 0 {
+            return self.clone();
+        }
+        let boost = |prob: f64, deficit: f64| -> f64 {
+            if prob <= 0.0 || deficit <= 0.0 {
+                prob
+            } else {
+                let target = prob + (MAX_STEERED_PROB - prob).max(0.0) * deficit;
+                target.min(MAX_STEERED_PROB)
+            }
+        };
+        let d = |family: &str| report.family_deficit(family);
+        ChaosProfile {
+            // Restarts (and recrashes) only happen on crashed
+            // processes, so the crash knob carries their deficit too.
+            crash_prob: boost(self.crash_prob, d("crash").max(d("restart"))),
+            restart_prob: boost(self.restart_prob, d("restart")),
+            recrash_prob: boost(self.recrash_prob, d("restart")),
+            partition_prob: boost(self.partition_prob, d("partition")),
+            loss_prob: boost(self.loss_prob, d("lossy")),
+            dup_prob: boost(self.dup_prob, d("duplicate")),
+            delay_prob: boost(self.delay_prob, d("delay_spike")),
+            degrade_prob: boost(self.degrade_prob, d("degrade_link")),
+            slow_prob: boost(self.slow_prob, d("slow_node")),
+            false_suspicion_prob: boost(self.false_suspicion_prob, d("false_suspicion")),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1234,6 +1349,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn degrade_rate_zero_rejected() {
         let _ = Scenario::new().degrade_link(LinkSelector::All, 0, VDur::ZERO, VDur::millis(1));
+    }
+
+    #[test]
+    fn families_are_deduped_ordered_and_track_pipelining() {
+        let s = Scenario::new()
+            .lossy(LinkSelector::All, 0.2, VDur::ZERO, VDur::millis(10))
+            .crash(ProcessId(0), VDur::millis(5))
+            .crash(ProcessId(1), VDur::millis(6))
+            .restart(ProcessId(0), VDur::millis(9));
+        // Canonical order, duplicates collapsed, depth 1 => no
+        // "pipelined" family.
+        assert_eq!(s.families(), vec!["crash", "restart", "lossy"]);
+        let piped = s.with_pipeline_depth(3);
+        assert_eq!(
+            piped.families(),
+            vec!["crash", "restart", "lossy", "pipelined"]
+        );
+        assert_eq!(Scenario::new().families(), Vec::<&str>::new());
+        // Every family string the events can produce is in the
+        // canonical vocabulary.
+        for ev in piped.events() {
+            assert!(FAMILIES.contains(&ev.family()), "{:?}", ev.family());
+        }
     }
 
     #[test]

@@ -34,8 +34,13 @@ pub const DUMP_WINDOW: usize = 512;
 /// without touching the filesystem when the report has no violations.
 ///
 /// The file stem is `violation-<label>` — pass something that
-/// identifies the run (e.g. `"modular-seed42"`); dumps of the same run
-/// are byte-identical, so overwriting is harmless.
+/// identifies the run; campaign callers include the campaign seed and
+/// per-run seed (e.g. `"modular-campaign7-seed42"`) so every violation
+/// of a multi-violation campaign keeps its own dump. Collisions are
+/// detected, not clobbered: re-dumping the same run overwrites its
+/// byte-identical files in place, but a label whose existing dump holds
+/// *different* bytes gets a `-2`, `-3`, … suffix instead — a prior
+/// counterexample is never silently destroyed.
 ///
 /// [`Violation::process`]: crate::Violation::process
 /// [`Violation::MissingDelivery`]: crate::Violation::MissingDelivery
@@ -53,11 +58,34 @@ pub fn dump_violation_trace(
         None => trace.clone(),
     };
     fs::create_dir_all(dir)?;
-    let jsonl_path = dir.join(format!("violation-{label}.jsonl"));
-    let chrome_path = dir.join(format!("violation-{label}.trace.json"));
-    fs::write(&jsonl_path, window.to_jsonl())?;
-    fs::write(&chrome_path, window.to_chrome_json())?;
+    let jsonl = window.to_jsonl();
+    let chrome = window.to_chrome_json();
+    let (jsonl_path, chrome_path) = unclobbered_paths(dir, label, &jsonl, &chrome);
+    fs::write(&jsonl_path, jsonl)?;
+    fs::write(&chrome_path, chrome)?;
     Ok(vec![jsonl_path, chrome_path])
+}
+
+/// Picks the first `violation-<label>[-k]` stem whose files are either
+/// absent or already byte-identical to the dump about to be written.
+fn unclobbered_paths(dir: &Path, label: &str, jsonl: &str, chrome: &str) -> (PathBuf, PathBuf) {
+    for k in 1usize.. {
+        let stem = if k == 1 {
+            format!("violation-{label}")
+        } else {
+            format!("violation-{label}-{k}")
+        };
+        let jsonl_path = dir.join(format!("{stem}.jsonl"));
+        let chrome_path = dir.join(format!("{stem}.trace.json"));
+        let same = |path: &Path, content: &str| match fs::read_to_string(path) {
+            Ok(existing) => existing == content,
+            Err(_) => true, // absent (or unreadable): free to write
+        };
+        if same(&jsonl_path, jsonl) && same(&chrome_path, chrome) {
+            return (jsonl_path, chrome_path);
+        }
+    }
+    unreachable!("suffix search is unbounded")
 }
 
 #[cfg(test)]
@@ -120,5 +148,38 @@ mod tests {
         let chrome = fs::read_to_string(&written[1]).unwrap();
         assert!(chrome.contains("\"traceEvents\""));
         assert!(chrome.contains("consensus #1"));
+    }
+
+    #[test]
+    fn colliding_labels_never_clobber_a_different_dump() {
+        let dir = std::env::temp_dir().join("fortika-dump-collide");
+        let _ = fs::remove_dir_all(&dir);
+        let report_for = |pid: u16| OracleReport {
+            violations: vec![Violation::DuplicateDelivery {
+                process: ProcessId(pid),
+                id: MsgId::new(ProcessId(0), 7),
+            }],
+            deliveries: 10,
+            common_order: vec![],
+        };
+        let trace = sample_trace();
+        // First dump claims the bare stem.
+        let first = dump_violation_trace(&trace, &report_for(1), &dir, "same").unwrap();
+        assert!(first[0].ends_with("violation-same.jsonl"));
+        let original = fs::read_to_string(&first[0]).unwrap();
+        // A different violation under the same label windows on pid 2,
+        // so its bytes differ: it must land on a suffixed stem.
+        let second = dump_violation_trace(&trace, &report_for(2), &dir, "same").unwrap();
+        assert!(second[0].ends_with("violation-same-2.jsonl"), "{second:?}");
+        assert!(second[1].ends_with("violation-same-2.trace.json"));
+        // And the original dump is untouched.
+        assert_eq!(fs::read_to_string(&first[0]).unwrap(), original);
+        // Re-dumping the *same* run is idempotent: byte-identical files
+        // are overwritten in place, no new suffix.
+        let again = dump_violation_trace(&trace, &report_for(1), &dir, "same").unwrap();
+        assert_eq!(again[0], first[0]);
+        let third = dump_violation_trace(&trace, &report_for(2), &dir, "same").unwrap();
+        assert_eq!(third[0], second[0]);
+        assert!(!dir.join("violation-same-3.jsonl").exists());
     }
 }

@@ -1,0 +1,136 @@
+//! Seeded determinism of the coverage-steered generator.
+//!
+//! Steering must never cost reproducibility: the same `(seed,
+//! CoverageReport)` input has to yield byte-identical scenarios, and an
+//! *empty* report has to degenerate to exactly today's unsteered
+//! [`ChaosProfile`] draws — regression-locking the existing fuzz
+//! streams that every pinned scenario seed in the repo depends on.
+
+use fortika_chaos::{ChaosProfile, CoverageReport, Scenario};
+use fortika_net::Counters;
+use fortika_sim::VDur;
+
+/// A synthetic mid-campaign report: some families seen, few branches
+/// reached, so every family carries a non-trivial deficit.
+fn partial_report() -> CoverageReport {
+    let mut report = CoverageReport::new();
+    for seed in 0..6u64 {
+        let scenario = Scenario::random(4, seed, &ChaosProfile::default());
+        let mut counters = Counters::new();
+        // A fake protocol: crashes cause round changes, restarts cause
+        // join requests; everything else reaches nothing.
+        let families = scenario.families();
+        if families.contains(&"crash") {
+            counters.bump("consensus.round_changes", 2);
+        }
+        if families.contains(&"restart") {
+            counters.bump("consensus.join_requests", 1);
+        }
+        report.absorb_with_scenario(&counters, &scenario);
+    }
+    assert!(report.runs() > 0);
+    report
+}
+
+#[test]
+fn same_seed_and_report_yield_byte_identical_scenarios() {
+    let report = partial_report();
+    let base = ChaosProfile::default();
+    for seed in 0..40u64 {
+        let a = Scenario::random(5, seed, &base.steered(&report));
+        let b = Scenario::random(5, seed, &base.steered(&report));
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "seed {seed}: steered draw not reproducible"
+        );
+    }
+    // The steered profile itself is a pure function of (profile,
+    // report).
+    assert_eq!(
+        format!("{:?}", base.steered(&report)),
+        format!("{:?}", base.steered(&report))
+    );
+}
+
+#[test]
+fn empty_report_degenerates_to_unsteered_draws() {
+    let empty = CoverageReport::new();
+    let base = ChaosProfile::default();
+    let steered = base.steered(&empty);
+    assert_eq!(format!("{steered:?}"), format!("{base:?}"));
+    for n in [3usize, 5] {
+        for seed in 0..60u64 {
+            let plain = Scenario::random(n, seed, &base);
+            let via_steer = Scenario::random(n, seed, &steered);
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{via_steer:?}"),
+                "n={n} seed {seed}: empty-report steering changed the draw"
+            );
+        }
+    }
+}
+
+#[test]
+fn steering_respects_the_profile_envelope() {
+    let report = partial_report();
+    // Steered probabilities only move up, never past the cap, and a
+    // disabled family stays disabled.
+    let base = ChaosProfile {
+        loss_prob: 0.0,
+        horizon: VDur::millis(700),
+        ..ChaosProfile::default()
+    };
+    let steered = base.steered(&report);
+    assert_eq!(steered.loss_prob, 0.0, "disabled family re-enabled");
+    assert_eq!(
+        steered.horizon, base.horizon,
+        "steering touched the horizon"
+    );
+    assert_eq!(steered.max_pipeline_depth, base.max_pipeline_depth);
+    for (s, b) in [
+        (steered.crash_prob, base.crash_prob),
+        (steered.restart_prob, base.restart_prob),
+        (steered.recrash_prob, base.recrash_prob),
+        (steered.partition_prob, base.partition_prob),
+        (steered.dup_prob, base.dup_prob),
+        (steered.delay_prob, base.delay_prob),
+        (steered.degrade_prob, base.degrade_prob),
+        (steered.slow_prob, base.slow_prob),
+        (steered.false_suspicion_prob, base.false_suspicion_prob),
+    ] {
+        assert!(s >= b, "steering lowered a knob ({b} -> {s})");
+        assert!(s <= 0.9 + 1e-12, "steering exceeded the cap ({s})");
+    }
+    // The partial report left real deficits, so at least one enabled
+    // knob must actually have moved.
+    assert!(
+        steered.partition_prob > base.partition_prob,
+        "a fully-deficient family was not boosted"
+    );
+    // And generated scenarios under the steered profile stay within
+    // the model's assumptions.
+    for seed in 0..30u64 {
+        let s = Scenario::random(5, seed, &steered);
+        assert!(s.quorum_safe(5), "seed {seed}: steered draw broke quorum");
+        assert!(s.heals(), "seed {seed}: steered draw does not heal");
+    }
+}
+
+#[test]
+fn steered_scenarios_vary_from_unsteered_once_coverage_exists() {
+    // Not a determinism requirement — a sanity check that steering has
+    // any effect at all: with real deficits, some seeds must expand to
+    // different scenarios than the base profile yields.
+    let report = partial_report();
+    let base = ChaosProfile::default();
+    let steered = base.steered(&report);
+    let differing = (0..40u64)
+        .filter(|&seed| {
+            format!("{:?}", Scenario::random(4, seed, &base))
+                != format!("{:?}", Scenario::random(4, seed, &steered))
+        })
+        .count();
+    assert!(differing > 0, "steering never changed a single draw");
+}

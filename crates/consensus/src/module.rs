@@ -152,6 +152,11 @@ pub struct ConsensusConfig {
     /// pipelining, not evidence of missed decisions, so only sightings
     /// beyond the window trigger decision pulls.
     pub pipeline_depth: u64,
+    /// **Test-only fault hook, debug builds only:** skip persisting CT
+    /// vote records. Plants the classic lost-vote recovery bug for the
+    /// fuzz-minimizer acceptance suite; compiled to a no-op in release
+    /// builds (`cfg!(debug_assertions)`).
+    pub skip_vote_persist: bool,
 }
 
 impl Default for ConsensusConfig {
@@ -162,6 +167,7 @@ impl Default for ConsensusConfig {
             decision_cache: 1024,
             snapshot_interval: 256,
             pipeline_depth: 1,
+            skip_vote_persist: false,
         }
     }
 }
@@ -346,6 +352,12 @@ impl ConsensusModule {
         ts: u32,
         value: &Batch,
     ) {
+        if cfg!(debug_assertions) && self.cfg.skip_vote_persist {
+            // Injected fault (fuzz-minimizer acceptance suite): the
+            // vote is acked but never reaches stable storage, so a
+            // crash-restart forgets its lock.
+            return;
+        }
         let rec = VoteRecord {
             round,
             ts,

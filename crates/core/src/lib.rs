@@ -42,11 +42,13 @@
 
 pub mod analysis;
 pub mod flow;
+pub mod fuzz;
 pub mod runner;
 pub mod stack;
 pub mod workload;
 
 pub use flow::{FlowControlModule, FLOW_MODULE_ID};
+pub use fuzz::{fuzz_runner, run_fuzz_scenario};
 pub use runner::{Experiment, ExperimentBuilder, LatencySummary, RunReport, Summary};
 pub use stack::{
     build_node, build_node_with_windows, build_nodes, build_nodes_with_windows,
@@ -56,7 +58,11 @@ pub use workload::{ArrivalProcess, LatencySample, Workload, WorkloadDriver};
 
 // Re-export the pieces callers need to configure experiments without
 // importing every workspace crate.
-pub use fortika_chaos::{ChaosProfile, DeliveryOracle, OracleReport, Scenario, Violation};
+pub use fortika_chaos::{
+    minimize, CampaignReport, ChaosProfile, CoverageReport, DeliveryOracle, FailingRun,
+    FuzzCampaign, FuzzConfig, MinimizeReport, OracleReport, RunOutcome, Scenario, StopReason,
+    Violation,
+};
 pub use fortika_fd::FdConfig;
 pub use fortika_mono::MonoOptimizations;
 pub use fortika_net::{

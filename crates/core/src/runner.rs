@@ -29,6 +29,11 @@ pub struct Experiment {
     drain: VDur,
     scenario: Option<Scenario>,
     trace: TraceConfig,
+    /// Violation side effects (trace dump, auto-minimized reproducer).
+    /// True for user-built experiments; cleared on the internal probe
+    /// runs the minimizer spawns, so shrinking can't recurse or litter
+    /// `target/trace/` with candidate dumps.
+    emit_artifacts: bool,
 }
 
 /// Builder for [`Experiment`] (see [`Experiment::builder`]).
@@ -56,6 +61,7 @@ impl Experiment {
                 drain: VDur::millis(500),
                 scenario: None,
                 trace: TraceConfig::default(),
+                emit_artifacts: true,
             },
         }
     }
@@ -152,20 +158,32 @@ impl Experiment {
         });
         // A violating traced run leaves its bounded evidence window on
         // disk before anything else can panic on the report.
-        if let (Some(trace), Some(report)) = (&trace, &oracle_report) {
-            if !report.is_ok() {
-                let label = format!("{:?}-seed{}", self.kind, self.seed).to_lowercase();
-                let dir = std::path::Path::new("target").join("trace");
-                match fortika_chaos::dump_violation_trace(trace, report, &dir, &label) {
-                    Ok(paths) => {
-                        for p in paths {
-                            eprintln!("violation trace written: {}", p.display());
+        if self.emit_artifacts {
+            if let (Some(trace), Some(report)) = (&trace, &oracle_report) {
+                if !report.is_ok() {
+                    let label = format!("{:?}-seed{}", self.kind, self.seed).to_lowercase();
+                    let dir = std::path::Path::new("target").join("trace");
+                    match fortika_chaos::dump_violation_trace(trace, report, &dir, &label) {
+                        Ok(paths) => {
+                            for p in paths {
+                                eprintln!("violation trace written: {}", p.display());
+                            }
                         }
+                        Err(e) => eprintln!("violation trace dump failed: {e}"),
                     }
-                    Err(e) => eprintln!("violation trace dump failed: {e}"),
                 }
             }
         }
+        // Any oracle violation also auto-minimizes its scenario: ddmin
+        // re-runs this experiment (artifacts and tracing off) on
+        // candidate sub-timelines until no single event can be dropped
+        // while still tripping the same violation kind. The reproducer
+        // lands next to the trace dump and in the report.
+        let minimized_scenario = if self.emit_artifacts {
+            self.minimize_violation(&oracle_report)
+        } else {
+            None
+        };
         let stats = driver.finish();
         let latency_decomposition = trace.as_ref().map(|t| {
             let samples: Vec<_> = stats
@@ -269,7 +287,57 @@ impl Experiment {
             oracle: oracle_report,
             trace,
             latency_decomposition,
+            minimized_scenario,
         }
+    }
+
+    /// Shrinks a violating run's scenario to a locally minimal
+    /// reproducer (same [`Violation::kind`]) and writes it under
+    /// `target/trace/`; returns the minimized scenario. `None` when the
+    /// run was clean, had no scenario, or minimization lost the
+    /// violation entirely (the original scenario is its own minimum
+    /// then — still reported, so callers always get a reproducer).
+    ///
+    /// [`Violation::kind`]: fortika_chaos::Violation::kind
+    fn minimize_violation(&self, oracle_report: &Option<OracleReport>) -> Option<Scenario> {
+        let scenario = self.scenario.as_ref()?;
+        let violation = oracle_report.as_ref()?.violations.first()?;
+        let kind = violation.kind();
+        let mut probe = self.clone();
+        probe.emit_artifacts = false;
+        probe.trace = TraceConfig::default();
+        let minimized = fortika_chaos::minimize(scenario, |candidate| {
+            probe.scenario = Some(candidate.clone());
+            probe
+                .run()
+                .oracle
+                .as_ref()
+                .and_then(|r| r.violations.first())
+                .is_some_and(|v| v.kind() == kind)
+        });
+        let label = format!("{:?}-seed{}", self.kind, self.seed).to_lowercase();
+        let path = std::path::Path::new("target")
+            .join("trace")
+            .join(format!("violation-{label}.min.txt"));
+        let body = format!(
+            "kind: {:?}\nn: {}\nseed: {}\nviolation: {kind}\nevents: {} (of {})\n\
+             pipeline_depth: {}\nscenario: {:#?}\n",
+            self.kind,
+            self.n,
+            self.seed,
+            minimized.scenario.events().len(),
+            minimized.original_events,
+            minimized.scenario.pipeline_depth(),
+            minimized.scenario,
+        );
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("minimized reproducer written: {}", path.display()),
+            Err(e) => eprintln!("minimized reproducer write failed: {e}"),
+        }
+        Some(minimized.scenario)
     }
 
     /// Runs the experiment once per seed and combines the runs.
@@ -489,6 +557,12 @@ pub struct RunReport {
     /// four components sum to the end-to-end window exactly (integer
     /// nanoseconds; durability is also counted inside CPU).
     pub latency_decomposition: Option<LatencyDecomposition>,
+    /// The auto-minimized reproducer (present when the oracle reported
+    /// a violation on a scenario run): the attached scenario
+    /// ddmin-shrunk to a locally minimal event list that still trips
+    /// the same violation kind. Also written to
+    /// `target/trace/violation-<kind>-seed<seed>.min.txt`.
+    pub minimized_scenario: Option<Scenario>,
 }
 
 /// Forwards workload callbacks while teeing every delivery into the

@@ -75,6 +75,14 @@ pub struct StackConfig {
     /// message, encoded into snapshots and restored on install (see
     /// `examples/replicated_kv.rs`).
     pub app_state: Option<AppStateFactory>,
+    /// **Test-only fault hook** (debug builds only), applied to both
+    /// stacks: skip persisting CT vote records to stable storage. This
+    /// plants the classic lost-vote recovery bug — a process can ack a
+    /// round, crash, revive without its lock and let a different value
+    /// win — which the fuzz campaign must find and the counterexample
+    /// minimizer must shrink (`tests/minimizer.rs`). A no-op in release
+    /// builds.
+    pub skip_vote_persist: bool,
 }
 
 impl Default for StackConfig {
@@ -90,6 +98,7 @@ impl Default for StackConfig {
             decision_cache: 1024,
             pipeline_depth: 1,
             app_state: None,
+            skip_vote_persist: false,
         }
     }
 }
@@ -156,6 +165,7 @@ fn consensus_config(cfg: &StackConfig) -> ConsensusConfig {
         snapshot_interval: cfg.snapshot_interval,
         decision_cache: cfg.decision_cache,
         pipeline_depth: cfg.pipeline_depth.max(1) as u64,
+        skip_vote_persist: cfg.skip_vote_persist,
         ..cfg.consensus.clone()
     }
 }
@@ -168,6 +178,7 @@ fn mono_config(cfg: &StackConfig) -> MonoConfig {
         snapshot_interval: cfg.snapshot_interval,
         decision_cache: cfg.decision_cache,
         pipeline_depth: cfg.pipeline_depth.max(1),
+        skip_vote_persist: cfg.skip_vote_persist,
         ..MonoConfig::default()
     }
 }

@@ -1,6 +1,8 @@
 // Fixture: registry gaps — a scenario event that `apply` never
-// schedules, and a violation the `Display` impl renders through a
-// wildcard. Both are exactly the rot the registry rules exist to catch.
+// schedules and `family` lumps into a wildcard (so the coverage matrix
+// never gets its row), plus a violation that `kind` conflates and the
+// `Display` impl renders through a wildcard. All exactly the rot the
+// registry rules exist to catch.
 
 pub enum ScenarioEvent {
     Crash { pid: u64 },
@@ -31,6 +33,14 @@ impl Scenario {
             ScenarioEvent::Quake { .. } => 2,
         }
     }
+
+    pub fn family(&self) -> &'static str {
+        match self.event {
+            ScenarioEvent::Crash { .. } => "crash",
+            ScenarioEvent::Restart { .. } => "restart",
+            _ => "other",
+        }
+    }
 }
 
 pub enum Violation {
@@ -43,6 +53,13 @@ impl Violation {
         match self {
             Violation::Divergence { pid } => Some(*pid),
             Violation::Stall => None,
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Divergence { .. } => "Divergence",
+            _ => "Other",
         }
     }
 }

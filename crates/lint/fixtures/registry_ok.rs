@@ -23,6 +23,13 @@ impl Scenario {
             ScenarioEvent::Restart { .. } => 1,
         }
     }
+
+    pub fn family(&self) -> &'static str {
+        match self.event {
+            ScenarioEvent::Crash { .. } => "crash",
+            ScenarioEvent::Restart { .. } => "restart",
+        }
+    }
 }
 
 pub enum Violation {
@@ -35,6 +42,13 @@ impl Violation {
         match self {
             Violation::Divergence { pid } => Some(*pid),
             Violation::Stall => None,
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Divergence { .. } => "Divergence",
+            Violation::Stall => "Stall",
         }
     }
 }

@@ -16,11 +16,12 @@
 //!   column flatlines, and nothing fails. This rule cross-checks every
 //!   referenced counter name against the set of names some crate
 //!   actually produces (`bump`/`record_send` call sites).
-//! * **Violations** — a [`Violation`] variant that `process()` or
-//!   `Display` does not name would dodge the trace-dump path: the
-//!   oracle would report it, but the bounded violation trace written to
-//!   `target/trace/` could anchor on the wrong process or render
-//!   nothing useful.
+//! * **Violations** — a [`Violation`] variant that `process()`,
+//!   `kind()` or `Display` does not name would dodge the trace-dump and
+//!   minimization paths: the oracle would report it, but the bounded
+//!   violation trace written to `target/trace/` could anchor on the
+//!   wrong process, ddmin could conflate it with a different bug, or
+//!   the report could render nothing useful.
 //!
 //! [`ScenarioEvent`]: ../../chaos/src/scenario.rs
 //! [`Violation`]: ../../chaos/src/oracle.rs
@@ -39,7 +40,10 @@ pub const RULE_COUNTER: &str = "counter-registry";
 pub const RULE_VIOLATION: &str = "violation-registry";
 
 /// The functions every `ScenarioEvent` variant must be named in.
-const SCENARIO_FNS: &[&str] = &["fn apply", "fn heals", "fn horizon"];
+/// `family` feeds the fuzz coverage matrix: a variant missing there
+/// would be generated but never earn a matrix row, so steering could
+/// never notice it is under-explored.
+const SCENARIO_FNS: &[&str] = &["fn apply", "fn heals", "fn horizon", "fn family"];
 
 /// Extracts the variant names of `enum <name>` from a preprocessed
 /// file. Returns `(variants, 1-based line of the enum)`.
@@ -183,7 +187,8 @@ pub fn check_scenario_events(src: &SourceFile, rel: &str, report: &mut Report) {
 }
 
 /// `Violation` wiring: every variant named in `fn process` (the trace
-/// dump anchor) and in the `Display` impl (the human diagnostic).
+/// dump anchor), `fn kind` (the minimizer's violation identity) and the
+/// `Display` impl (the human diagnostic).
 pub fn check_violations(src: &SourceFile, rel: &str, report: &mut Report) {
     let Some((variants, _)) = enum_variants(src, "Violation") else {
         report.findings.push(Finding {
@@ -195,11 +200,18 @@ pub fn check_violations(src: &SourceFile, rel: &str, report: &mut Report) {
         return;
     };
     type Sink<'a> = (&'a str, Option<(String, usize)>, &'a str);
-    let sinks: [Sink<'_>; 2] = [
+    let sinks: [Sink<'_>; 3] = [
         (
             "fn process",
             fn_body(src, "fn process"),
             "the violation trace dump anchors its bounded window on `Violation::process`",
+        ),
+        (
+            "fn kind",
+            fn_body(src, "fn kind"),
+            "the counterexample minimizer matches candidate runs by `Violation::kind` — a \
+             variant collapsing into another's kind (or a wildcard) lets ddmin swap one bug \
+             for a different one mid-shrink",
         ),
         (
             "Display for Violation",
@@ -464,7 +476,7 @@ mod tests {
     #[test]
     fn missing_variant_in_apply_fires() {
         let src = sf(
-            "pub enum ScenarioEvent {\n    Crash,\n    Restart,\n}\nimpl S {\n    pub fn apply(&self) {\n        match e { ScenarioEvent::Crash => {} _ => {} }\n    }\n    pub fn heals(&self) -> bool {\n        matches!(e, ScenarioEvent::Crash | ScenarioEvent::Restart)\n    }\n    pub fn horizon(&self) {\n        let _ = (ScenarioEvent::Crash, ScenarioEvent::Restart);\n    }\n}\n",
+            "pub enum ScenarioEvent {\n    Crash,\n    Restart,\n}\nimpl S {\n    pub fn apply(&self) {\n        match e { ScenarioEvent::Crash => {} _ => {} }\n    }\n    pub fn heals(&self) -> bool {\n        matches!(e, ScenarioEvent::Crash | ScenarioEvent::Restart)\n    }\n    pub fn horizon(&self) {\n        let _ = (ScenarioEvent::Crash, ScenarioEvent::Restart);\n    }\n    pub fn family(&self) {\n        let _ = (ScenarioEvent::Crash, ScenarioEvent::Restart);\n    }\n}\n",
         );
         let mut r = Report::default();
         check_scenario_events(&src, "mem.rs", &mut r);
@@ -476,7 +488,7 @@ mod tests {
     #[test]
     fn violation_display_gap_fires() {
         let src = sf(
-            "pub enum Violation {\n    A { p: u32 },\n    B,\n}\nimpl Violation {\n    pub fn process(&self) {\n        match self { Violation::A { .. } => {} Violation::B => {} }\n    }\n}\nimpl fmt::Display for Violation {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {\n        match self { Violation::A { .. } => write!(f, \"a\"), _ => write!(f, \"other\") }\n    }\n}\n",
+            "pub enum Violation {\n    A { p: u32 },\n    B,\n}\nimpl Violation {\n    pub fn process(&self) {\n        match self { Violation::A { .. } => {} Violation::B => {} }\n    }\n    pub fn kind(&self) {\n        match self { Violation::A { .. } => \"A\", Violation::B => \"B\" };\n    }\n}\nimpl fmt::Display for Violation {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {\n        match self { Violation::A { .. } => write!(f, \"a\"), _ => write!(f, \"other\") }\n    }\n}\n",
         );
         let mut r = Report::default();
         check_violations(&src, "mem.rs", &mut r);

@@ -117,10 +117,16 @@ fn registry_gaps_fire_and_wired_registries_pass() {
     check_violations(&bad, "registry_bad.rs", &mut r);
     r.sort();
     let msgs: Vec<&str> = r.findings.iter().map(|f| f.message.as_str()).collect();
-    assert_eq!(msgs.len(), 2, "{msgs:?}");
+    assert_eq!(msgs.len(), 4, "{msgs:?}");
     assert!(msgs
         .iter()
         .any(|m| m.contains("ScenarioEvent::Quake") && m.contains("fn apply")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("ScenarioEvent::Quake") && m.contains("fn family")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("Violation::Stall") && m.contains("fn kind")));
     assert!(msgs
         .iter()
         .any(|m| m.contains("Violation::Stall") && m.contains("Display")));

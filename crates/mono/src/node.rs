@@ -150,6 +150,11 @@ pub struct MonoConfig {
     /// a deep pipeline only fills when the flow windows offer enough
     /// distinct messages for α disjoint batches.
     pub pipeline_depth: usize,
+    /// **Test-only fault hook, debug builds only:** skip persisting CT
+    /// vote records. Plants the classic lost-vote recovery bug for the
+    /// fuzz-minimizer acceptance suite; compiled to a no-op in release
+    /// builds (`cfg!(debug_assertions)`).
+    pub skip_vote_persist: bool,
 }
 
 impl Default for MonoConfig {
@@ -163,6 +168,7 @@ impl Default for MonoConfig {
             decision_cache: 1024,
             snapshot_interval: 256,
             pipeline_depth: 1,
+            skip_vote_persist: false,
         }
     }
 }
@@ -362,6 +368,12 @@ impl MonoNode {
         ts: u32,
         value: &Batch,
     ) {
+        if cfg!(debug_assertions) && self.cfg.skip_vote_persist {
+            // Injected fault (fuzz-minimizer acceptance suite): the
+            // vote is acked but never reaches stable storage, so a
+            // crash-restart forgets its lock.
+            return;
+        }
         let rec = VoteRecord {
             round,
             ts,

@@ -20,11 +20,14 @@
 //! * [`mono`] — the monolithic atomic broadcast with optimizations O1–O3.
 //! * [`chaos`] — declarative fault scenarios (crash / crash-recovery
 //!   restart / partition-heal / lossy / delay-spike / false-suspicion
-//!   timelines, plus a seeded random generator) and the
-//!   recovery-aware delivery-invariant oracle that audits uniform
-//!   agreement, total order, integrity, validity, byte-identical
-//!   replay across process incarnations and snapshot digest agreement
-//!   on every run.
+//!   timelines, plus a seeded random generator), the recovery-aware
+//!   delivery-invariant oracle that audits uniform agreement, total
+//!   order, integrity, validity, byte-identical replay across process
+//!   incarnations and snapshot digest agreement on every run — and the
+//!   feedback loop on top: coverage-steered fuzz campaigns (a
+//!   fault-family × protocol-branch co-occurrence matrix steers the
+//!   generator toward under-explored faults) with ddmin counterexample
+//!   minimization of any violating scenario; see `docs/FUZZING.md`.
 //! * [`trace`] — bounded deterministic event tracing: wire events,
 //!   handler executions, per-instance lifecycle spans, JSONL and
 //!   Chrome trace-event exports, and per-decision latency
