@@ -24,8 +24,11 @@
 //! *committed* files — and fails (exit 1) unless the JSON parses,
 //! covers both stacks, and (for committed files) keeps at least 8
 //! operating points, so the committed bench files cannot silently rot.
-//! Quick mode additionally folds every run's window counters into a
-//! [`CoverageReport`] and writes it to `target/coverage-report.json`.
+//! Quick mode additionally runs a bounded **reconfiguration audit**
+//! (a log-decided add + remove per stack, traced and oracle-audited —
+//! violations dump under `target/trace/` like any other), and folds
+//! every run's window counters into a [`CoverageReport`] written to
+//! `target/coverage-report.json`.
 //!
 //! `--trace` runs the tracing smoke instead of the sweeps: one traced
 //! run per stack, verifying that the latency decomposition's components
@@ -41,7 +44,7 @@
 use std::fmt::Write as _;
 
 use fortika_bench::json;
-use fortika_chaos::{minimize, CoverageReport, FuzzCampaign, FuzzConfig, StopReason};
+use fortika_chaos::{minimize, ChaosProfile, CoverageReport, FuzzCampaign, FuzzConfig, StopReason};
 use fortika_core::workload::Workload;
 use fortika_core::{
     fuzz_runner, run_fuzz_scenario, Experiment, RunReport, Scenario, StackConfig, StackKind,
@@ -533,6 +536,49 @@ fn sweep_pipeline(quick: bool, coverage: &mut CoverageReport) -> Result<(), Stri
     )
 }
 
+/// Quick-mode reconfiguration audit: one bounded grow-then-shrink
+/// scenario per stack — an `Add` and a `Remove` decided through the log
+/// mid-load — traced and oracle-audited (config agreement included). A
+/// violating run dumps its bounded trace window and ddmin-minimized
+/// reproducer under `target/trace/` via the runner's artifact path, the
+/// same globs CI's diagnostics artifact uploads.
+fn reconfig_audit(coverage: &mut CoverageReport) -> Result<(), String> {
+    print_header("reconfiguration (log-decided add/remove)");
+    let scenario = Scenario::new()
+        .add_node(ProcessId(3), VDur::millis(1300))
+        .remove_node(ProcessId(1), VDur::millis(2100));
+    for kind in [StackKind::Monolithic, StackKind::Modular] {
+        let mut exp = Experiment::builder(kind, 3)
+            .workload(Workload::constant_rate(500.0, 1024))
+            .warmup_secs(1.0)
+            .measure_secs(2.0)
+            .seed(7)
+            .scenario(scenario.clone())
+            .trace(TraceConfig::on())
+            .build();
+        let r = exp.run();
+        coverage.absorb(&r.counters);
+        print_run_row("reconfig", &r);
+        let reconfigs =
+            r.counters.event("consensus.reconfigs") + r.counters.event("mono.reconfigs");
+        if reconfigs == 0 {
+            return Err(format!(
+                "reconfig audit ({}): no process registered the decided changes",
+                kind.label()
+            ));
+        }
+        let violations = r.oracle.as_ref().map_or(0, |o| o.violations.len());
+        if violations > 0 {
+            return Err(format!(
+                "reconfig audit ({}): {violations} oracle violation(s) — trace dump and \
+                 minimized reproducer under target/trace/",
+                kind.label()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Where the tracing smoke writes its exports.
 const TRACE_DIR: &str = "target/trace";
 
@@ -638,6 +684,14 @@ fn fuzz_quick() -> Result<(), String> {
             batch_runs: 8,
             max_batches: 4,
             plateau_batches: 2,
+            // The default fault families plus the dynamic-membership
+            // family: campaigns draw log-decided adds/removes too (the
+            // fuzz runner provisions the standby capacity).
+            profile: ChaosProfile {
+                add_node_prob: 0.3,
+                remove_node_prob: 0.25,
+                ..ChaosProfile::default()
+            },
             ..FuzzConfig::new(3, 42)
         };
         let report = FuzzCampaign::new(cfg).run(fuzz_runner(kind, 3, StackConfig::default()));
@@ -746,6 +800,12 @@ fn main() {
         }
     }
     if quick {
+        // The bounded dynamic-membership smoke: grow and shrink through
+        // the log under audit, per stack.
+        if let Err(e) = reconfig_audit(&mut coverage) {
+            eprintln!("probe: reconfig audit failed: {e}");
+            std::process::exit(1);
+        }
         // Quick mode never touches the committed sweeps, so audit them
         // too: they must still parse, cover both stacks and hold the
         // full-resolution point floor — stale or hand-mangled committed

@@ -89,6 +89,18 @@ const BRANCHES: &[Branch] = &[
         name: "stale_incarnation_drops",
         keys: &["chaos.dropped_stale_incarnation"],
     },
+    Branch {
+        name: "reconfigs_activated",
+        keys: &["consensus.reconfigs", "mono.reconfigs"],
+    },
+    Branch {
+        name: "config_fence_drops",
+        keys: &["consensus.config_fence_drops", "mono.config_fence_drops"],
+    },
+    Branch {
+        name: "fd_member_updates",
+        keys: &["fd.member_updates"],
+    },
 ];
 
 /// Aggregated protocol-branch coverage of a fuzz campaign.
@@ -471,9 +483,11 @@ mod tests {
     #[test]
     fn family_vocabulary_is_stable() {
         let families = CoverageReport::family_names();
-        assert_eq!(families.len(), 10);
+        assert_eq!(families.len(), 12);
         assert_eq!(families[0], "crash");
         assert!(families.contains(&"pipelined"));
+        assert!(families.contains(&"add_node"));
+        assert!(families.contains(&"remove_node"));
         // The deficit of an empty report is total for every family.
         let empty = CoverageReport::new();
         for family in families {

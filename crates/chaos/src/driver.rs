@@ -11,12 +11,76 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 use fortika_net::{
-    Admission, AppMsg, AppRequest, Cluster, ClusterApi, Delivery, Harness, MsgId, ProcessId,
-    SnapshotStamp,
+    reconfig_payload, Admission, AppMsg, AppRequest, Cluster, ClusterApi, ConfigStamp, Delivery,
+    Harness, MsgId, ProcessId, SnapshotStamp, RECONFIG_SEQ_BASE,
 };
 use fortika_sim::{DetRng, VDur, VTime};
 
 use crate::oracle::DeliveryOracle;
+use crate::scenario::parse_reconfig_tick;
+
+/// Retry spacing for a reconfiguration submission that could not be
+/// placed yet (flow control blocked it, or no process was alive).
+const RECONFIG_RETRY: VDur = VDur::millis(10);
+
+/// Turns the reserved reconfiguration ticks a [`Scenario`] schedules
+/// ([`reconfig_tick`]) into actual `abcast` submissions of the encoded
+/// [`ConfigChange`] payload. Both [`ScriptedDriver`] and the experiment
+/// runner's tap embed one, so reconfigurations ride the same submission
+/// path as application traffic — decided through the log, like the
+/// paper's group-membership service would.
+///
+/// [`Scenario`]: crate::Scenario
+/// [`reconfig_tick`]: crate::reconfig_tick
+/// [`ConfigChange`]: fortika_net::ConfigChange
+#[derive(Debug, Default)]
+pub struct ReconfigInjector {
+    seq: u64,
+}
+
+impl ReconfigInjector {
+    /// A fresh injector (sequence numbers start at
+    /// [`RECONFIG_SEQ_BASE`]).
+    pub fn new() -> Self {
+        ReconfigInjector::default()
+    }
+
+    /// Handles `tick` if it is a reserved reconfiguration tick: submits
+    /// the encoded change through the first alive process, rescheduling
+    /// the tick `RECONFIG_RETRY` later while flow control
+    /// blocks it (or nobody is alive yet). Returns `None` for ordinary
+    /// workload ticks, `Some(Some(id))` when the submission was
+    /// accepted under `id` (feed it to the oracle), and `Some(None)`
+    /// when the tick was consumed but the submission is still pending.
+    pub fn on_tick(
+        &mut self,
+        api: &mut ClusterApi<'_>,
+        tick: u64,
+        at: VTime,
+    ) -> Option<Option<MsgId>> {
+        let change = parse_reconfig_tick(tick)?;
+        let sender = (0..api.n())
+            .map(|i| ProcessId(i as u16))
+            .find(|p| api.alive(*p));
+        let Some(sender) = sender else {
+            api.schedule_tick(at + RECONFIG_RETRY, tick);
+            return Some(None);
+        };
+        let id = MsgId::new(sender, RECONFIG_SEQ_BASE + self.seq);
+        let msg = AppMsg::new(id, reconfig_payload(change));
+        let (adm, _) = api.submit(sender, AppRequest::Abcast(msg));
+        match adm {
+            Admission::Accepted => {
+                self.seq += 1;
+                Some(Some(id))
+            }
+            Admission::Blocked => {
+                api.schedule_tick(at + RECONFIG_RETRY, tick);
+                Some(None)
+            }
+        }
+    }
+}
 
 /// One planned `abcast` call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +162,11 @@ pub struct ScriptedDriver {
     accepted_inc: Vec<u32>,
     /// Restarts observed so far, per process.
     incarnation: Vec<u32>,
+    /// Submits the scenario's reserved reconfiguration ticks.
+    injector: ReconfigInjector,
+    /// Accepted reconfiguration submissions so far — the version floor
+    /// fed to [`DeliveryOracle::expect_configs`].
+    reconfigs_accepted: u64,
 }
 
 impl ScriptedDriver {
@@ -113,6 +182,8 @@ impl ScriptedDriver {
             accepted: Vec::new(),
             accepted_inc: Vec::new(),
             incarnation: vec![0; n],
+            injector: ReconfigInjector::new(),
+            reconfigs_accepted: 0,
         }
     }
 
@@ -197,7 +268,15 @@ impl ScriptedDriver {
 }
 
 impl Harness for ScriptedDriver {
-    fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, _at: VTime) {
+    fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, at: VTime) {
+        if let Some(outcome) = self.injector.on_tick(api, tick, at) {
+            if let Some(id) = outcome {
+                self.oracle.note_submission(id);
+                self.reconfigs_accepted += 1;
+                self.oracle.expect_configs(self.reconfigs_accepted);
+            }
+            return;
+        }
         let sub = self.plan[tick as usize];
         self.try_submit(api, sub.sender, sub.size);
     }
@@ -226,6 +305,16 @@ impl Harness for ScriptedDriver {
         _at: VTime,
     ) {
         self.oracle.note_snapshot(pid, &stamp);
+    }
+
+    fn on_config(
+        &mut self,
+        _api: &mut ClusterApi<'_>,
+        pid: ProcessId,
+        stamp: ConfigStamp,
+        _at: VTime,
+    ) {
+        self.oracle.note_config(pid, stamp);
     }
 }
 

@@ -84,11 +84,12 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
+use fortika_net::membership::{decode_reconfigs, encode_reconfigs};
 use fortika_net::snapshot::{chunk_of, stamp_of};
-use fortika_net::wire::{decode, encode};
+use fortika_net::wire::{decode, encode, WireReader, WireWriter};
 use fortika_net::{
-    AppState, Batch, ChunkOutcome, PeerRateLimiter, ProcessId, Snapshot, SnapshotDownload,
-    SnapshotFold, StableStore, TimerId,
+    parse_reconfig, AppState, Batch, ChunkOutcome, ConfigChange, ConfigTimeline, PeerRateLimiter,
+    ProcessId, Snapshot, SnapshotDownload, SnapshotFold, StableStore, TimerId,
 };
 use fortika_rbcast::OriginLog;
 use fortika_sim::{VDur, VTime};
@@ -109,6 +110,8 @@ const STABLE_VOTE_TAG: u64 = 1 << 56;
 const STABLE_WATERMARK_KEY: u64 = 2 << 56;
 /// Stable-store key of the latest log-compaction snapshot.
 const STABLE_SNAPSHOT_KEY: u64 = 3 << 56;
+/// Stable-store key of the registered reconfiguration history.
+const STABLE_CONFIG_KEY: u64 = 4 << 56;
 
 /// Stable-store key of `instance`'s vote record.
 fn vote_key(instance: u64) -> u64 {
@@ -157,6 +160,23 @@ pub struct ConsensusConfig {
     /// fuzz-minimizer acceptance suite; compiled to a no-op in release
     /// builds (`cfg!(debug_assertions)`).
     pub skip_vote_persist: bool,
+    /// Size of the initial voting member set. `0` (the default) means
+    /// "every process in the cluster" — the static-group behaviour.
+    /// Reconfiguration runs build clusters at standby capacity (spare
+    /// processes crashed at time zero, awaiting an `Add`), so the voter
+    /// count is smaller than the cluster size there.
+    pub initial_members: usize,
+    /// Activation offset of log-decided reconfigurations: a membership
+    /// change decided at instance `d` governs instances `d + offset` on.
+    /// Must be at least the pipeline depth, or in-flight instances could
+    /// be governed by a configuration their proposer cannot yet know.
+    pub reconfig_offset: u64,
+    /// **Test-only fault hook, debug builds only:** never register
+    /// decided reconfigurations. The process keeps voting with the
+    /// *initial* configuration's quorum and coordinator math — the
+    /// stale-quorum membership bug the config-aware oracle must catch
+    /// (`tests/reconfig_oracle.rs`). A no-op in release builds.
+    pub skip_config_fence: bool,
 }
 
 impl Default for ConsensusConfig {
@@ -168,6 +188,9 @@ impl Default for ConsensusConfig {
             snapshot_interval: 256,
             pipeline_depth: 1,
             skip_vote_persist: false,
+            initial_members: 0,
+            reconfig_offset: 8,
+            skip_config_fence: false,
         }
     }
 }
@@ -258,6 +281,19 @@ pub struct ConsensusModule {
     /// Snapshot recovered from stable storage (restart only); installed
     /// in `on_start`, where a handler context is available.
     restored: Option<Snapshot>,
+    /// The versioned configuration history (log-decided membership).
+    /// Built at `on_start` (the group size is only known then); `None`
+    /// answers every quorum question with the static-group math.
+    timeline: Option<ConfigTimeline>,
+    /// Reconfiguration commands decided but not yet *registered*: a
+    /// change enters the timeline only once the contiguous replayed
+    /// prefix covers its decided instance, so versions are numbered in
+    /// decided order on every process even when pipelined instances
+    /// land out of order.
+    pending_reconfigs: BTreeMap<u64, ConfigChange>,
+    /// Reconfiguration history recovered from stable storage (restart
+    /// only); registered in `on_start`.
+    recovered_reconfigs: Vec<(u64, ConfigChange)>,
 }
 
 impl ConsensusModule {
@@ -282,6 +318,9 @@ impl ConsensusModule {
             download: SnapshotDownload::default(),
             offer_limiter: PeerRateLimiter::new(),
             restored: None,
+            timeline: None,
+            pending_reconfigs: BTreeMap::new(),
+            recovered_reconfigs: Vec::new(),
         }
     }
 
@@ -309,6 +348,11 @@ impl ConsensusModule {
                 if let Ok(snap) = decode::<Snapshot>(bytes.clone()) {
                     module.restored = Some(snap);
                 }
+            } else if key == STABLE_CONFIG_KEY {
+                let mut r = WireReader::new(bytes.clone());
+                if let Ok(history) = decode_reconfigs(&mut r) {
+                    module.recovered_reconfigs = history;
+                }
             } else if key >> 56 == STABLE_VOTE_TAG >> 56 {
                 if let Ok(rec) = decode::<VoteRecord>(bytes.clone()) {
                     module.recovered_votes.insert(key & !STABLE_VOTE_TAG, rec);
@@ -318,8 +362,65 @@ impl ConsensusModule {
         module
     }
 
-    fn majority(n: usize) -> usize {
-        n / 2 + 1
+    /// The timeline, built on first use (the voter count defaults to
+    /// the cluster size; reconfig runs override it via
+    /// [`ConsensusConfig::initial_members`]).
+    fn timeline_mut(&mut self, n: usize) -> &mut ConfigTimeline {
+        let voters = if self.cfg.initial_members == 0 {
+            n
+        } else {
+            self.cfg.initial_members
+        };
+        let offset = self.cfg.reconfig_offset.max(1);
+        self.timeline
+            .get_or_insert_with(|| ConfigTimeline::new(voters, offset))
+    }
+
+    /// The member set governing `instance`, in rotation order.
+    fn members_of(&self, instance: u64, n: usize) -> Vec<ProcessId> {
+        match &self.timeline {
+            Some(t) => t.members_at(instance),
+            None => ProcessId::all(n).collect(),
+        }
+    }
+
+    /// The quorum size at `instance`.
+    fn majority_of(&self, instance: u64, n: usize) -> usize {
+        match &self.timeline {
+            Some(t) => t.majority_at(instance),
+            None => n / 2 + 1,
+        }
+    }
+
+    /// The coordinator of `round` at `instance` (rotation over the
+    /// governing member set).
+    fn coordinator_of(&self, instance: u64, round: u32, n: usize) -> ProcessId {
+        match &self.timeline {
+            Some(t) => t.coordinator_at(instance, round),
+            None => coordinator(round, n),
+        }
+    }
+
+    /// True when the membership governing `instance` is fully determined
+    /// by this process's contiguous replayed prefix (the config fence).
+    fn config_certain(&self, instance: u64) -> bool {
+        match &self.timeline {
+            Some(t) => t.certain_at(instance, self.replayed.watermark()),
+            None => true,
+        }
+    }
+
+    /// True when this process may vote (ack / estimate / propose) at
+    /// `instance`: its membership there must be certain, and it must be
+    /// a member. Non-members keep running as learners — they record
+    /// proposals, learn decisions and deliver, but never vote.
+    fn can_vote(&self, instance: u64, me: ProcessId) -> bool {
+        match &self.timeline {
+            Some(t) => {
+                t.certain_at(instance, self.replayed.watermark()) && t.is_member_at(instance, me)
+            }
+            None => true,
+        }
     }
 
     fn is_decided(&self, instance: u64) -> bool {
@@ -381,6 +482,7 @@ impl ConsensusModule {
         self.persist_fence(ctx, fence_before);
         self.decisions.insert(instance, value.clone());
         self.fold.absorb(instance, &value);
+        self.note_reconfigs(ctx, instance, &value);
         self.maybe_compact(ctx);
         if self.cfg.snapshot_interval == 0 {
             // No snapshots: bound the cache by blind eviction (the
@@ -408,6 +510,60 @@ impl ConsensusModule {
         }
     }
 
+    /// Registers the reconfiguration decided at `decided_at`: updates
+    /// the timeline, persists the full history atomically with the
+    /// enclosing handler, and reports the new version's stamp — to the
+    /// harness (config-aware oracle) and on the stack bus (the failure
+    /// detector re-points its monitor set).
+    fn register_reconfig(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        decided_at: u64,
+        change: ConfigChange,
+    ) {
+        if cfg!(debug_assertions) && self.cfg.skip_config_fence {
+            // Injected fault (reconfig oracle acceptance suite): the
+            // decided change is ignored, so this process keeps voting
+            // with the initial configuration's quorum and coordinator
+            // math and never reports a config stamp.
+            return;
+        }
+        let n = ctx.n();
+        let Some(stamp) = self.timeline_mut(n).register(decided_at, change) else {
+            return; // duplicate (replay / snapshot overlap)
+        };
+        let history = self.timeline.as_ref().expect("just touched").reconfigs();
+        let mut w = WireWriter::new();
+        encode_reconfigs(&history, &mut w);
+        ctx.persist(STABLE_CONFIG_KEY, w.finish());
+        ctx.bump("consensus.reconfigs", 1);
+        ctx.trace_span("consensus", decided_at, "config_active", stamp.version);
+        ctx.note_config(stamp.clone());
+        ctx.raise(Event::ConfigActive { stamp });
+    }
+
+    /// Scans a freshly decided batch for reconfiguration commands, then
+    /// registers every pending command the contiguous replayed prefix
+    /// now covers — in decided-instance order, so configuration
+    /// versions are numbered identically on every process regardless of
+    /// the order pipelined decisions landed in.
+    fn note_reconfigs(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64, value: &Batch) {
+        for msg in value.msgs() {
+            if let Some(change) = parse_reconfig(&msg.payload) {
+                // First command in the batch wins; the submission path
+                // spaces reconfigs out so this is the rare tie-break.
+                self.pending_reconfigs.entry(instance).or_insert(change);
+            }
+        }
+        while let Some((&d, &change)) = self.pending_reconfigs.first_key_value() {
+            if d >= self.replayed.watermark() {
+                break; // not contiguous yet: an earlier decision is missing
+            }
+            self.pending_reconfigs.remove(&d);
+            self.register_reconfig(ctx, d, change);
+        }
+    }
+
     /// Materializes a snapshot when the fold ran `snapshot_interval`
     /// instances past the previous one — or early, whenever the decision
     /// cache would otherwise have to evict an uncompacted decision
@@ -424,9 +580,15 @@ impl ConsensusModule {
         if folded < base + interval && !(overflow && folded > base) {
             return;
         }
-        let Some(snap) = self.fold.snapshot() else {
+        let Some(mut snap) = self.fold.snapshot() else {
             return;
         };
+        // The snapshot carries the reconfiguration history decided
+        // within the prefix it covers: every registered change is below
+        // the replayed watermark, which the fold never outruns.
+        if let Some(t) = &self.timeline {
+            snap.reconfigs = t.reconfigs();
+        }
         ctx.bump("consensus.snapshots", 1);
         ctx.trace_span("consensus", snap.last_included, "snapshot_offer", 0);
         self.set_snapshot(ctx, snap, false);
@@ -509,10 +671,11 @@ impl ConsensusModule {
     /// disseminate.
     fn try_conclude(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64) {
         let n = ctx.n();
+        let majority = self.majority_of(instance, n);
         let Some(inst) = self.instances.get(&instance) else {
             return;
         };
-        if inst.proposal_sent_round != Some(inst.round) || inst.acks.len() < Self::majority(n) {
+        if inst.proposal_sent_round != Some(inst.round) || inst.acks.len() < majority {
             return;
         }
         let round = inst.round;
@@ -541,11 +704,19 @@ impl ConsensusModule {
     fn try_propose_from_estimates(&mut self, ctx: &mut FrameworkCtx<'_, '_>, instance: u64) {
         let n = ctx.n();
         let me = ctx.pid();
+        let members = self.members_of(instance, n);
+        let majority = members.len() / 2 + 1;
+        if !self.can_vote(instance, me) {
+            return; // learner, or membership at `instance` still uncertain
+        }
         let Some(inst) = self.instances.get_mut(&instance) else {
             return;
         };
         let round = inst.round;
-        if coordinator(round, n) != me || round == 0 || inst.proposal_sent_round == Some(round) {
+        if members[round as usize % members.len()] != me
+            || round == 0
+            || inst.proposal_sent_round == Some(round)
+        {
             return;
         }
         let count = inst
@@ -553,7 +724,7 @@ impl ConsensusModule {
             .values()
             .filter(|(r, _, _)| *r == round)
             .count();
-        if count < Self::majority(n) {
+        if count < majority {
             return;
         }
         // Adopt the estimate with the highest adoption timestamp; ties
@@ -601,21 +772,39 @@ impl ConsensusModule {
         let n = ctx.n();
         let me = ctx.pid();
         let now = ctx.now();
+        let members = self.members_of(instance, n);
+        let coord_of = |round: u32| members[round as usize % members.len()];
+        let votable = self.can_vote(instance, me);
         let Some(inst) = self.instances.get_mut(&instance) else {
             return;
         };
         let mut round = inst.round + 1;
-        while coordinator(round, n) != me && self.suspected.contains(&coordinator(round, n)) {
+        // The skip is bounded by one full rotation: past it the same
+        // coordinators repeat, and a learner (never its own coordinator)
+        // must not spin when every member is transiently suspected.
+        let mut skips = 0;
+        while coord_of(round) != me
+            && self.suspected.contains(&coord_of(round))
+            && skips < members.len()
+        {
             round += 1;
+            skips += 1;
         }
         inst.round = round;
         inst.round_entered = now;
         inst.acks.clear();
         ctx.bump("consensus.round_changes", 1);
         ctx.trace_span("consensus", instance, "round_change", u64::from(round));
+        if !votable {
+            // Learners (and processes whose membership at `instance` is
+            // still uncertain) track rounds but never vote: no estimate
+            // goes out, no proposal is made.
+            ctx.bump("consensus.config_fence_drops", 1);
+            return;
+        }
         let estimate = inst.estimate.clone().unwrap_or_default();
         let ts = inst.ts;
-        let coord = coordinator(round, n);
+        let coord = coord_of(round);
         if coord == me {
             // We coordinate: our own estimate joins the collection.
             inst.estimates.insert(me, (round, estimate, ts));
@@ -638,6 +827,8 @@ impl ConsensusModule {
         let n = ctx.n();
         let me = ctx.pid();
         let now = ctx.now();
+        let members = self.members_of(instance, n);
+        let votable = self.can_vote(instance, me);
         let inst = self.instance_entry(instance, now);
         if inst.estimate.is_none() {
             inst.estimate = Some(value);
@@ -645,7 +836,14 @@ impl ConsensusModule {
         }
         ctx.bump("consensus.instances", 1);
         ctx.trace_span("consensus", instance, "open", 0);
-        if inst.round == 0 && coordinator(0, n) == me && inst.proposal_sent_round.is_none() {
+        if !votable {
+            // A learner (or a process still uncertain of the membership
+            // at `instance`) records its initial value but never
+            // proposes; it learns the decision through dissemination.
+            ctx.bump("consensus.config_fence_drops", 1);
+            return;
+        }
+        if inst.round == 0 && members[0] == me && inst.proposal_sent_round.is_none() {
             // Round 0, we coordinate: propose our own initial value
             // immediately (no estimate phase — first optimization) and
             // adopt it (ts 1: round 0 + 1).
@@ -664,7 +862,7 @@ impl ConsensusModule {
             };
             ctx.broadcast_net("consensus.proposal", encode(&msg));
             self.try_conclude(ctx, instance);
-        } else if coordinator(inst.round, n) == me {
+        } else if members[inst.round as usize % members.len()] == me {
             // We are (now) the coordinator of a later round and were only
             // waiting for our own initial value.
             let est = inst.estimate.clone().unwrap_or_default();
@@ -683,7 +881,8 @@ impl ConsensusModule {
         round: u32,
         value: Batch,
     ) {
-        if coordinator(round, ctx.n()) != from {
+        let certain = self.config_certain(instance);
+        if certain && self.coordinator_of(instance, round, ctx.n()) != from {
             ctx.bump("consensus.bogus_proposals", 1);
             return; // only the round's coordinator may propose
         }
@@ -699,6 +898,7 @@ impl ConsensusModule {
             }
             return;
         }
+        let votable = certain && self.can_vote(instance, ctx.pid());
         let now = ctx.now();
         let inst = self.instance_entry(instance, now);
         if round < inst.round {
@@ -709,18 +909,26 @@ impl ConsensusModule {
             inst.round_entered = now;
             inst.acks.clear();
         }
-        // Adopt and acknowledge (CT locking step). The adoption
-        // timestamp round+1 ranks locked values above initial ones; the
-        // vote is made durable atomically with the ack so a future
-        // incarnation of this process honours the lock.
-        inst.estimate = Some(value.clone());
-        inst.ts = round + 1;
         inst.last_proposal = Some((round, value.clone()));
         let pending_hit = inst.pending_tag == Some(round);
-        self.persist_vote(ctx, instance, round, round + 1, &value);
-        ctx.trace_span("consensus", instance, "voted", u64::from(round));
-        let ack = ConsensusMsg::Ack { instance, round };
-        ctx.send_net(from, "consensus.ack", encode(&ack));
+        if votable {
+            // Adopt and acknowledge (CT locking step). The adoption
+            // timestamp round+1 ranks locked values above initial ones;
+            // the vote is made durable atomically with the ack so a
+            // future incarnation of this process honours the lock.
+            inst.estimate = Some(value.clone());
+            inst.ts = round + 1;
+            self.persist_vote(ctx, instance, round, round + 1, &value);
+            ctx.trace_span("consensus", instance, "voted", u64::from(round));
+            let ack = ConsensusMsg::Ack { instance, round };
+            ctx.send_net(from, "consensus.ack", encode(&ack));
+        } else {
+            // The config fence: a learner — or a process whose replay
+            // has not yet determined the membership at `instance` —
+            // records the proposal (a later DECISION tag can still
+            // conclude it) but must not lock or ack it.
+            ctx.bump("consensus.config_fence_drops", 1);
+        }
         if pending_hit {
             self.decide_local(ctx, instance, value);
         }
@@ -745,7 +953,7 @@ impl ConsensusModule {
             }
             return;
         }
-        if coordinator(round, ctx.n()) != ctx.pid() {
+        if self.coordinator_of(instance, round, ctx.n()) != ctx.pid() {
             return; // misdirected
         }
         let now = ctx.now();
@@ -995,6 +1203,12 @@ impl ConsensusModule {
         self.persist_fence(ctx, fence_before);
         self.instances = self.instances.split_off(&next);
         self.recovered_votes = self.recovered_votes.split_off(&next);
+        self.pending_reconfigs = self.pending_reconfigs.split_off(&next);
+        // The snapshot replaces replay of the compacted prefix — the
+        // reconfiguration history it carries replaces scanning it.
+        for (d, change) in snap.reconfigs.clone() {
+            self.register_reconfig(ctx, d, change);
+        }
         self.highest_seen = self.highest_seen.max(snap.last_included);
         ctx.bump("consensus.snapshots_installed", 1);
         ctx.trace_span("consensus", snap.last_included, "snapshot_install", 0);
@@ -1096,13 +1310,21 @@ impl Microprotocol for ConsensusModule {
     }
 
     fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        self.timeline_mut(ctx.n());
         if self.rejoining {
             // Revived process: restore the persisted snapshot first (the
-            // compacted prefix needs no replay), then advertise the
-            // replay frontier — instance 0 without a snapshot — and let
-            // peers stream the missing prefix back.
+            // compacted prefix needs no replay), re-register the
+            // persisted reconfiguration history (re-reporting the stamps
+            // re-points the failure detector and re-confirms the config
+            // history to the harness), then advertise the replay
+            // frontier — instance 0 without a snapshot — and let peers
+            // stream the missing prefix back.
             if let Some(snap) = self.restored.take() {
                 self.install_snapshot(ctx, snap);
+            }
+            let recovered = std::mem::take(&mut self.recovered_reconfigs);
+            for (d, change) in recovered {
+                self.register_reconfig(ctx, d, change);
             }
             self.announce_join(ctx);
         }
@@ -1128,7 +1350,7 @@ impl Microprotocol for ConsensusModule {
                 let affected: Vec<u64> = self
                     .instances
                     .iter()
-                    .filter(|(_, inst)| coordinator(inst.round, n) == *p)
+                    .filter(|(k, inst)| self.coordinator_of(**k, inst.round, n) == *p)
                     .map(|(k, _)| *k)
                     .collect();
                 for instance in affected {

@@ -19,7 +19,7 @@
 //! [`FuzzCampaign::run`]: fortika_chaos::FuzzCampaign::run
 
 use fortika_chaos::{LoadPlan, RunOutcome, Scenario, ScriptedDriver};
-use fortika_net::{Cluster, ClusterConfig};
+use fortika_net::{Cluster, ClusterConfig, ProcessId};
 use fortika_sim::{VDur, VTime};
 
 use crate::stack::{build_nodes_with_windows, install_restart_factory, StackConfig, StackKind};
@@ -46,22 +46,34 @@ pub fn run_fuzz_scenario(
     scenario: &Scenario,
     seed: u64,
 ) -> RunOutcome {
-    let cfg = ClusterConfig::new(n, seed);
+    // Dynamic membership: `AddNode` scenarios need standby processes
+    // beyond the initial group, provisioned crashed (their add revives
+    // them) and configured as learners via `initial_members`.
+    let capacity = scenario.capacity(n);
+    let cfg = ClusterConfig::new(capacity, seed);
     let mut stack_cfg = stack.clone();
     stack_cfg.pipeline_depth = stack_cfg.pipeline_depth.max(scenario.pipeline_depth());
+    if !scenario.reconfigs().is_empty() && stack_cfg.initial_members == 0 {
+        stack_cfg.initial_members = n;
+    }
     let windows = scenario.suspicion_windows();
-    let nodes = build_nodes_with_windows(kind, n, &stack_cfg, &windows);
+    let nodes = build_nodes_with_windows(kind, capacity, &stack_cfg, &windows);
     let mut cluster = Cluster::new(cfg, nodes);
     install_restart_factory(&mut cluster, kind, &stack_cfg, &windows);
+    for pid in n..capacity {
+        cluster.schedule_crash(ProcessId(pid as u16), VTime::ZERO);
+    }
     scenario.apply(&mut cluster);
 
     let horizon = scenario.horizon().max(VDur::millis(200));
+    // Senders are the initial members only; standbys deliver (and the
+    // oracle audits them) without generating load.
     let plan = LoadPlan::random(n, seed, FUZZ_LOAD_MSGS, horizon, FUZZ_LOAD_MAX_SIZE);
-    let mut driver = ScriptedDriver::new(n, plan);
+    let mut driver = ScriptedDriver::new(capacity, plan);
     driver.start(&mut cluster);
     cluster.run_until(VTime::ZERO + horizon + FUZZ_DRAIN, &mut driver);
 
-    let report = driver.oracle().check(&scenario.correct(n));
+    let report = driver.oracle().check(&scenario.correct(capacity));
     RunOutcome {
         counters: cluster.counters().clone(),
         violation: report.violations.first().cloned(),

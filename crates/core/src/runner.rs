@@ -2,10 +2,10 @@
 //! workload; a summary = several runs (seeds) combined with 95 %
 //! confidence intervals, as the paper reports.
 
-use fortika_chaos::{DeliveryOracle, OracleReport, Scenario};
+use fortika_chaos::{DeliveryOracle, OracleReport, ReconfigInjector, Scenario};
 use fortika_net::{
-    Cluster, ClusterApi, ClusterConfig, CostModel, Counters, Delivery, Harness, NetModel,
-    ProcessId, SnapshotStamp,
+    Cluster, ClusterApi, ClusterConfig, ConfigStamp, CostModel, Counters, Delivery, Harness,
+    NetModel, ProcessId, SnapshotStamp,
 };
 use fortika_sim::stats::{mean_ci95, MeanCi};
 use fortika_sim::{VDur, VTime};
@@ -74,7 +74,21 @@ impl Experiment {
     /// the delivery-invariant oracle audits every `adeliver` — safety
     /// violations land in [`RunReport::oracle`].
     pub fn run(&mut self) -> RunReport {
-        let mut cluster_cfg = ClusterConfig::new(self.n, self.seed);
+        // Dynamic membership: a scenario with `AddNode` events needs
+        // standby processes beyond the initial group, so the cluster is
+        // provisioned at the scenario's capacity. Standbys boot crashed
+        // (revived by the restart their `AddNode` schedules) and start
+        // as learners via `initial_members`.
+        let capacity = self
+            .scenario
+            .as_ref()
+            .map(|s| s.capacity(self.n))
+            .unwrap_or(self.n);
+        let has_reconfigs = self
+            .scenario
+            .as_ref()
+            .is_some_and(|s| !s.reconfigs().is_empty());
+        let mut cluster_cfg = ClusterConfig::new(capacity, self.seed);
         cluster_cfg.net = self.net.clone();
         cluster_cfg.cost = self.cost.clone();
         cluster_cfg.trace = self.trace.clone();
@@ -91,13 +105,24 @@ impl Experiment {
         if let Some(scenario) = &self.scenario {
             stack.pipeline_depth = stack.pipeline_depth.max(scenario.pipeline_depth());
         }
+        if has_reconfigs && stack.initial_members == 0 {
+            // Only the original group votes; standbys (and anyone a
+            // log-decided `Add` later promotes) start as learners.
+            stack.initial_members = self.n;
+        }
         let stack = &stack;
-        let nodes = build_nodes_with_windows(self.kind, self.n, stack, &windows);
+        let nodes = build_nodes_with_windows(self.kind, capacity, stack, &windows);
         let mut cluster = Cluster::new(cluster_cfg, nodes);
         if let Some(scenario) = &self.scenario {
             // Crash-recovery support: scenarios may revive crashed
             // processes, which needs a factory for fresh stacks.
             crate::stack::install_restart_factory(&mut cluster, self.kind, stack, &windows);
+            // Standbys are down until their `AddNode` revives them —
+            // crashed before the scenario's own events are applied so
+            // the revival always finds them crashed.
+            for pid in self.n..capacity {
+                cluster.schedule_crash(ProcessId(pid as u16), VTime::ZERO);
+            }
             scenario.apply(&mut cluster);
         }
 
@@ -118,10 +143,15 @@ impl Experiment {
         driver.start(&mut cluster);
         // Record deliveries for the oracle only when a scenario asked
         // for an audit — plain benchmark runs skip the bookkeeping.
-        let mut oracle = self.scenario.as_ref().map(|_| DeliveryOracle::new(self.n));
+        let mut oracle = self
+            .scenario
+            .as_ref()
+            .map(|_| DeliveryOracle::new(capacity));
         let mut tap = OracleTap {
             driver: &mut driver,
             oracle: oracle.as_mut(),
+            injector: ReconfigInjector::new(),
+            reconfigs_accepted: 0,
         };
 
         // Warm-up.
@@ -153,7 +183,7 @@ impl Experiment {
         let trace = cluster.take_trace();
 
         let oracle_report = self.scenario.as_ref().and_then(|scenario| {
-            let correct = scenario.correct(self.n);
+            let correct = scenario.correct(capacity);
             oracle.as_ref().map(|o| o.check(&correct))
         });
         // A violating traced run leaves its bounded evidence window on
@@ -566,10 +596,18 @@ pub struct RunReport {
 }
 
 /// Forwards workload callbacks while teeing every delivery into the
-/// oracle (when one is attached).
+/// oracle (when one is attached). Also owns the [`ReconfigInjector`]
+/// that turns a scenario's reserved reconfiguration ticks into abcast
+/// submissions — those ticks must never reach the workload driver,
+/// which reads tick ids as sender pids.
 struct OracleTap<'a> {
     driver: &'a mut WorkloadDriver,
     oracle: Option<&'a mut DeliveryOracle>,
+    injector: ReconfigInjector,
+    /// Accepted reconfig submissions so far: each one, once decided,
+    /// must surface as exactly one config version — fed to the oracle
+    /// as its drained-completeness floor.
+    reconfigs_accepted: u64,
 }
 
 impl OracleTap<'_> {
@@ -600,6 +638,16 @@ impl Harness for OracleTap<'_> {
     }
 
     fn on_tick(&mut self, api: &mut ClusterApi<'_>, tick: u64, at: VTime) {
+        if let Some(outcome) = self.injector.on_tick(api, tick, at) {
+            // A reserved reconfig tick: submitted (or rescheduled), and
+            // in no case the workload driver's to interpret.
+            if let (Some(id), Some(oracle)) = (outcome, self.oracle.as_deref_mut()) {
+                oracle.note_submission(id);
+                self.reconfigs_accepted += 1;
+                oracle.expect_configs(self.reconfigs_accepted);
+            }
+            return;
+        }
         self.driver.on_tick(api, tick, at);
         self.sync_submissions();
     }
@@ -621,6 +669,18 @@ impl Harness for OracleTap<'_> {
     ) {
         if let Some(oracle) = self.oracle.as_deref_mut() {
             oracle.note_snapshot(pid, &stamp);
+        }
+    }
+
+    fn on_config(
+        &mut self,
+        _api: &mut ClusterApi<'_>,
+        pid: ProcessId,
+        stamp: ConfigStamp,
+        _at: VTime,
+    ) {
+        if let Some(oracle) = self.oracle.as_deref_mut() {
+            oracle.note_config(pid, stamp);
         }
     }
 }

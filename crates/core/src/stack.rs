@@ -83,6 +83,25 @@ pub struct StackConfig {
     /// minimizer must shrink (`tests/minimizer.rs`). A no-op in release
     /// builds.
     pub skip_vote_persist: bool,
+    /// Initial voting member count for reconfiguration runs, applied to
+    /// both stacks. `0` (the default) means "every process": the whole
+    /// group votes and dynamic membership is dormant. Reconfiguration
+    /// runs set this below the cluster capacity so processes
+    /// `initial_members..n` start as learners (standby capacity that a
+    /// log-decided `Add` can later promote to voters).
+    pub initial_members: usize,
+    /// Activation offset of log-decided reconfigurations, applied to
+    /// both stacks: a change decided at instance `d` governs instances
+    /// `d + reconfig_offset` on. Must stay ≥ the pipeline depth so no
+    /// in-flight instance can be governed by a not-yet-replayed change.
+    pub reconfig_offset: u64,
+    /// **Test-only fault hook** (debug builds only), applied to both
+    /// stacks: ignore decided reconfigurations entirely, so the process
+    /// keeps voting with the initial configuration's quorum math and
+    /// never reports config activations. This plants the stale-quorum
+    /// reconfiguration bug the config-aware oracle must detect
+    /// (`tests/reconfig_oracle.rs`). A no-op in release builds.
+    pub skip_config_fence: bool,
 }
 
 impl Default for StackConfig {
@@ -99,6 +118,9 @@ impl Default for StackConfig {
             pipeline_depth: 1,
             app_state: None,
             skip_vote_persist: false,
+            initial_members: 0,
+            reconfig_offset: 8,
+            skip_config_fence: false,
         }
     }
 }
@@ -166,6 +188,9 @@ fn consensus_config(cfg: &StackConfig) -> ConsensusConfig {
         decision_cache: cfg.decision_cache,
         pipeline_depth: cfg.pipeline_depth.max(1) as u64,
         skip_vote_persist: cfg.skip_vote_persist,
+        initial_members: cfg.initial_members,
+        reconfig_offset: cfg.reconfig_offset,
+        skip_config_fence: cfg.skip_config_fence,
         ..cfg.consensus.clone()
     }
 }
@@ -179,6 +204,9 @@ fn mono_config(cfg: &StackConfig) -> MonoConfig {
         decision_cache: cfg.decision_cache,
         pipeline_depth: cfg.pipeline_depth.max(1),
         skip_vote_persist: cfg.skip_vote_persist,
+        initial_members: cfg.initial_members,
+        reconfig_offset: cfg.reconfig_offset,
+        skip_config_fence: cfg.skip_config_fence,
         ..MonoConfig::default()
     }
 }

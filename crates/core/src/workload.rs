@@ -328,6 +328,9 @@ impl Harness for WorkloadDriver {
     }
 
     fn on_app_ready(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, _at: VTime) {
+        if pid.index() >= self.n {
+            return; // standby process (reconfiguration run): not a sender
+        }
         if let Some(msg) = self.senders[pid.index()].blocked.take() {
             if self.submit(api, pid, msg) {
                 self.schedule_next(api, pid);
@@ -336,6 +339,9 @@ impl Harness for WorkloadDriver {
     }
 
     fn on_restart(&mut self, api: &mut ClusterApi<'_>, pid: ProcessId, _at: VTime) {
+        if pid.index() >= self.n {
+            return; // standby process (reconfiguration run): not a sender
+        }
         // The generator was blocked inside abcast() when the process
         // died: retry against the revived stack (fresh flow window) so
         // the sender's tick chain resumes.
@@ -347,6 +353,12 @@ impl Harness for WorkloadDriver {
     }
 
     fn on_delivery(&mut self, _api: &mut ClusterApi<'_>, pid: ProcessId, d: Delivery, at: VTime) {
+        if pid.index() >= self.n {
+            // Standby / late-added process: it delivers (and the oracle
+            // audits it), but the paper's per-sender metrics cover the
+            // initial group only.
+            return;
+        }
         if at >= self.window_start && at <= self.window_end {
             self.delivered_per_proc[pid.index()] += 1;
         }

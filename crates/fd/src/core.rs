@@ -42,6 +42,15 @@ pub trait FailureDetector {
 
     /// Current suspicion status of `p`.
     fn is_suspected(&self, p: ProcessId) -> bool;
+
+    /// Replaces the monitor set with `members` (dynamic membership: the
+    /// detector follows the active configuration). Newly monitored
+    /// processes anchor their silence windows at `now`; a process that
+    /// re-enters while suspected is restored through `out`. Detectors
+    /// without a monitor set (scripted, quiescent) ignore the call.
+    fn set_members(&mut self, members: &[ProcessId], now: VTime, out: &mut Vec<FdEvent>) {
+        let _ = (members, now, out);
+    }
 }
 
 /// Configuration of the heartbeat-based eventually-perfect detector.
@@ -102,6 +111,12 @@ pub struct HeartbeatFd {
     last_heard: Vec<VTime>,
     timeout: Vec<VDur>,
     suspected: Vec<bool>,
+    /// Monitor mask: only current members are suspected on silence
+    /// (dynamic membership — see [`FailureDetector::set_members`]).
+    members: Vec<bool>,
+    /// True while `me` is a member: only members emit heartbeats; a
+    /// learner (removed or not-yet-added process) listens silently.
+    active: bool,
 }
 
 impl HeartbeatFd {
@@ -123,6 +138,8 @@ impl HeartbeatFd {
             timeout: vec![cfg.timeout; n],
             last_heard: vec![now; n],
             suspected: vec![false; n],
+            members: vec![true; n],
+            active: true,
             cfg,
         }
     }
@@ -161,7 +178,7 @@ impl FailureDetector for HeartbeatFd {
 
     fn tick(&mut self, now: VTime, out: &mut Vec<FdEvent>) {
         for i in 0..self.last_heard.len() {
-            if i == self.me.index() || self.suspected[i] {
+            if i == self.me.index() || self.suspected[i] || !self.members[i] {
                 continue;
             }
             if now.since(self.last_heard[i]) > self.timeout[i] {
@@ -176,11 +193,38 @@ impl FailureDetector for HeartbeatFd {
     }
 
     fn sends_heartbeats(&self) -> bool {
-        true
+        self.active
     }
 
     fn is_suspected(&self, p: ProcessId) -> bool {
         self.suspected.get(p.index()).copied().unwrap_or(false)
+    }
+
+    fn set_members(&mut self, members: &[ProcessId], now: VTime, out: &mut Vec<FdEvent>) {
+        let mut mask = vec![false; self.last_heard.len()];
+        for p in members {
+            if p.index() < mask.len() {
+                mask[p.index()] = true;
+            }
+        }
+        for (i, now_member) in mask.iter().enumerate() {
+            if *now_member && !self.members[i] {
+                // Newly monitored: anchor its silence window here (it
+                // may never have heartbeat before) and start from the
+                // base timeout with a clean slate.
+                self.last_heard[i] = now;
+                self.timeout[i] = self.cfg.timeout;
+                if self.suspected[i] {
+                    self.suspected[i] = false;
+                    out.push(FdEvent::Restore(ProcessId(i as u16)));
+                }
+            }
+        }
+        // Departed members keep their suspicion flag (a crashed member
+        // that was removed really is down); they are simply no longer
+        // monitored for fresh silence.
+        self.members = mask;
+        self.active = members.contains(&self.me);
     }
 }
 
@@ -360,6 +404,59 @@ mod tests {
         fd.tick(VTime::ZERO + VDur::secs(10), &mut out);
         assert!(!fd.is_suspected(ProcessId(1)));
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn membership_mask_gates_suspicion_and_heartbeats() {
+        // Capacity 4, but only {p1, p2} are members: the standby p3/p4
+        // never heartbeat and must not be suspected for it.
+        let mut fd = HeartbeatFd::new(4, ProcessId(0), cfg());
+        let mut out = Vec::new();
+        let members = [ProcessId(0), ProcessId(1)];
+        fd.set_members(&members, VTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert!(fd.sends_heartbeats());
+        fd.tick(VTime::ZERO + VDur::secs(10), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(1))], "members only");
+        assert!(!fd.is_suspected(ProcessId(2)));
+        out.clear();
+
+        // p3 joins at t=10s: silence anchored at the join, so it gets a
+        // full fresh timeout before suspicion.
+        let now = VTime::ZERO + VDur::secs(10);
+        fd.set_members(&[ProcessId(0), ProcessId(1), ProcessId(2)], now, &mut out);
+        fd.tick(now + VDur::millis(40), &mut out);
+        assert!(out.is_empty(), "within p3's fresh window");
+        fd.tick(now + VDur::millis(60), &mut out);
+        assert_eq!(out, [FdEvent::Suspect(ProcessId(2))]);
+        out.clear();
+
+        // Removing this process turns it into a silent learner.
+        fd.set_members(&[ProcessId(1), ProcessId(2)], now, &mut out);
+        assert!(!fd.sends_heartbeats());
+    }
+
+    #[test]
+    fn readded_suspected_member_is_restored() {
+        let mut fd = HeartbeatFd::new(3, ProcessId(0), cfg());
+        let mut out = Vec::new();
+        fd.tick(VTime::ZERO + VDur::secs(1), &mut out);
+        assert!(fd.is_suspected(ProcessId(2)));
+        out.clear();
+        // p3 leaves while suspected (flag kept), then rejoins: the
+        // re-entry must be reported upward as a restore so observers'
+        // suspicion sets match the detector's.
+        fd.set_members(
+            &[ProcessId(0), ProcessId(1)],
+            VTime::ZERO + VDur::secs(1),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert!(fd.is_suspected(ProcessId(2)), "departed member keeps flag");
+        let now = VTime::ZERO + VDur::secs(2);
+        fd.set_members(&[ProcessId(0), ProcessId(1), ProcessId(2)], now, &mut out);
+        assert_eq!(out, [FdEvent::Restore(ProcessId(2))]);
+        assert!(!fd.is_suspected(ProcessId(2)));
     }
 
     #[test]

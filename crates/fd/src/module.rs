@@ -61,7 +61,21 @@ impl<T: FailureDetector> Microprotocol for FdModule<T> {
     }
 
     fn subscriptions(&self) -> &'static [EventKind] {
-        &[]
+        &[EventKind::ConfigActive]
+    }
+
+    fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
+        // The monitor set follows the active configuration: on every
+        // activated reconfiguration, re-point the core at the new
+        // member list (newly added members get a fresh silence window;
+        // whether this process heartbeats at all follows its own
+        // membership).
+        if let Event::ConfigActive { stamp } = ev {
+            ctx.bump("fd.member_updates", 1);
+            self.core
+                .set_members(&stamp.members, ctx.now(), &mut self.scratch);
+            Self::flush(ctx, &mut self.scratch);
+        }
     }
 
     fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {

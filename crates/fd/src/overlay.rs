@@ -151,6 +151,15 @@ impl<T: FailureDetector> FailureDetector for OverlayFd<T> {
     fn is_suspected(&self, p: ProcessId) -> bool {
         self.reported.get(p.index()).copied().unwrap_or(false)
     }
+
+    fn set_members(&mut self, members: &[ProcessId], now: VTime, out: &mut Vec<FdEvent>) {
+        self.scratch.clear();
+        let scratch = &mut self.scratch;
+        self.inner.set_members(members, now, scratch);
+        // Forced windows stay forced regardless of membership (the
+        // scenario scripted them); reconcile re-derives transitions.
+        self.reconcile(now, out);
+    }
 }
 
 #[cfg(test)]

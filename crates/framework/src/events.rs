@@ -20,7 +20,7 @@
 //! need does not cross these interfaces.
 
 use bytes::Bytes;
-use fortika_net::{AppMsg, Batch, MsgId, ProcessId, Snapshot};
+use fortika_net::{AppMsg, Batch, ConfigStamp, MsgId, ProcessId, Snapshot};
 
 /// An event raised on a composite stack's bus.
 #[derive(Debug, Clone)]
@@ -73,6 +73,14 @@ pub enum Event {
         /// The installed snapshot.
         snapshot: Snapshot,
     },
+    /// The consensus service activated a new configuration version (a
+    /// log-decided add/remove-server reconfiguration reached its
+    /// activation instance): modules tracking the member set — the
+    /// failure detector's monitor list above all — must follow it.
+    ConfigActive {
+        /// The activated configuration.
+        stamp: ConfigStamp,
+    },
 }
 
 /// Discriminant of [`Event`], used for subscription routing. `Ord` so
@@ -98,6 +106,8 @@ pub enum EventKind {
     Restore,
     /// See [`Event::InstallSnapshot`].
     InstallSnapshot,
+    /// See [`Event::ConfigActive`].
+    ConfigActive,
 }
 
 impl Event {
@@ -113,6 +123,7 @@ impl Event {
             Event::Suspect(_) => EventKind::Suspect,
             Event::Restore(_) => EventKind::Restore,
             Event::InstallSnapshot { .. } => EventKind::InstallSnapshot,
+            Event::ConfigActive { .. } => EventKind::ConfigActive,
         }
     }
 }
@@ -161,5 +172,17 @@ mod tests {
         );
         assert_eq!(Event::Suspect(ProcessId(0)).kind(), EventKind::Suspect);
         assert_eq!(Event::Restore(ProcessId(0)).kind(), EventKind::Restore);
+        assert_eq!(
+            Event::ConfigActive {
+                stamp: ConfigStamp {
+                    version: 1,
+                    decided_at: 0,
+                    activation: 8,
+                    members: vec![ProcessId(0)],
+                }
+            }
+            .kind(),
+            EventKind::ConfigActive
+        );
     }
 }

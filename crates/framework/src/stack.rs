@@ -162,6 +162,12 @@ impl FrameworkCtx<'_, '_> {
         self.node.note_snapshot(stamp);
     }
 
+    /// Reports an activated configuration version to the harness; see
+    /// [`fortika_net::NodeCtx::note_config`].
+    pub fn note_config(&mut self, stamp: fortika_net::ConfigStamp) {
+        self.node.note_config(stamp);
+    }
+
     /// Increments a free-form protocol counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
         self.node.bump(name, by);

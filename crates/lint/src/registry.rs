@@ -521,6 +521,39 @@ mod tests {
         assert_eq!(r.findings[0].line, 9);
     }
 
+    /// The dynamic-membership additions must be *visible* to the
+    /// registry rules: the enum parser discovers the `AddNode` /
+    /// `RemoveNode` scenario variants and the `ConfigDivergence`
+    /// violation in the real workspace sources, and both are fully
+    /// wired (apply/heals/horizon/family, process/kind/Display). If a
+    /// refactor moved or renamed them, the exhaustiveness guarantee
+    /// would silently evaporate — this pins it.
+    #[test]
+    fn workspace_registries_cover_the_reconfig_vocabulary() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let scenario = SourceFile::load(&root.join("crates/chaos/src/scenario.rs")).unwrap();
+        let (vars, _) = enum_variants(&scenario, "ScenarioEvent").unwrap();
+        for v in ["AddNode", "RemoveNode"] {
+            assert!(
+                vars.iter().any(|x| x == v),
+                "ScenarioEvent::{v} not discovered"
+            );
+        }
+        let mut r = Report::default();
+        check_scenario_events(&scenario, "scenario.rs", &mut r);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+
+        let oracle = SourceFile::load(&root.join("crates/chaos/src/oracle.rs")).unwrap();
+        let (vars, _) = enum_variants(&oracle, "Violation").unwrap();
+        assert!(
+            vars.iter().any(|x| x == "ConfigDivergence"),
+            "Violation::ConfigDivergence not discovered"
+        );
+        let mut r = Report::default();
+        check_violations(&oracle, "oracle.rs", &mut r);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
     #[test]
     fn coverage_keys_take_only_dotted_literals() {
         let src = sf(

@@ -40,12 +40,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use bytes::Bytes;
 use fortika_fd::{FailureDetector, FdEvent};
 use fortika_net::flow::FlowWindow;
+use fortika_net::membership::{decode_reconfigs, encode_reconfigs};
 use fortika_net::snapshot::{chunk_of, stamp_of};
-use fortika_net::wire::{decode, encode};
+use fortika_net::wire::{decode, encode, WireReader, WireWriter};
 use fortika_net::{
-    Admission, AppMsg, AppRequest, AppState, Batch, ChunkOutcome, MsgId, Node, NodeCtx,
-    PeerRateLimiter, ProcessId, Snapshot, SnapshotDownload, SnapshotFold, StableStore, TimerId,
-    WatermarkSet,
+    parse_reconfig, Admission, AppMsg, AppRequest, AppState, Batch, ChunkOutcome, ConfigChange,
+    ConfigTimeline, MsgId, Node, NodeCtx, PeerRateLimiter, ProcessId, Snapshot, SnapshotDownload,
+    SnapshotFold, StableStore, TimerId, WatermarkSet,
 };
 use fortika_sim::{VDur, VTime};
 
@@ -60,6 +61,8 @@ const STABLE_VOTE_TAG: u64 = 0x11 << 56;
 const STABLE_WATERMARK_KEY: u64 = 0x12 << 56;
 /// Stable-store key of the latest log-compaction snapshot.
 const STABLE_SNAPSHOT_KEY: u64 = 0x13 << 56;
+/// Stable-store key of the registered reconfiguration history.
+const STABLE_CONFIG_KEY: u64 = 0x14 << 56;
 
 /// Stable-store key of `instance`'s vote record.
 fn vote_key(instance: u64) -> u64 {
@@ -155,6 +158,20 @@ pub struct MonoConfig {
     /// fuzz-minimizer acceptance suite; compiled to a no-op in release
     /// builds (`cfg!(debug_assertions)`).
     pub skip_vote_persist: bool,
+    /// Size of the initial voting member set. `0` (the default) means
+    /// "every process in the cluster"; reconfiguration runs build
+    /// clusters at standby capacity with a smaller voter count.
+    pub initial_members: usize,
+    /// Activation offset of log-decided reconfigurations: a membership
+    /// change decided at instance `d` governs instances `d + offset` on.
+    /// Must be at least the pipeline depth.
+    pub reconfig_offset: u64,
+    /// **Test-only fault hook, debug builds only:** never register
+    /// decided reconfigurations — this node keeps voting with the
+    /// *initial* configuration's quorum and coordinator math (the
+    /// stale-quorum membership bug the config-aware oracle must catch).
+    /// A no-op in release builds.
+    pub skip_config_fence: bool,
 }
 
 impl Default for MonoConfig {
@@ -169,6 +186,9 @@ impl Default for MonoConfig {
             snapshot_interval: 256,
             pipeline_depth: 1,
             skip_vote_persist: false,
+            initial_members: 0,
+            reconfig_offset: 8,
+            skip_config_fence: false,
         }
     }
 }
@@ -260,6 +280,18 @@ pub struct MonoNode {
     /// Snapshot recovered from stable storage (restart only); installed
     /// in `on_start`, where a handler context is available.
     restored: Option<Snapshot>,
+    /// The versioned configuration history (log-decided membership).
+    /// Built at `on_start`; `None` answers every quorum question with
+    /// the static-group math.
+    timeline: Option<ConfigTimeline>,
+    /// Reconfiguration commands decided but not yet registered (a
+    /// change enters the timeline only once the contiguous replayed
+    /// prefix covers its decided instance, so versions are numbered in
+    /// decided order on every process).
+    pending_reconfigs: BTreeMap<u64, ConfigChange>,
+    /// Reconfiguration history recovered from stable storage (restart
+    /// only); registered in `on_start`.
+    recovered_reconfigs: Vec<(u64, ConfigChange)>,
 }
 
 impl MonoNode {
@@ -295,6 +327,9 @@ impl MonoNode {
             download: SnapshotDownload::default(),
             offer_limiter: PeerRateLimiter::new(),
             restored: None,
+            timeline: None,
+            pending_reconfigs: BTreeMap::new(),
+            recovered_reconfigs: Vec::new(),
         }
     }
 
@@ -325,6 +360,11 @@ impl MonoNode {
                 if let Ok(snap) = decode::<Snapshot>(bytes.clone()) {
                     node.restored = Some(snap);
                 }
+            } else if key == STABLE_CONFIG_KEY {
+                let mut r = WireReader::new(bytes.clone());
+                if let Ok(history) = decode_reconfigs(&mut r) {
+                    node.recovered_reconfigs = history;
+                }
             } else if key >> 56 == STABLE_VOTE_TAG >> 56 {
                 if let Ok(rec) = decode::<VoteRecord>(bytes.clone()) {
                     node.recovered_votes.insert(key & !STABLE_VOTE_TAG, rec);
@@ -334,8 +374,117 @@ impl MonoNode {
         node
     }
 
-    fn majority(n: usize) -> usize {
-        n / 2 + 1
+    /// The timeline, built on first use (the voter count defaults to
+    /// the cluster size; reconfig runs override it via
+    /// [`MonoConfig::initial_members`]).
+    fn timeline_mut(&mut self, n: usize) -> &mut ConfigTimeline {
+        let voters = if self.cfg.initial_members == 0 {
+            n
+        } else {
+            self.cfg.initial_members
+        };
+        let offset = self.cfg.reconfig_offset.max(1);
+        self.timeline
+            .get_or_insert_with(|| ConfigTimeline::new(voters, offset))
+    }
+
+    /// The member set governing `instance`, in rotation order.
+    fn members_of(&self, instance: u64, n: usize) -> Vec<ProcessId> {
+        match &self.timeline {
+            Some(t) => t.members_at(instance),
+            None => ProcessId::all(n).collect(),
+        }
+    }
+
+    /// The quorum size at `instance`.
+    fn majority_of(&self, instance: u64, n: usize) -> usize {
+        match &self.timeline {
+            Some(t) => t.majority_at(instance),
+            None => n / 2 + 1,
+        }
+    }
+
+    /// The coordinator of `round` at `instance` (rotation over the
+    /// governing member set).
+    fn coordinator_of(&self, instance: u64, round: u32, n: usize) -> ProcessId {
+        match &self.timeline {
+            Some(t) => t.coordinator_at(instance, round),
+            None => Self::coordinator(round, n),
+        }
+    }
+
+    /// True when the membership governing `instance` is fully determined
+    /// by this node's contiguous replayed prefix (the config fence).
+    fn config_certain(&self, instance: u64) -> bool {
+        match &self.timeline {
+            Some(t) => t.certain_at(instance, self.replayed.watermark()),
+            None => true,
+        }
+    }
+
+    /// True when this node may vote (ack / estimate / propose) at
+    /// `instance`: its membership there must be certain, and it must be
+    /// a member. Non-members keep running as learners — they record
+    /// proposals, learn decisions and deliver, but never vote.
+    fn can_vote(&self, instance: u64, me: ProcessId) -> bool {
+        match &self.timeline {
+            Some(t) => {
+                t.certain_at(instance, self.replayed.watermark()) && t.is_member_at(instance, me)
+            }
+            None => true,
+        }
+    }
+
+    /// Registers the reconfiguration decided at `decided_at`: updates
+    /// the timeline, persists the full history atomically with the
+    /// enclosing handler, reports the new version's stamp to the
+    /// harness, and re-points the failure detector at the new member
+    /// set (whether this node heartbeats at all follows its own
+    /// membership).
+    fn register_reconfig(&mut self, ctx: &mut NodeCtx<'_>, decided_at: u64, change: ConfigChange) {
+        if cfg!(debug_assertions) && self.cfg.skip_config_fence {
+            // Injected fault (reconfig oracle acceptance suite): the
+            // decided change is ignored, so this node keeps voting with
+            // the initial configuration's quorum and coordinator math
+            // and never reports a config stamp.
+            return;
+        }
+        let n = ctx.n();
+        let Some(stamp) = self.timeline_mut(n).register(decided_at, change) else {
+            return; // duplicate (replay / snapshot overlap)
+        };
+        let history = self.timeline.as_ref().expect("just touched").reconfigs();
+        let mut w = WireWriter::new();
+        encode_reconfigs(&history, &mut w);
+        ctx.persist(STABLE_CONFIG_KEY, w.finish());
+        ctx.bump("mono.reconfigs", 1);
+        ctx.trace_span("mono", decided_at, "config_active", stamp.version);
+        let now = ctx.now();
+        self.fd
+            .set_members(&stamp.members, now, &mut self.fd_scratch);
+        ctx.bump("fd.member_updates", 1);
+        ctx.note_config(stamp);
+        self.process_fd_events(ctx);
+    }
+
+    /// Scans a freshly decided batch for reconfiguration commands, then
+    /// registers every pending command the contiguous replayed prefix
+    /// now covers — in decided-instance order, so configuration
+    /// versions are numbered identically on every process regardless of
+    /// the order pipelined decisions landed in.
+    fn note_reconfigs(&mut self, ctx: &mut NodeCtx<'_>, instance: u64, value: &Batch) {
+        for msg in value.msgs() {
+            if let Some(change) = parse_reconfig(&msg.payload) {
+                self.pending_reconfigs.entry(instance).or_insert(change);
+            }
+        }
+        while let Some((&d, &change)) = self.pending_reconfigs.first_key_value() {
+            if d >= self.replayed.watermark() {
+                break; // not contiguous yet: an earlier decision is missing
+            }
+            self.pending_reconfigs.remove(&d);
+            self.register_reconfig(ctx, d, change);
+        }
     }
 
     fn is_decided(&self, instance: u64) -> bool {
@@ -394,14 +543,17 @@ impl MonoNode {
 
     /// The coordinator new messages should be routed to right now.
     fn responsible_coordinator(&self, n: usize) -> ProcessId {
-        if let Some((_, inst)) = self.instances.iter().next() {
-            return Self::coordinator(inst.round, n);
+        if let Some((k, inst)) = self.instances.iter().next() {
+            return self.coordinator_of(*k, inst.round, n);
         }
+        let members = self.members_of(self.next_decide, n);
+        // Bounded by one full rotation: a learner must not spin when
+        // every member is transiently suspected.
         let mut r = 0;
-        while self.suspected.contains(&Self::coordinator(r, n)) {
+        while r < members.len() && self.suspected.contains(&members[r % members.len()]) {
             r += 1;
         }
-        Self::coordinator(r, n)
+        members[r % members.len()]
     }
 
     /// True while a proposal is outstanding somewhere — an ack (and thus
@@ -493,14 +645,25 @@ impl MonoNode {
             let n = ctx.n();
             let me = ctx.pid();
             let now = ctx.now();
-            if Self::coordinator(0, n) != me {
+            if !self.can_vote(k, me) {
+                // Learner (or membership at `k` still behind the config
+                // fence): never propose. Pending messages reach the
+                // members via the forward/diffuse routing instead.
+                ctx.bump("mono.config_fence_drops", 1);
+                return;
+            }
+            let members = self.members_of(k, n);
+            if members[0] != me {
                 // Instance registered so round rotation can engage; if
                 // its coordinator is already suspected, rotate now. No
                 // batch is needed on this path — keep it cheap, it runs
                 // on every non-coordinator message arrival.
                 let inst = self.inst_entry(k, now);
                 let round = inst.round;
-                if self.suspected.contains(&Self::coordinator(round, n)) {
+                if self
+                    .suspected
+                    .contains(&members[round as usize % members.len()])
+                {
                     self.advance_round(ctx, k);
                 }
                 return;
@@ -548,7 +711,10 @@ impl MonoNode {
                 // a round-0 proposal: the instance is registered
                 // (above); rotate if its coordinator is suspected.
                 let round = inst.round;
-                if self.suspected.contains(&Self::coordinator(round, n)) {
+                if self
+                    .suspected
+                    .contains(&members[round as usize % members.len()])
+                {
                     self.advance_round(ctx, k);
                 }
                 return;
@@ -568,8 +734,15 @@ impl MonoNode {
             return;
         }
         let n = ctx.n();
+        if !self.can_vote(self.next_decide, ctx.pid()) {
+            // A learner cannot contribute estimates; it waits for the
+            // members' decisions instead of joining the instance.
+            return;
+        }
         let has_work = !self.pool.is_empty() || !self.own_pending.is_empty();
-        let coord0_suspected = self.suspected.contains(&Self::coordinator(0, n));
+        let coord0_suspected = self
+            .suspected
+            .contains(&self.members_of(self.next_decide, n)[0]);
         if !(has_work || coord0_suspected) {
             return;
         }
@@ -583,7 +756,7 @@ impl MonoNode {
                 .or_insert_with(|| Inst::new(now));
         }
         let rotate = self.instances.iter().next().and_then(|(k, inst)| {
-            let c = Self::coordinator(inst.round, n);
+            let c = self.coordinator_of(*k, inst.round, n);
             self.suspected.contains(&c).then_some(*k)
         });
         if let Some(k) = rotate {
@@ -593,10 +766,11 @@ impl MonoNode {
 
     fn check_decide(&mut self, ctx: &mut NodeCtx<'_>, instance: u64) {
         let n = ctx.n();
+        let majority = self.majority_of(instance, n);
         let Some(inst) = self.instances.get(&instance) else {
             return;
         };
-        if inst.proposal_sent_round != Some(inst.round) || inst.acks.len() < Self::majority(n) {
+        if inst.proposal_sent_round != Some(inst.round) || inst.acks.len() < majority {
             return;
         }
         let round = inst.round;
@@ -638,7 +812,8 @@ impl MonoNode {
             .open_slot()
             .filter(|k1| {
                 !self.pool.is_empty()
-                    && Self::coordinator(0, n) == me
+                    && self.can_vote(*k1, me)
+                    && self.members_of(*k1, n)[0] == me
                     && self.recovered_votes.get(k1).is_none_or(|r| r.round == 0)
             })
             .map(|k1| (k1, self.fresh_pool_batch()))
@@ -728,6 +903,7 @@ impl MonoNode {
         self.persist_fence(ctx, fence_before);
         self.decisions.insert(instance, value.clone());
         self.fold.absorb(instance, &value);
+        self.note_reconfigs(ctx, instance, &value);
         self.maybe_compact(ctx);
         if self.cfg.snapshot_interval == 0 {
             // No snapshots: bound the cache by blind eviction (the
@@ -768,9 +944,14 @@ impl MonoNode {
         if folded < base + interval && !(overflow && folded > base) {
             return;
         }
-        let Some(snap) = self.fold.snapshot() else {
+        let Some(mut snap) = self.fold.snapshot() else {
             return;
         };
+        if let Some(t) = &self.timeline {
+            // The snapshot carries the config under which it was cut, so
+            // a joiner installing it reconstructs the same timeline.
+            snap.reconfigs = t.reconfigs();
+        }
         ctx.bump("mono.snapshots", 1);
         ctx.trace_span("mono", snap.last_included, "snapshot_offer", 0);
         self.set_snapshot(ctx, snap, false);
@@ -879,7 +1060,7 @@ impl MonoNode {
         // decisions (first receipt at a relay re-broadcasts).
         if !self.cfg.opts.implicit_decision_acks {
             let n = ctx.n();
-            let origin = Self::coordinator(dec.round, n);
+            let origin = self.coordinator_of(dec.instance, dec.round, n);
             if fortika_relay_set(origin, n).any(|p| p == ctx.pid()) {
                 ctx.bump("mono.decision_relays", 1);
                 self.broadcast(
@@ -980,7 +1161,12 @@ impl MonoNode {
     }
 
     fn handle_proposal(&mut self, ctx: &mut NodeCtx<'_>, from: ProcessId, p: Proposal) {
-        if Self::coordinator(p.round, ctx.n()) != from {
+        // The sender check only applies once the membership at this
+        // instance is certain: behind the config fence the rotation is
+        // still provisional, and rejecting would drop a legitimate
+        // proposal from a configuration we have not learned yet.
+        let certain = self.config_certain(p.instance);
+        if certain && self.coordinator_of(p.instance, p.round, ctx.n()) != from {
             ctx.bump("mono.bogus_proposals", 1);
             return; // only the round's coordinator may propose
         }
@@ -992,6 +1178,7 @@ impl MonoNode {
             }
             return;
         }
+        let votable = certain && self.can_vote(p.instance, ctx.pid());
         let now = ctx.now();
         let inst = self.inst_entry(p.instance, now);
         if p.round < inst.round {
@@ -1002,25 +1189,31 @@ impl MonoNode {
             inst.round_entered = now;
             inst.acks.clear();
         }
-        inst.estimate = Some(p.value.clone());
-        inst.ts = p.round + 1;
+        // Even a non-voting learner records the proposal so a later
+        // tag-only decision resolves locally.
         inst.last_proposal = Some((p.round, p.value.clone()));
         let pending_tag_hit = inst.pending_tag == Some(p.round);
-        // The vote is made durable atomically with the ack so a future
-        // incarnation of this process honours the lock.
-        self.persist_vote(ctx, p.instance, p.round, p.round + 1, &p.value);
-        ctx.trace_span("mono", p.instance, "voted", u64::from(p.round));
-        let msgs = if self.cfg.opts.piggyback_on_acks {
-            self.drain_pool()
+        if votable {
+            inst.estimate = Some(p.value.clone());
+            inst.ts = p.round + 1;
+            // The vote is made durable atomically with the ack so a
+            // future incarnation of this process honours the lock.
+            self.persist_vote(ctx, p.instance, p.round, p.round + 1, &p.value);
+            ctx.trace_span("mono", p.instance, "voted", u64::from(p.round));
+            let msgs = if self.cfg.opts.piggyback_on_acks {
+                self.drain_pool()
+            } else {
+                Vec::new()
+            };
+            let ack = MonoMsg::AckDiff {
+                instance: p.instance,
+                round: p.round,
+                msgs,
+            };
+            self.send(ctx, from, "mono.ack", &ack);
         } else {
-            Vec::new()
-        };
-        let ack = MonoMsg::AckDiff {
-            instance: p.instance,
-            round: p.round,
-            msgs,
-        };
-        self.send(ctx, from, "mono.ack", &ack);
+            ctx.bump("mono.config_fence_drops", 1);
+        }
         if pending_tag_hit {
             self.record_decision(ctx, p.instance, p.value);
             self.apply_decisions(ctx);
@@ -1091,7 +1284,7 @@ impl MonoNode {
         }
         let n = ctx.n();
         let me = ctx.pid();
-        if Self::coordinator(round, n) != me {
+        if self.coordinator_of(instance, round, n) != me {
             return;
         }
         let now = ctx.now();
@@ -1126,11 +1319,16 @@ impl MonoNode {
     fn try_propose_from_estimates(&mut self, ctx: &mut NodeCtx<'_>, instance: u64) {
         let n = ctx.n();
         let me = ctx.pid();
+        if !self.can_vote(instance, me) {
+            return;
+        }
+        let members = self.members_of(instance, n);
+        let majority = members.len() / 2 + 1;
         let Some(inst) = self.instances.get_mut(&instance) else {
             return;
         };
         let round = inst.round;
-        if Self::coordinator(round, n) != me
+        if members[round as usize % members.len()] != me
             || round == 0
             || inst.proposal_sent_round == Some(round)
         {
@@ -1141,7 +1339,7 @@ impl MonoNode {
             .iter()
             .filter(|(_, (r, _, _))| *r == round)
             .collect();
-        if candidates.len() < Self::majority(n) {
+        if candidates.len() < majority {
             return;
         }
         candidates.sort_by_key(|(pid, (_, _, ts))| (std::cmp::Reverse(*ts), **pid));
@@ -1192,21 +1390,37 @@ impl MonoNode {
         let n = ctx.n();
         let me = ctx.pid();
         let now = ctx.now();
+        let members = self.members_of(instance, n);
+        let coord_of = |round: u32| members[round as usize % members.len()];
+        let votable = self.can_vote(instance, me);
         let Some(inst) = self.instances.get_mut(&instance) else {
             return;
         };
         let mut round = inst.round + 1;
-        while Self::coordinator(round, n) != me
-            && self.suspected.contains(&Self::coordinator(round, n))
+        // The skip is bounded by one full rotation: past it the same
+        // coordinators repeat, and a learner (never its own coordinator)
+        // must not spin when every member is transiently suspected.
+        let mut skips = 0;
+        while coord_of(round) != me
+            && self.suspected.contains(&coord_of(round))
+            && skips < members.len()
         {
             round += 1;
+            skips += 1;
         }
         inst.round = round;
         inst.round_entered = now;
         inst.acks.clear();
         ctx.bump("mono.round_changes", 1);
         ctx.trace_span("mono", instance, "round_change", u64::from(round));
-        let coord = Self::coordinator(round, n);
+        if !votable {
+            // Learners (and processes whose membership at `instance` is
+            // still uncertain) track rounds but never vote: no estimate
+            // goes out, no proposal is made.
+            ctx.bump("mono.config_fence_drops", 1);
+            return;
+        }
+        let coord = coord_of(round);
         if coord == me {
             let estimate = inst
                 .estimate
@@ -1240,8 +1454,12 @@ impl MonoNode {
     /// piggybacked on the estimate sent to the new coordinator").
     fn send_estimate(&mut self, ctx: &mut NodeCtx<'_>, instance: u64, round: u32) {
         let n = ctx.n();
-        let coord = Self::coordinator(round, n);
+        let coord = self.coordinator_of(instance, round, n);
         if coord == ctx.pid() {
+            return;
+        }
+        if !self.can_vote(instance, ctx.pid()) {
+            ctx.bump("mono.config_fence_drops", 1);
             return;
         }
         let Some(inst) = self.instances.get(&instance) else {
@@ -1287,7 +1505,7 @@ impl MonoNode {
                     let affected: Vec<u64> = self
                         .instances
                         .iter()
-                        .filter(|(_, inst)| Self::coordinator(inst.round, n) == *p)
+                        .filter(|(k, inst)| self.coordinator_of(**k, inst.round, n) == *p)
                         .map(|(k, _)| *k)
                         .collect();
                     for k in affected {
@@ -1477,6 +1695,13 @@ impl MonoNode {
         self.decision_buffer = self.decision_buffer.split_off(&next);
         self.instances = self.instances.split_off(&next);
         self.recovered_votes = self.recovered_votes.split_off(&next);
+        // Adopt the configuration history the snapshot was cut under:
+        // the compacted prefix's reconfig decisions are registered from
+        // the carried history, and pending commands it covers are moot.
+        self.pending_reconfigs = self.pending_reconfigs.split_off(&next);
+        for (d, change) in snap.reconfigs.clone() {
+            self.register_reconfig(ctx, d, change);
+        }
         self.highest_seen_instance = self.highest_seen_instance.max(snap.last_included);
         // Messages the snapshot already delivered leave the pool; own
         // messages among them release their flow-control slots.
@@ -1584,6 +1809,7 @@ fn fortika_relay_set(origin: ProcessId, n: usize) -> impl Iterator<Item = Proces
 
 impl Node for MonoNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.timeline_mut(ctx.n());
         if self.rejoining {
             // Revived process: restore the persisted snapshot first (the
             // compacted prefix needs no replay), then advertise the
@@ -1591,6 +1817,13 @@ impl Node for MonoNode {
             // peers stream the missing prefix back.
             if let Some(snap) = self.restored.take() {
                 self.install_snapshot(ctx, snap);
+            }
+            // Re-register the persisted configuration history (it may
+            // extend past the restored snapshot's carried prefix;
+            // duplicates are no-ops).
+            let recovered = std::mem::take(&mut self.recovered_reconfigs);
+            for (d, change) in recovered {
+                self.register_reconfig(ctx, d, change);
             }
             self.announce_join(ctx);
         }
@@ -1659,8 +1892,12 @@ impl Node for MonoNode {
                 }
             }
             MonoMsg::EstimateRequest { instance, round } => {
-                // Sanity: only the round's coordinator may solicit.
-                if Self::coordinator(round, ctx.n()) != from {
+                // Sanity: only the round's coordinator may solicit (the
+                // check needs the membership at `instance` to be certain,
+                // like the proposal-sender check).
+                if self.config_certain(instance)
+                    && self.coordinator_of(instance, round, ctx.n()) != from
+                {
                     ctx.bump("mono.bogus_requests", 1);
                     return;
                 }

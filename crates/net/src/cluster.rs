@@ -56,6 +56,7 @@ use crate::config::{ClusterConfig, CostModel};
 use crate::counters::Counters;
 use crate::fault::{LinkFault, LinkState};
 use crate::id::{MsgId, ProcessId};
+use crate::membership::ConfigStamp;
 use crate::message::AppMsg;
 use crate::snapshot::SnapshotStamp;
 
@@ -154,6 +155,7 @@ pub struct NodeCtx<'a> {
     deliveries: Vec<(Delivery, VTime)>,
     persists: Vec<(u64, Option<Bytes>)>,
     snapshots: Vec<(SnapshotStamp, VTime)>,
+    configs: Vec<(ConfigStamp, VTime)>,
     app_ready: bool,
 }
 
@@ -290,6 +292,15 @@ impl NodeCtx<'_> {
         self.snapshots.push((stamp, self.now()));
     }
 
+    /// Reports that this process learned a decided reconfiguration and
+    /// activated a new configuration version; the harness is told via
+    /// [`Harness::on_config`] once this handler completes, so
+    /// config-aware observers (the chaos oracle) can audit that every
+    /// process derives the identical configuration history.
+    pub fn note_config(&mut self, stamp: ConfigStamp) {
+        self.configs.push((stamp, self.now()));
+    }
+
     /// Increments a free-form protocol counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
         self.counters.bump(name, by);
@@ -375,6 +386,20 @@ pub trait Harness {
         api: &mut ClusterApi<'_>,
         pid: ProcessId,
         stamp: SnapshotStamp,
+        at: VTime,
+    ) {
+        let _ = (api, pid, stamp, at);
+    }
+
+    /// Process `pid` activated configuration version `stamp.version`
+    /// (it learned the decided reconfiguration — whether through the
+    /// log, a state transfer, a snapshot install or stable-store
+    /// recovery) at instant `at`.
+    fn on_config(
+        &mut self,
+        api: &mut ClusterApi<'_>,
+        pid: ProcessId,
+        stamp: ConfigStamp,
         at: VTime,
     ) {
         let _ = (api, pid, stamp, at);
@@ -477,6 +502,7 @@ enum Notification {
     Tick(u64, VTime),
     Restarted(ProcessId, VTime),
     Snapshot(ProcessId, SnapshotStamp, VTime),
+    Config(ProcessId, ConfigStamp, VTime),
 }
 
 /// The simulated cluster: processes, network, clock and counters.
@@ -1000,6 +1026,7 @@ impl Cluster {
             deliveries,
             persists,
             snapshots,
+            configs,
             app_ready,
         ) = {
             let mut ctx = NodeCtx {
@@ -1021,6 +1048,7 @@ impl Cluster {
                 deliveries: Vec::new(),
                 persists: Vec::new(),
                 snapshots: Vec::new(),
+                configs: Vec::new(),
                 app_ready: false,
             };
             f(node.as_mut(), &mut ctx);
@@ -1033,6 +1061,7 @@ impl Cluster {
                 ctx.deliveries,
                 ctx.persists,
                 ctx.snapshots,
+                ctx.configs,
                 ctx.app_ready,
             )
         };
@@ -1190,6 +1219,11 @@ impl Cluster {
             self.pending
                 .push_back(Notification::Snapshot(pid, stamp, at));
         }
+        // Config stamps likewise precede the handler's deliveries: a
+        // version activation is reported before any delivery it governs.
+        for (stamp, at) in configs {
+            self.pending.push_back(Notification::Config(pid, stamp, at));
+        }
         for (d, at) in deliveries {
             self.pending.push_back(Notification::Delivered(pid, d, at));
         }
@@ -1221,6 +1255,7 @@ impl Cluster {
                 Notification::Snapshot(pid, stamp, at) => {
                     harness.on_snapshot(&mut api, pid, stamp, at)
                 }
+                Notification::Config(pid, stamp, at) => harness.on_config(&mut api, pid, stamp, at),
             }
         }
     }

@@ -64,6 +64,7 @@ pub mod counters;
 pub mod fault;
 pub mod flow;
 pub mod id;
+pub mod membership;
 pub mod message;
 pub mod ratelimit;
 pub mod snapshot;
@@ -79,6 +80,9 @@ pub use counters::{Counters, KindCounter};
 pub use fault::{LinkFault, LinkSelector};
 pub use fortika_trace::{Trace, TraceConfig, TraceData, TraceEvent};
 pub use id::{MsgId, ProcessId};
+pub use membership::{
+    parse_reconfig, reconfig_payload, ConfigChange, ConfigStamp, ConfigTimeline, RECONFIG_SEQ_BASE,
+};
 pub use message::{AppMsg, Batch};
 pub use ratelimit::PeerRateLimiter;
 pub use snapshot::{

@@ -90,6 +90,52 @@ fn steering_reaches_cells_the_unsteered_campaign_misses_monolithic() {
     assert_steering_gains(StackKind::Monolithic, 10);
 }
 
+/// The dynamic-membership family is fuzzable end to end: a campaign
+/// whose profile opts into reconfigurations draws `AddNode` /
+/// `RemoveNode` events (standbys provisioned by the fuzz runner), runs
+/// them on real stacks without violations, and its coverage matrix
+/// lights up the new family rows *and* the new protocol branches —
+/// config activations and failure-detector monitor-set updates.
+#[test]
+fn reconfig_family_reaches_activation_branches_on_both_stacks() {
+    let profile = ChaosProfile {
+        add_node_prob: 0.4,
+        remove_node_prob: 0.3,
+        ..thin_profile()
+    };
+    let cfg = FuzzConfig {
+        batch_runs: 8,
+        max_batches: 4,
+        plateau_batches: usize::MAX,
+        profile,
+        steer: true,
+        ..FuzzConfig::new(3, 3)
+    };
+    for kind in [StackKind::Modular, StackKind::Monolithic] {
+        let report =
+            FuzzCampaign::new(cfg.clone()).run(fuzz_runner(kind, 3, StackConfig::default()));
+        assert_ne!(report.stop, StopReason::Violation, "{kind:?}");
+        let cells = reached(&report);
+        for family in ["add_node", "remove_node"] {
+            assert!(
+                cells.iter().any(|(f, _)| *f == family),
+                "{kind:?}: campaign never exercised the {family} family: {cells:?}"
+            );
+        }
+        for branch in ["reconfigs_activated", "fd_member_updates"] {
+            assert!(
+                cells.iter().any(|(_, b)| *b == branch),
+                "{kind:?}: campaign never reached the {branch} branch: {cells:?}"
+            );
+        }
+        assert!(
+            cells.contains(&("add_node", "reconfigs_activated"))
+                || cells.contains(&("remove_node", "reconfigs_activated")),
+            "{kind:?}: some reconfig run must actually activate a config: {cells:?}"
+        );
+    }
+}
+
 #[test]
 fn campaign_reports_replay_bit_for_bit_on_a_real_cluster() {
     let runner = || fuzz_runner(StackKind::Monolithic, 3, StackConfig::default());

@@ -155,14 +155,14 @@ fn campaign_finds_and_shrinks_the_lost_vote_bug_modular() {
 
 #[test]
 fn campaign_finds_and_shrinks_the_lost_vote_bug_monolithic() {
-    hunt_and_shrink(StackKind::Monolithic, 0);
+    hunt_and_shrink(StackKind::Monolithic, 6);
 }
 
 /// The hook really is inert when disabled: the same campaigns against a
 /// default stack find nothing.
 #[test]
 fn clean_stacks_survive_the_same_campaigns() {
-    for (kind, seed) in [(StackKind::Modular, 1u64), (StackKind::Monolithic, 0u64)] {
+    for (kind, seed) in [(StackKind::Modular, 1u64), (StackKind::Monolithic, 6u64)] {
         let cfg = FuzzConfig {
             batch_runs: 16,
             max_batches: 2,
