@@ -33,6 +33,24 @@
 //!   batches already proposed in outstanding instances, so a message
 //!   rides at most one in-flight proposal at a time.
 //!
+//! # Offloaded dissemination (`Ring` / `Tree`)
+//!
+//! With [`AbcastConfig::dissemination`] set to an offloading strategy,
+//! the module separates payload dissemination from ordering (Ring
+//! Paxos / Chop Chop style): own messages are staged and cut into
+//! payload batches that travel **once** around the topology
+//! (`fortika_net::dissemination::route`), consensus orders only
+//! [`ValueId`]-sized descriptors, and a decided descriptor is applied
+//! only when its payload has arrived too (stalling the in-order apply
+//! cursor and pulling the payload from peers otherwise). A descriptor
+//! becomes proposable only once a **majority** holds its payload (the
+//! holder bitmap accumulates along the path; the pivotal holder acks
+//! the origin), so a decided id can always be resolved despite crashes.
+//! Reconfiguration commands keep traveling in full via the direct path
+//! so the consensus service can read them out of decided batches.
+//! `Direct` (the default) is byte-identical to the seed's diffusion
+//! stack: no extra timers, messages or counters.
+//!
 //! Correctness note (also §3.3): diffusion over plain channels can lose a
 //! message's copies when the *sender* crashes mid-diffusion. Delivery
 //! happens only through decided batches, so agreement is preserved; an
@@ -44,8 +62,12 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use fortika_framework::{Event, EventKind, FrameworkCtx, Microprotocol, ModuleId};
+use fortika_net::dissemination::{
+    descriptor_msg, majority_of, route, DissemMsg, Dissemination, PayloadStore, ValueId,
+    DESC_SENDER_BIT,
+};
 use fortika_net::wire::{decode, encode};
-use fortika_net::{AppMsg, Batch, MsgId, ProcessId, TimerId};
+use fortika_net::{AppMsg, Batch, MsgId, ProcessId, StableStore, TimerId, RECONFIG_SEQ_BASE};
 use fortika_sim::{VDur, VTime};
 
 /// Wire demux id of the atomic broadcast module.
@@ -53,6 +75,13 @@ pub const ABCAST_MODULE_ID: ModuleId = 1;
 
 const TAG_IDLE: u64 = 0;
 const TAG_RETX: u64 = 1;
+const TAG_PULL: u64 = 2;
+
+/// Stable-store key of the origin-local payload sequence counter
+/// (namespace `6 << 56`; see the workspace key registry in
+/// `docs/LINTS.md`) — persisted so a revived origin never reuses a
+/// [`ValueId`], which peers may still hold payloads under.
+pub const ABCAST_STABLE_SEQ_KEY: u64 = 6 << 56;
 
 /// Configuration of the modular atomic broadcast module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,7 +101,9 @@ pub struct AbcastConfig {
     /// instance, yet a round-0 coordinator that never received it keeps
     /// winning with its own batch. Bounded sender-side retransmission
     /// restores validity once the network heals, and never fires in good
-    /// runs (delivery latency is orders of magnitude below it).
+    /// runs (delivery latency is orders of magnitude below it). Under an
+    /// offloading strategy the same interval re-disseminates own payload
+    /// batches that are still unresolved.
     pub retransmit_interval: VDur,
     /// The paper's α: how many consensus instances this process keeps
     /// in flight concurrently (the windowed-sequencer depth).
@@ -87,6 +118,21 @@ pub struct AbcastConfig {
     /// pipeline only fills if the flow window (× senders) offers enough
     /// distinct messages to populate α disjoint batches.
     pub pipeline_depth: u64,
+    /// How batch payloads reach the other processes (see the module
+    /// docs). `Direct` is the seed-faithful default.
+    pub dissemination: Dissemination,
+    /// Offload flow control: at most this many *own* payload batches
+    /// may be disseminated-but-undelivered at once; further submissions
+    /// stage until a slot frees. Smaller values mean larger payload
+    /// batches per topology round (the batching lever).
+    pub max_outstanding_payloads: usize,
+    /// How often a process stalled on a missing payload re-pulls it
+    /// from the membership (offloading strategies only).
+    pub pull_interval: VDur,
+    /// Size of the initial configuration (0 = every process in the
+    /// cluster) — seeds the dissemination topology until the first
+    /// reconfiguration activates.
+    pub initial_members: usize,
 }
 
 impl Default for AbcastConfig {
@@ -96,6 +142,10 @@ impl Default for AbcastConfig {
             idle_consensus: true,
             retransmit_interval: VDur::millis(500),
             pipeline_depth: 1,
+            dissemination: Dissemination::Direct,
+            max_outstanding_payloads: 2,
+            pull_interval: VDur::millis(40),
+            initial_members: 0,
         }
     }
 }
@@ -120,6 +170,23 @@ impl DeliveredLog {
             .or_default()
             .complete(id.seq);
     }
+}
+
+/// The key a descriptor's delivery is tracked under in the
+/// descriptor-specific [`DeliveredLog`] (base bit stripped so the
+/// per-origin watermark stays dense and compactable).
+fn desc_key(vid: ValueId) -> MsgId {
+    MsgId::new(vid.origin, vid.seq)
+}
+
+/// Bookkeeping for one own disseminated-but-undelivered payload batch.
+#[derive(Debug)]
+struct OwnPayload {
+    /// When dissemination (or re-dissemination) last went out.
+    last_sent: VTime,
+    /// True once a majority is known to hold the payload (its
+    /// descriptor entered the proposable pending set).
+    safe: bool,
 }
 
 /// The modular atomic broadcast microprotocol.
@@ -147,6 +214,23 @@ pub struct AbcastModule {
     /// Own messages awaiting delivery → when their diffusion last went
     /// out (drives fault-recovery retransmission).
     own_diffused: BTreeMap<MsgId, VTime>,
+    // --- offloaded-dissemination state (untouched under `Direct`) ---
+    /// Current topology membership (configuration rotation order).
+    members: Vec<ProcessId>,
+    /// Members the failure detector currently suspects (routed around).
+    suspected: BTreeSet<ProcessId>,
+    /// Payloads held between dissemination and id-ordered delivery.
+    store: PayloadStore,
+    /// Delivered descriptors, per origin ([`desc_key`] space).
+    delivered_desc: DeliveredLog,
+    /// Own messages staged until an outstanding-payload slot frees.
+    staged: Vec<AppMsg>,
+    /// Own disseminated-but-undelivered payload batches by sequence.
+    own_payloads: BTreeMap<u64, OwnPayload>,
+    /// Next own payload sequence (persisted across restarts).
+    next_payload_seq: u64,
+    /// Payloads a decided descriptor is stalled on → pull attempts.
+    missing: BTreeMap<ValueId, u32>,
 }
 
 impl AbcastModule {
@@ -161,12 +245,53 @@ impl AbcastModule {
             proposed: BTreeMap::new(),
             decision_buffer: BTreeMap::new(),
             own_diffused: BTreeMap::new(),
+            members: Vec::new(),
+            suspected: BTreeSet::new(),
+            store: PayloadStore::new(),
+            delivered_desc: DeliveredLog::default(),
+            staged: Vec::new(),
+            own_payloads: BTreeMap::new(),
+            next_payload_seq: 0,
+            missing: BTreeMap::new(),
         }
+    }
+
+    /// Creates the module for a revived process: resumes the payload
+    /// sequence counter persisted under `ABCAST_STABLE_SEQ_KEY` so the
+    /// new incarnation never reuses a [`ValueId`] peers may still hold
+    /// payloads under. Equivalent to [`new`](Self::new) under `Direct`
+    /// (the counter is only ever persisted when offloading).
+    pub fn resume(cfg: AbcastConfig, stable: &StableStore) -> Self {
+        let mut module = Self::new(cfg);
+        if let Some(bytes) = stable.get(&ABCAST_STABLE_SEQ_KEY) {
+            if let Ok(seq) = decode::<u64>(bytes.clone()) {
+                module.next_payload_seq = seq;
+            }
+        }
+        module
+    }
+
+    fn offloads(&self) -> bool {
+        self.cfg.dissemination.offloads()
+    }
+
+    fn majority(&self) -> u32 {
+        majority_of(self.members.len().max(1))
     }
 
     /// Instances proposed but not yet applied (current window load).
     fn in_flight(&self) -> u64 {
         self.next_propose - self.next_decide
+    }
+
+    /// The wire form of a full-message diffusion (offloading strategies
+    /// wrap it in the [`DissemMsg`] envelope).
+    fn diffuse_bytes(&self, msg: &AppMsg) -> Bytes {
+        if self.offloads() {
+            encode(&DissemMsg::Diffuse(msg.clone()))
+        } else {
+            encode(msg)
+        }
     }
 
     /// The pending messages not already riding an outstanding proposal
@@ -222,18 +347,264 @@ impl AbcastModule {
         self.next_propose += 1;
     }
 
+    /// Sends one payload batch along the dissemination topology from
+    /// this process (origin or relay), routing around suspected members.
+    fn send_payload(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        vid: ValueId,
+        holders: u64,
+        batch: &Batch,
+    ) {
+        let hops = route(
+            self.cfg.dissemination,
+            vid.origin,
+            ctx.pid(),
+            &self.members,
+            &self.suspected,
+        );
+        if hops.next.is_empty() {
+            return;
+        }
+        if hops.repaired {
+            ctx.bump("abcast.ring_repairs", 1);
+        }
+        let bytes = encode(&DissemMsg::Payload {
+            vid,
+            holders,
+            batch: batch.clone(),
+        });
+        for dst in hops.next {
+            ctx.bump("abcast.ring_payload_forwards", 1);
+            ctx.send_net(dst, "abcast.payload", bytes.clone());
+        }
+    }
+
+    /// Cuts staged own messages into a payload batch whenever an
+    /// outstanding-payload slot is free, persists the sequence counter
+    /// and starts the batch around the topology.
+    fn cut_payloads(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        while !self.staged.is_empty()
+            && self.own_payloads.len() < self.cfg.max_outstanding_payloads.max(1)
+        {
+            let vid = ValueId {
+                origin: ctx.pid(),
+                seq: self.next_payload_seq,
+            };
+            self.next_payload_seq += 1;
+            ctx.persist(ABCAST_STABLE_SEQ_KEY, encode(&self.next_payload_seq));
+            let batch = Batch::normalize(std::mem::take(&mut self.staged));
+            let holders = 1u64 << ctx.pid().index();
+            let (merged, _) = self.store.absorb(vid, &batch, holders);
+            self.own_payloads.insert(
+                vid.seq,
+                OwnPayload {
+                    last_sent: ctx.now(),
+                    safe: false,
+                },
+            );
+            self.send_payload(ctx, vid, merged, &batch);
+            if merged.count_ones() >= self.majority() {
+                self.make_proposable(ctx, vid); // single-member config
+            }
+        }
+    }
+
+    /// Marks a majority-held payload's descriptor proposable: it enters
+    /// the pending set (and the proposal window) like any message.
+    fn make_proposable(&mut self, ctx: &mut FrameworkCtx<'_, '_>, vid: ValueId) {
+        if !self.delivered_desc.is_new(desc_key(vid)) {
+            return;
+        }
+        let Some(entry) = self.store.get(vid) else {
+            return;
+        };
+        let d = descriptor_msg(vid, entry.batch.len() as u32);
+        if vid.origin == ctx.pid() {
+            // The origin now knows a majority holds the payload: the
+            // descriptor is safe to order. Diffuse it to everyone —
+            // like the seed's full-message diffusion, every process
+            // (in particular whichever coordinates the next instance)
+            // must have it pending, only here the diffusion is a few
+            // bytes instead of the payload. `own_diffused` puts it
+            // under the ordinary retransmit cover.
+            let newly_safe = match self.own_payloads.get_mut(&vid.seq) {
+                Some(op) if !op.safe => {
+                    op.safe = true;
+                    true
+                }
+                _ => false,
+            };
+            if newly_safe {
+                ctx.broadcast_net("abcast.diffuse", self.diffuse_bytes(&d));
+                self.own_diffused.insert(d.id, ctx.now());
+            }
+        }
+        if let std::collections::btree_map::Entry::Vacant(e) = self.pending.entry(d.id) {
+            e.insert(d);
+            self.maybe_propose(ctx);
+        }
+    }
+
+    /// Absorbs a payload copy arriving over the wire — a topology
+    /// forward (`forward == true`: relay it onward, ack the origin when
+    /// pivotal) or a pull response (`forward == false`).
+    fn on_payload(
+        &mut self,
+        ctx: &mut FrameworkCtx<'_, '_>,
+        vid: ValueId,
+        holders: u64,
+        batch: Batch,
+        forward: bool,
+    ) {
+        if !self.delivered_desc.is_new(desc_key(vid)) {
+            return; // already delivered; the resolved cache serves pulls
+        }
+        let me_bit = 1u64 << ctx.pid().index();
+        let (merged, newly_stored) = self.store.absorb(vid, &batch, holders | me_bit);
+        if newly_stored && forward && self.members.contains(&ctx.pid()) {
+            self.send_payload(ctx, vid, merged, &batch);
+        }
+        let maj = self.majority();
+        let pivotal = forward && merged.count_ones() >= maj && holders.count_ones() < maj;
+        // A topology leaf (no onward hop) acks too: in a tree, no
+        // single copy's carried holder set spans sibling subtrees, so
+        // only the union of the leaf views covers the membership.
+        let leaf = forward
+            && newly_stored
+            && route(
+                self.cfg.dissemination,
+                vid.origin,
+                ctx.pid(),
+                &self.members,
+                &self.suspected,
+            )
+            .next
+            .is_empty();
+        // Acks carry the acker's merged holder view so the origin can
+        // accumulate holder knowledge even when no single copy crosses
+        // the majority threshold: the pivotal holder and every topology
+        // leaf ack, and so does every receiver of a direct push
+        // (retransmit escalation or pull response) — unconditionally,
+        // so lost acks are always rebuilt by the retransmit cycle.
+        if vid.origin != ctx.pid() && (pivotal || leaf || !forward) {
+            ctx.send_net(
+                vid.origin,
+                "abcast.payload_ack",
+                encode(&DissemMsg::Ack {
+                    vid,
+                    holders: merged,
+                }),
+            );
+        }
+        if merged.count_ones() >= maj {
+            self.make_proposable(ctx, vid);
+        }
+        if self.missing.remove(&vid).is_some() {
+            self.apply_ready_decisions(ctx);
+        }
+    }
+
+    /// Sends one pull for a missing payload, rotating over the live
+    /// candidates (origin first) across attempts.
+    fn pull_one(&mut self, ctx: &mut FrameworkCtx<'_, '_>, vid: ValueId) {
+        let me = ctx.pid();
+        let mut candidates: Vec<ProcessId> = Vec::new();
+        if vid.origin != me && !self.suspected.contains(&vid.origin) {
+            candidates.push(vid.origin);
+        }
+        for &m in &self.members {
+            if m != me && m != vid.origin && !self.suspected.contains(&m) {
+                candidates.push(m);
+            }
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        let attempts = self.missing.entry(vid).or_insert(0);
+        let dst = candidates[*attempts as usize % candidates.len()];
+        *attempts += 1;
+        ctx.bump("abcast.payload_pulls", 1);
+        ctx.send_net(dst, "abcast.payload_pull", encode(&DissemMsg::Pull { vid }));
+    }
+
+    /// Re-forwards every held undelivered payload along the (possibly
+    /// re-stitched) topology — successor-repair after a suspicion or a
+    /// configuration change.
+    fn repair_forward(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
+        let held: Vec<(ValueId, u64, Batch)> = self
+            .store
+            .undelivered()
+            .map(|(vid, e)| (vid, e.holders, e.batch.clone()))
+            .collect();
+        if held.is_empty() {
+            return;
+        }
+        ctx.bump("abcast.ring_repairs", 1);
+        for (vid, holders, batch) in held {
+            self.send_payload(ctx, vid, holders, &batch);
+        }
+    }
+
     fn apply_ready_decisions(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
         while let Some(batch) = self.decision_buffer.remove(&self.next_decide) {
-            let mut ids = Vec::new();
-            for msg in batch.msgs() {
-                if !self.delivered.is_new(msg.id) {
-                    continue; // already delivered in an earlier instance
+            if self.offloads() {
+                // Id order *and* payload must both have arrived: the
+                // instance applies atomically only when every
+                // undelivered descriptor it decides is resolvable.
+                let mut stalled = false;
+                for msg in batch.msgs() {
+                    if let Some(vid) = ValueId::from_descriptor(msg.id) {
+                        if self.delivered_desc.is_new(desc_key(vid))
+                            && self.store.get(vid).is_none()
+                        {
+                            stalled = true;
+                            if !self.missing.contains_key(&vid) {
+                                self.pull_one(ctx, vid);
+                            }
+                        }
+                    }
                 }
-                self.delivered.mark(msg.id);
-                self.pending.remove(&msg.id);
-                self.own_diffused.remove(&msg.id);
-                ctx.deliver(msg.id, msg.payload.len() as u32);
-                ids.push(msg.id);
+                if stalled {
+                    self.decision_buffer.insert(self.next_decide, batch);
+                    break;
+                }
+            }
+            let mut ids = Vec::new();
+            let mut freed_slot = false;
+            for msg in batch.msgs() {
+                if let Some(vid) = ValueId::from_descriptor(msg.id) {
+                    if !self.delivered_desc.is_new(desc_key(vid)) {
+                        continue; // already delivered in an earlier instance
+                    }
+                    self.delivered_desc.mark(desc_key(vid));
+                    self.pending.remove(&msg.id);
+                    self.own_diffused.remove(&msg.id);
+                    let payload = self
+                        .store
+                        .resolve(vid)
+                        .expect("stall gate checked payload presence");
+                    if vid.origin == ctx.pid() && self.own_payloads.remove(&vid.seq).is_some() {
+                        freed_slot = true;
+                    }
+                    for m in payload.msgs() {
+                        if !self.delivered.is_new(m.id) {
+                            continue;
+                        }
+                        self.delivered.mark(m.id);
+                        ctx.deliver(m.id, m.payload.len() as u32);
+                        ids.push(m.id);
+                    }
+                } else {
+                    if !self.delivered.is_new(msg.id) {
+                        continue; // already delivered in an earlier instance
+                    }
+                    self.delivered.mark(msg.id);
+                    self.pending.remove(&msg.id);
+                    self.own_diffused.remove(&msg.id);
+                    ctx.deliver(msg.id, msg.payload.len() as u32);
+                    ids.push(msg.id);
+                }
             }
             ctx.bump("abcast.instances_applied", 1);
             ctx.trace_span("abcast", self.next_decide, "applied", ids.len() as u64);
@@ -244,6 +615,9 @@ impl AbcastModule {
             self.proposed.remove(&self.next_decide);
             self.next_decide += 1;
             self.next_propose = self.next_propose.max(self.next_decide);
+            if freed_slot {
+                self.cut_payloads(ctx);
+            }
         }
         self.maybe_propose(ctx);
     }
@@ -259,11 +633,22 @@ impl Microprotocol for AbcastModule {
     }
 
     fn subscriptions(&self) -> &'static [EventKind] {
-        &[
-            EventKind::AbcastRequest,
-            EventKind::Decide,
-            EventKind::InstallSnapshot,
-        ]
+        if self.cfg.dissemination.offloads() {
+            &[
+                EventKind::AbcastRequest,
+                EventKind::Decide,
+                EventKind::InstallSnapshot,
+                EventKind::Suspect,
+                EventKind::Restore,
+                EventKind::ConfigActive,
+            ]
+        } else {
+            &[
+                EventKind::AbcastRequest,
+                EventKind::Decide,
+                EventKind::InstallSnapshot,
+            ]
+        }
     }
 
     fn on_start(&mut self, ctx: &mut FrameworkCtx<'_, '_>) {
@@ -271,20 +656,39 @@ impl Microprotocol for AbcastModule {
             ctx.set_timer(self.cfg.idle_timeout, TAG_IDLE);
         }
         ctx.set_timer(self.cfg.retransmit_interval, TAG_RETX);
+        if self.offloads() {
+            let m = if self.cfg.initial_members > 0 {
+                self.cfg.initial_members
+            } else {
+                ctx.n()
+            };
+            self.members = ProcessId::all(m).collect();
+            ctx.set_timer(self.cfg.pull_interval, TAG_PULL);
+        }
     }
 
     fn on_event(&mut self, ctx: &mut FrameworkCtx<'_, '_>, ev: &Event) {
         match ev {
             Event::AbcastRequest(msg) => {
                 debug_assert_eq!(msg.id.sender, ctx.pid(), "abcast of foreign message");
-                // Diffuse to everyone — the modular stack cannot target
-                // the coordinator (consensus is a black box).
-                ctx.broadcast_net("abcast.diffuse", encode(msg));
-                if self.delivered.is_new(msg.id) {
-                    self.pending.insert(msg.id, msg.clone());
-                    self.own_diffused.insert(msg.id, ctx.now());
+                // Reconfiguration commands always travel in full — the
+                // consensus service reads them out of decided batches.
+                let direct = !self.offloads() || msg.id.seq & RECONFIG_SEQ_BASE != 0;
+                if direct {
+                    // Diffuse to everyone — the modular stack cannot
+                    // target the coordinator (consensus is a black box).
+                    ctx.broadcast_net("abcast.diffuse", self.diffuse_bytes(msg));
+                    if self.delivered.is_new(msg.id) {
+                        self.pending.insert(msg.id, msg.clone());
+                        self.own_diffused.insert(msg.id, ctx.now());
+                    }
+                    self.maybe_propose(ctx);
+                } else {
+                    if self.delivered.is_new(msg.id) {
+                        self.staged.push(msg.clone());
+                    }
+                    self.cut_payloads(ctx);
                 }
-                self.maybe_propose(ctx);
             }
             Event::Decide { instance, value } => {
                 self.decision_buffer.insert(*instance, value.clone());
@@ -306,6 +710,18 @@ impl Microprotocol for AbcastModule {
                     self.proposed = self.proposed.split_off(&next);
                 }
                 for s in &snapshot.delivered {
+                    if s.sender.0 & DESC_SENDER_BIT != 0 {
+                        // Descriptor stream (offloaded dissemination):
+                        // compacted payloads are never replayed — only
+                        // their dedup watermarks survive the install.
+                        let origin = ProcessId(s.sender.0 & !DESC_SENDER_BIT);
+                        let log = self.delivered_desc.per_sender.entry(origin).or_default();
+                        log.advance_to(s.watermark);
+                        for &seq in &s.above {
+                            log.complete(seq);
+                        }
+                        continue;
+                    }
                     let log = self.delivered.per_sender.entry(s.sender).or_default();
                     log.advance_to(s.watermark);
                     for &seq in &s.above {
@@ -314,18 +730,45 @@ impl Microprotocol for AbcastModule {
                 }
                 self.decision_buffer = self.decision_buffer.split_off(&self.next_decide);
                 let delivered = &self.delivered;
-                self.pending.retain(|id, _| delivered.is_new(*id));
+                let delivered_desc = &self.delivered_desc;
+                self.pending
+                    .retain(|id, _| match ValueId::from_descriptor(*id) {
+                        Some(vid) => delivered_desc.is_new(desc_key(vid)),
+                        None => delivered.is_new(*id),
+                    });
                 // Own in-flight messages the snapshot covers were
                 // ordered cluster-wide: raise their Adelivered so the
                 // flow-control module above releases their window slots
                 // (their app-level delivery is replaced by the install).
-                let own_done: Vec<MsgId> = self
+                let mut own_done: Vec<MsgId> = self
                     .own_diffused
                     .keys()
                     .filter(|id| !delivered.is_new(**id))
                     .copied()
                     .collect();
                 self.own_diffused.retain(|id, _| delivered.is_new(*id));
+                if self.offloads() {
+                    // Store compaction: payloads whose descriptors the
+                    // snapshot folded will never be decided here again.
+                    let me = ctx.pid();
+                    let covered_own: Vec<u64> = self
+                        .own_payloads
+                        .keys()
+                        .filter(|&&seq| {
+                            !delivered_desc.is_new(desc_key(ValueId { origin: me, seq }))
+                        })
+                        .copied()
+                        .collect();
+                    for seq in covered_own {
+                        self.own_payloads.remove(&seq);
+                        if let Some(e) = self.store.get(ValueId { origin: me, seq }) {
+                            own_done.extend(e.batch.msgs().iter().map(|m| m.id));
+                        }
+                    }
+                    let dd = &self.delivered_desc;
+                    self.store.compact(|vid| !dd.is_new(desc_key(vid)));
+                    self.missing.retain(|vid, _| dd.is_new(desc_key(*vid)));
+                }
                 if !own_done.is_empty() {
                     ctx.raise(Event::Adelivered(own_done));
                 }
@@ -334,19 +777,93 @@ impl Microprotocol for AbcastModule {
                 // Buffered decisions past the snapshot may be contiguous
                 // now; deliver them and re-propose what is still pending.
                 self.apply_ready_decisions(ctx);
+                if self.offloads() {
+                    self.cut_payloads(ctx);
+                }
+            }
+            Event::Suspect(p) if self.offloads() && self.suspected.insert(*p) => {
+                // Successor-repair: re-forward held payloads along
+                // the topology routed around the suspect.
+                self.repair_forward(ctx);
+            }
+            Event::Restore(p) => {
+                self.suspected.remove(p);
+            }
+            Event::ConfigActive { stamp } if self.offloads() => {
+                self.members = stamp.members.clone();
+                // Re-stitch: the topology is recomputed over the new
+                // membership; held payloads restart their journey so
+                // an added member is not left with holes.
+                self.repair_forward(ctx);
             }
             _ => {}
         }
     }
 
-    fn on_net(&mut self, ctx: &mut FrameworkCtx<'_, '_>, _from: ProcessId, bytes: Bytes) {
-        let Ok(msg) = decode::<AppMsg>(bytes) else {
+    fn on_net(&mut self, ctx: &mut FrameworkCtx<'_, '_>, from: ProcessId, bytes: Bytes) {
+        if !self.offloads() {
+            let Ok(msg) = decode::<AppMsg>(bytes) else {
+                ctx.bump("abcast.garbage", 1);
+                return;
+            };
+            if self.delivered.is_new(msg.id) && !self.pending.contains_key(&msg.id) {
+                self.pending.insert(msg.id, msg);
+                self.maybe_propose(ctx);
+            }
+            return;
+        }
+        let Ok(dm) = decode::<DissemMsg>(bytes) else {
             ctx.bump("abcast.garbage", 1);
             return;
         };
-        if self.delivered.is_new(msg.id) && !self.pending.contains_key(&msg.id) {
-            self.pending.insert(msg.id, msg);
-            self.maybe_propose(ctx);
+        match dm {
+            DissemMsg::Diffuse(msg) => {
+                // Descriptors dedup against the descriptor stream (the
+                // payload may not be held here — the majority-holder
+                // invariant keeps a decided id resolvable via pulls).
+                let fresh = match ValueId::from_descriptor(msg.id) {
+                    Some(vid) => self.delivered_desc.is_new(desc_key(vid)),
+                    None => self.delivered.is_new(msg.id),
+                };
+                if fresh && !self.pending.contains_key(&msg.id) {
+                    self.pending.insert(msg.id, msg);
+                    self.maybe_propose(ctx);
+                }
+            }
+            DissemMsg::Payload {
+                vid,
+                holders,
+                batch,
+            } => self.on_payload(ctx, vid, holders, batch, true),
+            DissemMsg::Push {
+                vid,
+                holders,
+                batch,
+            } => self.on_payload(ctx, vid, holders, batch, false),
+            DissemMsg::Ack { vid, holders } => {
+                if vid.origin == ctx.pid()
+                    && self.own_payloads.get(&vid.seq).is_some_and(|op| !op.safe)
+                {
+                    let acker = 1u64 << from.index();
+                    let merged = self
+                        .store
+                        .merge_holders(vid, holders | acker)
+                        .unwrap_or(holders | acker);
+                    if merged.count_ones() >= self.majority() {
+                        self.make_proposable(ctx, vid);
+                    }
+                }
+            }
+            DissemMsg::Pull { vid } => {
+                if let Some((batch, holders)) = self.store.lookup(vid) {
+                    let reply = DissemMsg::Push {
+                        vid,
+                        holders,
+                        batch: batch.clone(),
+                    };
+                    ctx.send_net(from, "abcast.payload_push", encode(&reply));
+                }
+            }
         }
     }
 
@@ -380,13 +897,80 @@ impl Microprotocol for AbcastModule {
                 for id in overdue {
                     if let Some(msg) = self.pending.get(&id) {
                         ctx.bump("abcast.retransmits", 1);
-                        ctx.broadcast_net("abcast.diffuse", encode(msg));
+                        let bytes = self.diffuse_bytes(msg);
+                        ctx.broadcast_net("abcast.diffuse", bytes);
                         self.own_diffused.insert(id, now);
                     } else {
                         self.own_diffused.remove(&id);
                     }
                 }
+                if self.offloads() {
+                    // Recover own payload batches still short of a
+                    // holder majority (lost forwards, lost acks). A
+                    // topology re-forward cannot get past a hop that
+                    // already stored the payload, so the retransmit
+                    // escalates to direct pushes at every member not
+                    // known to hold it — receivers ack with their
+                    // merged view and the origin accumulates holder
+                    // knowledge until the descriptor is proposable.
+                    let me = ctx.pid();
+                    let overdue: Vec<u64> = self
+                        .own_payloads
+                        .iter()
+                        .filter(|(_, op)| {
+                            !op.safe && now.since(op.last_sent) >= self.cfg.retransmit_interval
+                        })
+                        .map(|(&seq, _)| seq)
+                        .collect();
+                    for seq in overdue {
+                        let vid = ValueId { origin: me, seq };
+                        let Some(e) = self.store.get(vid) else {
+                            self.own_payloads.remove(&seq);
+                            continue;
+                        };
+                        let (holders, batch) = (e.holders, e.batch.clone());
+                        let push = encode(&DissemMsg::Push {
+                            vid,
+                            holders,
+                            batch: batch.clone(),
+                        });
+                        let mut pushed = false;
+                        let targets: Vec<ProcessId> = self
+                            .members
+                            .iter()
+                            .copied()
+                            .filter(|m| {
+                                *m != me
+                                    && holders & (1u64 << m.index()) == 0
+                                    && !self.suspected.contains(m)
+                            })
+                            .collect();
+                        for dst in targets {
+                            ctx.bump("abcast.retransmits", 1);
+                            ctx.send_net(dst, "abcast.payload_push", push.clone());
+                            pushed = true;
+                        }
+                        if !pushed {
+                            // Everyone left is suspected: fall back to
+                            // the (repair-routed) topology forward.
+                            ctx.bump("abcast.retransmits", 1);
+                            self.send_payload(ctx, vid, holders, &batch);
+                        }
+                        if let Some(op) = self.own_payloads.get_mut(&seq) {
+                            op.last_sent = now;
+                        }
+                    }
+                }
                 ctx.set_timer(self.cfg.retransmit_interval, TAG_RETX);
+            }
+            TAG_PULL => {
+                // Pull-based repair: keep asking live peers for the
+                // payloads the decided cursor is stalled on.
+                let wanted: Vec<ValueId> = self.missing.keys().copied().take(32).collect();
+                for vid in wanted {
+                    self.pull_one(ctx, vid);
+                }
+                ctx.set_timer(self.cfg.pull_interval, TAG_PULL);
             }
             _ => {}
         }
@@ -415,5 +999,18 @@ mod tests {
         let cfg = AbcastConfig::default();
         assert!(cfg.idle_consensus);
         assert_eq!(cfg.idle_timeout, VDur::secs(1));
+        assert_eq!(cfg.dissemination, Dissemination::Direct);
+        assert_eq!(cfg.max_outstanding_payloads, 2);
+    }
+
+    #[test]
+    fn direct_module_subscribes_like_the_seed() {
+        let direct = AbcastModule::new(AbcastConfig::default());
+        assert_eq!(direct.subscriptions().len(), 3);
+        let ring = AbcastModule::new(AbcastConfig {
+            dissemination: Dissemination::Ring,
+            ..AbcastConfig::default()
+        });
+        assert!(ring.subscriptions().contains(&EventKind::ConfigActive));
     }
 }

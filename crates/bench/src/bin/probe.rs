@@ -15,15 +15,27 @@
 //!   non-zero snapshot encode/install pricing;
 //! * `BENCH_pipeline.json` — pipelined instance execution: the
 //!   windowed-sequencer depth α × load, both stacks (self-verified:
-//!   some depth > 1 must beat depth 1 per stack).
+//!   some depth > 1 must beat depth 1 per stack);
+//! * `BENCH_dissemination.json` — payload/ordering separation: the
+//!   monolithic baseline against the modular stack under `direct`,
+//!   `ring` and `tree` dissemination on the CPU-bound LAN calibration
+//!   (self-verified: every point is oracle-audited with 0 violations,
+//!   `ring` must cut msgs/instance on every point and at least 3× on
+//!   some point, and the offload must narrow the modular/monolithic
+//!   throughput gap).
 //!
 //! `--quick` trims every sweep to a smoke-sized operating set (CI runs
 //! this) and writes it under `target/bench-quick/` so the committed
 //! full-resolution files are never clobbered. In either mode the probe
-//! re-reads every file it wrote — and in quick mode also the five
+//! re-reads every file it wrote — and in quick mode also the six
 //! *committed* files — and fails (exit 1) unless the JSON parses,
 //! covers both stacks, and (for committed files) keeps at least 8
 //! operating points, so the committed bench files cannot silently rot.
+//! Quick mode also asserts that every smoke record it regenerates
+//! appears **byte-identical** inside the corresponding committed file:
+//! the quick operating sets are subsets of the full ones, so any drift
+//! in the simulation (including a default-`Direct` regression from the
+//! dissemination layer) shows up as a mismatched line.
 //! Quick mode additionally runs a bounded **reconfiguration audit**
 //! (a log-decided add + remove per stack, traced and oracle-audited —
 //! violations dump under `target/trace/` like any other), and folds
@@ -50,7 +62,7 @@ use fortika_core::{
     fuzz_runner, run_fuzz_scenario, Experiment, RunReport, Scenario, StackConfig, StackKind,
     TraceConfig,
 };
-use fortika_net::{CostModel, LinkSelector, NetModel, ProcessId};
+use fortika_net::{CostModel, Dissemination, LinkSelector, NetModel, ProcessId};
 use fortika_sim::VDur;
 
 /// The modularity operating points: `(n, offered load msgs/s, payload bytes)`.
@@ -105,6 +117,24 @@ const PIPELINE_DEPTHS_QUICK: &[usize] = &[1, 4];
 /// the pipeline (not admission) is the binding constraint.
 const PIPELINE_WINDOW: usize = 12;
 
+/// Dissemination operating points: `(n, offered load msgs/s, payload
+/// bytes)` on the CPU-bound LAN calibration — the regime where the
+/// paper's modular stack pays its per-message diffusion overhead and
+/// the Ring Paxos-style offload has something to win back.
+const DISSEM_POINTS: &[(usize, f64, usize)] = &[
+    (3, 2000.0, 16384),
+    (3, 4000.0, 16384),
+    (7, 2000.0, 16384),
+    (3, 4000.0, 1024),
+];
+/// The quick smoke keeps the n = 7 point: it is the one that carries
+/// the headline ≥ 3× msgs/instance cut, so CI re-checks the claim.
+const DISSEM_POINTS_QUICK: &[(usize, f64, usize)] = &[(7, 2000.0, 16384)];
+
+/// Flow window for the dissemination sweep: wide enough that the
+/// outstanding-payload cap, not admission, shapes the offload.
+const DISSEM_WINDOW: usize = 16;
+
 /// The common fields of one JSON record (shared by all five sweeps);
 /// `extra` appends sweep-specific fields.
 fn json_point(out: &mut String, r: &RunReport, extra: &str) {
@@ -131,14 +161,15 @@ fn json_point(out: &mut String, r: &RunReport, extra: &str) {
     );
 }
 
-/// The five committed trajectory files (and their quick-mode
+/// The six committed trajectory files (and their quick-mode
 /// basenames under [`QUICK_DIR`]).
-const BENCH_FILES: [&str; 5] = [
+const BENCH_FILES: [&str; 6] = [
     "BENCH_modularity.json",
     "BENCH_degraded.json",
     "BENCH_stable_write.json",
     "BENCH_snapshot_cadence.json",
     "BENCH_pipeline.json",
+    "BENCH_dissemination.json",
 ];
 
 /// Where `--quick` writes its smoke output, so it never clobbers the
@@ -180,7 +211,37 @@ fn write_bench(file: &str, quick: bool, benchmark: &str, records: &[String]) -> 
     doc.push_str("  ]\n}\n");
     std::fs::write(&path, &doc).map_err(|e| format!("write {path}: {e}"))?;
     verify_bench(&path, if quick { 1 } else { MIN_COMMITTED_POINTS })?;
+    if quick {
+        verify_quick_subset(file, records)?;
+    }
     println!("wrote {path} ({} operating points)", records.len());
+    Ok(())
+}
+
+/// Quick-mode regeneration audit: every smoke operating set is a
+/// subset of the full-resolution one, and the simulator is
+/// deterministic, so each freshly generated record must appear
+/// **byte-identical** inside the committed file. A mismatch means the
+/// simulation drifted since the committed sweep was generated (e.g. a
+/// default-strategy regression from the dissemination layer) — the fix
+/// is a deliberate full regeneration, not a silent one.
+fn verify_quick_subset(file: &str, records: &[String]) -> Result<(), String> {
+    let committed =
+        std::fs::read_to_string(file).map_err(|e| format!("re-read committed {file}: {e}"))?;
+    for rec in records {
+        if !committed.contains(rec.as_str()) {
+            return Err(format!(
+                "{file}: freshly generated operating point is not byte-identical to the \
+                 committed sweep — the simulation drifted; regenerate with \
+                 `cargo run --release -p fortika-bench --bin probe` and commit the result.\n\
+                 missing record:\n{rec}"
+            ));
+        }
+    }
+    println!(
+        "{file}: {} smoke records byte-identical to the committed sweep",
+        records.len()
+    );
     Ok(())
 }
 
@@ -536,6 +597,121 @@ fn sweep_pipeline(quick: bool, coverage: &mut CoverageReport) -> Result<(), Stri
     )
 }
 
+/// Sweep 6: payload/ordering separation (`BENCH_dissemination.json`).
+///
+/// The monolithic baseline against the modular stack under `direct`
+/// (seed-faithful per-message diffusion), `ring` and `tree`
+/// dissemination, on the CPU-bound LAN calibration the paper measures.
+/// Under the offload, consensus orders small fixed-size value ids
+/// while batch payloads travel the topology exactly once — so the
+/// modular stack sheds most of its per-message diffusion CPU.
+///
+/// Every run is oracle-audited (the recorded `oracle_violations` must
+/// stay 0) and the sweep self-verifies its headline claims: `ring`
+/// must cut msgs/instance on every operating point and by at least 3×
+/// on some point (n = 7, where direct diffusion costs ~365
+/// msgs/instance, carries it), and on at least one point the offload
+/// must narrow the modular/monolithic throughput gap.
+fn sweep_dissemination(quick: bool, coverage: &mut CoverageReport) -> Result<(), String> {
+    print_header("dissemination (payload/ordering separation)");
+    let points = if quick {
+        DISSEM_POINTS_QUICK
+    } else {
+        DISSEM_POINTS
+    };
+    let mut records = Vec::new();
+    let mut gap_narrowed = false;
+    let mut best_cut = 0.0f64;
+    for &(n, load, size) in points {
+        // (kind, strategy): the monolithic baseline plus the modular
+        // stack under all three strategies, same flow window.
+        let variants = [
+            (StackKind::Monolithic, Dissemination::Direct),
+            (StackKind::Modular, Dissemination::Direct),
+            (StackKind::Modular, Dissemination::Ring),
+            (StackKind::Modular, Dissemination::Tree),
+        ];
+        let mut mono_thr = 0.0f64;
+        let mut direct = None;
+        let mut ring = None;
+        for (kind, strategy) in variants {
+            let mut exp = Experiment::builder(kind, n)
+                .workload(Workload::constant_rate(load, size))
+                .warmup_secs(1.0)
+                .measure_secs(2.0)
+                .seed(7)
+                .stack_config(StackConfig {
+                    dissemination: strategy,
+                    window: DISSEM_WINDOW,
+                    ..StackConfig::default()
+                })
+                // An empty scenario arms the delivery-invariant oracle:
+                // every adeliver of every run in this sweep is audited.
+                .scenario(Scenario::new())
+                .build();
+            let r = exp.run();
+            coverage.absorb(&r.counters);
+            print_run_row(strategy.label(), &r);
+            let violations = r.oracle.as_ref().map_or(usize::MAX, |o| o.violations.len());
+            if violations > 0 {
+                return Err(format!(
+                    "dissemination sweep ({} {} n={n} load={load}): {violations} oracle \
+                     violations",
+                    kind.label(),
+                    strategy.label()
+                ));
+            }
+            match kind {
+                StackKind::Monolithic => mono_thr = r.throughput_msgs_per_sec,
+                StackKind::Modular => match strategy {
+                    Dissemination::Direct => direct = Some(r.clone()),
+                    Dissemination::Ring => ring = Some(r.clone()),
+                    Dissemination::Tree => {}
+                },
+            }
+            let extra = format!(
+                ", \"dissemination\": \"{}\", \"flow_window\": {DISSEM_WINDOW}, \
+                 \"oracle_violations\": {violations}",
+                strategy.label()
+            );
+            let mut rec = String::new();
+            json_point(&mut rec, &r, &extra);
+            records.push(rec);
+        }
+        let (direct, ring) = (direct.expect("direct run"), ring.expect("ring run"));
+        if ring.msgs_per_instance >= direct.msgs_per_instance {
+            return Err(format!(
+                "dissemination sweep (n={n} load={load} size={size}): ring msgs/instance \
+                 {:.2} did not improve on direct {:.2} — the offload is not shedding \
+                 the diffusion traffic",
+                ring.msgs_per_instance, direct.msgs_per_instance
+            ));
+        }
+        best_cut = best_cut.max(direct.msgs_per_instance / ring.msgs_per_instance);
+        gap_narrowed |=
+            (mono_thr - ring.throughput_msgs_per_sec) < (mono_thr - direct.throughput_msgs_per_sec);
+    }
+    if best_cut < 3.0 {
+        return Err(format!(
+            "dissemination sweep: best ring msgs/instance cut vs direct is {best_cut:.2}x, \
+             the headline claim needs at least 3x at some operating point"
+        ));
+    }
+    if !gap_narrowed {
+        return Err(
+            "dissemination sweep: ring never narrowed the modular/monolithic throughput \
+             gap at any operating point — the offload is not paying for itself"
+                .to_string(),
+        );
+    }
+    write_bench(
+        "BENCH_dissemination.json",
+        quick,
+        "dissemination_offload",
+        &records,
+    )
+}
+
 /// Quick-mode reconfiguration audit: one bounded grow-then-shrink
 /// scenario per stack — an `Add` and a `Remove` decided through the log
 /// mid-load — traced and oracle-audited (config agreement included). A
@@ -685,11 +861,14 @@ fn fuzz_quick() -> Result<(), String> {
             max_batches: 4,
             plateau_batches: 2,
             // The default fault families plus the dynamic-membership
-            // family: campaigns draw log-decided adds/removes too (the
-            // fuzz runner provisions the standby capacity).
+            // family (campaigns draw log-decided adds/removes too; the
+            // fuzz runner provisions the standby capacity) plus the
+            // dissemination axis: about a third of the drawn scenarios
+            // run the modular stack with Ring/Tree payload offload.
             profile: ChaosProfile {
                 add_node_prob: 0.3,
                 remove_node_prob: 0.25,
+                dissemination_prob: 0.35,
                 ..ChaosProfile::default()
             },
             ..FuzzConfig::new(3, 42)
@@ -786,12 +965,13 @@ fn main() {
         println!("probe --quick: trimmed operating set under {QUICK_DIR}/ (CI smoke mode)");
     }
     let mut coverage = CoverageReport::new();
-    let sweeps: [Sweep; 5] = [
+    let sweeps: [Sweep; 6] = [
         ("modularity", sweep_modularity),
         ("degraded", sweep_degraded),
         ("stable_write", sweep_stable_write),
         ("snapshot_cadence", sweep_snapshot_cadence),
         ("pipeline", sweep_pipeline),
+        ("dissemination", sweep_dissemination),
     ];
     for (name, sweep) in sweeps {
         if let Err(e) = sweep(quick, &mut coverage) {

@@ -101,6 +101,18 @@ const BRANCHES: &[Branch] = &[
         name: "fd_member_updates",
         keys: &["fd.member_updates"],
     },
+    Branch {
+        name: "ring_payload_forwards",
+        keys: &["abcast.ring_payload_forwards"],
+    },
+    Branch {
+        name: "payload_pulls",
+        keys: &["abcast.payload_pulls"],
+    },
+    Branch {
+        name: "ring_repairs",
+        keys: &["abcast.ring_repairs"],
+    },
 ];
 
 /// Aggregated protocol-branch coverage of a fuzz campaign.
@@ -483,9 +495,10 @@ mod tests {
     #[test]
     fn family_vocabulary_is_stable() {
         let families = CoverageReport::family_names();
-        assert_eq!(families.len(), 12);
+        assert_eq!(families.len(), 13);
         assert_eq!(families[0], "crash");
         assert!(families.contains(&"pipelined"));
+        assert!(families.contains(&"dissemination"));
         assert!(families.contains(&"add_node"));
         assert!(families.contains(&"remove_node"));
         // The deficit of an empty report is total for every family.

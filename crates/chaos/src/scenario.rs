@@ -14,16 +14,18 @@
 //! same run bit for bit.
 
 use fortika_fd::SuspicionWindow;
-use fortika_net::{Cluster, ConfigChange, LinkFault, LinkSelector, ProcessId};
+use fortika_net::{Cluster, ConfigChange, Dissemination, LinkFault, LinkSelector, ProcessId};
 use fortika_sim::{DetRng, VDur, VTime};
 
 use crate::coverage::CoverageReport;
 
 /// Every event family a scenario can contain, in canonical order: the
-/// eleven [`ScenarioEvent`] variants plus the `pipelined` configuration
-/// axis ([`Scenario::pipeline_depth`] > 1). This is the row vocabulary
-/// of the coverage co-occurrence matrix ([`CoverageReport`]); keep it
-/// in sync with [`ScenarioEvent::family`].
+/// eleven [`ScenarioEvent`] variants plus two *configuration* axes —
+/// `pipelined` ([`Scenario::pipeline_depth`] > 1) and `dissemination`
+/// ([`Scenario::dissemination`] offloading payloads onto a ring or
+/// tree). This is the row vocabulary of the coverage co-occurrence
+/// matrix ([`CoverageReport`]); keep it in sync with
+/// [`ScenarioEvent::family`].
 pub(crate) const FAMILIES: &[&str] = &[
     "crash",
     "restart",
@@ -37,6 +39,7 @@ pub(crate) const FAMILIES: &[&str] = &[
     "add_node",
     "remove_node",
     "pipelined",
+    "dissemination",
 ];
 
 /// Probability knobs never steer above this: a residual of unsteered
@@ -297,6 +300,13 @@ pub struct Scenario {
     /// a *configuration* axis the fuzzer varies so every fault family
     /// is also exercised against pipelined runs.
     pipeline_depth: usize,
+    /// Payload dissemination strategy the run under this scenario
+    /// should use (`StackConfig::dissemination` in `fortika-core`).
+    /// Like `pipeline_depth`, a *configuration* axis: `Ring`/`Tree`
+    /// route batch payloads around the membership while consensus
+    /// orders value ids, so every fault family is also exercised
+    /// against the offloaded delivery path.
+    dissemination: Dissemination,
 }
 
 impl Default for Scenario {
@@ -304,6 +314,7 @@ impl Default for Scenario {
         Scenario {
             events: Vec::new(),
             pipeline_depth: 1,
+            dissemination: Dissemination::Direct,
         }
     }
 }
@@ -336,6 +347,23 @@ impl Scenario {
         self.pipeline_depth
     }
 
+    /// Sets the payload dissemination strategy runs under this
+    /// scenario should configure (see [`Scenario::dissemination`]).
+    pub fn with_dissemination(mut self, strategy: Dissemination) -> Self {
+        self.dissemination = strategy;
+        self
+    }
+
+    /// The payload dissemination strategy this scenario asks the
+    /// stacks to run with (default [`Dissemination::Direct`], the
+    /// seed-faithful diffusion regime). The random generator draws it
+    /// from its own stream ([`ChaosProfile::dissemination_prob`]), so
+    /// generated fault timelines also fuzz the ring/tree payload
+    /// offload; harnesses apply it via `StackConfig::dissemination`.
+    pub fn dissemination(&self) -> Dissemination {
+        self.dissemination
+    }
+
     /// The timeline events, in insertion order.
     pub fn events(&self) -> &[ScenarioEvent] {
         &self.events
@@ -354,6 +382,8 @@ impl Scenario {
             .filter(|family| {
                 if *family == "pipelined" {
                     self.pipeline_depth > 1
+                } else if *family == "dissemination" {
+                    self.dissemination.offloads()
                 } else {
                     self.events.iter().any(|ev| ev.family() == *family)
                 }
@@ -1195,6 +1225,21 @@ impl Scenario {
             s.pipeline_depth = 1 + depth_rng.below(profile.max_pipeline_depth as u64) as usize;
         }
 
+        // Dissemination strategy: the second configuration axis —
+        // Ring and Tree drawn evenly when the knob fires, from a
+        // derived stream so enabling the payload offload never
+        // perturbs the fault-window shapes above.
+        if profile.dissemination_prob > 0.0 {
+            let mut dis_rng = DetRng::derive(seed, 0xD155);
+            if dis_rng.unit_f64() < profile.dissemination_prob {
+                s.dissemination = if dis_rng.below(2) == 0 {
+                    Dissemination::Ring
+                } else {
+                    Dissemination::Tree
+                };
+            }
+        }
+
         s
     }
 }
@@ -1270,6 +1315,14 @@ pub struct ChaosProfile {
     /// so fault-window shapes are preserved). `1` pins every run to the
     /// seed-faithful sequential regime.
     pub max_pipeline_depth: usize,
+    /// Probability that a scenario runs under an offloaded payload
+    /// dissemination strategy ([`Scenario::dissemination`]; Ring and
+    /// Tree drawn evenly when the knob fires, from a derived RNG
+    /// stream so fault-window shapes are preserved). `0` pins every
+    /// run to the seed-faithful direct-diffusion regime. Offloaded
+    /// runs are incompatible with `StackConfig::app_state`, so
+    /// profiles for app-state harnesses must leave this at 0.
+    pub dissemination_prob: f64,
 }
 
 impl Default for ChaosProfile {
@@ -1291,6 +1344,7 @@ impl Default for ChaosProfile {
             add_node_prob: 0.0,
             remove_node_prob: 0.0,
             max_pipeline_depth: 4,
+            dissemination_prob: 0.0,
         }
     }
 }
@@ -1391,6 +1445,7 @@ impl ChaosProfile {
             false_suspicion_prob: boost(self.false_suspicion_prob, d("false_suspicion")),
             add_node_prob: boost(self.add_node_prob, d("add_node")),
             remove_node_prob: boost(self.remove_node_prob, d("remove_node")),
+            dissemination_prob: boost(self.dissemination_prob, d("dissemination")),
             ..self.clone()
         }
     }
@@ -1682,7 +1737,18 @@ mod tests {
             piped.families(),
             vec!["crash", "restart", "lossy", "pipelined"]
         );
+        let offloaded = piped.clone().with_dissemination(Dissemination::Ring);
+        assert_eq!(
+            offloaded.families(),
+            vec!["crash", "restart", "lossy", "pipelined", "dissemination"]
+        );
         assert_eq!(Scenario::new().families(), Vec::<&str>::new());
+        assert_eq!(
+            Scenario::new()
+                .with_dissemination(Dissemination::Direct)
+                .families(),
+            Vec::<&str>::new()
+        );
         // Every family string the events can produce is in the
         // canonical vocabulary.
         for ev in piped.events() {
@@ -1827,6 +1893,38 @@ mod tests {
             assert_eq!(base, stripped, "seed {seed}: fault shapes perturbed");
             assert_eq!(a.pipeline_depth(), b.pipeline_depth());
         }
+    }
+
+    #[test]
+    fn dissemination_stream_leaves_existing_fault_shapes_untouched() {
+        // Same contract as the reconfig stream: enabling the
+        // dissemination axis must not perturb a single fault window or
+        // the pipeline-depth draw — only the strategy field may differ.
+        let plain = ChaosProfile::default();
+        let offload = ChaosProfile {
+            dissemination_prob: 0.7,
+            ..ChaosProfile::default()
+        };
+        let mut saw_ring = false;
+        let mut saw_tree = false;
+        let mut saw_direct = false;
+        for seed in 0..40u64 {
+            let a = Scenario::random(5, seed, &plain);
+            let b = Scenario::random(5, seed, &offload);
+            let base: Vec<String> = a.events().iter().map(|ev| format!("{ev:?}")).collect();
+            let with_knob: Vec<String> = b.events().iter().map(|ev| format!("{ev:?}")).collect();
+            assert_eq!(base, with_knob, "seed {seed}: fault shapes perturbed");
+            assert_eq!(a.pipeline_depth(), b.pipeline_depth());
+            assert_eq!(a.dissemination(), Dissemination::Direct);
+            match b.dissemination() {
+                Dissemination::Direct => saw_direct = true,
+                Dissemination::Ring => saw_ring = true,
+                Dissemination::Tree => saw_tree = true,
+            }
+        }
+        assert!(saw_ring, "knob at 0.7 never drew Ring");
+        assert!(saw_tree, "knob at 0.7 never drew Tree");
+        assert!(saw_direct, "knob at 0.7 never left a run Direct");
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub fn run_fuzz_scenario(
     let cfg = ClusterConfig::new(capacity, seed);
     let mut stack_cfg = stack.clone();
     stack_cfg.pipeline_depth = stack_cfg.pipeline_depth.max(scenario.pipeline_depth());
+    if !stack_cfg.dissemination.offloads() && stack_cfg.app_state.is_none() {
+        stack_cfg.dissemination = scenario.dissemination();
+    }
     if !scenario.reconfigs().is_empty() && stack_cfg.initial_members == 0 {
         stack_cfg.initial_members = n;
     }

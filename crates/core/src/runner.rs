@@ -104,6 +104,14 @@ impl Experiment {
         let mut stack = self.stack.clone();
         if let Some(scenario) = &self.scenario {
             stack.pipeline_depth = stack.pipeline_depth.max(scenario.pipeline_depth());
+            // Same upgrade-only rule for the dissemination axis: a
+            // scenario-drawn Ring/Tree is adopted only when the stack
+            // is at the Direct default (an explicit override is never
+            // silently replaced) and no app-state fold is configured
+            // (offloaded runs fold descriptors, not app payloads).
+            if !stack.dissemination.offloads() && stack.app_state.is_none() {
+                stack.dissemination = scenario.dissemination();
+            }
         }
         if has_reconfigs && stack.initial_members == 0 {
             // Only the original group votes; standbys (and anyone a

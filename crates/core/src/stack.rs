@@ -6,7 +6,9 @@ use fortika_consensus::{ConsensusConfig, ConsensusModule};
 use fortika_fd::{FdConfig, FdModule, HeartbeatFd, OverlayFd, SuspicionWindow};
 use fortika_framework::CompositeStack;
 use fortika_mono::{MonoConfig, MonoNode, MonoOptimizations};
-use fortika_net::{AppStateFactory, Cluster, Node, NodeFactory, ProcessId, StableStore};
+use fortika_net::{
+    AppStateFactory, Cluster, Dissemination, Node, NodeFactory, ProcessId, StableStore,
+};
 use fortika_rbcast::{RbcastConfig, RbcastModule};
 use fortika_sim::VTime;
 
@@ -70,6 +72,17 @@ pub struct StackConfig {
     /// the flow windows offer enough distinct messages for α disjoint
     /// batches.
     pub pipeline_depth: usize,
+    /// How the modular stack disseminates batch payloads.
+    ///
+    /// `Direct` (the default) is the seed-faithful diffusion path —
+    /// byte-identical benches. `Ring`/`Tree` offload payloads onto a
+    /// dissemination topology and run consensus on value-id-sized
+    /// descriptors (see `docs/DISSEMINATION.md`). The monolithic stack
+    /// already targets its coordinator directly and ignores the knob.
+    /// Incompatible with [`app_state`](StackConfig::app_state): the
+    /// snapshot fold sees descriptor batches under an offloading
+    /// strategy, not application payloads.
+    pub dissemination: Dissemination,
     /// Optional application-state hook folded into snapshots: each
     /// process gets its own state machine, advanced on every delivered
     /// message, encoded into snapshots and restored on install (see
@@ -116,6 +129,7 @@ impl Default for StackConfig {
             snapshot_interval: 256,
             decision_cache: 1024,
             pipeline_depth: 1,
+            dissemination: Dissemination::Direct,
             app_state: None,
             skip_vote_persist: false,
             initial_members: 0,
@@ -171,11 +185,18 @@ pub fn build_node_with_windows(
     }
 }
 
-/// The modular abcast configuration with the stack-wide pipeline knob
-/// applied.
+/// The modular abcast configuration with the stack-wide pipeline,
+/// dissemination and membership knobs applied.
 fn abcast_config(cfg: &StackConfig) -> AbcastConfig {
+    assert!(
+        cfg.app_state.is_none() || !cfg.dissemination.offloads(),
+        "app_state folds application payloads and is incompatible with \
+         offloaded dissemination (consensus orders descriptors there)"
+    );
     AbcastConfig {
         pipeline_depth: cfg.pipeline_depth.max(1) as u64,
+        dissemination: cfg.dissemination,
+        initial_members: cfg.initial_members,
         ..cfg.abcast.clone()
     }
 }
@@ -263,7 +284,7 @@ pub fn build_restarted_node(
             };
             Box::new(CompositeStack::new(vec![
                 Box::new(FlowControlModule::new(cfg.window)),
-                Box::new(AbcastModule::new(abcast_config(cfg))),
+                Box::new(AbcastModule::resume(abcast_config(cfg), stable)),
                 Box::new(ConsensusModule::resume(consensus_config(cfg), stable).with_app(app)),
                 Box::new(RbcastModule::resume(cfg.rbcast.clone(), stable)),
                 fd_module,

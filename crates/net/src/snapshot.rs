@@ -250,9 +250,10 @@ impl SnapshotFold {
 
     /// True if `id` was delivered within the folded prefix.
     pub fn is_delivered(&self, id: MsgId) -> bool {
+        let key = crate::dissemination::fold_key(id);
         self.delivered
-            .get(&id.sender)
-            .is_some_and(|log| !log.is_new(id.seq))
+            .get(&key.sender)
+            .is_some_and(|log| !log.is_new(key.seq))
     }
 
     /// Absorbs the decision of `instance`, folding forward as far as the
@@ -268,12 +269,18 @@ impl SnapshotFold {
     fn drain(&mut self) {
         while let Some(batch) = self.buffered.remove(&self.next) {
             for msg in batch.msgs() {
-                let log = self.delivered.entry(msg.id.sender).or_default();
-                if !log.is_new(msg.id.seq) {
+                // Payload descriptors (offloaded dissemination) fold
+                // under a synthetic dense sender stream and count for
+                // the application messages their payload batch carries,
+                // keeping `delivered_count` in application units for
+                // ordinary messages and descriptors alike.
+                let key = crate::dissemination::fold_key(msg.id);
+                let log = self.delivered.entry(key.sender).or_default();
+                if !log.is_new(key.seq) {
                     continue; // delivered by an earlier instance
                 }
-                log.complete(msg.id.seq);
-                self.delivered_count += 1;
+                log.complete(key.seq);
+                self.delivered_count += crate::dissemination::delivery_weight(msg);
                 self.digest = digest_msg(self.digest, msg);
                 if let Some(app) = &mut self.app {
                     app.apply(msg);
@@ -571,6 +578,30 @@ mod tests {
         // The buffered instance 2 folds immediately after the install.
         assert_eq!(fold.next_instance(), 3);
         assert_eq!(fold.delivered_count(), 3);
+    }
+
+    #[test]
+    fn fold_weighs_descriptors_in_application_units() {
+        use crate::dissemination::{descriptor_msg, ValueId, DESC_SENDER_BIT};
+        let vid = ValueId {
+            origin: ProcessId(1),
+            seq: 0,
+        };
+        let b = Batch::normalize(vec![descriptor_msg(vid, 5), msg(0, 0, b"plain")]);
+        let mut fold = SnapshotFold::new(None);
+        fold.absorb(0, &b);
+        assert_eq!(fold.delivered_count(), 6, "descriptor counts its payload");
+        assert!(fold.is_delivered(vid.descriptor_id()));
+        // Re-deciding the descriptor does not re-count.
+        fold.absorb(1, &b);
+        assert_eq!(fold.delivered_count(), 6);
+        let snap = fold.snapshot().unwrap();
+        let desc_log = snap
+            .delivered
+            .iter()
+            .find(|s| s.sender == ProcessId(1 | DESC_SENDER_BIT))
+            .expect("descriptor stream folds under the synthetic sender");
+        assert_eq!(desc_log.watermark, 1, "stripped seqs stay dense");
     }
 
     #[test]

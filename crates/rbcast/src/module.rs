@@ -42,7 +42,13 @@ use crate::log::OriginLog;
 /// peer's duplicate-suppression log would silently swallow the new
 /// incarnation's broadcasts (its consensus module could then never
 /// disseminate a decision again).
-pub const STABLE_SEQ_KEY: u64 = 3 << 56;
+///
+/// Namespace `5 << 56`: the store is shared by the whole stack, and
+/// `3 << 56` (this key's original slot) belongs to the consensus
+/// module's persisted snapshot — the collision let frequent seq writes
+/// clobber the snapshot and, worse, a snapshot written last before a
+/// crash made the revived rbcast counter fail to decode and reset.
+pub const STABLE_SEQ_KEY: u64 = 5 << 56;
 
 /// Wire demux id of the reliable broadcast module.
 pub const RBCAST_MODULE_ID: ModuleId = 3;

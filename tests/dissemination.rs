@@ -1,0 +1,353 @@
+//! Payload/ordering separation acceptance: the `Ring` and `Tree`
+//! dissemination strategies (`StackConfig::dissemination`).
+//!
+//! The contract under test: dissemination is a *performance* knob. The
+//! consensus log orders small fixed-size value ids while batch
+//! payloads travel the topology exactly once, yet every atomic
+//! broadcast obligation holds unchanged — uniform agreement, total
+//! order, integrity, validity after healing, snapshot digest agreement
+//! — and the same seed replays byte for byte. The offload must
+//! actually engage (payload forwards observed), survive a ring member
+//! crashing and restarting mid-stream (successor repair + pull-based
+//! recovery), re-stitch the topology across log-decided membership
+//! changes, let a snapshot joiner catch up without replaying the
+//! disseminated payload history, and compose with pipelined instance
+//! execution at depth 1 and 4.
+
+use fortika::chaos::{LoadPlan, Scenario, ScriptedDriver};
+use fortika::core::{build_nodes_with_windows, install_restart_factory, StackConfig, StackKind};
+use fortika::net::{Cluster, ClusterConfig, Dissemination, MsgId, ProcessId};
+use fortika::sim::{VDur, VTime};
+
+/// Per-process delivery logs with virtual timestamps.
+type DeliveryLogs = Vec<Vec<(MsgId, VTime)>>;
+
+struct RunOutcome {
+    logs: DeliveryLogs,
+    common_order: Vec<MsgId>,
+    payload_forwards: u64,
+    payload_pulls: u64,
+    ring_repairs: u64,
+    snapshot_transfers: u64,
+    join_unservable: u64,
+    pipelined: u64,
+}
+
+/// Runs `scenario` on the modular stack under `stack_cfg`, drains, and
+/// audits the full drained contract (agreement, total order,
+/// integrity, validity, digest agreement — zero violations or panic).
+/// Standby capacity above `n` boots crashed for reconfig scenarios.
+fn run_disseminated(
+    n: usize,
+    seed: u64,
+    stack_cfg: &StackConfig,
+    scenario: &Scenario,
+    plan: LoadPlan,
+    until: VDur,
+) -> RunOutcome {
+    let capacity = scenario.capacity(n);
+    let cfg = ClusterConfig::new(capacity, seed);
+    let windows = scenario.suspicion_windows();
+    let nodes = build_nodes_with_windows(StackKind::Modular, capacity, stack_cfg, &windows);
+    let mut cluster = Cluster::new(cfg, nodes);
+    install_restart_factory(&mut cluster, StackKind::Modular, stack_cfg, &windows);
+    for pid in n..capacity {
+        cluster.schedule_crash(ProcessId(pid as u16), VTime::ZERO);
+    }
+    scenario.apply(&mut cluster);
+
+    let mut driver = ScriptedDriver::new(capacity, plan);
+    driver.start(&mut cluster);
+    cluster.run_until(VTime::ZERO + until, &mut driver);
+
+    let counters = cluster.counters();
+    let outcome = RunOutcome {
+        logs: driver.oracle().logs().to_vec(),
+        common_order: Vec::new(),
+        payload_forwards: counters.event("abcast.ring_payload_forwards"),
+        payload_pulls: counters.event("abcast.payload_pulls"),
+        ring_repairs: counters.event("abcast.ring_repairs"),
+        snapshot_transfers: counters.event("consensus.snapshot_transfers"),
+        join_unservable: counters.event("consensus.join_unservable"),
+        pipelined: counters.event("abcast.pipelined_proposals"),
+    };
+    let correct = scenario.correct(capacity);
+    let report = driver
+        .oracle()
+        .check_drained(&correct, &driver.accepted_at(&correct));
+    report.assert_ok(&format!("{} seed={seed}", stack_cfg.dissemination.label()));
+    RunOutcome {
+        common_order: report.common_order,
+        ..outcome
+    }
+}
+
+fn offload_stack(strategy: Dissemination) -> StackConfig {
+    StackConfig {
+        dissemination: strategy,
+        // A wide flow window so admission is not the bottleneck and
+        // several payload batches are in flight at once.
+        window: 8,
+        ..StackConfig::default()
+    }
+}
+
+/// Fault-free runs under Ring and Tree: the offload must engage, every
+/// message must land in the common order, and the same seed must
+/// replay byte-identically.
+#[test]
+fn offloaded_strategies_preserve_the_full_contract() {
+    for strategy in [Dissemination::Ring, Dissemination::Tree] {
+        let run = |seed: u64| {
+            run_disseminated(
+                3,
+                seed,
+                &offload_stack(strategy),
+                &Scenario::new(),
+                LoadPlan::round_robin(3, 60, VDur::millis(4), 256),
+                VDur::secs(8),
+            )
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(
+            a.logs,
+            b.logs,
+            "{}: same seed must replay identically",
+            strategy.label()
+        );
+        assert_eq!(a.common_order, b.common_order);
+        assert_eq!(
+            a.common_order.len(),
+            60,
+            "{}: every message lands",
+            strategy.label()
+        );
+        assert!(
+            a.payload_forwards > 0,
+            "{}: offload never forwarded a payload",
+            strategy.label()
+        );
+    }
+}
+
+/// A ring member crashes mid-stream and later restarts: successor
+/// repair re-routes in-flight payloads around the hole, pull-based
+/// recovery fills whatever the revived process missed, and the full
+/// drained contract still holds with byte-identical replay.
+#[test]
+fn ring_survives_member_crash_and_restart_mid_stream() {
+    let scenario = || {
+        Scenario::new()
+            .crash(ProcessId(1), VDur::millis(800))
+            .restart(ProcessId(1), VDur::secs(3))
+    };
+    let run = |seed: u64| {
+        run_disseminated(
+            5,
+            seed,
+            &offload_stack(Dissemination::Ring),
+            &scenario(),
+            LoadPlan::round_robin(5, 100, VDur::millis(10), 256),
+            VDur::secs(12),
+        )
+    };
+    let a = run(23);
+    let b = run(23);
+    assert_eq!(a.logs, b.logs, "same seed must replay identically");
+    assert_eq!(a.common_order, b.common_order);
+    // The driver skips submissions scheduled at the crashed sender, so
+    // not all 100 land — everything submitted must, though (the
+    // drained check above already asserted validity).
+    assert!(
+        a.common_order.len() >= 90,
+        "outage sank the run ({} delivered)",
+        a.common_order.len()
+    );
+    assert!(
+        a.ring_repairs > 0,
+        "crash of a ring member never triggered successor repair"
+    );
+}
+
+/// Log-decided membership changes re-stitch the topology: the group
+/// grows by a snapshot-caught-up standby and shrinks by an original
+/// member while payloads ride the ring, and the config-aware oracle
+/// still reports zero violations with deterministic replay.
+#[test]
+fn reconfig_restitches_the_ring_topology() {
+    let scenario = || {
+        Scenario::new()
+            .add_node(ProcessId(3), VDur::millis(600))
+            .remove_node(ProcessId(1), VDur::millis(2200))
+    };
+    let stack = StackConfig {
+        initial_members: 3,
+        ..offload_stack(Dissemination::Ring)
+    };
+    let run = |seed: u64| {
+        run_disseminated(
+            3,
+            seed,
+            &stack,
+            &scenario(),
+            LoadPlan::round_robin(3, 80, VDur::millis(25), 256),
+            VDur::secs(12),
+        )
+    };
+    let a = run(31);
+    let b = run(31);
+    assert_eq!(a.logs, b.logs, "same seed must replay identically");
+    assert!(
+        a.common_order.len() >= 80,
+        "workload plus reconfig commands all land"
+    );
+    assert!(a.payload_forwards > 0, "ring never engaged across reconfig");
+}
+
+/// Deep history under Ring: the decided prefix outgrows every peer's
+/// decision cache before a crashed member returns, so the revived
+/// process must catch up via chunked snapshot transfer — *without*
+/// replaying the disseminated payload history (the payload store
+/// compacts with the snapshot watermark; `join_unservable` stays 0).
+#[test]
+fn snapshot_joiner_catches_up_without_replaying_payloads() {
+    let stack = StackConfig {
+        decision_cache: 16,
+        snapshot_interval: 8,
+        ..offload_stack(Dissemination::Ring)
+    };
+    let scenario = || {
+        Scenario::new()
+            .crash(ProcessId(1), VDur::secs(1))
+            .restart(ProcessId(1), VDur::secs(3))
+    };
+    let run = |seed: u64| {
+        run_disseminated(
+            3,
+            seed,
+            &stack,
+            &scenario(),
+            LoadPlan::round_robin(3, 150, VDur::millis(25), 64),
+            VDur::secs(12),
+        )
+    };
+    let a = run(41);
+    let b = run(41);
+    assert_eq!(a.logs, b.logs, "same seed must replay identically");
+    assert_eq!(a.common_order, b.common_order);
+    // The driver skips the victim's submissions while it is down.
+    assert!(
+        a.common_order.len() >= 120,
+        "outage sank the run ({} delivered)",
+        a.common_order.len()
+    );
+    assert!(
+        a.snapshot_transfers > 0,
+        "rejoin never used the snapshot path"
+    );
+    assert_eq!(
+        a.join_unservable, 0,
+        "snapshot catch-up must make every join servable"
+    );
+}
+
+/// The offload composes with pipelined instance execution: at depth 1
+/// the windowed sequencer never overlaps instances, at depth 4 it
+/// does, and at both depths the Ring run keeps the full contract with
+/// byte-identical replay.
+#[test]
+fn ring_composes_with_pipeline_depths() {
+    for depth in [1usize, 4] {
+        let stack = StackConfig {
+            pipeline_depth: depth,
+            ..offload_stack(Dissemination::Ring)
+        };
+        let run = |seed: u64| {
+            run_disseminated(
+                3,
+                seed,
+                &stack,
+                &Scenario::new(),
+                LoadPlan::round_robin(3, 60, VDur::millis(1), 256),
+                VDur::secs(8),
+            )
+        };
+        let a = run(53);
+        let b = run(53);
+        assert_eq!(a.logs, b.logs, "depth {depth}: replay must be identical");
+        assert_eq!(
+            a.common_order.len(),
+            60,
+            "depth {depth}: every message lands"
+        );
+        if depth == 1 {
+            assert_eq!(
+                a.pipelined, 0,
+                "depth 1 must stay the sequential regime under Ring"
+            );
+        } else {
+            assert!(
+                a.pipelined > 0,
+                "depth 4 never overlapped instances under Ring"
+            );
+        }
+    }
+}
+
+/// Pull-based repair engages under loss: payloads dropped on the ring
+/// are re-fetched by the processes that decided their ids, and the
+/// drained contract still holds.
+#[test]
+fn lossy_ring_recovers_via_pulls() {
+    use fortika::net::LinkSelector;
+    let scenario = || {
+        Scenario::new().lossy(
+            LinkSelector::All,
+            0.25,
+            VDur::millis(200),
+            VDur::millis(1800),
+        )
+    };
+    let run = |seed: u64| {
+        run_disseminated(
+            3,
+            seed,
+            &offload_stack(Dissemination::Ring),
+            &scenario(),
+            LoadPlan::round_robin(3, 80, VDur::millis(10), 256),
+            VDur::secs(12),
+        )
+    };
+    let a = run(67);
+    let b = run(67);
+    assert_eq!(a.logs, b.logs, "same seed must replay identically");
+    assert_eq!(a.common_order.len(), 80, "every message lands");
+    assert!(
+        a.payload_pulls + a.ring_repairs > 0,
+        "a 25% lossy window never exercised payload recovery"
+    );
+}
+
+/// Depth-2 tree regression: at n=7 no single payload copy's carried
+/// holder set spans sibling subtrees, so majority knowledge exists
+/// only as the union of the leaf views — the origin must accumulate
+/// leaf acks or every descriptor stays unproposable forever.
+#[test]
+fn tree_depth_two_accumulates_majority_from_leaf_acks() {
+    let run = |seed: u64| {
+        run_disseminated(
+            7,
+            seed,
+            &offload_stack(Dissemination::Tree),
+            &Scenario::new(),
+            LoadPlan::round_robin(7, 40, VDur::millis(10), 256),
+            VDur::secs(10),
+        )
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.logs, b.logs, "same seed must replay identically");
+    assert_eq!(a.common_order.len(), 40, "every message lands");
+    assert!(a.payload_forwards > 0, "tree never engaged");
+}
